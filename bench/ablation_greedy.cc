@@ -1,0 +1,77 @@
+// Ablation A3 (beyond the paper): submodular maximizer choice. Compares
+// plain greedy (Algorithm 1), lazy greedy (CELF), and the exhaustive optimum
+// on similarity matrices produced by the real pipeline: objective value,
+// marginal-gain evaluations, and the (1 - 1/e) guarantee margin.
+//
+// Usage: ablation_greedy [--scale=0.35] [--seed=42]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/greedy.h"
+#include "core/vfps_sm.h"
+#include "data/presets.h"
+#include "data/scaler.h"
+
+using namespace vfps;          // NOLINT(build/namespaces)
+using namespace vfps::bench;   // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.35);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::printf("Ablation: greedy vs lazy greedy vs exhaustive optimum "
+              "(Phishing, scale=%.2f)\n\n", scale);
+
+  TablePrinter table({"P", "Select", "Greedy f(S)", "Lazy f(S)", "Optimal f(S)",
+                      "Greedy/Opt", "GreedyEvals", "LazyEvals", "ExhaustEvals"});
+  for (size_t p : {6u, 10u, 14u, 18u}) {
+    // Build the similarity matrix exactly as VFPS-SM would.
+    auto generated = data::LoadPreset("Phishing", scale, seed);
+    RunOrDie("preset", generated.status());
+    auto split = data::SplitDataset(generated->data, 0.8, 0.1, seed);
+    RunOrDie("split", split.status());
+    RunOrDie("standardize", data::StandardizeSplit(&*split));
+    auto partition = data::QualityStratifiedPartition(generated->kinds, p, seed);
+    RunOrDie("partition", partition.status());
+
+    auto backend = he::CreatePlainBackend();
+    net::SimNetwork network;
+    net::CostModel cost;
+    SimClock clock;
+    core::SelectionContext ctx;
+    ctx.split = &*split;
+    ctx.partition = &*partition;
+    ctx.backend = backend.get();
+    ctx.network = &network;
+    ctx.cost = &cost;
+    ctx.clock = &clock;
+    ctx.knn.num_queries = 16;
+    ctx.seed = seed;
+
+    core::VfpsSmSelector selector(vfl::KnnOracleMode::kFagin);
+    const size_t target = p / 2;
+    auto outcome = selector.Select(ctx, target);
+    RunOrDie("select", outcome.status());
+    core::KnnSubmodularFunction f(selector.last_similarity());
+
+    auto greedy = core::GreedyMaximize(f, target);
+    auto lazy = core::LazyGreedyMaximize(f, target);
+    auto optimal = core::ExhaustiveMaximize(f, target);
+    RunOrDie("exhaustive", optimal.status());
+
+    table.AddRow({std::to_string(p), std::to_string(target),
+                  StrFormat("%.4f", greedy.value), StrFormat("%.4f", lazy.value),
+                  StrFormat("%.4f", optimal->value),
+                  StrFormat("%.4f", greedy.value / optimal->value),
+                  std::to_string(greedy.evaluations),
+                  std::to_string(lazy.evaluations),
+                  std::to_string(optimal->evaluations)});
+  }
+  table.Print();
+  std::printf("\nExpected: greedy/optimal ratio well above the 0.632 "
+              "guarantee (usually ~1.0); lazy greedy matches plain greedy's "
+              "value with fewer evaluations.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation A5 (beyond the paper): exact vs Monte-Carlo SHAPLEY. Quantifies
+// what the MC estimator (used above ctx.shapley_exact_limit participants)
+// gives up: value error and selection agreement vs the exact 2^P - 1
+// enumeration, against the number of sampled permutations.
+//
+// Usage: ablation_shapley [--scale=0.35] [--participants=8] [--seed=42]
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/shapley.h"
+#include "data/presets.h"
+#include "data/scaler.h"
+
+using namespace vfps;          // NOLINT(build/namespaces)
+using namespace vfps::bench;   // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.35);
+  const size_t parties = static_cast<size_t>(flags.GetInt("participants", 8));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::printf("Ablation: exact vs Monte-Carlo SHAPLEY (Phishing, P=%zu, "
+              "select %zu, scale=%.2f)\n\n", parties, parties / 2, scale);
+
+  auto generated = data::LoadPreset("Phishing", scale, seed);
+  RunOrDie("preset", generated.status());
+  auto split = data::SplitDataset(generated->data, 0.8, 0.1, seed);
+  RunOrDie("split", split.status());
+  RunOrDie("standardize", data::StandardizeSplit(&*split));
+  auto partition = data::RandomVerticalPartition(generated->data.num_features(),
+                                                 parties, seed);
+  RunOrDie("partition", partition.status());
+
+  auto backend = he::CreatePlainBackend();
+  net::SimNetwork network;
+  net::CostModel cost;
+
+  auto run = [&](size_t exact_limit, size_t permutations, SimClock* clock,
+                 std::vector<double>* values) -> std::vector<size_t> {
+    core::SelectionContext ctx;
+    ctx.split = &*split;
+    ctx.partition = &*partition;
+    ctx.backend = backend.get();
+    ctx.network = &network;
+    ctx.cost = &cost;
+    ctx.clock = clock;
+    ctx.knn.k = 10;
+    ctx.utility_queries = 16;
+    ctx.seed = seed;
+    ctx.shapley_exact_limit = exact_limit;
+    ctx.shapley_mc_permutations = permutations;
+    core::ShapleySelector selector;
+    auto outcome = selector.Select(ctx, parties / 2);
+    RunOrDie("shapley", outcome.status());
+    *values = selector.last_values();
+    return outcome->selected;
+  };
+
+  SimClock exact_clock;
+  std::vector<double> exact_values;
+  const auto exact_pick = run(/*exact_limit=*/20, 0, &exact_clock, &exact_values);
+
+  TablePrinter table({"Estimator", "Permutations", "MaxAbsErr", "PickOverlap",
+                      "SimSeconds"});
+  table.AddRow({"exact", "-", "0.0000",
+                std::to_string(exact_pick.size()) + "/" +
+                    std::to_string(exact_pick.size()),
+                FormatSimSeconds(exact_clock.Total())});
+  for (size_t permutations : {2u, 8u, 32u, 128u}) {
+    SimClock clock;
+    std::vector<double> values;
+    const auto pick = run(/*exact_limit=*/2, permutations, &clock, &values);
+    double max_err = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      max_err = std::max(max_err, std::abs(values[i] - exact_values[i]));
+    }
+    size_t overlap = 0;
+    for (size_t p : pick) {
+      for (size_t q : exact_pick) overlap += (p == q);
+    }
+    table.AddRow({"monte-carlo", std::to_string(permutations),
+                  StrFormat("%.4f", max_err),
+                  std::to_string(overlap) + "/" + std::to_string(exact_pick.size()),
+                  FormatSimSeconds(clock.Total())});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: value error shrinks ~1/sqrt(permutations). Pick overlap is\n"
+      "noisier (mid-ranked participants have near-tied Shapley values, so\n"
+      "tiny estimation error flips them). The MC clock includes the\n"
+      "documented exact-cost extrapolation, so simulated seconds stay\n"
+      "comparable by design.\n");
+  return 0;
+}

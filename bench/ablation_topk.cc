@@ -1,0 +1,85 @@
+// Ablation A2 (beyond the paper): choice of top-k query algorithm inside the
+// KNN oracle. Compares Fagin (FA), the Threshold algorithm (TA), and the
+// exhaustive scan on identical ranked lists: candidate counts, scan depth,
+// and access totals. The paper uses FA and notes other algorithms plug in.
+//
+// Usage: ablation_topk [--items=4000] [--parties=4] [--k=10] [--seed=42]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "data/presets.h"
+#include "topk/fagin.h"
+#include "topk/naive.h"
+#include "topk/threshold.h"
+
+using namespace vfps;          // NOLINT(build/namespaces)
+using namespace vfps::bench;   // NOLINT(build/namespaces)
+
+namespace {
+
+// Ranked lists with controlled cross-party correlation rho: party scores are
+// rho * shared + (1 - rho) * private noise. High correlation = the regime
+// vertical KNN lives in (parties score the same underlying neighbors).
+std::vector<std::vector<double>> CorrelatedScores(size_t parties, size_t items,
+                                                  double rho, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> shared(items);
+  for (double& v : shared) v = rng.NextDouble();
+  std::vector<std::vector<double>> scores(parties, std::vector<double>(items));
+  for (auto& list : scores) {
+    for (size_t i = 0; i < items; ++i) {
+      list[i] = rho * shared[i] + (1.0 - rho) * rng.NextDouble();
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t items = static_cast<size_t>(flags.GetInt("items", 4000));
+  const size_t parties = static_cast<size_t>(flags.GetInt("parties", 4));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::printf("Ablation: top-k algorithm (N=%zu, P=%zu, k=%zu)\n\n", items,
+              parties, k);
+
+  for (double rho : {0.9, 0.5, 0.1}) {
+    std::printf("== cross-party score correlation rho=%.1f ==\n", rho);
+    auto lists =
+        topk::RankedListSet::Build(CorrelatedScores(parties, items, rho, seed));
+    RunOrDie("build lists", lists.status());
+    TablePrinter table({"Algorithm", "Depth", "SortedAcc", "RandomAcc",
+                        "Candidates", "CandidateFrac"});
+    struct Row {
+      const char* name;
+      Result<topk::TopkResult> run;
+    };
+    Row rows[] = {
+        {"Fagin (FA)", topk::FaginTopk(*lists, k, 64)},
+        {"Threshold (TA)", topk::ThresholdTopk(*lists, k)},
+        {"Exhaustive", topk::NaiveTopk(*lists, k)},
+    };
+    for (auto& row : rows) {
+      RunOrDie(row.name, row.run.status());
+      const auto& r = *row.run;
+      table.AddRow({row.name, std::to_string(r.depth),
+                    std::to_string(r.sorted_accesses),
+                    std::to_string(r.random_accesses),
+                    std::to_string(r.candidates),
+                    StrFormat("%.3f", static_cast<double>(r.candidates) /
+                                          static_cast<double>(items))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("Expected: at high correlation both FA and TA touch a tiny "
+              "fraction of the items; as correlation falls, FA's candidate "
+              "set grows toward the exhaustive scan while TA trades depth "
+              "for random accesses.\n");
+  return 0;
+}

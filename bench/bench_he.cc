@@ -1,0 +1,131 @@
+// Microbenchmarks for the homomorphic-encryption substrate: NTT transforms,
+// CKKS encode/encrypt/add/decrypt, and Paillier primitives. These are the
+// per-operation costs the simulated-deployment cost model is calibrated
+// against (net/cost_model.h).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "he/backend.h"
+#include "he/ckks.h"
+#include "he/modarith.h"
+#include "he/ntt.h"
+#include "he/paillier.h"
+
+namespace vfps::he {
+namespace {
+
+void BM_NttForward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto prime = GeneratePrime(54, 2 * n);
+  auto tables = NttTables::Create(n, *prime);
+  Rng rng(1);
+  std::vector<uint64_t> poly(n);
+  for (auto& v : poly) v = rng.NextBounded(*prime);
+  for (auto _ : state) {
+    tables->Forward(poly.data());
+    benchmark::DoNotOptimize(poly.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(16384);
+
+struct CkksFixture {
+  std::shared_ptr<const CkksContext> ctx;
+  Rng rng{7};
+  CkksSecretKey sk;
+  CkksPublicKey pk;
+  std::vector<double> values;
+
+  explicit CkksFixture(size_t degree) {
+    CkksParams params;
+    params.poly_degree = degree;
+    ctx = CkksContext::Create(params).ValueOrDie();
+    sk = ctx->GenerateSecretKey(&rng);
+    pk = ctx->GeneratePublicKey(sk, &rng);
+    values.resize(ctx->slot_count());
+    Rng vals(3);
+    for (auto& v : values) v = vals.Uniform(-100.0, 100.0);
+  }
+};
+
+void BM_CkksEncode(benchmark::State& state) {
+  CkksFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto pt = f.ctx->encoder().Encode(f.values, f.ctx->params().scale);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_CkksEncode)->Arg(1024)->Arg(4096);
+
+void BM_CkksEncrypt(benchmark::State& state) {
+  CkksFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ct = f.ctx->EncryptVector(f.pk, f.values, &f.rng);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.values.size()));
+}
+BENCHMARK(BM_CkksEncrypt)->Arg(1024)->Arg(4096);
+
+void BM_CkksAdd(benchmark::State& state) {
+  CkksFixture f(static_cast<size_t>(state.range(0)));
+  auto a = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
+  auto b = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctx->AddInPlaceCt(&a, b));
+  }
+}
+BENCHMARK(BM_CkksAdd)->Arg(1024)->Arg(4096);
+
+void BM_CkksDecrypt(benchmark::State& state) {
+  CkksFixture f(static_cast<size_t>(state.range(0)));
+  auto ct = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
+  for (auto _ : state) {
+    auto values = f.ctx->DecryptVector(f.sk, ct, f.values.size());
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_CkksDecrypt)->Arg(1024)->Arg(4096);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Rng rng(11);
+  auto keys = Paillier::GenerateKeys(static_cast<size_t>(state.range(0)), &rng)
+                  .ValueOrDie();
+  for (auto _ : state) {
+    auto ct = Paillier::Encrypt(keys.pub, BigInt(123456), &rng);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierAdd(benchmark::State& state) {
+  Rng rng(12);
+  auto keys = Paillier::GenerateKeys(512, &rng).ValueOrDie();
+  auto a = Paillier::Encrypt(keys.pub, BigInt(1), &rng).ValueOrDie();
+  auto b = Paillier::Encrypt(keys.pub, BigInt(2), &rng).ValueOrDie();
+  for (auto _ : state) {
+    auto sum = Paillier::Add(keys.pub, a, b);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PaillierAdd);
+
+void BM_BackendEncryptVector(benchmark::State& state) {
+  CkksParams params;
+  auto backend = CreateCkksBackend(params, 5).MoveValueUnsafe();
+  std::vector<double> values(static_cast<size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    auto enc = backend->Encrypt(values);
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BackendEncryptVector)->Arg(2048)->Arg(8192)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vfps::he
+
+BENCHMARK_MAIN();

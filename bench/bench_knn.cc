@@ -1,0 +1,95 @@
+// Microbenchmarks for the KNN paths: centralized prediction, the federated
+// oracle in BASE and FAGIN modes, and similarity-matrix construction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/similarity.h"
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "ml/knn.h"
+#include "vfl/fed_knn.h"
+
+namespace vfps {
+namespace {
+
+struct KnnFixture {
+  data::Dataset train;
+  data::Dataset test;
+  data::VerticalPartition partition;
+  std::unique_ptr<he::HeBackend> backend = he::CreatePlainBackend();
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+
+  explicit KnnFixture(size_t rows, size_t features = 16, size_t parties = 4) {
+    data::SyntheticConfig config;
+    config.num_samples = rows;
+    config.num_features = features;
+    config.num_informative = features / 2;
+    config.num_redundant = features / 4;
+    config.seed = 9;
+    auto generated = data::GenerateClassification(config).ValueOrDie();
+    auto split = data::SplitDataset(generated.data, 0.9, 0.0, 2).ValueOrDie();
+    train = std::move(split.train);
+    test = std::move(split.test);
+    partition = data::RandomVerticalPartition(features, parties, 3).ValueOrDie();
+  }
+};
+
+void BM_CentralKnnPredict(benchmark::State& state) {
+  KnnFixture f(static_cast<size_t>(state.range(0)));
+  ml::KnnClassifier knn(10);
+  (void)knn.Fit(f.train, {});
+  for (auto _ : state) {
+    auto preds = knn.Predict(f.test);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.test.num_samples()));
+}
+BENCHMARK(BM_CentralKnnPredict)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void RunOracle(benchmark::State& state, vfl::KnnOracleMode mode) {
+  KnnFixture f(static_cast<size_t>(state.range(0)));
+  vfl::FederatedKnnOracle oracle(&f.train, &f.partition, f.backend.get(),
+                                 &f.network, &f.cost, &f.clock);
+  vfl::FedKnnConfig config;
+  config.mode = mode;
+  config.k = 10;
+  config.num_queries = 8;
+  for (auto _ : state) {
+    auto result = oracle.Run(config, nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+
+void BM_FedKnnBase(benchmark::State& state) {
+  RunOracle(state, vfl::KnnOracleMode::kBase);
+}
+BENCHMARK(BM_FedKnnBase)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_FedKnnFagin(benchmark::State& state) {
+  RunOracle(state, vfl::KnnOracleMode::kFagin);
+}
+BENCHMARK(BM_FedKnnFagin)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_BuildSimilarity(benchmark::State& state) {
+  const size_t parties = static_cast<size_t>(state.range(0));
+  std::vector<vfl::QueryNeighborhood> hoods(64);
+  Rng rng(4);
+  for (auto& hood : hoods) {
+    hood.per_party_dt.resize(parties);
+    for (double& v : hood.per_party_dt) v = rng.Uniform(0.0, 10.0);
+  }
+  for (auto _ : state) {
+    auto w = core::BuildSimilarity(hoods, parties);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_BuildSimilarity)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace vfps
+
+BENCHMARK_MAIN();

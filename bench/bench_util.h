@@ -1,0 +1,141 @@
+#ifndef VFPS_BENCH_BENCH_UTIL_H_
+#define VFPS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction harnesses: tiny flag
+// parsing (--key=value), monospace table rendering, and the canonical
+// experiment-grid defaults used across benches.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+
+namespace vfps::bench {
+
+/// Parse "--key=value" style flags; anything else aborts with usage.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unknown argument: %s (expected --key=value)\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseDouble(it->second).ValueOrDie();
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseInt64(it->second).ValueOrDie();
+  }
+
+  std::string GetString(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Monospace table writer: set a header, append rows, print aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&widths](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&widths](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%s%s", i == 0 ? "" : "  ",
+                    PadLeft(row[i], widths[i]).c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FormatAccuracy(double acc) { return StrFormat("%.4f", acc); }
+inline std::string FormatSimSeconds(double s) { return StrFormat("%.1f", s); }
+
+/// The ten Table III dataset names in paper order.
+inline const std::vector<std::string>& AllDatasets() {
+  static const auto* names = new std::vector<std::string>{
+      "Bank", "Phishing", "Rice", "Credit", "Adult",
+      "Web",  "IJCNN",    "HDI",  "SD",     "SUSY"};
+  return *names;
+}
+
+/// Canonical grid-cell configuration shared by the table benches.
+inline core::ExperimentConfig GridConfig(const std::string& dataset,
+                                         core::SelectionMethod method,
+                                         ml::ModelKind model, double scale,
+                                         uint64_t seed) {
+  core::ExperimentConfig config;
+  config.dataset = dataset;
+  config.scale = scale;
+  config.participants = 4;
+  config.select = 2;
+  config.method = method;
+  config.model = model;
+  config.backend = core::HeBackendKind::kPlain;  // sim times are backend-agnostic
+  // The paper "randomly splits each dataset into four vertical partitions".
+  config.partition = core::PartitionMode::kRandom;
+  config.knn.k = 10;
+  config.knn.num_queries = 256;
+  // Baselines evaluate coalitions on the same query budget as the oracle
+  // (the paper scores utilities on the validation set, not a subsample).
+  config.utility_queries = 256;
+  config.seed = seed;
+  return config;
+}
+
+inline void RunOrDie(const char* what, const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace vfps::bench
+
+#endif  // VFPS_BENCH_BENCH_UTIL_H_

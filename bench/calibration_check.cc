@@ -1,0 +1,61 @@
+// Calibration check: downstream accuracy with ALL participants for every
+// dataset preset and model, next to the paper's Table IV "ALL" row. Used to
+// tune the presets' centroid_distance values; large deviations mean the
+// synthetic stand-ins drifted from the paper's difficulty profile.
+//
+// Usage: calibration_check [--scale=0.5] [--seed=42]
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vfps;          // NOLINT(build/namespaces)
+using namespace vfps::bench;   // NOLINT(build/namespaces)
+
+namespace {
+// Paper Table IV, "ALL" rows: KNN, LR, MLP.
+struct Target {
+  const char* dataset;
+  double knn, lr, mlp;
+};
+constexpr Target kTargets[] = {
+    {"Bank", 0.8300, 0.8156, 0.8595},   {"Phishing", 0.9483, 0.9360, 0.9418},
+    {"Rice", 0.9911, 0.9882, 0.9889},   {"Credit", 0.8111, 0.8115, 0.8062},
+    {"Adult", 0.8167, 0.8463, 0.8415},  {"Web", 0.9883, 0.9866, 0.9883},
+    {"IJCNN", 0.9833, 0.9197, 0.9570},  {"HDI", 0.9250, 0.9075, 0.9082},
+    {"SD", 0.7111, 0.7263, 0.8205},     {"SUSY", 0.7844, 0.7876, 0.8011},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.5);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::printf("Calibration: ALL-participant accuracy vs paper Table IV targets "
+              "(scale=%.2f)\n\n", scale);
+  TablePrinter table({"Dataset", "KNN", "paper", "LR", "paper", "MLP", "paper"});
+  double total_abs_dev = 0.0;
+  int cells = 0;
+  for (const Target& target : kTargets) {
+    std::vector<std::string> row = {target.dataset};
+    const ml::ModelKind models[] = {ml::ModelKind::kKnn, ml::ModelKind::kLogReg,
+                                    ml::ModelKind::kMlp};
+    const double papers[] = {target.knn, target.lr, target.mlp};
+    for (int m = 0; m < 3; ++m) {
+      auto config = GridConfig(target.dataset, core::SelectionMethod::kAll,
+                               models[m], scale, seed);
+      auto result = core::RunExperiment(config);
+      RunOrDie(target.dataset, result.status());
+      row.push_back(FormatAccuracy(result->training.test_accuracy));
+      row.push_back(FormatAccuracy(papers[m]));
+      total_abs_dev += std::abs(result->training.test_accuracy - papers[m]);
+      ++cells;
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\nMean absolute deviation from paper: %.4f over %d cells\n",
+              total_abs_dev / cells, cells);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 6: the diversity study. Starting from a 4-participant
+// consortium, inject 0..4 exact duplicate participants and select 2 with each
+// method; report downstream KNN accuracy. VFPS-SM's submodular objective
+// gives duplicates zero marginal gain, so its accuracy stays flat while the
+// additive scorers (SHAPLEY, VF-MINE) get fooled into picking clones.
+//
+// Usage: fig6_diversity [--scale=0.5] [--seed=42] [--max_dup=4]
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vfps;          // NOLINT(build/namespaces)
+using namespace vfps::bench;   // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.5);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t max_dup = static_cast<size_t>(flags.GetInt("max_dup", 4));
+
+  std::printf("Fig. 6: KNN accuracy vs injected duplicate participants "
+              "(base P=4, select 2, scale=%.2f)\n", scale);
+  std::printf("Duplicate i clones participant (i mod 4), i.e. participants are\n"
+              "incrementally replicated as in the paper's protocol.\n\n");
+
+  const core::SelectionMethod methods[] = {core::SelectionMethod::kShapley,
+                                           core::SelectionMethod::kVfMine,
+                                           core::SelectionMethod::kVfpsSm};
+  for (const std::string& dataset : {std::string("Phishing"), std::string("Web")}) {
+    std::printf("== %s ==\n", dataset.c_str());
+    std::vector<std::string> header = {"Method"};
+    for (size_t dup = 0; dup <= max_dup; ++dup) {
+      header.push_back("+" + std::to_string(dup) + "dup");
+    }
+    TablePrinter table(header);
+    for (core::SelectionMethod method : methods) {
+      std::vector<std::string> row = {core::SelectionMethodName(method)};
+      for (size_t dup = 0; dup <= max_dup; ++dup) {
+        auto config =
+            GridConfig(dataset, method, ml::ModelKind::kKnn, scale, seed);
+        config.duplicates = dup;
+        // The paper splits uniformly at random for this study, so the base
+        // participants are comparable and redundancy is what hurts.
+        config.partition = core::PartitionMode::kRandom;
+        auto result = core::RunExperiment(config);
+        RunOrDie(dataset.c_str(), result.status());
+        row.push_back(FormatAccuracy(result->training.test_accuracy));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("Paper shape: SHAPLEY/VF-MINE accuracy drops with duplicates "
+              "(up to -5.0%% / -3.0%% on Phishing); VFPS-SM stays flat.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 9: the average number of instances encrypted and
+// communicated per query — the ablation that explains the VFPS-SM speedup.
+// VFPS-SM-BASE encrypts every training instance per query; VFPS-SM only
+// encrypts Fagin's candidate set.
+//
+// Usage: fig9_candidates [--scale=0.5] [--seed=42] [--queries=16]
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace vfps;          // NOLINT(build/namespaces)
+using namespace vfps::bench;   // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.5);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 16));
+
+  std::printf("Fig. 9: average encrypted instances per query, BASE vs FAGIN "
+              "(P=4, scale=%.2f)\n\n", scale);
+
+  TablePrinter table({"Dataset", "TrainRows", "BASE/query", "VFPS-SM/query",
+                      "Reduction"});
+  for (const std::string& dataset : AllDatasets()) {
+    double per_query[2] = {0.0, 0.0};
+    size_t rows = 0;
+    const core::SelectionMethod modes[] = {core::SelectionMethod::kVfpsSmBase,
+                                           core::SelectionMethod::kVfpsSm};
+    for (int i = 0; i < 2; ++i) {
+      auto config = GridConfig(dataset, modes[i], ml::ModelKind::kKnn, scale, seed);
+      config.knn.num_queries = queries;
+      auto result = core::RunExperiment(config);
+      RunOrDie(dataset.c_str(), result.status());
+      per_query[i] = result->selection.knn_stats.AvgCandidatesPerQuery();
+      rows = result->rows;
+    }
+    table.AddRow({dataset, std::to_string(rows),
+                  StrFormat("%.0f", per_query[0]),
+                  StrFormat("%.0f", per_query[1]),
+                  StrFormat("%.1fx", per_query[0] / per_query[1])});
+  }
+  table.Print();
+  std::printf("\nPaper shape: reductions grow with dataset size "
+              "(paper: 24.5x on Rice, 46.0x on SUSY at full 5M rows).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table V: end-to-end running time (selection + training) for the
+// KNN / LR / MLP downstream tasks on all ten datasets under each selection
+// method. Times are simulated cluster seconds from the calibrated cost model.
+//
+// Usage: table5_end_to_end [--scale=0.5] [--seed=42] [--datasets=...]
+//        [--models=knn,lr,mlp]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+
+using namespace vfps;          // NOLINT(build/namespaces)
+using namespace vfps::bench;   // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.5);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::vector<std::string> datasets = AllDatasets();
+  {
+    const std::string arg = flags.GetString("datasets", "");
+    if (!arg.empty()) datasets = SplitString(arg, ',');
+  }
+  std::vector<ml::ModelKind> models;
+  for (const auto& name :
+       SplitString(flags.GetString("models", "knn,lr,mlp"), ',')) {
+    models.push_back(ml::ParseModelKind(name).ValueOrDie());
+  }
+
+  std::printf("Table V: end-to-end running time in simulated seconds, select 2 of 4 (scale=%.2f)\n\n",
+              scale);
+
+  const core::SelectionMethod methods[] = {
+      core::SelectionMethod::kAll, core::SelectionMethod::kRandom,
+      core::SelectionMethod::kShapley, core::SelectionMethod::kVfMine,
+      core::SelectionMethod::kVfpsSm};
+
+  Stopwatch wall;
+  for (ml::ModelKind model : models) {
+    std::printf("== downstream task: %s ==\n", ml::ModelKindName(model));
+    std::vector<std::string> header = {"Method"};
+    header.insert(header.end(), datasets.begin(), datasets.end());
+    TablePrinter table(header);
+    std::vector<std::vector<double>> total(std::size(methods),
+                                           std::vector<double>(datasets.size()));
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      for (size_t m = 0; m < std::size(methods); ++m) {
+        auto config = GridConfig(datasets[d], methods[m], model, scale, seed);
+        auto result = core::RunExperiment(config);
+        RunOrDie(datasets[d].c_str(), result.status());
+        total[m][d] = result->total_sim_seconds;
+      }
+    }
+    for (size_t m = 0; m < std::size(methods); ++m) {
+      std::vector<std::string> row = {core::SelectionMethodName(methods[m])};
+      for (size_t d = 0; d < datasets.size(); ++d) {
+        row.push_back(FormatSimSeconds(total[m][d]));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+
+    // Shape checks mirrored from the paper.
+    size_t vfps_faster_than_shapley = 0, vfps_faster_than_vfmine = 0;
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      vfps_faster_than_shapley += (total[4][d] < total[2][d]);
+      vfps_faster_than_vfmine += (total[4][d] < total[3][d]);
+    }
+    std::printf("VFPS-SM faster than SHAPLEY on %zu/%zu, than VF-MINE on %zu/%zu datasets\n\n",
+                vfps_faster_than_shapley, datasets.size(),
+                vfps_faster_than_vfmine, datasets.size());
+  }
+  std::printf("(grid wall time: %.1fs)\n", wall.ElapsedSeconds());
+  return 0;
+}

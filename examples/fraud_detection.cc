@@ -1,0 +1,118 @@
+// Fraud-detection consortium — the paper's Fig. 1 motivating scenario.
+//
+// A bank (leader, holds the fraud labels) wants to train a fraud model with
+// an e-commerce company, a credit bureau, and two data vendors. The credit
+// bureau's features largely duplicate the bank's own financial view, and one
+// vendor sells repackaged noise. Budget allows training with TWO partners.
+//
+// This example builds that consortium explicitly (hand-crafted feature
+// assignment rather than the automatic partitioner), runs VFPS-SM and the
+// baselines under real CKKS encryption, and shows how diversity-aware
+// selection avoids the reseller and lands on a pair of partners with
+// genuinely complementary information.
+//
+//   ./build/examples/fraud_detection
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "core/selector.h"
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "vfl/split_train.h"
+
+namespace {
+
+using namespace vfps;  // NOLINT(build/namespaces)
+
+constexpr const char* kPartyNames[] = {"bank(leader)", "e-commerce",
+                                       "credit-bureau", "vendor-A", "vendor-B"};
+
+std::string PartyList(const std::vector<size_t>& parties) {
+  std::string out;
+  for (size_t p : parties) {
+    out += (out.empty() ? "" : "+") + std::string(kPartyNames[p]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // 24 features: 9 informative (0-8), 9 redundant combinations (9-17),
+  // 6 noise (18-23).
+  data::SyntheticConfig config;
+  config.num_samples = 4000;
+  config.num_features = 24;
+  config.num_informative = 9;
+  config.num_redundant = 9;
+  config.centroid_distance = 3.6;
+  config.label_noise = 0.02;
+  config.class_priors = {0.85, 0.15};  // fraud is rare
+  config.seed = 7;
+  auto generated = data::GenerateClassification(config);
+  generated.status().Abort("generate");
+  auto split = data::SplitDataset(generated->data, 0.8, 0.1, 7);
+  split.status().Abort("split");
+  VFPS_ABORT_NOT_OK(data::StandardizeSplit(&*split));
+
+  // Hand-crafted consortium (near-equal widths, heterogeneous content):
+  //   bank:          informative 0-2 + its own derived metrics 9, 10
+  //   e-commerce:    informative 3-5 + noise 18 (shopping data, new signal)
+  //   credit bureau: redundant 11-13 (recombinations of financials) + inf 6
+  //   vendor-A:      informative 7, 8 + noise 19, 20
+  //   vendor-B:      a data reseller: recombined columns 14-17 + noise 21
+  //                  (the classic "hitch-rider": busy-looking, nothing new)
+  data::VerticalPartition partition = {{0, 1, 2, 9, 10},
+                                       {3, 4, 5, 18},
+                                       {11, 12, 13, 6},
+                                       {7, 8, 19, 20},
+                                       {14, 15, 16, 17, 21}};
+
+  auto backend = he::CreateCkksBackend(/*seed=*/99);
+  backend.status().Abort("ckks backend");
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+
+  core::SelectionContext ctx;
+  ctx.split = &*split;
+  ctx.partition = &partition;
+  ctx.backend = backend->get();
+  ctx.network = &network;
+  ctx.cost = &cost;
+  ctx.clock = &clock;
+  ctx.knn.k = 10;
+  ctx.knn.num_queries = 160;
+  ctx.utility_queries = 32;
+  ctx.seed = 7;
+
+  std::printf("Fraud-detection consortium: pick 2 partners out of 5\n");
+  std::printf("(real CKKS encryption; times are simulated cluster seconds)\n\n");
+
+  for (core::SelectionMethod method :
+       {core::SelectionMethod::kShapley, core::SelectionMethod::kVfMine,
+        core::SelectionMethod::kVfpsSm}) {
+    auto selector = core::CreateSelector(method);
+    selector.status().Abort("selector");
+    auto outcome = (*selector)->Select(ctx, 2);
+    outcome.status().Abort("select");
+
+    vfl::DownstreamOptions downstream;
+    downstream.model = ml::ModelKind::kLogReg;
+    auto training = vfl::RunDownstreamTraining(
+        *split, partition, outcome->selected, downstream, cost, nullptr);
+    training.status().Abort("train");
+
+    std::printf("%-8s -> %-26s selection %6.1fs  fraud-model accuracy %.4f\n",
+                core::SelectionMethodName(method),
+                PartyList(outcome->selected).c_str(), outcome->sim_seconds,
+                training->test_accuracy);
+  }
+
+  std::printf(
+      "\nThe submodular objective discounts the credit bureau and vendor-B\n"
+      "(both views are derivable from others' columns), pairing the bank's\n"
+      "signal with a partner holding genuinely new information.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Healthcare triage consortium (HDI-style, Table III "Healthcare" domain).
+//
+// A hospital network (leader, holds diabetes-indicator labels) considers
+// eight data partners: clinics, a pharmacy chain, wearable vendors, an
+// insurer, and assorted brokers. It can fund a federated study with THREE of
+// them. This example sweeps the selection budget (|S| = 1..6), showing the
+// diminishing returns the submodular objective predicts, and prints the
+// marginal-gain audit trail a practitioner would use to justify the choice.
+//
+//   ./build/examples/healthcare_triage
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "core/vfps_sm.h"
+#include "data/presets.h"
+#include "data/scaler.h"
+#include "vfl/split_train.h"
+
+using namespace vfps;  // NOLINT(build/namespaces)
+
+int main() {
+  // HDI preset scaled down, split across 8 heterogeneous participants.
+  auto generated = data::LoadPreset("HDI", /*scale=*/0.4, /*seed=*/11);
+  generated.status().Abort("preset");
+  auto split = data::SplitDataset(generated->data, 0.8, 0.1, 11);
+  split.status().Abort("split");
+  VFPS_ABORT_NOT_OK(data::StandardizeSplit(&*split));
+  auto partition =
+      data::QualityStratifiedPartition(generated->kinds, /*participants=*/8, 11);
+  partition.status().Abort("partition");
+
+  auto backend = he::CreateCkksBackend(/*seed=*/5);
+  backend.status().Abort("ckks backend");
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+
+  core::SelectionContext ctx;
+  ctx.split = &*split;
+  ctx.partition = &*partition;
+  ctx.backend = backend->get();
+  ctx.network = &network;
+  ctx.cost = &cost;
+  ctx.clock = &clock;
+  ctx.knn.k = 10;
+  ctx.knn.num_queries = 48;
+  ctx.seed = 11;
+
+  std::printf("Healthcare triage: HDI-style data across 8 partners\n\n");
+
+  // One selection pass gives the full greedy order; sweep budgets from it.
+  core::VfpsSmSelector selector(vfl::KnnOracleMode::kFagin);
+  auto outcome = selector.Select(ctx, 6);
+  outcome.status().Abort("select");
+
+  std::printf("Greedy audit trail (marginal submodular gain per pick):\n");
+  core::KnnSubmodularFunction f(selector.last_similarity());
+  auto greedy = core::LazyGreedyMaximize(f, 6);
+  for (size_t i = 0; i < greedy.selected.size(); ++i) {
+    std::printf("  pick %zu: partner-%zu  gain %.4f\n", i + 1,
+                greedy.selected[i], greedy.gains[i]);
+  }
+
+  std::printf("\nBudget sweep (downstream MLP accuracy):\n");
+  for (size_t budget = 1; budget <= 6; ++budget) {
+    std::vector<size_t> selected(greedy.selected.begin(),
+                                 greedy.selected.begin() + budget);
+    std::sort(selected.begin(), selected.end());
+    vfl::DownstreamOptions downstream;
+    downstream.model = ml::ModelKind::kMlp;
+    auto training = vfl::RunDownstreamTraining(*split, *partition, selected,
+                                               downstream, cost, nullptr);
+    training.status().Abort("train");
+    std::printf("  |S| = %zu  accuracy %.4f  simulated training %7.1fs\n",
+                budget, training->test_accuracy, training->sim_seconds);
+  }
+
+  std::printf(
+      "\nThe gain sequence is non-increasing (submodularity), and accuracy\n"
+      "saturates after a few diverse partners while training cost keeps\n"
+      "growing — the case for selecting a sub-consortium.\n");
+  return 0;
+}

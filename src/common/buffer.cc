@@ -1,0 +1,87 @@
+#include "common/buffer.h"
+
+#include "common/macros.h"
+
+namespace vfps {
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  VFPS_RETURN_NOT_OK(Require(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  VFPS_RETURN_NOT_OK(Require(sizeof(uint32_t)));
+  uint32_t v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  VFPS_RETURN_NOT_OK(Require(sizeof(uint64_t)));
+  uint64_t v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  VFPS_RETURN_NOT_OK(Require(sizeof(int64_t)));
+  int64_t v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  VFPS_RETURN_NOT_OK(Require(sizeof(double)));
+  double v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  VFPS_RETURN_NOT_OK(Require(n));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::vector<uint8_t>> BinaryReader::ReadBytes() {
+  VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  VFPS_RETURN_NOT_OK(Require(n));
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVec() {
+  VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  VFPS_RETURN_NOT_OK(Require(n * sizeof(double)));
+  std::vector<double> out(n);
+  std::memcpy(out.data(), data_ + pos_, n * sizeof(double));
+  pos_ += n * sizeof(double);
+  return out;
+}
+
+Result<std::vector<uint64_t>> BinaryReader::ReadU64Vec() {
+  VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  VFPS_RETURN_NOT_OK(Require(n * sizeof(uint64_t)));
+  std::vector<uint64_t> out(n);
+  std::memcpy(out.data(), data_ + pos_, n * sizeof(uint64_t));
+  pos_ += n * sizeof(uint64_t);
+  return out;
+}
+
+Result<std::vector<uint32_t>> BinaryReader::ReadU32Vec() {
+  VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  VFPS_RETURN_NOT_OK(Require(n * sizeof(uint32_t)));
+  std::vector<uint32_t> out(n);
+  std::memcpy(out.data(), data_ + pos_, n * sizeof(uint32_t));
+  pos_ += n * sizeof(uint32_t);
+  return out;
+}
+
+}  // namespace vfps

@@ -1,0 +1,100 @@
+#ifndef VFPS_COMMON_BUFFER_H_
+#define VFPS_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vfps {
+
+/// \brief Growable byte buffer plus a little-endian binary writer.
+///
+/// All wire messages in vfps::net are serialized through this writer so that
+/// the simulated network can meter exact byte counts.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { AppendRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    AppendRaw(s.data(), s.size());
+  }
+
+  void WriteBytes(const std::vector<uint8_t>& b) {
+    WriteU32(static_cast<uint32_t>(b.size()));
+    AppendRaw(b.data(), b.size());
+  }
+
+  void WriteDoubleVec(const std::vector<double>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size() * sizeof(double));
+  }
+
+  void WriteU64Vec(const std::vector<uint64_t>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size() * sizeof(uint64_t));
+  }
+
+  void WriteU32Vec(const std::vector<uint32_t>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size() * sizeof(uint32_t));
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  void AppendRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+/// \brief Bounds-checked reader over a byte span produced by BinaryWriter.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<uint8_t>> ReadBytes();
+  Result<std::vector<double>> ReadDoubleVec();
+  Result<std::vector<uint64_t>> ReadU64Vec();
+  Result<std::vector<uint32_t>> ReadU32Vec();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Require(size_t n) {
+    if (pos_ + n > size_) {
+      return Status::OutOfRange("BinaryReader: truncated message");
+    }
+    return Status::OK();
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_COMMON_BUFFER_H_

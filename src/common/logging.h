@@ -1,0 +1,44 @@
+#ifndef VFPS_COMMON_LOGGING_H_
+#define VFPS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vfps {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line writer; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vfps
+
+#define VFPS_LOG(level)                                                     \
+  ::vfps::internal::LogMessage(::vfps::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // VFPS_COMMON_LOGGING_H_

@@ -1,0 +1,38 @@
+#ifndef VFPS_COMMON_MACROS_H_
+#define VFPS_COMMON_MACROS_H_
+
+#include "common/status.h"
+
+/// Propagate a non-OK Status to the caller.
+#define VFPS_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::vfps::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define VFPS_CONCAT_IMPL(x, y) x##y
+#define VFPS_CONCAT(x, y) VFPS_CONCAT_IMPL(x, y)
+
+/// Unwrap a Result<T> into `lhs`, returning the error Status on failure.
+/// Usage: VFPS_ASSIGN_OR_RETURN(auto value, ComputeValue());
+#define VFPS_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto VFPS_CONCAT(_result_, __LINE__) = (rexpr);                 \
+  if (!VFPS_CONCAT(_result_, __LINE__).ok()) {                    \
+    return VFPS_CONCAT(_result_, __LINE__).status();              \
+  }                                                               \
+  lhs = VFPS_CONCAT(_result_, __LINE__).MoveValueUnsafe()
+
+/// Return InvalidArgument unless `cond` holds.
+#define VFPS_CHECK_ARG(cond, msg)                                 \
+  do {                                                            \
+    if (!(cond)) return ::vfps::Status::InvalidArgument(msg);     \
+  } while (false)
+
+/// Abort on a non-OK status; for examples/benchmarks/tests only.
+#define VFPS_ABORT_NOT_OK(expr)                  \
+  do {                                           \
+    ::vfps::Status _st = (expr);                 \
+    _st.Abort(#expr);                            \
+  } while (false)
+
+#endif  // VFPS_COMMON_MACROS_H_

@@ -1,0 +1,73 @@
+#ifndef VFPS_COMMON_RESULT_H_
+#define VFPS_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace vfps {
+
+/// \brief Value-or-error return type, modeled on arrow::Result.
+///
+/// A Result<T> holds either a T (when the producing operation succeeded) or a
+/// non-OK Status. Use VFPS_ASSIGN_OR_RETURN (macros.h) to unwrap inside
+/// Status-returning functions.
+template <typename T>
+class Result {
+ public:
+  /// Construct from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Construct from an error status. Aborts if `status` is OK, since an OK
+  /// Result must carry a value.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      Status::Internal("Result constructed from OK status without a value")
+          .Abort("Result");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  /// \brief Access the value. Aborts if holding an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Move the value out, leaving the Result in a moved-from state.
+  T MoveValueUnsafe() { return std::move(std::get<T>(data_)); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::get<Status>(data_).Abort("Result::ValueOrDie");
+  }
+  std::variant<T, Status> data_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_COMMON_RESULT_H_

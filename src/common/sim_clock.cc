@@ -1,0 +1,38 @@
+#include "common/sim_clock.h"
+
+#include <cstdio>
+
+namespace vfps {
+
+const char* CostCategoryName(CostCategory cat) {
+  switch (cat) {
+    case CostCategory::kCompute:
+      return "compute";
+    case CostCategory::kEncrypt:
+      return "encrypt";
+    case CostCategory::kDecrypt:
+      return "decrypt";
+    case CostCategory::kHeEval:
+      return "he_eval";
+    case CostCategory::kNetwork:
+      return "network";
+    case CostCategory::kTraining:
+      return "training";
+    case CostCategory::kNumCategories:
+      break;
+  }
+  return "unknown";
+}
+
+std::string SimClock::Breakdown() const {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < totals_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%s=%.3fs", i == 0 ? "" : " ",
+                  CostCategoryName(static_cast<CostCategory>(i)), totals_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace vfps

@@ -1,0 +1,63 @@
+#ifndef VFPS_COMMON_SIM_CLOCK_H_
+#define VFPS_COMMON_SIM_CLOCK_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace vfps {
+
+/// \brief Cost categories tracked by the simulated clock.
+///
+/// The reproduction runs on a single host, so end-to-end "cluster seconds"
+/// are accounted analytically: each expensive event (an encryption, a network
+/// transfer, a training epoch) advances the simulated clock by a calibrated
+/// amount. See net/cost_model.h for the calibration constants.
+enum class CostCategory : int {
+  kCompute = 0,    // plaintext distance computation, sorting, ...
+  kEncrypt = 1,    // HE encryption
+  kDecrypt = 2,    // HE decryption
+  kHeEval = 3,     // homomorphic additions / aggregations
+  kNetwork = 4,    // latency + bytes/bandwidth
+  kTraining = 5,   // downstream model training
+  kNumCategories = 6,
+};
+
+const char* CostCategoryName(CostCategory cat);
+
+/// \brief Deterministic simulated clock with a per-category breakdown.
+class SimClock {
+ public:
+  SimClock() { Reset(); }
+
+  void Advance(CostCategory cat, double seconds) {
+    totals_[static_cast<size_t>(cat)] += seconds;
+  }
+
+  double Total() const {
+    double sum = 0.0;
+    for (double t : totals_) sum += t;
+    return sum;
+  }
+
+  double TotalFor(CostCategory cat) const {
+    return totals_[static_cast<size_t>(cat)];
+  }
+
+  void Reset() { totals_.fill(0.0); }
+
+  /// Merge another clock's accumulated time into this one.
+  void Merge(const SimClock& other) {
+    for (size_t i = 0; i < totals_.size(); ++i) totals_[i] += other.totals_[i];
+  }
+
+  /// Human-readable breakdown, e.g. "compute=1.2s encrypt=3.4s ...".
+  std::string Breakdown() const;
+
+ private:
+  std::array<double, static_cast<size_t>(CostCategory::kNumCategories)> totals_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vfps {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kCryptoError:
+      return "Crypto error";
+    case StatusCode::kProtocolError:
+      return "Protocol error";
+    case StatusCode::kCapacityError:
+      return "Capacity error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) return;
+  if (context != nullptr) {
+    std::fprintf(stderr, "[vfps] fatal (%s): %s\n", context, ToString().c_str());
+  } else {
+    std::fprintf(stderr, "[vfps] fatal: %s\n", ToString().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace vfps

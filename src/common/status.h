@@ -1,0 +1,115 @@
+#ifndef VFPS_COMMON_STATUS_H_
+#define VFPS_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace vfps {
+
+/// \brief Error category attached to a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kCryptoError = 8,
+  kProtocolError = 9,
+  kCapacityError = 10,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Operation outcome carrying an error code and message, modeled on
+/// arrow::Status / rocksdb::Status.
+///
+/// Library code never throws; fallible functions return Status (or
+/// Result<T>, see result.h). The OK state is represented by a null internal
+/// pointer, so returning Status::OK() is free of allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCryptoError() const { return code() == StatusCode::kCryptoError; }
+  bool IsProtocolError() const { return code() == StatusCode::kProtocolError; }
+
+  /// \brief "OK" or "<Code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process with the status message if not OK. Intended
+  /// for examples and benchmarks, not library code.
+  void Abort(const char* context = nullptr) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared (not unique) so Status is cheaply copyable; error states are
+  // immutable after construction.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef VFPS_COMMON_STRING_UTIL_H_
+#define VFPS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vfps {
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view TrimString(std::string_view s);
+
+/// Parse a double / int64 with full-string validation.
+Result<double> ParseDouble(std::string_view s);
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render seconds compactly, e.g. "372 s", "1.2 ms".
+std::string FormatSeconds(double seconds);
+
+/// Left-pad / right-pad a cell to `width` for monospace tables.
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace vfps
+
+#endif  // VFPS_COMMON_STRING_UTIL_H_

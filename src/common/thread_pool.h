@@ -1,0 +1,53 @@
+#ifndef VFPS_COMMON_THREAD_POOL_H_
+#define VFPS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vfps {
+
+/// \brief Fixed-size worker pool used to parallelize embarrassingly parallel
+/// loops (per-query distance computation, per-coalition Shapley utilities).
+///
+/// On single-core hosts ParallelFor degrades gracefully to a serial loop.
+class ThreadPool {
+ public:
+  /// \param num_threads number of workers; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; it runs on some worker eventually.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  /// Run fn(i) for i in [begin, end), partitioned across workers, and wait.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_COMMON_THREAD_POOL_H_

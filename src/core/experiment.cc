@@ -1,0 +1,135 @@
+#include "core/experiment.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "data/csv_loader.h"
+#include "data/presets.h"
+#include "data/scaler.h"
+
+namespace vfps::core {
+
+const char* HeBackendKindName(HeBackendKind kind) {
+  switch (kind) {
+    case HeBackendKind::kCkks:
+      return "ckks";
+    case HeBackendKind::kPaillier:
+      return "paillier";
+    case HeBackendKind::kPlain:
+      return "plain";
+  }
+  return "unknown";
+}
+
+namespace {
+Result<std::unique_ptr<he::HeBackend>> MakeBackend(const ExperimentConfig& config) {
+  switch (config.backend) {
+    case HeBackendKind::kCkks:
+      return he::CreateCkksBackend(config.seed);
+    case HeBackendKind::kPaillier:
+      return he::CreatePaillierBackend(config.paillier_modulus_bits,
+                                       /*fractional_bits=*/20, config.seed);
+    case HeBackendKind::kPlain:
+      return Result<std::unique_ptr<he::HeBackend>>(he::CreatePlainBackend());
+  }
+  return Status::InvalidArgument("unknown HE backend kind");
+}
+}  // namespace
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  Stopwatch wall;
+
+  // Data: preset or CSV -> 80/10/10 split -> standardize on train statistics.
+  data::SyntheticDataset synthetic;
+  if (!config.csv_path.empty()) {
+    VFPS_ASSIGN_OR_RETURN(synthetic.data,
+                          data::LoadCsv(config.csv_path, data::CsvOptions{}));
+    // Real data carries no generator metadata; treat every column uniformly.
+    synthetic.kinds.assign(synthetic.data.num_features(),
+                           data::FeatureKind::kInformative);
+  } else {
+    VFPS_ASSIGN_OR_RETURN(
+        synthetic, data::LoadPreset(config.dataset, config.scale, config.seed));
+  }
+  VFPS_ASSIGN_OR_RETURN(auto split,
+                        data::SplitDataset(synthetic.data, 0.8, 0.1, config.seed));
+  VFPS_RETURN_NOT_OK(data::StandardizeSplit(&split));
+
+  // Consortium: vertical partition (+ Fig. 6 duplicates).
+  data::VerticalPartition partition;
+  if (config.partition == PartitionMode::kQualityStratified) {
+    VFPS_ASSIGN_OR_RETURN(
+        partition,
+        data::QualityStratifiedPartition(synthetic.kinds, config.participants,
+                                         config.seed));
+  } else {
+    VFPS_ASSIGN_OR_RETURN(
+        partition,
+        data::RandomVerticalPartition(synthetic.data.num_features(),
+                                      config.participants, config.seed));
+  }
+  if (config.duplicates > 0) {
+    if (config.duplicates_round_robin) {
+      for (size_t i = 0; i < config.duplicates; ++i) {
+        VFPS_ASSIGN_OR_RETURN(
+            partition,
+            data::WithDuplicates(partition, i % config.participants, 1));
+      }
+    } else {
+      VFPS_ASSIGN_OR_RETURN(
+          partition, data::WithDuplicates(partition, config.duplicate_source,
+                                          config.duplicates));
+    }
+  }
+
+  // Simulated deployment.
+  VFPS_ASSIGN_OR_RETURN(auto backend, MakeBackend(config));
+  net::SimNetwork network;
+  SimClock clock;
+
+  ExperimentResult result;
+  result.rows = split.train.num_samples();
+  result.features = split.train.num_features();
+  result.consortium_size = partition.size();
+
+  // Selection phase.
+  if (config.method == SelectionMethod::kAll) {
+    result.selection.selected.resize(partition.size());
+    std::iota(result.selection.selected.begin(), result.selection.selected.end(),
+              size_t{0});
+    result.selection.sim_seconds = 0.0;
+  } else {
+    SelectionContext ctx;
+    ctx.split = &split;
+    ctx.partition = &partition;
+    ctx.backend = backend.get();
+    ctx.network = &network;
+    ctx.cost = &config.cost;
+    ctx.clock = &clock;
+    ctx.knn = config.knn;
+    ctx.seed = config.seed;
+    ctx.utility_queries = config.utility_queries;
+    ctx.shapley_exact_limit = config.shapley_exact_limit;
+    ctx.shapley_mc_permutations = config.shapley_mc_permutations;
+    VFPS_ASSIGN_OR_RETURN(auto selector, CreateSelector(config.method));
+    VFPS_ASSIGN_OR_RETURN(result.selection, selector->Select(ctx, config.select));
+  }
+  result.selection_sim_seconds = result.selection.sim_seconds;
+
+  // Downstream training on the selected sub-consortium.
+  vfl::DownstreamOptions downstream;
+  downstream.model = config.model;
+  downstream.classifier = config.classifier;
+  VFPS_ASSIGN_OR_RETURN(
+      result.training,
+      vfl::RunDownstreamTraining(split, partition, result.selection.selected,
+                                 downstream, config.cost, &clock));
+  result.training_sim_seconds = result.training.sim_seconds;
+  result.total_sim_seconds =
+      result.selection_sim_seconds + result.training_sim_seconds;
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vfps::core

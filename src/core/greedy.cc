@@ -1,0 +1,111 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace vfps::core {
+
+GreedyResult GreedyMaximize(const KnnSubmodularFunction& f, size_t target) {
+  GreedyResult result;
+  const size_t p = f.ground_set_size();
+  target = std::min(target, p);
+  KnnSubmodularFunction::Incremental state(&f);
+  std::vector<bool> chosen(p, false);
+  for (size_t round = 0; round < target; ++round) {
+    double best_gain = -1.0;
+    size_t best = p;
+    for (size_t candidate = 0; candidate < p; ++candidate) {
+      if (chosen[candidate]) continue;
+      const double gain = state.GainOf(candidate);
+      ++result.evaluations;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = candidate;
+      }
+    }
+    chosen[best] = true;
+    state.Add(best);
+    result.selected.push_back(best);
+    result.gains.push_back(best_gain);
+  }
+  result.value = state.value();
+  return result;
+}
+
+GreedyResult LazyGreedyMaximize(const KnnSubmodularFunction& f, size_t target) {
+  GreedyResult result;
+  const size_t p = f.ground_set_size();
+  target = std::min(target, p);
+  KnnSubmodularFunction::Incremental state(&f);
+
+  // (stale upper bound, -index) max-heap; smaller index wins gain ties to
+  // match plain greedy's tie-break.
+  struct Entry {
+    double bound;
+    size_t index;
+    size_t round_evaluated;
+    bool operator<(const Entry& o) const {
+      if (bound != o.bound) return bound < o.bound;
+      return index > o.index;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (size_t candidate = 0; candidate < p; ++candidate) {
+    const double gain = state.GainOf(candidate);
+    ++result.evaluations;
+    // The state is untouched until the first pick, so these initial bounds
+    // are already exact for round 1.
+    heap.push({gain, candidate, 1});
+  }
+
+  for (size_t round = 1; round <= target; ++round) {
+    for (;;) {
+      Entry top = heap.top();
+      heap.pop();
+      if (top.round_evaluated == round) {
+        // Fresh bound on top: by submodularity every other bound is an upper
+        // bound of a smaller true gain, so this is the argmax.
+        state.Add(top.index);
+        result.selected.push_back(top.index);
+        result.gains.push_back(top.bound);
+        break;
+      }
+      top.bound = state.GainOf(top.index);
+      ++result.evaluations;
+      top.round_evaluated = round;
+      heap.push(top);
+    }
+  }
+  result.value = state.value();
+  return result;
+}
+
+Result<GreedyResult> ExhaustiveMaximize(const KnnSubmodularFunction& f,
+                                        size_t target) {
+  const size_t p = f.ground_set_size();
+  VFPS_CHECK_ARG(p <= 20, "exhaustive: ground set too large (P > 20)");
+  target = std::min(target, p);
+  GreedyResult result;
+  double best_value = -1.0;
+  std::vector<size_t> subset;
+  for (uint32_t mask = 0; mask < (1u << p); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) != target) continue;
+    subset.clear();
+    for (size_t i = 0; i < p; ++i) {
+      if (mask & (1u << i)) subset.push_back(i);
+    }
+    const double value = f.Value(subset);
+    ++result.evaluations;
+    if (value > best_value) {
+      best_value = value;
+      result.selected = subset;
+    }
+  }
+  result.value = best_value;
+  result.gains.assign(result.selected.size(), 0.0);
+  return result;
+}
+
+}  // namespace vfps::core

@@ -1,0 +1,21 @@
+#include "core/random_select.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace vfps::core {
+
+Result<SelectionOutcome> RandomSelector::Select(const SelectionContext& ctx,
+                                                size_t target) {
+  VFPS_RETURN_NOT_OK(ValidateContext(ctx, target));
+  Rng rng(ctx.seed ^ 0xAC1DC0DEULL);
+  SelectionOutcome outcome;
+  outcome.selected = rng.SampleWithoutReplacement(ctx.partition->size(), target);
+  std::sort(outcome.selected.begin(), outcome.selected.end());
+  outcome.sim_seconds = 0.0;
+  return outcome;
+}
+
+}  // namespace vfps::core

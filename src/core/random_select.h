@@ -1,0 +1,19 @@
+#ifndef VFPS_CORE_RANDOM_SELECT_H_
+#define VFPS_CORE_RANDOM_SELECT_H_
+
+#include "core/selector.h"
+
+namespace vfps::core {
+
+/// \brief RANDOM baseline: uniformly sample the sub-consortium. Selection is
+/// instantaneous (the paper reports 0 selection time for it).
+class RandomSelector final : public ParticipantSelector {
+ public:
+  std::string name() const override { return "RANDOM"; }
+  Result<SelectionOutcome> Select(const SelectionContext& ctx,
+                                  size_t target) override;
+};
+
+}  // namespace vfps::core
+
+#endif  // VFPS_CORE_RANDOM_SELECT_H_

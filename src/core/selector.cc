@@ -1,0 +1,76 @@
+#include "core/selector.h"
+
+#include "common/macros.h"
+#include "core/random_select.h"
+#include "core/shapley.h"
+#include "core/vfmine.h"
+#include "core/vfps_sm.h"
+
+namespace vfps::core {
+
+const char* SelectionMethodName(SelectionMethod method) {
+  switch (method) {
+    case SelectionMethod::kAll:
+      return "ALL";
+    case SelectionMethod::kRandom:
+      return "RANDOM";
+    case SelectionMethod::kShapley:
+      return "SHAPLEY";
+    case SelectionMethod::kVfMine:
+      return "VF-MINE";
+    case SelectionMethod::kVfpsSm:
+      return "VFPS-SM";
+    case SelectionMethod::kVfpsSmBase:
+      return "VFPS-SM-BASE";
+  }
+  return "UNKNOWN";
+}
+
+Result<SelectionMethod> ParseSelectionMethod(const std::string& name) {
+  if (name == "ALL" || name == "all") return SelectionMethod::kAll;
+  if (name == "RANDOM" || name == "random") return SelectionMethod::kRandom;
+  if (name == "SHAPLEY" || name == "shapley") return SelectionMethod::kShapley;
+  if (name == "VF-MINE" || name == "vfmine") return SelectionMethod::kVfMine;
+  if (name == "VFPS-SM" || name == "vfps-sm") return SelectionMethod::kVfpsSm;
+  if (name == "VFPS-SM-BASE" || name == "vfps-sm-base") {
+    return SelectionMethod::kVfpsSmBase;
+  }
+  return Status::InvalidArgument("unknown selection method: " + name);
+}
+
+Status ValidateContext(const SelectionContext& ctx, size_t target) {
+  VFPS_CHECK_ARG(ctx.split != nullptr, "selector: missing data split");
+  VFPS_CHECK_ARG(ctx.partition != nullptr, "selector: missing partition");
+  VFPS_CHECK_ARG(ctx.backend != nullptr, "selector: missing HE backend");
+  VFPS_CHECK_ARG(ctx.network != nullptr, "selector: missing network");
+  VFPS_CHECK_ARG(ctx.cost != nullptr, "selector: missing cost model");
+  VFPS_CHECK_ARG(ctx.clock != nullptr, "selector: missing clock");
+  VFPS_CHECK_ARG(target >= 1, "selector: target must be >= 1");
+  VFPS_CHECK_ARG(target <= ctx.partition->size(),
+                 "selector: target exceeds participant count");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ParticipantSelector>> CreateSelector(
+    SelectionMethod method) {
+  switch (method) {
+    case SelectionMethod::kAll:
+      return Status::InvalidArgument(
+          "ALL trains with every participant; there is no selector");
+    case SelectionMethod::kRandom:
+      return std::unique_ptr<ParticipantSelector>(new RandomSelector());
+    case SelectionMethod::kShapley:
+      return std::unique_ptr<ParticipantSelector>(new ShapleySelector());
+    case SelectionMethod::kVfMine:
+      return std::unique_ptr<ParticipantSelector>(new VfMineSelector());
+    case SelectionMethod::kVfpsSm:
+      return std::unique_ptr<ParticipantSelector>(
+          new VfpsSmSelector(vfl::KnnOracleMode::kFagin));
+    case SelectionMethod::kVfpsSmBase:
+      return std::unique_ptr<ParticipantSelector>(
+          new VfpsSmSelector(vfl::KnnOracleMode::kBase));
+  }
+  return Status::InvalidArgument("unknown selection method");
+}
+
+}  // namespace vfps::core

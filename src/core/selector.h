@@ -1,0 +1,87 @@
+#ifndef VFPS_CORE_SELECTOR_H_
+#define VFPS_CORE_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "data/dataset.h"
+#include "data/partitioner.h"
+#include "he/backend.h"
+#include "net/cost_model.h"
+#include "net/network.h"
+#include "vfl/fed_knn.h"
+
+namespace vfps::core {
+
+/// Participant-selection methods evaluated in the paper.
+enum class SelectionMethod {
+  kAll,         // no selection: train with every participant
+  kRandom,      // uniform random subset
+  kShapley,     // Shapley values over the federated-KNN proxy utility
+  kVfMine,      // VF-MINE: mutual-information group scoring
+  kVfpsSm,      // this paper: submodular maximization + Fagin-optimized KNN
+  kVfpsSmBase,  // ablation: same, with the encrypt-everything KNN oracle
+};
+
+const char* SelectionMethodName(SelectionMethod method);
+Result<SelectionMethod> ParseSelectionMethod(const std::string& name);
+
+/// \brief Everything a selector needs: the data, the simulated deployment,
+/// and method hyper-parameters.
+struct SelectionContext {
+  const data::DataSplit* split = nullptr;  // standardized joint feature views
+  const data::VerticalPartition* partition = nullptr;
+  he::HeBackend* backend = nullptr;
+  net::SimNetwork* network = nullptr;
+  const net::CostModel* cost = nullptr;
+  SimClock* clock = nullptr;  // charged with selection-phase time
+
+  vfl::FedKnnConfig knn;  // oracle settings (k, |Q|, Fagin batch, seed)
+  uint64_t seed = 42;
+
+  /// Validation rows used as the utility-evaluation set by SHAPLEY / VF-MINE.
+  size_t utility_queries = 32;
+  /// SHAPLEY enumerates all 2^P coalitions up to this P; beyond it, Shapley
+  /// values are Monte-Carlo estimated and the remaining coalition cost is
+  /// extrapolated onto the clock (documented in EXPERIMENTS.md).
+  size_t shapley_exact_limit = 12;
+  size_t shapley_mc_permutations = 16;
+  /// VF-MINE samples (factor * P) participant groups for MI scoring.
+  size_t vfmine_groups_factor = 2;
+};
+
+/// \brief A selection decision plus its accounting.
+struct SelectionOutcome {
+  std::vector<size_t> selected;  // ascending participant ids
+  /// Per-participant score in the method's own currency (marginal gain,
+  /// Shapley value, MI, ...); empty for RANDOM.
+  std::vector<double> scores;
+  double sim_seconds = 0.0;       // simulated selection time
+  vfl::FedKnnStats knn_stats;     // populated by the VFPS-SM variants
+};
+
+/// \brief Interface implemented by every selection method.
+class ParticipantSelector {
+ public:
+  virtual ~ParticipantSelector() = default;
+  virtual std::string name() const = 0;
+
+  /// Choose `target` of the ctx.partition->size() participants.
+  virtual Result<SelectionOutcome> Select(const SelectionContext& ctx,
+                                          size_t target) = 0;
+};
+
+/// Factory. kAll is not a selector (there is nothing to select); asking for
+/// it returns InvalidArgument.
+Result<std::unique_ptr<ParticipantSelector>> CreateSelector(
+    SelectionMethod method);
+
+/// Validate that a context is fully populated (shared by implementations).
+Status ValidateContext(const SelectionContext& ctx, size_t target);
+
+}  // namespace vfps::core
+
+#endif  // VFPS_CORE_SELECTOR_H_

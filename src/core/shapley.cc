@@ -1,0 +1,149 @@
+#include "core/shapley.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace vfps::core {
+
+namespace {
+
+// Utility-evaluation query set: a seeded subsample of the validation split.
+data::Dataset MakeUtilityQueries(const SelectionContext& ctx) {
+  const data::Dataset& valid = ctx.split->valid;
+  const size_t want = std::min(ctx.utility_queries, valid.num_samples());
+  Rng rng(ctx.seed ^ 0x5A4B3C2DULL);
+  return valid.SelectRows(rng.SampleWithoutReplacement(valid.num_samples(), want));
+}
+
+// U(emptyset): accuracy of always predicting the training majority class.
+double EmptyCoalitionUtility(const data::Dataset& train,
+                             const data::Dataset& queries) {
+  const auto counts = train.ClassCounts();
+  int majority = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[majority]) majority = static_cast<int>(c);
+  }
+  if (queries.num_samples() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < queries.num_samples(); ++i) {
+    correct += (queries.Label(i) == majority);
+  }
+  return static_cast<double>(correct) / static_cast<double>(queries.num_samples());
+}
+
+std::vector<size_t> MaskToSubset(uint32_t mask, size_t p) {
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < p; ++i) {
+    if (mask & (1u << i)) subset.push_back(i);
+  }
+  return subset;
+}
+
+// Top-`target` indices by score, ties broken by smaller index.
+std::vector<size_t> TopByScore(const std::vector<double>& scores, size_t target) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + target, idx.end(),
+                    [&scores](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(target);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+}  // namespace
+
+Result<SelectionOutcome> ShapleySelector::Select(const SelectionContext& ctx,
+                                                 size_t target) {
+  VFPS_RETURN_NOT_OK(ValidateContext(ctx, target));
+  const size_t p = ctx.partition->size();
+  const double clock_before = ctx.clock->Total();
+
+  const data::Dataset queries = MakeUtilityQueries(ctx);
+  VFPS_CHECK_ARG(queries.num_samples() > 0,
+                 "SHAPLEY: empty validation split, no utility queries");
+  vfl::FederatedKnnOracle oracle(&ctx.split->train, ctx.partition, ctx.backend,
+                                 ctx.network, ctx.cost, ctx.clock);
+  const double u_empty = EmptyCoalitionUtility(ctx.split->train, queries);
+
+  std::vector<double> values(p, 0.0);
+  size_t coalition_evals = 0;
+
+  if (p <= ctx.shapley_exact_limit) {
+    // Exact: enumerate the full coalition lattice.
+    const uint32_t full = (1u << p);
+    std::vector<double> utility(full, u_empty);
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      VFPS_ASSIGN_OR_RETURN(
+          utility[mask],
+          oracle.ClassifyAccuracy(queries, MaskToSubset(mask, p), ctx.knn.k,
+                                  /*charge_costs=*/true));
+      ++coalition_evals;
+    }
+    // SV(i) = (1/P) * sum over coalitions S without i of
+    //          [U(S + i) - U(S)] / C(P-1, |S|).
+    std::vector<double> inv_choose(p, 0.0);
+    for (size_t s = 0; s < p; ++s) {
+      double choose = 1.0;
+      for (size_t j = 0; j < s; ++j) {
+        choose = choose * static_cast<double>(p - 1 - j) / static_cast<double>(j + 1);
+      }
+      inv_choose[s] = 1.0 / choose;
+    }
+    for (uint32_t mask = 0; mask < full; ++mask) {
+      const size_t size = static_cast<size_t>(__builtin_popcount(mask));
+      for (size_t i = 0; i < p; ++i) {
+        if (mask & (1u << i)) continue;
+        values[i] += inv_choose[size] *
+                     (utility[mask | (1u << i)] - utility[mask]);
+      }
+    }
+    for (double& v : values) v /= static_cast<double>(p);
+  } else {
+    // Monte-Carlo permutation sampling.
+    Rng rng(ctx.seed ^ 0x51A71E55ULL);
+    const size_t m = std::max<size_t>(1, ctx.shapley_mc_permutations);
+    for (size_t round = 0; round < m; ++round) {
+      const auto perm = rng.Permutation(p);
+      double prev_utility = u_empty;
+      std::vector<size_t> prefix;
+      for (size_t pos = 0; pos < p; ++pos) {
+        prefix.push_back(perm[pos]);
+        std::vector<size_t> sorted_prefix = prefix;
+        std::sort(sorted_prefix.begin(), sorted_prefix.end());
+        VFPS_ASSIGN_OR_RETURN(
+            const double utility,
+            oracle.ClassifyAccuracy(queries, sorted_prefix, ctx.knn.k,
+                                    /*charge_costs=*/true));
+        ++coalition_evals;
+        values[perm[pos]] += utility - prev_utility;
+        prev_utility = utility;
+      }
+    }
+    for (double& v : values) v /= static_cast<double>(m);
+
+    // Extrapolate the cost of the coalitions a faithful exact SHAPLEY would
+    // still have to evaluate, at the measured per-coalition rate.
+    const double measured = ctx.clock->Total() - clock_before;
+    const double per_eval = measured / static_cast<double>(coalition_evals);
+    const double total_coalitions = std::pow(2.0, static_cast<double>(p)) - 1.0;
+    const double remaining =
+        std::max(0.0, total_coalitions - static_cast<double>(coalition_evals));
+    ctx.clock->Advance(CostCategory::kCompute, remaining * per_eval);
+  }
+
+  last_values_ = values;
+  SelectionOutcome outcome;
+  outcome.scores = values;
+  outcome.selected = TopByScore(values, target);
+  outcome.sim_seconds = ctx.clock->Total() - clock_before;
+  return outcome;
+}
+
+}  // namespace vfps::core

@@ -1,0 +1,35 @@
+#ifndef VFPS_CORE_SHAPLEY_H_
+#define VFPS_CORE_SHAPLEY_H_
+
+#include "core/selector.h"
+
+namespace vfps::core {
+
+/// \brief SHAPLEY baseline: score each participant by its Shapley value over
+/// the federated-KNN proxy utility U(S) = validation accuracy of KNN using
+/// only the participants in S, then keep the top scorers.
+///
+/// Exact computation enumerates all 2^P - 1 coalitions (each one a federated
+/// KNN evaluation whose cost is charged to the clock) — this is why the
+/// paper finds SHAPLEY orders of magnitude slower and exponentially worse
+/// with P. Beyond ctx.shapley_exact_limit participants the values are
+/// Monte-Carlo estimated from sampled permutations and the *remaining*
+/// coalition cost is extrapolated onto the clock at the measured per-
+/// coalition rate, preserving the exponential timing shape (see
+/// EXPERIMENTS.md).
+class ShapleySelector final : public ParticipantSelector {
+ public:
+  std::string name() const override { return "SHAPLEY"; }
+  Result<SelectionOutcome> Select(const SelectionContext& ctx,
+                                  size_t target) override;
+
+  /// Shapley values of the last Select call, one per participant.
+  const std::vector<double>& last_values() const { return last_values_; }
+
+ private:
+  std::vector<double> last_values_;
+};
+
+}  // namespace vfps::core
+
+#endif  // VFPS_CORE_SHAPLEY_H_

@@ -1,0 +1,42 @@
+#include "core/similarity.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace vfps::core {
+
+Result<SimilarityMatrix> BuildSimilarity(
+    const std::vector<vfl::QueryNeighborhood>& neighborhoods,
+    size_t num_participants) {
+  VFPS_CHECK_ARG(!neighborhoods.empty(), "similarity: no query results");
+  VFPS_CHECK_ARG(num_participants >= 1, "similarity: no participants");
+
+  SimilarityMatrix w(num_participants);
+  std::vector<double> accum(num_participants * num_participants, 0.0);
+  for (const auto& hood : neighborhoods) {
+    VFPS_CHECK_ARG(hood.per_party_dt.size() == num_participants,
+                   "similarity: per-party distance size mismatch");
+    double total = 0.0;
+    for (double dt : hood.per_party_dt) total += dt;
+    for (size_t a = 0; a < num_participants; ++a) {
+      for (size_t b = a; b < num_participants; ++b) {
+        double wq = 1.0;  // d_T == 0: indistinguishable, fully similar
+        if (total > 0.0) {
+          wq = (total - std::abs(hood.per_party_dt[a] - hood.per_party_dt[b])) /
+               total;
+        }
+        accum[a * num_participants + b] += wq;
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(neighborhoods.size());
+  for (size_t a = 0; a < num_participants; ++a) {
+    for (size_t b = a; b < num_participants; ++b) {
+      w.Set(a, b, accum[a * num_participants + b] * inv);
+    }
+  }
+  return w;
+}
+
+}  // namespace vfps::core

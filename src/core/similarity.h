@@ -1,0 +1,44 @@
+#ifndef VFPS_CORE_SIMILARITY_H_
+#define VFPS_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "vfl/fed_knn.h"
+
+namespace vfps::core {
+
+/// \brief Symmetric P x P participant similarity matrix
+/// w(p, s) = (1/|Q|) * sum_q (d_T - |d_T^p - d_T^s|) / d_T  (paper §III-A).
+///
+/// w is in [0, 1]; identical participants have w = 1, and the diagonal is 1
+/// by construction. High w(p, s) means p's distance geometry is well
+/// approximated by s, i.e. keeping both adds little diversity.
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+  explicit SimilarityMatrix(size_t num_participants)
+      : p_(num_participants), w_(num_participants * num_participants, 0.0) {}
+
+  size_t num_participants() const { return p_; }
+  double At(size_t a, size_t b) const { return w_[a * p_ + b]; }
+  void Set(size_t a, size_t b, double v) {
+    w_[a * p_ + b] = v;
+    w_[b * p_ + a] = v;
+  }
+
+ private:
+  size_t p_ = 0;
+  std::vector<double> w_;
+};
+
+/// \brief Build the similarity matrix from the per-query distance aggregates
+/// the federated KNN oracle produced. Queries whose total distance d_T is
+/// zero (all participants agree exactly) contribute full similarity.
+Result<SimilarityMatrix> BuildSimilarity(
+    const std::vector<vfl::QueryNeighborhood>& neighborhoods,
+    size_t num_participants);
+
+}  // namespace vfps::core
+
+#endif  // VFPS_CORE_SIMILARITY_H_

@@ -1,0 +1,57 @@
+#include "core/submodular.h"
+
+#include <algorithm>
+
+namespace vfps::core {
+
+double KnnSubmodularFunction::Value(const std::vector<size_t>& subset) const {
+  if (subset.empty()) return 0.0;
+  const size_t p = w_.num_participants();
+  double total = 0.0;
+  for (size_t a = 0; a < p; ++a) {
+    double best = 0.0;
+    bool first = true;
+    for (size_t s : subset) {
+      const double w = w_.At(a, s);
+      if (first || w > best) {
+        best = w;
+        first = false;
+      }
+    }
+    total += best;
+  }
+  return total;
+}
+
+double KnnSubmodularFunction::MarginalGain(const std::vector<size_t>& subset,
+                                           size_t candidate) const {
+  std::vector<size_t> extended = subset;
+  extended.push_back(candidate);
+  return Value(extended) - Value(subset);
+}
+
+KnnSubmodularFunction::Incremental::Incremental(const KnnSubmodularFunction* f)
+    : f_(f), best_(f->ground_set_size(), 0.0) {}
+
+double KnnSubmodularFunction::Incremental::GainOf(size_t candidate) const {
+  const size_t p = f_->ground_set_size();
+  double gain = 0.0;
+  for (size_t a = 0; a < p; ++a) {
+    const double w = f_->similarity().At(a, candidate);
+    if (w > best_[a]) gain += w - best_[a];
+  }
+  return gain;
+}
+
+void KnnSubmodularFunction::Incremental::Add(size_t candidate) {
+  const size_t p = f_->ground_set_size();
+  for (size_t a = 0; a < p; ++a) {
+    const double w = f_->similarity().At(a, candidate);
+    if (w > best_[a]) {
+      value_ += w - best_[a];
+      best_[a] = w;
+    }
+  }
+}
+
+}  // namespace vfps::core

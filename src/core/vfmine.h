@@ -1,0 +1,38 @@
+#ifndef VFPS_CORE_VFMINE_H_
+#define VFPS_CORE_VFMINE_H_
+
+#include "core/selector.h"
+
+namespace vfps::core {
+
+/// \brief VF-MINE baseline (Jiang et al., NeurIPS'22 "VF-PS"): sample
+/// participant groups, score each group by the mutual information between
+/// the group's federated-KNN predictions and the true labels, and score each
+/// participant by the average MI of the groups containing it; keep the top
+/// scorers.
+///
+/// The per-participant scores are additive averages, so the method cannot
+/// see redundancy between participants — a duplicated participant inherits
+/// its twin's (high) score, which is exactly the failure mode the Fig. 6
+/// diversity study exposes.
+class VfMineSelector final : public ParticipantSelector {
+ public:
+  std::string name() const override { return "VF-MINE"; }
+  Result<SelectionOutcome> Select(const SelectionContext& ctx,
+                                  size_t target) override;
+
+  /// MI-based scores of the last Select call, one per participant.
+  const std::vector<double>& last_scores() const { return last_scores_; }
+
+ private:
+  std::vector<double> last_scores_;
+};
+
+/// \brief Plug-in mutual-information estimate (in nats) between two integer
+/// label sequences, from their joint histogram. Exposed for unit tests.
+double MutualInformation(const std::vector<int>& a, const std::vector<int>& b,
+                         int num_classes);
+
+}  // namespace vfps::core
+
+#endif  // VFPS_CORE_VFMINE_H_

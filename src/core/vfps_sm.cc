@@ -1,0 +1,45 @@
+#include "core/vfps_sm.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace vfps::core {
+
+Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
+                                                size_t target) {
+  VFPS_RETURN_NOT_OK(ValidateContext(ctx, target));
+  const double clock_before = ctx.clock->Total();
+
+  vfl::FederatedKnnOracle oracle(&ctx.split->train, ctx.partition, ctx.backend,
+                                 ctx.network, ctx.cost, ctx.clock);
+  vfl::FedKnnConfig knn = ctx.knn;
+  knn.mode = mode_;
+  knn.seed = ctx.seed;
+
+  SelectionOutcome outcome;
+  VFPS_ASSIGN_OR_RETURN(auto neighborhoods, oracle.Run(knn, &outcome.knn_stats));
+  VFPS_ASSIGN_OR_RETURN(last_similarity_,
+                        BuildSimilarity(neighborhoods, ctx.partition->size()));
+
+  KnnSubmodularFunction f(last_similarity_);
+  const GreedyResult greedy =
+      lazy_greedy_ ? LazyGreedyMaximize(f, target) : GreedyMaximize(f, target);
+  // The greedy pass runs at the leader over the P x P similarity matrix;
+  // its cost is P^2 per marginal-gain evaluation.
+  ctx.clock->Advance(
+      CostCategory::kCompute,
+      static_cast<double>(greedy.evaluations) *
+          static_cast<double>(ctx.partition->size()) * ctx.cost->compare_seconds);
+
+  outcome.scores.assign(ctx.partition->size(), 0.0);
+  for (size_t i = 0; i < greedy.selected.size(); ++i) {
+    outcome.scores[greedy.selected[i]] = greedy.gains[i];
+  }
+  outcome.selected = greedy.selected;
+  std::sort(outcome.selected.begin(), outcome.selected.end());
+  outcome.sim_seconds = ctx.clock->Total() - clock_before;
+  return outcome;
+}
+
+}  // namespace vfps::core

@@ -1,0 +1,40 @@
+#ifndef VFPS_CORE_VFPS_SM_H_
+#define VFPS_CORE_VFPS_SM_H_
+
+#include "core/greedy.h"
+#include "core/selector.h"
+#include "core/similarity.h"
+
+namespace vfps::core {
+
+/// \brief The paper's method: run the (encrypted) federated KNN oracle over
+/// a sampled query set, derive the participant-similarity matrix w(p, s),
+/// and greedily maximize the KNN submodular function
+/// f(S) = sum_p max_{s in S} w(p, s).
+///
+/// The oracle mode distinguishes VFPS-SM (Fagin-optimized candidate sets)
+/// from the VFPS-SM-BASE ablation (every instance encrypted per query).
+class VfpsSmSelector final : public ParticipantSelector {
+ public:
+  explicit VfpsSmSelector(vfl::KnnOracleMode mode, bool lazy_greedy = true)
+      : mode_(mode), lazy_greedy_(lazy_greedy) {}
+
+  std::string name() const override {
+    return mode_ == vfl::KnnOracleMode::kFagin ? "VFPS-SM" : "VFPS-SM-BASE";
+  }
+
+  Result<SelectionOutcome> Select(const SelectionContext& ctx,
+                                  size_t target) override;
+
+  /// The similarity matrix of the last Select call (for diagnostics/tests).
+  const SimilarityMatrix& last_similarity() const { return last_similarity_; }
+
+ private:
+  vfl::KnnOracleMode mode_;
+  bool lazy_greedy_;
+  SimilarityMatrix last_similarity_;
+};
+
+}  // namespace vfps::core
+
+#endif  // VFPS_CORE_VFPS_SM_H_

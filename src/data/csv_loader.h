@@ -1,0 +1,31 @@
+#ifndef VFPS_DATA_CSV_LOADER_H_
+#define VFPS_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vfps::data {
+
+/// \brief Options for loading a dense CSV into a Dataset.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Column holding the class label; -1 means the last column.
+  int label_column = -1;
+};
+
+/// \brief Load a CSV file whose cells are all numeric (labels are rounded to
+/// the nearest integer and remapped to a dense 0..C-1 range).
+///
+/// This is how real copies of the paper's datasets (Bank, Credit, HDI, ...)
+/// can be dropped into the benchmarks in place of the synthetic presets.
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options);
+
+/// Parse CSV content from a string (exposed for testing).
+Result<Dataset> ParseCsv(const std::string& content, const CsvOptions& options);
+
+}  // namespace vfps::data
+
+#endif  // VFPS_DATA_CSV_LOADER_H_

@@ -1,0 +1,61 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace vfps::data {
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(std::max(num_classes_, 1), 0);
+  for (int y : labels_) {
+    if (y >= 0 && y < static_cast<int>(counts.size())) ++counts[y];
+  }
+  return counts;
+}
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& rows) const {
+  Dataset out(rows.size(), num_features_, num_classes_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src = Row(rows[i]);
+    std::copy(src, src + num_features_, out.MutableRow(i));
+    out.SetLabel(i, Label(rows[i]));
+  }
+  return out;
+}
+
+Dataset Dataset::SelectColumns(const std::vector<size_t>& columns) const {
+  Dataset out(num_samples_, columns.size(), num_classes_);
+  for (size_t i = 0; i < num_samples_; ++i) {
+    const double* src = Row(i);
+    double* dst = out.MutableRow(i);
+    for (size_t c = 0; c < columns.size(); ++c) dst[c] = src[columns[c]];
+    out.SetLabel(i, Label(i));
+  }
+  return out;
+}
+
+Result<DataSplit> SplitDataset(const Dataset& dataset, double train_frac,
+                               double valid_frac, uint64_t seed) {
+  VFPS_CHECK_ARG(train_frac > 0.0 && valid_frac >= 0.0 &&
+                     train_frac + valid_frac <= 1.0,
+                 "SplitDataset: invalid fractions");
+  VFPS_CHECK_ARG(dataset.num_samples() >= 3, "SplitDataset: dataset too small");
+  Rng rng(seed);
+  const auto perm = rng.Permutation(dataset.num_samples());
+  const size_t n_train =
+      static_cast<size_t>(train_frac * static_cast<double>(perm.size()));
+  const size_t n_valid =
+      static_cast<size_t>(valid_frac * static_cast<double>(perm.size()));
+  std::vector<size_t> train_rows(perm.begin(), perm.begin() + n_train);
+  std::vector<size_t> valid_rows(perm.begin() + n_train,
+                                 perm.begin() + n_train + n_valid);
+  std::vector<size_t> test_rows(perm.begin() + n_train + n_valid, perm.end());
+  DataSplit split;
+  split.train = dataset.SelectRows(train_rows);
+  split.valid = dataset.SelectRows(valid_rows);
+  split.test = dataset.SelectRows(test_rows);
+  return split;
+}
+
+}  // namespace vfps::data

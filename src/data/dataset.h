@@ -1,0 +1,77 @@
+#ifndef VFPS_DATA_DATASET_H_
+#define VFPS_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace vfps::data {
+
+/// \brief Dense labeled dataset: row-major feature matrix plus integer class
+/// labels. This is the "joint" view; vertical partitions (each participant's
+/// feature slice) are defined on top of it by partitioner.h.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t num_samples, size_t num_features, int num_classes)
+      : num_samples_(num_samples),
+        num_features_(num_features),
+        num_classes_(num_classes),
+        features_(num_samples * num_features, 0.0),
+        labels_(num_samples, 0) {}
+
+  size_t num_samples() const { return num_samples_; }
+  size_t num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+  bool empty() const { return num_samples_ == 0; }
+
+  double At(size_t row, size_t col) const {
+    return features_[row * num_features_ + col];
+  }
+  void Set(size_t row, size_t col, double v) {
+    features_[row * num_features_ + col] = v;
+  }
+  const double* Row(size_t row) const {
+    return features_.data() + row * num_features_;
+  }
+  double* MutableRow(size_t row) { return features_.data() + row * num_features_; }
+
+  int Label(size_t row) const { return labels_[row]; }
+  void SetLabel(size_t row, int y) { labels_[row] = y; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Per-class sample counts (used for the prior likelihood N_c / N).
+  std::vector<size_t> ClassCounts() const;
+
+  /// A new dataset restricted to the given rows (in the given order).
+  Dataset SelectRows(const std::vector<size_t>& rows) const;
+
+  /// A new dataset restricted to the given feature columns (in order).
+  Dataset SelectColumns(const std::vector<size_t>& columns) const;
+
+ private:
+  size_t num_samples_ = 0;
+  size_t num_features_ = 0;
+  int num_classes_ = 0;
+  std::vector<double> features_;
+  std::vector<int> labels_;
+};
+
+/// \brief Train / validation / test split.
+struct DataSplit {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+/// \brief Randomly split into train/valid/test with the paper's 80/10/10
+/// default. Fractions must sum to <= 1; the remainder goes to test.
+Result<DataSplit> SplitDataset(const Dataset& dataset, double train_frac,
+                               double valid_frac, uint64_t seed);
+
+}  // namespace vfps::data
+
+#endif  // VFPS_DATA_DATASET_H_

@@ -1,0 +1,23 @@
+#ifndef VFPS_DATA_LIBSVM_LOADER_H_
+#define VFPS_DATA_LIBSVM_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vfps::data {
+
+/// \brief Load a LIBSVM-format file ("label idx:value idx:value ...") into a
+/// dense Dataset. Several of the paper's datasets (Adult/a9a, IJCNN, SUSY,
+/// Web/w8a) are distributed in this format.
+///
+/// \param num_features 0 means infer from the maximum index seen.
+Result<Dataset> LoadLibsvm(const std::string& path, size_t num_features = 0);
+
+/// Parse LIBSVM content from a string (exposed for testing).
+Result<Dataset> ParseLibsvm(const std::string& content, size_t num_features = 0);
+
+}  // namespace vfps::data
+
+#endif  // VFPS_DATA_LIBSVM_LOADER_H_

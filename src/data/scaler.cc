@@ -1,0 +1,56 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace vfps::data {
+
+StandardScaler StandardScaler::Fit(const Dataset& dataset) {
+  StandardScaler scaler;
+  const size_t n = dataset.num_samples();
+  const size_t f = dataset.num_features();
+  scaler.means_.assign(f, 0.0);
+  scaler.stddevs_.assign(f, 1.0);
+  if (n == 0) return scaler;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dataset.Row(i);
+    for (size_t j = 0; j < f; ++j) scaler.means_[j] += row[j];
+  }
+  for (double& m : scaler.means_) m /= static_cast<double>(n);
+  std::vector<double> var(f, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dataset.Row(i);
+    for (size_t j = 0; j < f; ++j) {
+      const double d = row[j] - scaler.means_[j];
+      var[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < f; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(n));
+    scaler.stddevs_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  return scaler;
+}
+
+Status StandardScaler::Transform(Dataset* dataset) const {
+  VFPS_CHECK_ARG(dataset->num_features() == means_.size(),
+                 "scaler: feature width mismatch");
+  for (size_t i = 0; i < dataset->num_samples(); ++i) {
+    double* row = dataset->MutableRow(i);
+    for (size_t j = 0; j < means_.size(); ++j) {
+      row[j] = (row[j] - means_[j]) / stddevs_[j];
+    }
+  }
+  return Status::OK();
+}
+
+Status StandardizeSplit(DataSplit* split) {
+  const StandardScaler scaler = StandardScaler::Fit(split->train);
+  VFPS_RETURN_NOT_OK(scaler.Transform(&split->train));
+  if (!split->valid.empty()) VFPS_RETURN_NOT_OK(scaler.Transform(&split->valid));
+  if (!split->test.empty()) VFPS_RETURN_NOT_OK(scaler.Transform(&split->test));
+  return Status::OK();
+}
+
+}  // namespace vfps::data

@@ -1,0 +1,34 @@
+#ifndef VFPS_DATA_SCALER_H_
+#define VFPS_DATA_SCALER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vfps::data {
+
+/// \brief Per-feature standardization (zero mean, unit variance), fit on the
+/// training split and applied to all splits, as the downstream LR/MLP/KNN
+/// models expect. Constant features are left centered with unit divisor.
+class StandardScaler {
+ public:
+  static StandardScaler Fit(const Dataset& dataset);
+
+  /// Transform in place; the dataset must have the fitted width.
+  Status Transform(Dataset* dataset) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+/// Fit on split->train and transform train/valid/test in place.
+Status StandardizeSplit(DataSplit* split);
+
+}  // namespace vfps::data
+
+#endif  // VFPS_DATA_SCALER_H_

@@ -1,0 +1,90 @@
+#ifndef VFPS_DATA_SYNTHETIC_H_
+#define VFPS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vfps::data {
+
+/// Role a generated feature plays; the partitioner uses this metadata to
+/// build participants of controlled, heterogeneous quality.
+enum class FeatureKind : uint8_t {
+  kInformative = 0,  // projection of the label-bearing latent factor
+  kRedundant = 1,    // noisy linear combination of informative features
+  kNoise = 2,        // label-independent (but row-correlated via intensity)
+};
+
+/// \brief Configuration for the low-intrinsic-dimension classification
+/// generator.
+///
+/// The generator mimics what matters about the paper's 10 tabular datasets
+/// for the selection algorithms:
+///   - sample count, feature width, class balance;
+///   - difficulty: class centroids sit `centroid_distance` apart in a latent
+///     space with unit label-relevant noise, so KNN-on-everything accuracy
+///     lands near Phi(distance / 2);
+///   - LOW INTRINSIC DIMENSION: every informative feature is a random
+///     projection of one shared latent vector z (class offset + market
+///     "segment" + noise). Because all vertical slices observe projections
+///     of the same z, every participant's distance ranking approximates
+///     ||delta z|| — the cross-party rank correlation that makes Fagin's
+///     algorithm terminate early on real data (Fig. 9);
+///   - redundancy: extra features that are noisy combinations of informative
+///     ones, and noise features that correlate across rows only through a
+///     scalar intensity factor. These control how much participants can
+///     overlap, which is what the diversity study manipulates.
+struct SyntheticConfig {
+  size_t num_samples = 1000;
+  size_t num_features = 20;
+  int num_classes = 2;
+  size_t num_informative = 10;
+  size_t num_redundant = 5;  // rest of the features are pure noise
+  /// Latent-space distance between class centroids (unit within-class noise);
+  /// KNN accuracy before label noise is roughly Phi(centroid_distance / 2).
+  double centroid_distance = 3.0;
+  double label_noise = 0.01;  // probability of flipping a label
+  double redundant_noise = 0.15;
+  std::vector<double> class_priors;  // empty = uniform
+  uint64_t seed = 42;
+
+  /// Intrinsic dimension of the informative latent z (clamped to
+  /// num_informative; 0 = auto = min(5, num_informative)).
+  size_t latent_dim = 0;
+  /// Per-feature observation noise on top of the projection of z, drawn
+  /// log-uniformly per feature from [min, max]. Real tabular features vary
+  /// wildly in quality; this heterogeneity is what makes randomly-split
+  /// participants differ in value (so selection matters), exactly as in the
+  /// paper's datasets. Set min == max for homogeneous features.
+  double feature_noise_min = 0.4;
+  double feature_noise_max = 1.3;
+  /// Label-independent "segment" clusters in latent space (0 = auto: about
+  /// one per 600 samples, at least 4). Segments make rows clumpy, as real
+  /// tabular data is.
+  size_t num_segments = 0;
+  double segment_spread = 1.2;
+  /// Per-segment tilt of the class prior (binary tasks): real market/patient
+  /// segments correlate with outcomes, which is what makes geometric
+  /// coverage of the row distribution (the KNN-likelihood objective)
+  /// label-relevant. 0 disables the correlation.
+  double segment_label_tilt = 0.3;
+  /// Scalar per-row intensity that loads on every noise feature, so even
+  /// noise-heavy participants produce usable sub-rankings.
+  double intensity_factor = 0.7;
+};
+
+/// Generated dataset plus per-feature metadata.
+struct SyntheticDataset {
+  Dataset data;
+  std::vector<FeatureKind> kinds;  // size = num_features
+};
+
+/// \brief Draw a labeled dataset from the low-intrinsic-dimension model.
+/// Deterministic given the config (including the seed).
+Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config);
+
+}  // namespace vfps::data
+
+#endif  // VFPS_DATA_SYNTHETIC_H_

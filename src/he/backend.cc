@@ -1,0 +1,300 @@
+#include "he/backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/buffer.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace vfps::he {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// CKKS backend: values are chunked into slot_count()-sized slices, one
+// ciphertext per slice.
+// ---------------------------------------------------------------------------
+class CkksBackend final : public HeBackend {
+ public:
+  CkksBackend(std::shared_ptr<const CkksContext> ctx, uint64_t seed)
+      : ctx_(std::move(ctx)), rng_(seed) {
+    sk_ = ctx_->GenerateSecretKey(&rng_);
+    pk_ = ctx_->GeneratePublicKey(sk_, &rng_);
+  }
+
+  std::string name() const override { return "ckks"; }
+
+  Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+    BinaryWriter writer;
+    const size_t slots = ctx_->slot_count();
+    const size_t num_chunks = values.empty() ? 0 : (values.size() + slots - 1) / slots;
+    writer.WriteU32(static_cast<uint32_t>(num_chunks));
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = c * slots;
+      const size_t hi = std::min(values.size(), lo + slots);
+      std::vector<double> chunk(values.begin() + lo, values.begin() + hi);
+      VFPS_ASSIGN_OR_RETURN(auto ct, ctx_->EncryptVector(pk_, chunk, &rng_));
+      ctx_->SerializeCiphertext(ct, &writer);
+      ++stats_.encrypt_ops;
+    }
+    stats_.values_encrypted += values.size();
+    EncryptedVector out;
+    out.blob = writer.TakeBytes();
+    out.count = values.size();
+    return out;
+  }
+
+  Result<EncryptedVector> Sum(
+      const std::vector<const EncryptedVector*>& vectors) override {
+    VFPS_CHECK_ARG(!vectors.empty(), "CKKS Sum: no inputs");
+    const size_t count = vectors[0]->count;
+    std::vector<CkksCiphertext> acc;
+    VFPS_RETURN_NOT_OK(ParseChunks(*vectors[0], &acc));
+    for (size_t i = 1; i < vectors.size(); ++i) {
+      if (vectors[i]->count != count) {
+        return Status::InvalidArgument("CKKS Sum: count mismatch");
+      }
+      std::vector<CkksCiphertext> cts;
+      VFPS_RETURN_NOT_OK(ParseChunks(*vectors[i], &cts));
+      for (size_t c = 0; c < acc.size(); ++c) {
+        VFPS_RETURN_NOT_OK(ctx_->AddInPlaceCt(&acc[c], cts[c]));
+        ++stats_.add_ops;
+      }
+    }
+    BinaryWriter writer;
+    writer.WriteU32(static_cast<uint32_t>(acc.size()));
+    for (const auto& ct : acc) ctx_->SerializeCiphertext(ct, &writer);
+    EncryptedVector out;
+    out.blob = writer.TakeBytes();
+    out.count = count;
+    return out;
+  }
+
+  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+    std::vector<CkksCiphertext> cts;
+    VFPS_RETURN_NOT_OK(ParseChunks(v, &cts));
+    std::vector<double> out;
+    out.reserve(v.count);
+    const size_t slots = ctx_->slot_count();
+    for (size_t c = 0; c < cts.size(); ++c) {
+      const size_t want = std::min(slots, v.count - out.size());
+      VFPS_ASSIGN_OR_RETURN(auto values, ctx_->DecryptVector(sk_, cts[c], want));
+      out.insert(out.end(), values.begin(), values.end());
+      ++stats_.decrypt_ops;
+    }
+    return out;
+  }
+
+  size_t CiphertextBytes(size_t count) const override {
+    const size_t slots = ctx_->slot_count();
+    const size_t chunks = count == 0 ? 0 : (count + slots - 1) / slots;
+    return sizeof(uint32_t) + chunks * ctx_->CiphertextByteSize();
+  }
+
+ private:
+  Status ParseChunks(const EncryptedVector& v,
+                     std::vector<CkksCiphertext>* out) const {
+    BinaryReader reader(v.blob);
+    VFPS_ASSIGN_OR_RETURN(uint32_t num_chunks, reader.ReadU32());
+    out->clear();
+    out->reserve(num_chunks);
+    for (uint32_t c = 0; c < num_chunks; ++c) {
+      VFPS_ASSIGN_OR_RETURN(auto ct, ctx_->DeserializeCiphertext(&reader));
+      out->push_back(std::move(ct));
+    }
+    return Status::OK();
+  }
+
+  std::shared_ptr<const CkksContext> ctx_;
+  Rng rng_;
+  CkksSecretKey sk_;
+  CkksPublicKey pk_;
+};
+
+// ---------------------------------------------------------------------------
+// Paillier backend: one ciphertext per value, fixed-point encoding.
+// ---------------------------------------------------------------------------
+class PaillierBackend final : public HeBackend {
+ public:
+  PaillierBackend(PaillierKeyPair keys, int fractional_bits, uint64_t seed)
+      : keys_(std::move(keys)), frac_scale_(std::ldexp(1.0, fractional_bits)),
+        rng_(seed) {
+    ct_bytes_ = (keys_.pub.n_squared.BitLength() + 7) / 8;
+  }
+
+  std::string name() const override { return "paillier"; }
+
+  Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+    BinaryWriter writer;
+    writer.WriteU32(static_cast<uint32_t>(values.size()));
+    for (double v : values) {
+      const double scaled = v * frac_scale_;
+      if (!(std::abs(scaled) < 9.0e18)) {
+        return Status::OutOfRange("Paillier: value overflows fixed-point range");
+      }
+      const int64_t fixed = static_cast<int64_t>(std::llround(scaled));
+      const BigInt m = Paillier::EncodeSigned(keys_.pub, fixed);
+      VFPS_ASSIGN_OR_RETURN(auto ct, Paillier::Encrypt(keys_.pub, m, &rng_));
+      writer.WriteBytes(PadCiphertext(ct.value));
+      ++stats_.encrypt_ops;
+    }
+    stats_.values_encrypted += values.size();
+    EncryptedVector out;
+    out.blob = writer.TakeBytes();
+    out.count = values.size();
+    return out;
+  }
+
+  Result<EncryptedVector> Sum(
+      const std::vector<const EncryptedVector*>& vectors) override {
+    VFPS_CHECK_ARG(!vectors.empty(), "Paillier Sum: no inputs");
+    const size_t count = vectors[0]->count;
+    std::vector<PaillierCiphertext> acc;
+    VFPS_RETURN_NOT_OK(Parse(*vectors[0], &acc));
+    for (size_t i = 1; i < vectors.size(); ++i) {
+      if (vectors[i]->count != count) {
+        return Status::InvalidArgument("Paillier Sum: count mismatch");
+      }
+      std::vector<PaillierCiphertext> cts;
+      VFPS_RETURN_NOT_OK(Parse(*vectors[i], &cts));
+      for (size_t j = 0; j < acc.size(); ++j) {
+        VFPS_ASSIGN_OR_RETURN(acc[j], Paillier::Add(keys_.pub, acc[j], cts[j]));
+        ++stats_.add_ops;
+      }
+    }
+    BinaryWriter writer;
+    writer.WriteU32(static_cast<uint32_t>(acc.size()));
+    for (const auto& ct : acc) writer.WriteBytes(PadCiphertext(ct.value));
+    EncryptedVector out;
+    out.blob = writer.TakeBytes();
+    out.count = count;
+    return out;
+  }
+
+  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+    std::vector<PaillierCiphertext> cts;
+    VFPS_RETURN_NOT_OK(Parse(v, &cts));
+    std::vector<double> out;
+    out.reserve(cts.size());
+    for (const auto& ct : cts) {
+      VFPS_ASSIGN_OR_RETURN(BigInt m, Paillier::Decrypt(keys_.pub, keys_.priv, ct));
+      out.push_back(static_cast<double>(Paillier::DecodeSigned(keys_.pub, m)) /
+                    frac_scale_);
+      ++stats_.decrypt_ops;
+    }
+    return out;
+  }
+
+  size_t CiphertextBytes(size_t count) const override {
+    return sizeof(uint32_t) + count * (sizeof(uint32_t) + ct_bytes_);
+  }
+
+ private:
+  // Fixed-width big-endian encoding so every ciphertext has the same wire
+  // size (leaking the magnitude through the length would be a side channel).
+  std::vector<uint8_t> PadCiphertext(const BigInt& value) const {
+    std::vector<uint8_t> raw = value.ToBytes();
+    std::vector<uint8_t> out(ct_bytes_, 0);
+    std::copy(raw.begin(), raw.end(), out.end() - raw.size());
+    return out;
+  }
+
+  Status Parse(const EncryptedVector& v, std::vector<PaillierCiphertext>* out) const {
+    BinaryReader reader(v.blob);
+    VFPS_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+    out->clear();
+    out->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      VFPS_ASSIGN_OR_RETURN(auto bytes, reader.ReadBytes());
+      out->push_back(PaillierCiphertext{BigInt::FromBytes(bytes)});
+    }
+    return Status::OK();
+  }
+
+  PaillierKeyPair keys_;
+  double frac_scale_;
+  Rng rng_;
+  size_t ct_bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Plain backend: no cryptography; used for debugging and ablations.
+// ---------------------------------------------------------------------------
+class PlainBackend final : public HeBackend {
+ public:
+  std::string name() const override { return "plain"; }
+
+  Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+    BinaryWriter writer;
+    writer.WriteDoubleVec(values);
+    stats_.encrypt_ops += values.empty() ? 0 : 1;
+    stats_.values_encrypted += values.size();
+    EncryptedVector out;
+    out.blob = writer.TakeBytes();
+    out.count = values.size();
+    return out;
+  }
+
+  Result<EncryptedVector> Sum(
+      const std::vector<const EncryptedVector*>& vectors) override {
+    VFPS_CHECK_ARG(!vectors.empty(), "Plain Sum: no inputs");
+    std::vector<double> acc;
+    {
+      BinaryReader reader(vectors[0]->blob);
+      VFPS_ASSIGN_OR_RETURN(acc, reader.ReadDoubleVec());
+    }
+    for (size_t i = 1; i < vectors.size(); ++i) {
+      BinaryReader reader(vectors[i]->blob);
+      VFPS_ASSIGN_OR_RETURN(auto vals, reader.ReadDoubleVec());
+      if (vals.size() != acc.size()) {
+        return Status::InvalidArgument("Plain Sum: count mismatch");
+      }
+      for (size_t j = 0; j < acc.size(); ++j) acc[j] += vals[j];
+      ++stats_.add_ops;
+    }
+    BinaryWriter writer;
+    writer.WriteDoubleVec(acc);
+    EncryptedVector out;
+    out.blob = writer.TakeBytes();
+    out.count = acc.size();
+    return out;
+  }
+
+  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+    BinaryReader reader(v.blob);
+    ++stats_.decrypt_ops;
+    return reader.ReadDoubleVec();
+  }
+
+  size_t CiphertextBytes(size_t count) const override {
+    return sizeof(uint32_t) + count * sizeof(double);
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,
+                                                     uint64_t seed) {
+  VFPS_ASSIGN_OR_RETURN(auto ctx, CkksContext::Create(params));
+  return std::unique_ptr<HeBackend>(new CkksBackend(std::move(ctx), seed));
+}
+
+Result<std::unique_ptr<HeBackend>> CreateCkksBackend(uint64_t seed) {
+  return CreateCkksBackend(CkksParams{}, seed);
+}
+
+Result<std::unique_ptr<HeBackend>> CreatePaillierBackend(size_t modulus_bits,
+                                                         int fractional_bits,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  VFPS_ASSIGN_OR_RETURN(auto keys, Paillier::GenerateKeys(modulus_bits, &rng));
+  return std::unique_ptr<HeBackend>(
+      new PaillierBackend(std::move(keys), fractional_bits, seed ^ 0x5EEDF00DULL));
+}
+
+std::unique_ptr<HeBackend> CreatePlainBackend() {
+  return std::make_unique<PlainBackend>();
+}
+
+}  // namespace vfps::he

@@ -1,0 +1,91 @@
+#ifndef VFPS_HE_BACKEND_H_
+#define VFPS_HE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "he/ckks.h"
+#include "he/paillier.h"
+
+namespace vfps::he {
+
+/// \brief An encrypted vector of real values, as it travels on the wire.
+///
+/// `blob` is the serialized ciphertext payload (its size is what the
+/// simulated network meters); `count` is the number of plaintext values.
+struct EncryptedVector {
+  std::vector<uint8_t> blob;
+  size_t count = 0;
+
+  size_t ByteSize() const { return blob.size(); }
+};
+
+/// \brief Operation counters used by the cost model to convert HE work into
+/// simulated seconds.
+struct HeOpStats {
+  uint64_t encrypt_ops = 0;     // ciphertexts produced
+  uint64_t decrypt_ops = 0;     // ciphertexts opened
+  uint64_t add_ops = 0;         // homomorphic additions
+  uint64_t values_encrypted = 0;  // plaintext scalars encrypted
+
+  void Reset() { *this = HeOpStats{}; }
+  void Merge(const HeOpStats& o) {
+    encrypt_ops += o.encrypt_ops;
+    decrypt_ops += o.decrypt_ops;
+    add_ops += o.add_ops;
+    values_encrypted += o.values_encrypted;
+  }
+};
+
+/// \brief Uniform additively-homomorphic backend used by the VFL protocols.
+///
+/// One backend instance is created by the (simulated) key server and shared
+/// by every party; the protocol layer enforces the trust model: only the
+/// leader invokes Decrypt, and the aggregation server only invokes Sum.
+/// Implementations are single-threaded (protocol simulation is sequential).
+class HeBackend {
+ public:
+  virtual ~HeBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Encrypt a vector of real values (public-key operation).
+  virtual Result<EncryptedVector> Encrypt(const std::vector<double>& values) = 0;
+
+  /// Homomorphic elementwise sum; all inputs must have equal count.
+  virtual Result<EncryptedVector> Sum(
+      const std::vector<const EncryptedVector*>& vectors) = 0;
+
+  /// Decrypt (secret-key operation; leader only).
+  virtual Result<std::vector<double>> Decrypt(const EncryptedVector& v) = 0;
+
+  /// Wire size of an encrypted vector holding `count` values.
+  virtual size_t CiphertextBytes(size_t count) const = 0;
+
+  const HeOpStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  HeOpStats stats_;
+};
+
+/// CKKS-based backend (what the paper uses via TenSEAL).
+Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,
+                                                     uint64_t seed);
+Result<std::unique_ptr<HeBackend>> CreateCkksBackend(uint64_t seed);
+
+/// Paillier-based backend; values are fixed-point encoded with
+/// `fractional_bits` bits after the binary point.
+Result<std::unique_ptr<HeBackend>> CreatePaillierBackend(size_t modulus_bits,
+                                                         int fractional_bits,
+                                                         uint64_t seed);
+
+/// Pass-through backend (no cryptography) for debugging and cost ablations.
+std::unique_ptr<HeBackend> CreatePlainBackend();
+
+}  // namespace vfps::he
+
+#endif  // VFPS_HE_BACKEND_H_

@@ -1,0 +1,437 @@
+#include "common/macros.h"
+#include "he/bignum.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vfps::he {
+
+namespace {
+constexpr uint64_t kBase = 1ULL << 32;
+}
+
+BigInt::BigInt(uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::FromLimbs(std::vector<uint32_t> limbs) {
+  BigInt b;
+  b.limbs_ = std::move(limbs);
+  b.Normalize();
+  return b;
+}
+
+BigInt BigInt::FromBytes(const std::vector<uint8_t>& bytes) {
+  BigInt out;
+  // Big-endian bytes -> little-endian limbs.
+  const size_t n = bytes.size();
+  out.limbs_.assign((n + 3) / 4, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t byte_index = n - 1 - i;  // position from the LSB
+    out.limbs_[i / 4] |= static_cast<uint32_t>(bytes[byte_index]) << (8 * (i % 4));
+  }
+  out.Normalize();
+  return out;
+}
+
+std::vector<uint8_t> BigInt::ToBytes() const {
+  if (IsZero()) return {};
+  const size_t bits = BitLength();
+  const size_t n = (bits + 7) / 8;
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t limb = limbs_[i / 4];
+    out[n - 1 - i] = static_cast<uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+std::string BigInt::ToHexString() const {
+  if (IsZero()) return "0";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    char buf[9];
+    if (i == limbs_.size() - 1) {
+      std::snprintf(buf, sizeof(buf), "%x", limbs_[i]);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%08x", limbs_[i]);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+Result<BigInt> BigInt::FromHexString(const std::string& hex) {
+  BigInt out;
+  if (hex.empty()) return Status::InvalidArgument("BigInt: empty hex string");
+  for (char c : hex) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return Status::InvalidArgument("BigInt: bad hex digit");
+    }
+    out = (out << 4) + BigInt(digit);
+  }
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  size_t bits = (limbs_.size() - 1) * 32;
+  uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::GetBit(size_t i) const {
+  const size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+uint64_t BigInt::ToU64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  std::vector<uint32_t> out(std::max(limbs_.size(), o.limbs_.size()) + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out[i] = static_cast<uint32_t>(sum & 0xFFFFFFFFu);
+    carry = sum >> 32;
+  }
+  return FromLimbs(std::move(out));
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  // Precondition: *this >= o. Callers in this library guarantee it.
+  std::vector<uint32_t> out(limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow -
+                   (i < o.limbs_.size() ? static_cast<int64_t>(o.limbs_[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<uint32_t>(diff);
+  }
+  return FromLimbs(std::move(out));
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (IsZero() || o.IsZero()) return BigInt();
+  std::vector<uint32_t> out(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = limbs_[i];
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      uint64_t cur = out[i + j] + ai * o.limbs_[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return FromLimbs(std::move(out));
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt copy = *this;
+    return copy;
+  }
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  std::vector<uint32_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<uint32_t>(v & 0xFFFFFFFFu);
+    out[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  return FromLimbs(std::move(out));
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  std::vector<uint32_t> out(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out[i] = static_cast<uint32_t>(v);
+  }
+  return FromLimbs(std::move(out));
+}
+
+Result<std::pair<BigInt, BigInt>> BigInt::DivMod(const BigInt& a,
+                                                 const BigInt& b) {
+  if (b.IsZero()) return Status::InvalidArgument("BigInt: division by zero");
+  if (a < b) return std::make_pair(BigInt(), a);
+  if (b.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const uint64_t d = b.limbs_[0];
+    std::vector<uint32_t> q(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      const uint64_t cur = (rem << 32) | a.limbs_[i];
+      q[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    return std::make_pair(FromLimbs(std::move(q)), BigInt(rem));
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set, ensuring the quotient-digit estimate is off by at most 2.
+  size_t shift = 0;
+  uint32_t top = b.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  const BigInt u = a << shift;
+  const BigInt v = b << shift;
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+
+  std::vector<uint32_t> un(u.limbs_);
+  un.push_back(0);  // u has m+n+1 limbs during the loop
+  const std::vector<uint32_t>& vn = v.limbs_;
+  std::vector<uint32_t> q(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat from the top two limbs.
+    const uint64_t numerator =
+        (static_cast<uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    uint64_t q_hat = numerator / vn[n - 1];
+    uint64_t r_hat = numerator % vn[n - 1];
+    while (q_hat >= kBase ||
+           q_hat * vn[n - 2] > ((r_hat << 32) | un[j + n - 2])) {
+      --q_hat;
+      r_hat += vn[n - 1];
+      if (r_hat >= kBase) break;
+    }
+    // Multiply-subtract q_hat * v from u[j..j+n].
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t p = q_hat * vn[i] + carry;
+      carry = p >> 32;
+      const int64_t t =
+          static_cast<int64_t>(un[i + j]) - static_cast<int64_t>(p & 0xFFFFFFFFu) - borrow;
+      un[i + j] = static_cast<uint32_t>(t & 0xFFFFFFFF);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const int64_t t = static_cast<int64_t>(un[j + n]) -
+                      static_cast<int64_t>(carry) - borrow;
+    un[j + n] = static_cast<uint32_t>(t & 0xFFFFFFFF);
+
+    if (t < 0) {
+      // q_hat was one too large: add back.
+      --q_hat;
+      uint64_t carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t s = static_cast<uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<uint32_t>(s & 0xFFFFFFFFu);
+        carry2 = s >> 32;
+      }
+      un[j + n] = static_cast<uint32_t>(un[j + n] + carry2);
+    }
+    q[j] = static_cast<uint32_t>(q_hat);
+  }
+
+  BigInt quotient = FromLimbs(std::move(q));
+  un.resize(n);
+  BigInt remainder = FromLimbs(std::move(un)) >> shift;
+  return std::make_pair(std::move(quotient), std::move(remainder));
+}
+
+Result<BigInt> BigInt::Mod(const BigInt& a, const BigInt& m) {
+  VFPS_ASSIGN_OR_RETURN(auto qr, DivMod(a, m));
+  return qr.second;
+}
+
+Result<BigInt> BigInt::AddMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(a + b, m);
+}
+
+Result<BigInt> BigInt::MulMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(a * b, m);
+}
+
+Result<BigInt> BigInt::PowMod(const BigInt& base, const BigInt& exp,
+                              const BigInt& m) {
+  if (m.IsZero()) return Status::InvalidArgument("BigInt: PowMod modulus zero");
+  VFPS_ASSIGN_OR_RETURN(BigInt b, Mod(base, m));
+  BigInt result(1);
+  const size_t bits = exp.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exp.GetBit(i)) {
+      VFPS_ASSIGN_OR_RETURN(result, MulMod(result, b, m));
+    }
+    VFPS_ASSIGN_OR_RETURN(b, MulMod(b, b, m));
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  while (!b.IsZero()) {
+    auto qr = DivMod(a, b);
+    a = std::move(b);
+    b = std::move(qr.ValueOrDie().second);
+  }
+  return a;
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid tracking only the Bezout coefficient of `a`, with signs
+  // managed explicitly since BigInt is unsigned.
+  VFPS_ASSIGN_OR_RETURN(BigInt r0, Mod(a, m));
+  BigInt r1 = m;
+  BigInt s0(1), s1(0);
+  bool s0_neg = false, s1_neg = false;
+  // Invariant: r0 = ±s0 * a (mod m), r1 = ±s1 * a (mod m).
+  while (!r1.IsZero()) {
+    VFPS_ASSIGN_OR_RETURN(auto qr, DivMod(r0, r1));
+    const BigInt& q = qr.first;
+    // (r0, r1) <- (r1, r0 - q*r1)
+    BigInt r2 = r0 - q * r1;  // r0 >= q*r1 by construction
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    // (s0, s1) <- (s1, s0 - q*s1) with sign tracking.
+    BigInt qs1 = q * s1;
+    BigInt s2;
+    bool s2_neg;
+    if (s0_neg == s1_neg) {
+      if (s0 >= qs1) {
+        s2 = s0 - qs1;
+        s2_neg = s0_neg;
+      } else {
+        s2 = qs1 - s0;
+        s2_neg = !s0_neg;
+      }
+    } else {
+      s2 = s0 + qs1;
+      s2_neg = s0_neg;
+    }
+    s0 = std::move(s1);
+    s0_neg = s1_neg;
+    s1 = std::move(s2);
+    s1_neg = s2_neg;
+  }
+  if (r0 != BigInt(1)) {
+    return Status::NotFound("BigInt: ModInverse does not exist (gcd != 1)");
+  }
+  VFPS_ASSIGN_OR_RETURN(BigInt inv, Mod(s0, m));
+  if (s0_neg && !inv.IsZero()) inv = m - inv;
+  return inv;
+}
+
+BigInt BigInt::RandomWithBits(size_t bits, Rng* rng) {
+  if (bits == 0) return BigInt();
+  std::vector<uint32_t> limbs((bits + 31) / 32, 0);
+  for (auto& limb : limbs) limb = static_cast<uint32_t>(rng->Next());
+  // Clear excess bits, then force the top bit so the bit length is exact.
+  const size_t top_bits = bits % 32 == 0 ? 32 : bits % 32;
+  if (top_bits < 32) limbs.back() &= (1u << top_bits) - 1;
+  limbs.back() |= 1u << (top_bits - 1);
+  return FromLimbs(std::move(limbs));
+}
+
+BigInt BigInt::RandomBelow(const BigInt& bound, Rng* rng) {
+  if (bound.IsZero()) return BigInt();
+  const size_t bits = bound.BitLength();
+  for (;;) {
+    std::vector<uint32_t> limbs((bits + 31) / 32, 0);
+    for (auto& limb : limbs) limb = static_cast<uint32_t>(rng->Next());
+    const size_t top_bits = bits % 32 == 0 ? 32 : bits % 32;
+    if (top_bits < 32) limbs.back() &= (1u << top_bits) - 1;
+    BigInt candidate = FromLimbs(std::move(limbs));
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigInt::ProbablyPrime(const BigInt& n, int rounds, Rng* rng) {
+  if (n < BigInt(2)) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                     29ULL, 31ULL, 37ULL, 41ULL, 43ULL, 47ULL}) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if (Mod(n, bp).ValueOrDie().IsZero()) return false;
+  }
+  const BigInt one(1);
+  const BigInt n_minus_1 = n - one;
+  BigInt d = n_minus_1;
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    BigInt a = RandomBelow(n - BigInt(3), rng) + BigInt(2);  // in [2, n-2]
+    BigInt x = PowMod(a, d, n).ValueOrDie();
+    if (x == one || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 0; i + 1 < r; ++i) {
+      x = MulMod(x, x, n).ValueOrDie();
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Result<BigInt> BigInt::GeneratePrime(size_t bits, Rng* rng) {
+  if (bits < 8) return Status::InvalidArgument("BigInt: prime bits too small");
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    BigInt candidate = RandomWithBits(bits, rng);
+    if (!candidate.IsOdd()) candidate = candidate + BigInt(1);
+    if (ProbablyPrime(candidate, 20, rng)) return candidate;
+  }
+  return Status::NotFound("BigInt: prime generation exhausted attempts");
+}
+
+}  // namespace vfps::he

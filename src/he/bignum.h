@@ -1,0 +1,98 @@
+#ifndef VFPS_HE_BIGNUM_H_
+#define VFPS_HE_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace vfps::he {
+
+/// \brief Arbitrary-precision unsigned integer.
+///
+/// Little-endian 32-bit limbs, always normalized (no leading zero limbs; zero
+/// is the empty limb vector). Implements exactly what the Paillier
+/// cryptosystem needs: schoolbook multiplication, Knuth Algorithm D division,
+/// binary modular exponentiation, extended-Euclid inverses, and Miller-Rabin
+/// prime generation. Not constant-time; this is a research reproduction, not
+/// a hardened crypto library.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(uint64_t v);
+
+  static BigInt Zero() { return BigInt(); }
+  static BigInt One() { return BigInt(1); }
+
+  /// Big-endian byte import/export (canonical wire format).
+  static BigInt FromBytes(const std::vector<uint8_t>& bytes);
+  std::vector<uint8_t> ToBytes() const;
+
+  /// Lowercase hex (for debugging / tests), "0" for zero.
+  std::string ToHexString() const;
+  static Result<BigInt> FromHexString(const std::string& hex);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  size_t BitLength() const;
+  bool GetBit(size_t i) const;
+
+  /// Value of the low 64 bits.
+  uint64_t ToU64() const;
+
+  // Comparisons.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  /// Requires *this >= o (unsigned subtraction).
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  /// Quotient and remainder; fails on division by zero.
+  static Result<std::pair<BigInt, BigInt>> DivMod(const BigInt& a,
+                                                  const BigInt& b);
+  static Result<BigInt> Mod(const BigInt& a, const BigInt& m);
+
+  /// (a + b) mod m, (a * b) mod m.
+  static Result<BigInt> AddMod(const BigInt& a, const BigInt& b, const BigInt& m);
+  static Result<BigInt> MulMod(const BigInt& a, const BigInt& b, const BigInt& m);
+
+  /// base^exp mod m by square-and-multiply.
+  static Result<BigInt> PowMod(const BigInt& base, const BigInt& exp,
+                               const BigInt& m);
+
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// a^{-1} mod m; NotFound if gcd(a, m) != 1.
+  static Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+  /// Uniform random integer with exactly `bits` bits (top bit set).
+  static BigInt RandomWithBits(size_t bits, Rng* rng);
+  /// Uniform random integer in [0, bound).
+  static BigInt RandomBelow(const BigInt& bound, Rng* rng);
+
+  /// Miller-Rabin with `rounds` random bases.
+  static bool ProbablyPrime(const BigInt& n, int rounds, Rng* rng);
+  /// Random prime with exactly `bits` bits.
+  static Result<BigInt> GeneratePrime(size_t bits, Rng* rng);
+
+ private:
+  void Normalize();
+  static BigInt FromLimbs(std::vector<uint32_t> limbs);
+
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace vfps::he
+
+#endif  // VFPS_HE_BIGNUM_H_

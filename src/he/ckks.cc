@@ -1,0 +1,336 @@
+#include "he/ckks.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "he/modarith.h"
+
+namespace vfps::he {
+
+Result<std::shared_ptr<const CkksContext>> CkksContext::Create(
+    const CkksParams& params) {
+  if (params.poly_degree < 8) {
+    return Status::InvalidArgument("CkksContext: poly_degree too small");
+  }
+  for (int bits : params.prime_bits) {
+    if (bits < 30 || bits > 59) {
+      return Status::InvalidArgument(
+          "CkksContext: prime bits must be in [30, 59]");
+    }
+  }
+  auto ctx = std::shared_ptr<CkksContext>(new CkksContext());
+  ctx->params_ = params;
+  VFPS_ASSIGN_OR_RETURN(ctx->rns_,
+                        RnsContext::Create(params.poly_degree, params.prime_bits));
+  VFPS_ASSIGN_OR_RETURN(auto encoder, CkksEncoder::Create(ctx->rns_));
+  ctx->encoder_ = std::make_unique<CkksEncoder>(std::move(encoder));
+  return std::shared_ptr<const CkksContext>(ctx);
+}
+
+CkksSecretKey CkksContext::GenerateSecretKey(Rng* rng) const {
+  CkksSecretKey sk;
+  sk.s = SampleTernary(*rns_, rng);
+  ToNtt(*rns_, &sk.s);
+  return sk;
+}
+
+CkksPublicKey CkksContext::GeneratePublicKey(const CkksSecretKey& sk,
+                                             Rng* rng) const {
+  CkksPublicKey pk;
+  pk.a = SampleUniform(*rns_, rng);  // already NTT form
+  RnsPoly e = SampleGaussian(*rns_, rng, params_.noise_sigma);
+  ToNtt(*rns_, &e);
+  // b = -(a*s + e)
+  pk.b = pk.a;
+  MulPointwiseInPlace(*rns_, &pk.b, sk.s);
+  AddInPlace(*rns_, &pk.b, e);
+  NegateInPlace(*rns_, &pk.b);
+  return pk;
+}
+
+CkksCiphertext CkksContext::Encrypt(const CkksPublicKey& pk,
+                                    const RnsPoly& plaintext, double scale,
+                                    Rng* rng) const {
+  RnsPoly u = SampleTernary(*rns_, rng);
+  ToNtt(*rns_, &u);
+  RnsPoly e0 = SampleGaussian(*rns_, rng, params_.noise_sigma);
+  ToNtt(*rns_, &e0);
+  RnsPoly e1 = SampleGaussian(*rns_, rng, params_.noise_sigma);
+  ToNtt(*rns_, &e1);
+
+  CkksCiphertext ct;
+  ct.scale = scale;
+  // c0 = b*u + e0 + m
+  ct.c0 = pk.b;
+  MulPointwiseInPlace(*rns_, &ct.c0, u);
+  AddInPlace(*rns_, &ct.c0, e0);
+  AddInPlace(*rns_, &ct.c0, plaintext);
+  // c1 = a*u + e1
+  ct.c1 = pk.a;
+  MulPointwiseInPlace(*rns_, &ct.c1, u);
+  AddInPlace(*rns_, &ct.c1, e1);
+  return ct;
+}
+
+RnsPoly CkksContext::Decrypt(const CkksSecretKey& sk,
+                             const CkksCiphertext& ct) const {
+  // m' = c0 + c1 * s
+  RnsPoly m = ct.c1;
+  MulPointwiseInPlace(*rns_, &m, sk.s);
+  AddInPlace(*rns_, &m, ct.c0);
+  return m;
+}
+
+Result<CkksCiphertext> CkksContext::EncryptVector(
+    const CkksPublicKey& pk, const std::vector<double>& values,
+    Rng* rng) const {
+  VFPS_ASSIGN_OR_RETURN(RnsPoly pt, encoder_->Encode(values, params_.scale));
+  return Encrypt(pk, pt, params_.scale, rng);
+}
+
+Result<std::vector<double>> CkksContext::DecryptVector(
+    const CkksSecretKey& sk, const CkksCiphertext& ct, size_t count) const {
+  RnsPoly pt = Decrypt(sk, ct);
+  return encoder_->Decode(pt, ct.scale, count);
+}
+
+Status CkksContext::AddInPlaceCt(CkksCiphertext* x,
+                                 const CkksCiphertext& y) const {
+  if (x->scale != y.scale) {
+    return Status::InvalidArgument("CKKS Add: scale mismatch");
+  }
+  AddInPlace(*rns_, &x->c0, y.c0);
+  AddInPlace(*rns_, &x->c1, y.c1);
+  return Status::OK();
+}
+
+Result<CkksCiphertext> CkksContext::Add(const CkksCiphertext& x,
+                                        const CkksCiphertext& y) const {
+  CkksCiphertext out = x;
+  VFPS_RETURN_NOT_OK(AddInPlaceCt(&out, y));
+  return out;
+}
+
+Result<CkksCiphertext> CkksContext::Sub(const CkksCiphertext& x,
+                                        const CkksCiphertext& y) const {
+  if (x.scale != y.scale) {
+    return Status::InvalidArgument("CKKS Sub: scale mismatch");
+  }
+  CkksCiphertext out = x;
+  SubInPlace(*rns_, &out.c0, y.c0);
+  SubInPlace(*rns_, &out.c1, y.c1);
+  return out;
+}
+
+Result<CkksCiphertext> CkksContext::AddPlain(const CkksCiphertext& x,
+                                             const RnsPoly& plaintext) const {
+  CkksCiphertext out = x;
+  if (!plaintext.ntt_form) {
+    RnsPoly pt = plaintext;
+    ToNtt(*rns_, &pt);
+    AddInPlace(*rns_, &out.c0, pt);
+  } else {
+    AddInPlace(*rns_, &out.c0, plaintext);
+  }
+  return out;
+}
+
+CkksCiphertext CkksContext::MulScalar(const CkksCiphertext& x,
+                                      uint64_t scalar) const {
+  CkksCiphertext out = x;
+  MulScalarInPlace(*rns_, &out.c0, scalar);
+  MulScalarInPlace(*rns_, &out.c1, scalar);
+  return out;
+}
+
+CkksRelinKey CkksContext::GenerateRelinKey(const CkksSecretKey& sk,
+                                           Rng* rng) const {
+  CkksRelinKey key;
+  key.digit_bits = 28;
+  size_t total_bits = 0;
+  for (uint64_t q : rns_->primes()) {
+    size_t bits = 0;
+    while ((q >> bits) != 0) ++bits;
+    total_bits += bits;
+  }
+  const size_t num_digits =
+      (total_bits + key.digit_bits - 1) / static_cast<size_t>(key.digit_bits);
+
+  // s^2 in NTT form.
+  RnsPoly s2 = sk.s;
+  MulPointwiseInPlace(*rns_, &s2, sk.s);
+
+  for (size_t j = 0; j < num_digits; ++j) {
+    RnsPoly a = SampleUniform(*rns_, rng);
+    RnsPoly e = SampleGaussian(*rns_, rng, params_.noise_sigma);
+    ToNtt(*rns_, &e);
+    // b = -(a*s + e) + T^j * s^2, with T^j reduced per prime.
+    RnsPoly b = a;
+    MulPointwiseInPlace(*rns_, &b, sk.s);
+    AddInPlace(*rns_, &b, e);
+    NegateInPlace(*rns_, &b);
+    RnsPoly shifted = s2;
+    for (size_t i = 0; i < rns_->num_primes(); ++i) {
+      const uint64_t q = rns_->prime(i);
+      const uint64_t tj = PowMod(2, static_cast<uint64_t>(key.digit_bits) * j, q);
+      for (size_t c = 0; c < rns_->n(); ++c) {
+        shifted.residues[i][c] = MulMod(shifted.residues[i][c], tj, q);
+      }
+    }
+    AddInPlace(*rns_, &b, shifted);
+    key.b.push_back(std::move(b));
+    key.a.push_back(std::move(a));
+  }
+  return key;
+}
+
+Result<CkksCiphertext> CkksContext::Multiply(const CkksCiphertext& x,
+                                             const CkksCiphertext& y,
+                                             const CkksRelinKey& rk) const {
+  if (x.level() != rns_->num_primes() || y.level() != rns_->num_primes()) {
+    return Status::InvalidArgument("CKKS Multiply: inputs must be at full level");
+  }
+  if (rk.b.empty()) {
+    return Status::InvalidArgument("CKKS Multiply: empty relinearization key");
+  }
+
+  // Tensor product components (all operands are in NTT form).
+  RnsPoly d0 = x.c0;
+  MulPointwiseInPlace(*rns_, &d0, y.c0);
+  RnsPoly d1a = x.c0;
+  MulPointwiseInPlace(*rns_, &d1a, y.c1);
+  RnsPoly d1b = x.c1;
+  MulPointwiseInPlace(*rns_, &d1b, y.c0);
+  AddInPlace(*rns_, &d1a, d1b);
+  RnsPoly d2 = x.c1;
+  MulPointwiseInPlace(*rns_, &d2, y.c1);
+
+  // Relinearize d2: digit-decompose its coefficients (base T over the CRT
+  // composition) and fold through the key.
+  FromNtt(*rns_, &d2);
+  const size_t n = rns_->n();
+  const uint64_t digit_mask = (1ULL << rk.digit_bits) - 1;
+  for (size_t j = 0; j < rk.b.size(); ++j) {
+    RnsPoly digit = ZeroPoly(*rns_);
+    for (size_t c = 0; c < n; ++c) {
+      const unsigned __int128 v = ComposeCoeffU128(*rns_, d2, c);
+      const uint64_t dj = static_cast<uint64_t>(
+          (v >> (static_cast<unsigned>(rk.digit_bits) * j)) & digit_mask);
+      for (size_t i = 0; i < rns_->num_primes(); ++i) {
+        digit.residues[i][c] = dj % rns_->prime(i);
+      }
+    }
+    ToNtt(*rns_, &digit);
+    RnsPoly tb = digit;
+    MulPointwiseInPlace(*rns_, &tb, rk.b[j]);
+    AddInPlace(*rns_, &d0, tb);
+    RnsPoly ta = std::move(digit);
+    MulPointwiseInPlace(*rns_, &ta, rk.a[j]);
+    AddInPlace(*rns_, &d1a, ta);
+  }
+
+  CkksCiphertext out;
+  out.c0 = std::move(d0);
+  out.c1 = std::move(d1a);
+  out.scale = x.scale * y.scale;
+  return out;
+}
+
+Result<CkksCiphertext> CkksContext::MultiplyPlain(const CkksCiphertext& x,
+                                                  const RnsPoly& plaintext,
+                                                  double pt_scale) const {
+  if (!plaintext.ntt_form) {
+    return Status::InvalidArgument("CKKS MultiplyPlain: plaintext must be NTT form");
+  }
+  if (pt_scale <= 0.0) {
+    return Status::InvalidArgument("CKKS MultiplyPlain: bad plaintext scale");
+  }
+  CkksCiphertext out = x;
+  MulPointwiseInPlace(*rns_, &out.c0, plaintext);
+  MulPointwiseInPlace(*rns_, &out.c1, plaintext);
+  out.scale = x.scale * pt_scale;
+  return out;
+}
+
+Result<CkksCiphertext> CkksContext::Rescale(const CkksCiphertext& x) const {
+  const size_t level = x.level();
+  if (level < 2) {
+    return Status::InvalidArgument("CKKS Rescale: no prime left to drop");
+  }
+  const size_t last = level - 1;
+  const uint64_t q_last = rns_->prime(last);
+  CkksCiphertext out;
+  out.scale = x.scale / static_cast<double>(q_last);
+  for (const RnsPoly* src : {&x.c0, &x.c1}) {
+    RnsPoly coeff = *src;
+    FromNtt(*rns_, &coeff);
+    RnsPoly dropped;
+    dropped.ntt_form = false;
+    dropped.residues.resize(last);
+    for (size_t i = 0; i < last; ++i) {
+      const uint64_t q = rns_->prime(i);
+      const uint64_t q_last_inv = InvMod(q_last % q, q);
+      auto& dst = dropped.residues[i];
+      dst.resize(rns_->n());
+      for (size_t c = 0; c < rns_->n(); ++c) {
+        // Centered remainder of the dropped residue, reduced into q.
+        const uint64_t r = coeff.residues[last][c];
+        uint64_t r_mod_q;
+        if (r > q_last / 2) {
+          r_mod_q = NegateMod((q_last - r) % q, q);
+        } else {
+          r_mod_q = r % q;
+        }
+        const uint64_t t = SubMod(coeff.residues[i][c], r_mod_q, q);
+        dst[c] = MulMod(t, q_last_inv, q);
+      }
+    }
+    ToNtt(*rns_, &dropped);
+    if (src == &x.c0) {
+      out.c0 = std::move(dropped);
+    } else {
+      out.c1 = std::move(dropped);
+    }
+  }
+  return out;
+}
+
+void CkksContext::SerializeCiphertext(const CkksCiphertext& ct,
+                                      BinaryWriter* out) const {
+  out->WriteDouble(ct.scale);
+  out->WriteU8(ct.c0.ntt_form ? 1 : 0);
+  for (const RnsPoly* poly : {&ct.c0, &ct.c1}) {
+    out->WriteU32(static_cast<uint32_t>(poly->num_primes()));
+    for (const auto& residue : poly->residues) out->WriteU64Vec(residue);
+  }
+}
+
+Result<CkksCiphertext> CkksContext::DeserializeCiphertext(
+    BinaryReader* in) const {
+  CkksCiphertext ct;
+  VFPS_ASSIGN_OR_RETURN(ct.scale, in->ReadDouble());
+  VFPS_ASSIGN_OR_RETURN(uint8_t ntt_form, in->ReadU8());
+  for (RnsPoly* poly : {&ct.c0, &ct.c1}) {
+    VFPS_ASSIGN_OR_RETURN(uint32_t num_primes, in->ReadU32());
+    if (num_primes == 0 || num_primes > rns_->num_primes()) {
+      return Status::ProtocolError("CKKS deserialize: prime count mismatch");
+    }
+    poly->residues.resize(num_primes);
+    for (uint32_t i = 0; i < num_primes; ++i) {
+      VFPS_ASSIGN_OR_RETURN(poly->residues[i], in->ReadU64Vec());
+      if (poly->residues[i].size() != rns_->n()) {
+        return Status::ProtocolError("CKKS deserialize: degree mismatch");
+      }
+    }
+    poly->ntt_form = (ntt_form != 0);
+  }
+  return ct;
+}
+
+size_t CkksContext::CiphertextByteSize() const {
+  // scale + form byte + 2 polys * (prime-count header + per-prime vectors).
+  return sizeof(double) + 1 +
+         2 * (sizeof(uint32_t) +
+              rns_->num_primes() * (sizeof(uint32_t) + rns_->n() * sizeof(uint64_t)));
+}
+
+}  // namespace vfps::he

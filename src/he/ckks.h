@@ -1,0 +1,143 @@
+#ifndef VFPS_HE_CKKS_H_
+#define VFPS_HE_CKKS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "he/ckks_encoder.h"
+#include "he/rns.h"
+
+namespace vfps::he {
+
+/// \brief CKKS scheme parameters.
+///
+/// The defaults (n = 4096, two 54-bit primes, scale 2^40) match the additive
+/// workload of the VFPS-SM protocol: Q ~ 2^108 leaves > 60 bits of headroom
+/// above the scale, so dozens of ciphertext additions stay far from overflow.
+struct CkksParams {
+  size_t poly_degree = 4096;
+  std::vector<int> prime_bits = {54, 54};
+  double scale = 1099511627776.0;  // 2^40
+  double noise_sigma = 3.2;
+};
+
+/// Secret key: a ternary ring element (stored in NTT form).
+struct CkksSecretKey {
+  RnsPoly s;
+};
+
+/// Public key (b, a) with b = -(a*s + e); both in NTT form.
+struct CkksPublicKey {
+  RnsPoly b;
+  RnsPoly a;
+};
+
+/// RLWE ciphertext (c0, c1); decryption computes c0 + c1 * s.
+struct CkksCiphertext {
+  RnsPoly c0;
+  RnsPoly c1;
+  double scale = 0.0;
+
+  /// Remaining RNS primes (full level = params.prime_bits.size(); each
+  /// Rescale consumes one).
+  size_t level() const { return c0.num_primes(); }
+};
+
+/// \brief Relinearization key: digit-decomposition "encryptions" of s^2,
+/// b_j = -(a_j s + e_j) + T^j s^2 with T = 2^digit_bits. Used to fold the
+/// quadratic term of a ciphertext-ciphertext product back to two components.
+struct CkksRelinKey {
+  std::vector<RnsPoly> b;  // NTT form
+  std::vector<RnsPoly> a;  // NTT form
+  int digit_bits = 0;
+};
+
+/// \brief CKKS context: validated parameters, RNS base, encoder, and all
+/// scheme operations. Immutable and shareable across threads.
+class CkksContext {
+ public:
+  static Result<std::shared_ptr<const CkksContext>> Create(
+      const CkksParams& params);
+
+  const CkksParams& params() const { return params_; }
+  const RnsContext& rns() const { return *rns_; }
+  const CkksEncoder& encoder() const { return *encoder_; }
+  size_t slot_count() const { return encoder_->slot_count(); }
+
+  CkksSecretKey GenerateSecretKey(Rng* rng) const;
+  CkksPublicKey GeneratePublicKey(const CkksSecretKey& sk, Rng* rng) const;
+
+  /// Encrypt an already-encoded plaintext polynomial (NTT form).
+  CkksCiphertext Encrypt(const CkksPublicKey& pk, const RnsPoly& plaintext,
+                         double scale, Rng* rng) const;
+
+  /// Decrypt to the plaintext polynomial (NTT form); decode separately.
+  RnsPoly Decrypt(const CkksSecretKey& sk, const CkksCiphertext& ct) const;
+
+  /// Encode + encrypt a vector of at most slot_count() doubles.
+  Result<CkksCiphertext> EncryptVector(const CkksPublicKey& pk,
+                                       const std::vector<double>& values,
+                                       Rng* rng) const;
+
+  /// Decrypt + decode `count` doubles.
+  Result<std::vector<double>> DecryptVector(const CkksSecretKey& sk,
+                                            const CkksCiphertext& ct,
+                                            size_t count) const;
+
+  /// Homomorphic ciphertext addition (scales must match).
+  Result<CkksCiphertext> Add(const CkksCiphertext& x,
+                             const CkksCiphertext& y) const;
+  Status AddInPlaceCt(CkksCiphertext* x, const CkksCiphertext& y) const;
+
+  /// Homomorphic subtraction x - y.
+  Result<CkksCiphertext> Sub(const CkksCiphertext& x,
+                             const CkksCiphertext& y) const;
+
+  /// Add an encoded plaintext (same scale) to a ciphertext.
+  Result<CkksCiphertext> AddPlain(const CkksCiphertext& x,
+                                  const RnsPoly& plaintext) const;
+
+  /// Multiply a ciphertext by a small non-negative integer scalar.
+  CkksCiphertext MulScalar(const CkksCiphertext& x, uint64_t scalar) const;
+
+  /// Generate the relinearization key for ciphertext-ciphertext multiplies.
+  CkksRelinKey GenerateRelinKey(const CkksSecretKey& sk, Rng* rng) const;
+
+  /// Homomorphic multiply with relinearization. Inputs must be at full level
+  /// (2 primes); the output scale is x.scale * y.scale — follow with
+  /// Rescale to bring it back down and consume one prime.
+  Result<CkksCiphertext> Multiply(const CkksCiphertext& x,
+                                  const CkksCiphertext& y,
+                                  const CkksRelinKey& rk) const;
+
+  /// Multiply by an encoded plaintext (NTT form, encoded at `pt_scale`).
+  /// The output scale is x.scale * pt_scale — follow with Rescale.
+  Result<CkksCiphertext> MultiplyPlain(const CkksCiphertext& x,
+                                       const RnsPoly& plaintext,
+                                       double pt_scale) const;
+
+  /// Drop the last remaining RNS prime, dividing the encrypted values (and
+  /// the scale) by it. Requires level >= 2.
+  Result<CkksCiphertext> Rescale(const CkksCiphertext& x) const;
+
+  /// Ciphertext wire format; size feeds the simulated network's byte meter.
+  void SerializeCiphertext(const CkksCiphertext& ct, BinaryWriter* out) const;
+  Result<CkksCiphertext> DeserializeCiphertext(BinaryReader* in) const;
+
+  /// Serialized ciphertext size in bytes for the current parameters.
+  size_t CiphertextByteSize() const;
+
+ private:
+  CkksContext() = default;
+  CkksParams params_;
+  std::shared_ptr<const RnsContext> rns_;
+  std::unique_ptr<CkksEncoder> encoder_;
+};
+
+}  // namespace vfps::he
+
+#endif  // VFPS_HE_CKKS_H_

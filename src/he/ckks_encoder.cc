@@ -1,0 +1,124 @@
+#include "he/ckks_encoder.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vfps::he {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+// Encoded coefficients must stay well below the smallest RNS prime (>= 2^53
+// by construction) times headroom; 2^62 also guards the int64 rounding path.
+constexpr double kCoeffBound = 4.611686018427387904e18;  // 2^62
+}  // namespace
+
+Result<CkksEncoder> CkksEncoder::Create(std::shared_ptr<const RnsContext> ctx) {
+  CkksEncoder enc(std::move(ctx));
+  const size_t n = enc.ctx_->n();
+  if (n < 4 || (n & (n - 1)) != 0) {
+    return Status::InvalidArgument("CkksEncoder: ring degree must be a power of two >= 4");
+  }
+  enc.twist_.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double angle = kPi * static_cast<double>(k) / static_cast<double>(n);
+    enc.twist_[k] = {std::cos(angle), std::sin(angle)};
+  }
+  enc.fft_roots_.resize(n / 2);
+  for (size_t k = 0; k < n / 2; ++k) {
+    const double angle = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n);
+    enc.fft_roots_[k] = {std::cos(angle), std::sin(angle)};
+  }
+  enc.bit_rev_.resize(n);
+  int log_n = 0;
+  while ((size_t{1} << log_n) < n) ++log_n;
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = 0;
+    size_t x = i;
+    for (int b = 0; b < log_n; ++b) {
+      r = (r << 1) | (x & 1);
+      x >>= 1;
+    }
+    enc.bit_rev_[i] = r;
+  }
+  return enc;
+}
+
+void CkksEncoder::Fft(std::vector<std::complex<double>>* a, int sign) const {
+  const size_t n = a->size();
+  auto& v = *a;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = bit_rev_[i];
+    if (i < j) std::swap(v[i], v[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const size_t step = n / len;
+    for (size_t i = 0; i < n; i += len) {
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> w = fft_roots_[k * step];
+        if (sign > 0) w = std::conj(w);
+        const std::complex<double> u = v[i + k];
+        const std::complex<double> t = w * v[i + k + len / 2];
+        v[i + k] = u + t;
+        v[i + k + len / 2] = u - t;
+      }
+    }
+  }
+}
+
+Result<RnsPoly> CkksEncoder::Encode(const std::vector<double>& values,
+                                    double scale) const {
+  const size_t n = ctx_->n();
+  if (values.size() > slot_count()) {
+    return Status::CapacityError(
+        StrFormat("CkksEncoder: %zu values exceed %zu slots", values.size(),
+                  slot_count()));
+  }
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("CkksEncoder: scale must be positive");
+  }
+  std::vector<std::complex<double>> work(n, {0.0, 0.0});
+  for (size_t j = 0; j < values.size(); ++j) work[j] = {values[j], 0.0};
+  Fft(&work, -1);
+  RnsPoly poly = ZeroPoly(*ctx_);
+  const double inv = 2.0 / static_cast<double>(n);
+  for (size_t k = 0; k < n; ++k) {
+    // c_k = (2/n) * Re(w^{-k} * A_k) * scale
+    const std::complex<double> tw = std::conj(twist_[k]);
+    const double coeff = inv * (tw * work[k]).real() * scale;
+    if (!(std::abs(coeff) < kCoeffBound)) {
+      return Status::OutOfRange(
+          StrFormat("CkksEncoder: coefficient %.3e overflows encode bound; "
+                    "reduce the scale or the value magnitudes",
+                    coeff));
+    }
+    SetCoeffFromInt128(*ctx_, &poly, k, static_cast<__int128>(std::llround(coeff)));
+  }
+  ToNtt(*ctx_, &poly);
+  return poly;
+}
+
+Result<std::vector<double>> CkksEncoder::Decode(const RnsPoly& poly,
+                                                double scale,
+                                                size_t count) const {
+  const size_t n = ctx_->n();
+  if (count > slot_count()) {
+    return Status::CapacityError("CkksEncoder: decode count exceeds slots");
+  }
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("CkksEncoder: scale must be positive");
+  }
+  RnsPoly coeff_form = poly;
+  FromNtt(*ctx_, &coeff_form);
+  std::vector<std::complex<double>> work(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double c = ComposeCoeffToDouble(*ctx_, coeff_form, k);
+    work[k] = twist_[k] * c;
+  }
+  Fft(&work, +1);
+  std::vector<double> out(count);
+  for (size_t j = 0; j < count; ++j) out[j] = work[j].real() / scale;
+  return out;
+}
+
+}  // namespace vfps::he

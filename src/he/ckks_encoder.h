@@ -1,0 +1,58 @@
+#ifndef VFPS_HE_CKKS_ENCODER_H_
+#define VFPS_HE_CKKS_ENCODER_H_
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "he/rns.h"
+
+namespace vfps::he {
+
+/// \brief CKKS canonical-embedding encoder.
+///
+/// Encodes a vector of up to n/2 real values into a plaintext polynomial of
+/// Z_Q[X]/(X^n + 1) such that the polynomial evaluated at the odd powers of
+/// the primitive 2n-th complex root of unity reproduces the values times the
+/// scale. Both directions run in O(n log n) via a radix-2 FFT:
+///
+///   encode:  pad values to length n, FFT, twist by w^{-k}, take (2/n)*Re,
+///            multiply by the scale, round to integers, map to RNS.
+///   decode:  CRT-compose coefficients, twist by w^k, inverse FFT, divide by
+///            the scale, take the first n/2 real parts.
+class CkksEncoder {
+ public:
+  static Result<CkksEncoder> Create(std::shared_ptr<const RnsContext> ctx);
+
+  size_t slot_count() const { return ctx_->n() / 2; }
+
+  /// \brief Encode at most slot_count() values with the given scale. The
+  /// result is returned in NTT (evaluation) form, ready for pointwise ops.
+  /// Fails if any rounded coefficient would overflow the 62-bit safety bound.
+  Result<RnsPoly> Encode(const std::vector<double>& values, double scale) const;
+
+  /// \brief Decode `count` values from a plaintext polynomial at the given
+  /// scale. Accepts either form (transforms a copy if needed).
+  Result<std::vector<double>> Decode(const RnsPoly& poly, double scale,
+                                     size_t count) const;
+
+ private:
+  explicit CkksEncoder(std::shared_ptr<const RnsContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  // In-place radix-2 FFT; sign = -1 forward, +1 inverse (unnormalized).
+  void Fft(std::vector<std::complex<double>>* a, int sign) const;
+
+  std::shared_ptr<const RnsContext> ctx_;
+  // Twist factors w^k = exp(i*pi*k/n), k in [0, n).
+  std::vector<std::complex<double>> twist_;
+  // Bit-reversal permutation for the FFT.
+  std::vector<size_t> bit_rev_;
+  // Roots e^{-2*pi*i*k/n} for the forward FFT (conjugate for inverse).
+  std::vector<std::complex<double>> fft_roots_;
+};
+
+}  // namespace vfps::he
+
+#endif  // VFPS_HE_CKKS_ENCODER_H_

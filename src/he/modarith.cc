@@ -1,0 +1,93 @@
+#include "he/modarith.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace vfps::he {
+
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t q) {
+  uint64_t result = 1;
+  a %= q;
+  while (e > 0) {
+    if (e & 1) result = MulMod(result, a, q);
+    a = MulMod(a, a, q);
+    e >>= 1;
+  }
+  return result;
+}
+
+uint64_t InvMod(uint64_t a, uint64_t q) { return PowMod(a % q, q - 2, q); }
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                     29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // Write n-1 = d * 2^r.
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This base set is a deterministic primality certificate for n < 3.3e24.
+  for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                     29ULL, 31ULL, 37ULL}) {
+    uint64_t x = PowMod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Result<uint64_t> GeneratePrime(int bits, uint64_t congruence) {
+  if (bits < 10 || bits > 62) {
+    return Status::InvalidArgument(
+        StrFormat("GeneratePrime: bits must be in [10, 62], got %d", bits));
+  }
+  if (congruence == 0) {
+    return Status::InvalidArgument("GeneratePrime: congruence must be > 0");
+  }
+  // Largest candidate below 2^bits congruent to 1 mod `congruence`.
+  uint64_t top = (1ULL << bits) - 1;
+  uint64_t candidate = (top / congruence) * congruence + 1;
+  while (candidate > (1ULL << (bits - 1))) {
+    if (IsPrime(candidate)) return candidate;
+    if (candidate <= congruence) break;
+    candidate -= congruence;
+  }
+  return Status::NotFound(
+      StrFormat("GeneratePrime: no %d-bit prime ≡ 1 mod %llu", bits,
+                static_cast<unsigned long long>(congruence)));
+}
+
+Result<uint64_t> FindPrimitiveRoot(uint64_t two_n, uint64_t q) {
+  if ((q - 1) % two_n != 0) {
+    return Status::InvalidArgument("FindPrimitiveRoot: q-1 not divisible by 2n");
+  }
+  const uint64_t cofactor = (q - 1) / two_n;
+  const uint64_t n = two_n / 2;
+  Rng rng(q ^ 0xC0FFEE123456789ULL);
+  // A random x yields psi = x^((q-1)/2n) of order dividing 2n; psi has order
+  // exactly 2n iff psi^n == -1 mod q. Each trial succeeds with probability
+  // phi(2n)/2n = 1/2, so a few iterations suffice.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    uint64_t x = 2 + rng.NextBounded(q - 3);
+    uint64_t psi = PowMod(x, cofactor, q);
+    if (psi == 0 || psi == 1) continue;
+    if (PowMod(psi, n, q) == q - 1) return psi;
+  }
+  return Status::NotFound("FindPrimitiveRoot: exhausted attempts");
+}
+
+}  // namespace vfps::he

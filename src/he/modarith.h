@@ -1,0 +1,49 @@
+#ifndef VFPS_HE_MODARITH_H_
+#define VFPS_HE_MODARITH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace vfps::he {
+
+/// 64-bit modular arithmetic primitives used by the NTT and the CKKS scheme.
+/// All moduli are < 2^62 so sums of two residues never overflow.
+
+inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t q) {
+  uint64_t s = a + b;
+  return s >= q ? s - q : s;
+}
+
+inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t q) {
+  return a >= b ? a - b : a + q - b;
+}
+
+inline uint64_t MulMod(uint64_t a, uint64_t b, uint64_t q) {
+  return static_cast<uint64_t>((static_cast<__uint128_t>(a) * b) % q);
+}
+
+inline uint64_t NegateMod(uint64_t a, uint64_t q) { return a == 0 ? 0 : q - a; }
+
+/// a^e mod q by binary exponentiation.
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t q);
+
+/// Multiplicative inverse mod prime q (via Fermat).
+uint64_t InvMod(uint64_t a, uint64_t q);
+
+/// Deterministic Miller-Rabin, valid for all 64-bit inputs.
+bool IsPrime(uint64_t n);
+
+/// \brief Find a prime p with the given bit length satisfying
+/// p ≡ 1 (mod congruence), scanning downward from 2^bits.
+///
+/// Used to generate NTT-friendly moduli (congruence = 2 * ring degree).
+Result<uint64_t> GeneratePrime(int bits, uint64_t congruence);
+
+/// \brief Find ψ, a primitive 2n-th root of unity mod q (requires
+/// q ≡ 1 mod 2n). ψ^n ≡ -1 (mod q), enabling the negacyclic NTT.
+Result<uint64_t> FindPrimitiveRoot(uint64_t two_n, uint64_t q);
+
+}  // namespace vfps::he
+
+#endif  // VFPS_HE_MODARITH_H_

@@ -1,0 +1,109 @@
+#include "common/macros.h"
+#include "he/ntt.h"
+
+#include "common/string_util.h"
+#include "he/modarith.h"
+
+namespace vfps::he {
+
+namespace {
+int Log2Exact(size_t n) {
+  int log = 0;
+  while ((size_t{1} << log) < n) ++log;
+  return (size_t{1} << log) == n ? log : -1;
+}
+
+size_t ReverseBits(size_t x, int bits) {
+  size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+}  // namespace
+
+Result<NttTables> NttTables::Create(size_t n, uint64_t q) {
+  NttTables t;
+  const int log_n = Log2Exact(n);
+  if (log_n < 0) {
+    return Status::InvalidArgument("NttTables: n must be a power of two");
+  }
+  if ((q - 1) % (2 * n) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("NttTables: q = %llu is not NTT-friendly for n = %zu",
+                  static_cast<unsigned long long>(q), n));
+  }
+  t.n_ = n;
+  t.log_n_ = log_n;
+  t.q_ = q;
+  VFPS_ASSIGN_OR_RETURN(t.psi_, FindPrimitiveRoot(2 * n, q));
+  t.n_inv_ = InvMod(static_cast<uint64_t>(n), q);
+
+  const uint64_t psi_inv = InvMod(t.psi_, q);
+  t.root_powers_.resize(n);
+  t.inv_root_powers_.resize(n);
+  uint64_t power = 1;
+  std::vector<uint64_t> powers(n), inv_powers(n);
+  for (size_t i = 0; i < n; ++i) {
+    powers[i] = power;
+    power = MulMod(power, t.psi_, q);
+  }
+  power = 1;
+  for (size_t i = 0; i < n; ++i) {
+    inv_powers[i] = power;
+    power = MulMod(power, psi_inv, q);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t rev = ReverseBits(i, log_n);
+    t.root_powers_[i] = powers[rev];
+    t.inv_root_powers_[i] = inv_powers[rev];
+  }
+  return t;
+}
+
+void NttTables::Forward(uint64_t* a) const {
+  // Cooley-Tukey butterflies with the psi powers folded in, so the result is
+  // the negacyclic (X^n + 1) transform rather than the cyclic one.
+  const uint64_t q = q_;
+  size_t t = n_;
+  for (size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (size_t i = 0; i < m; ++i) {
+      const size_t j1 = 2 * i * t;
+      const size_t j2 = j1 + t;
+      const uint64_t w = root_powers_[m + i];
+      for (size_t j = j1; j < j2; ++j) {
+        const uint64_t u = a[j];
+        const uint64_t v = MulMod(a[j + t], w, q);
+        a[j] = AddMod(u, v, q);
+        a[j + t] = SubMod(u, v, q);
+      }
+    }
+  }
+}
+
+void NttTables::Inverse(uint64_t* a) const {
+  // Gentleman-Sande butterflies; the final pass multiplies by n^{-1}.
+  const uint64_t q = q_;
+  size_t t = 1;
+  for (size_t m = n_; m > 1; m >>= 1) {
+    size_t j1 = 0;
+    const size_t h = m >> 1;
+    for (size_t i = 0; i < h; ++i) {
+      const size_t j2 = j1 + t;
+      const uint64_t w = inv_root_powers_[h + i];
+      for (size_t j = j1; j < j2; ++j) {
+        const uint64_t u = a[j];
+        const uint64_t v = a[j + t];
+        a[j] = AddMod(u, v, q);
+        a[j + t] = MulMod(SubMod(u, v, q), w, q);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (size_t i = 0; i < n_; ++i) a[i] = MulMod(a[i], n_inv_, q);
+}
+
+}  // namespace vfps::he

@@ -1,0 +1,51 @@
+#ifndef VFPS_HE_NTT_H_
+#define VFPS_HE_NTT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vfps::he {
+
+/// \brief Precomputed tables for the negacyclic number-theoretic transform
+/// over Z_q[X]/(X^n + 1).
+///
+/// The forward transform maps coefficient form to evaluation form at the odd
+/// powers of a primitive 2n-th root of unity ψ; in evaluation form polynomial
+/// multiplication is pointwise. n must be a power of two and q ≡ 1 (mod 2n).
+class NttTables {
+ public:
+  /// Builds tables (finds ψ automatically).
+  static Result<NttTables> Create(size_t n, uint64_t q);
+
+  size_t n() const { return n_; }
+  uint64_t q() const { return q_; }
+  uint64_t psi() const { return psi_; }
+
+  /// In-place forward negacyclic NTT (coefficient -> evaluation form).
+  void Forward(uint64_t* a) const;
+
+  /// In-place inverse negacyclic NTT (evaluation -> coefficient form).
+  void Inverse(uint64_t* a) const;
+
+  void Forward(std::vector<uint64_t>* a) const { Forward(a->data()); }
+  void Inverse(std::vector<uint64_t>* a) const { Inverse(a->data()); }
+
+ private:
+  NttTables() = default;
+
+  size_t n_ = 0;
+  int log_n_ = 0;
+  uint64_t q_ = 0;
+  uint64_t psi_ = 0;
+  uint64_t n_inv_ = 0;
+  // Powers of psi in bit-reversed order (Cooley-Tukey layout), and likewise
+  // for psi^{-1} (Gentleman-Sande layout for the inverse).
+  std::vector<uint64_t> root_powers_;
+  std::vector<uint64_t> inv_root_powers_;
+};
+
+}  // namespace vfps::he
+
+#endif  // VFPS_HE_NTT_H_

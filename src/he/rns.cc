@@ -1,0 +1,209 @@
+#include "common/macros.h"
+#include "he/rns.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "he/modarith.h"
+
+namespace vfps::he {
+
+Result<std::shared_ptr<const RnsContext>> RnsContext::Create(
+    size_t n, const std::vector<int>& prime_bits) {
+  if (prime_bits.empty() || prime_bits.size() > 2) {
+    return Status::InvalidArgument(
+        "RnsContext: 1 or 2 primes supported (CRT uses 128-bit composition)");
+  }
+  auto ctx = std::shared_ptr<RnsContext>(new RnsContext());
+  ctx->n_ = n;
+  ctx->q_approx_ = 1.0L;
+  uint64_t congruence = 2 * static_cast<uint64_t>(n);
+  for (int bits : prime_bits) {
+    uint64_t prime = 0;
+    // Scan downward, skipping primes already chosen.
+    VFPS_ASSIGN_OR_RETURN(prime, GeneratePrime(bits, congruence));
+    while (true) {
+      bool duplicate = false;
+      for (uint64_t p : ctx->primes_) duplicate |= (p == prime);
+      if (!duplicate) break;
+      // Find the next prime below the duplicate.
+      uint64_t candidate = prime - congruence;
+      while (!IsPrime(candidate)) {
+        if (candidate <= congruence) {
+          return Status::NotFound("RnsContext: ran out of distinct primes");
+        }
+        candidate -= congruence;
+      }
+      prime = candidate;
+    }
+    ctx->primes_.push_back(prime);
+    VFPS_ASSIGN_OR_RETURN(auto tables, NttTables::Create(n, prime));
+    ctx->ntt_.push_back(std::move(tables));
+    ctx->q_approx_ *= static_cast<long double>(prime);
+  }
+  if (ctx->primes_.size() == 2) {
+    ctx->crt_q0_inv_q1_ =
+        InvMod(ctx->primes_[0] % ctx->primes_[1], ctx->primes_[1]);
+  }
+  return std::shared_ptr<const RnsContext>(ctx);
+}
+
+RnsPoly ZeroPoly(const RnsContext& ctx) {
+  RnsPoly p;
+  p.residues.assign(ctx.num_primes(), std::vector<uint64_t>(ctx.n(), 0));
+  p.ntt_form = false;
+  return p;
+}
+
+RnsPoly SampleUniform(const RnsContext& ctx, Rng* rng) {
+  RnsPoly p = ZeroPoly(ctx);
+  for (size_t i = 0; i < ctx.num_primes(); ++i) {
+    const uint64_t q = ctx.prime(i);
+    for (size_t j = 0; j < ctx.n(); ++j) p.residues[i][j] = rng->NextBounded(q);
+  }
+  // A uniform element is uniform in both bases; mark as NTT form since all
+  // uses (the public random polynomial "a") operate there.
+  p.ntt_form = true;
+  return p;
+}
+
+namespace {
+// Writes the same small signed value into every RNS component.
+void SetSmallSigned(const RnsContext& ctx, RnsPoly* p, size_t j, int64_t v) {
+  for (size_t i = 0; i < ctx.num_primes(); ++i) {
+    const uint64_t q = ctx.prime(i);
+    p->residues[i][j] =
+        v >= 0 ? static_cast<uint64_t>(v) % q
+               : q - (static_cast<uint64_t>(-v) % q);
+  }
+}
+}  // namespace
+
+RnsPoly SampleTernary(const RnsContext& ctx, Rng* rng) {
+  RnsPoly p = ZeroPoly(ctx);
+  for (size_t j = 0; j < ctx.n(); ++j) {
+    const int64_t v = static_cast<int64_t>(rng->NextBounded(3)) - 1;
+    SetSmallSigned(ctx, &p, j, v);
+  }
+  return p;
+}
+
+RnsPoly SampleGaussian(const RnsContext& ctx, Rng* rng, double sigma) {
+  RnsPoly p = ZeroPoly(ctx);
+  for (size_t j = 0; j < ctx.n(); ++j) {
+    const int64_t v = static_cast<int64_t>(std::llround(rng->Normal(0.0, sigma)));
+    SetSmallSigned(ctx, &p, j, v);
+  }
+  return p;
+}
+
+void AddInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
+  for (size_t i = 0; i < std::min(a->num_primes(), b.num_primes()); ++i) {
+    const uint64_t q = ctx.prime(i);
+    uint64_t* pa = a->residues[i].data();
+    const uint64_t* pb = b.residues[i].data();
+    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = AddMod(pa[j], pb[j], q);
+  }
+}
+
+void SubInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
+  for (size_t i = 0; i < std::min(a->num_primes(), b.num_primes()); ++i) {
+    const uint64_t q = ctx.prime(i);
+    uint64_t* pa = a->residues[i].data();
+    const uint64_t* pb = b.residues[i].data();
+    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = SubMod(pa[j], pb[j], q);
+  }
+}
+
+void NegateInPlace(const RnsContext& ctx, RnsPoly* a) {
+  for (size_t i = 0; i < a->num_primes(); ++i) {
+    const uint64_t q = ctx.prime(i);
+    for (size_t j = 0; j < ctx.n(); ++j) {
+      a->residues[i][j] = NegateMod(a->residues[i][j], q);
+    }
+  }
+}
+
+void MulPointwiseInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
+  for (size_t i = 0; i < std::min(a->num_primes(), b.num_primes()); ++i) {
+    const uint64_t q = ctx.prime(i);
+    uint64_t* pa = a->residues[i].data();
+    const uint64_t* pb = b.residues[i].data();
+    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = MulMod(pa[j], pb[j], q);
+  }
+}
+
+void MulScalarInPlace(const RnsContext& ctx, RnsPoly* a, uint64_t scalar) {
+  for (size_t i = 0; i < a->num_primes(); ++i) {
+    const uint64_t q = ctx.prime(i);
+    const uint64_t s = scalar % q;
+    for (size_t j = 0; j < ctx.n(); ++j) {
+      a->residues[i][j] = MulMod(a->residues[i][j], s, q);
+    }
+  }
+}
+
+void ToNtt(const RnsContext& ctx, RnsPoly* a) {
+  if (a->ntt_form) return;
+  for (size_t i = 0; i < a->num_primes(); ++i) {
+    ctx.ntt(i).Forward(a->residues[i].data());
+  }
+  a->ntt_form = true;
+}
+
+void FromNtt(const RnsContext& ctx, RnsPoly* a) {
+  if (!a->ntt_form) return;
+  for (size_t i = 0; i < a->num_primes(); ++i) {
+    ctx.ntt(i).Inverse(a->residues[i].data());
+  }
+  a->ntt_form = false;
+}
+
+void SetCoeffFromInt128(const RnsContext& ctx, RnsPoly* poly, size_t idx,
+                        __int128 value) {
+  (void)ctx;
+  for (size_t i = 0; i < poly->num_primes(); ++i) {
+    const uint64_t q = ctx.prime(i);
+    if (value >= 0) {
+      poly->residues[i][idx] =
+          static_cast<uint64_t>(static_cast<unsigned __int128>(value) % q);
+    } else {
+      const uint64_t r =
+          static_cast<uint64_t>(static_cast<unsigned __int128>(-value) % q);
+      poly->residues[i][idx] = r == 0 ? 0 : q - r;
+    }
+  }
+}
+
+unsigned __int128 ComposeCoeffU128(const RnsContext& ctx, const RnsPoly& poly,
+                                   size_t idx) {
+  if (poly.num_primes() == 1) return poly.residues[0][idx];
+  const uint64_t q1 = ctx.prime(0);
+  const uint64_t q2 = ctx.prime(1);
+  const uint64_t r1 = poly.residues[0][idx];
+  const uint64_t r2 = poly.residues[1][idx];
+  const uint64_t diff = SubMod(r2 % q2, r1 % q2, q2);
+  const uint64_t t = MulMod(diff, ctx.crt_q0_inv_q1(), q2);
+  return static_cast<unsigned __int128>(r1) +
+         static_cast<unsigned __int128>(q1) * t;
+}
+
+double ComposeCoeffToDouble(const RnsContext& ctx, const RnsPoly& poly,
+                            size_t idx) {
+  if (poly.num_primes() == 1) {
+    const uint64_t q = ctx.prime(0);
+    const uint64_t r = poly.residues[0][idx];
+    // Recenter to (-q/2, q/2].
+    return r > q / 2 ? -static_cast<double>(q - r) : static_cast<double>(r);
+  }
+  // Two-prime CRT: x = r1 + q1 * ((r2 - r1) * q1^{-1} mod q2).
+  const unsigned __int128 x = ComposeCoeffU128(ctx, poly, idx);
+  const unsigned __int128 big_q = static_cast<unsigned __int128>(ctx.prime(0)) *
+                                  static_cast<unsigned __int128>(ctx.prime(1));
+  if (x > big_q / 2) {
+    return -static_cast<double>(big_q - x);
+  }
+  return static_cast<double>(x);
+}
+
+}  // namespace vfps::he

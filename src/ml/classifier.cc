@@ -1,0 +1,50 @@
+#include "ml/classifier.h"
+
+#include "common/macros.h"
+#include "ml/knn.h"
+#include "ml/logreg.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+
+namespace vfps::ml {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kKnn:
+      return "knn";
+    case ModelKind::kLogReg:
+      return "lr";
+    case ModelKind::kMlp:
+      return "mlp";
+  }
+  return "unknown";
+}
+
+Result<ModelKind> ParseModelKind(const std::string& name) {
+  if (name == "knn") return ModelKind::kKnn;
+  if (name == "lr" || name == "logreg") return ModelKind::kLogReg;
+  if (name == "mlp") return ModelKind::kMlp;
+  return Status::InvalidArgument("unknown model kind: " + name);
+}
+
+Result<double> Classifier::Score(const data::Dataset& test) const {
+  VFPS_ASSIGN_OR_RETURN(auto preds, Predict(test));
+  return Accuracy(preds, test.labels());
+}
+
+Result<std::unique_ptr<Classifier>> CreateClassifier(
+    ModelKind kind, const ClassifierOptions& options) {
+  switch (kind) {
+    case ModelKind::kKnn:
+      VFPS_CHECK_ARG(options.knn_k >= 1, "classifier: knn_k must be >= 1");
+      return std::unique_ptr<Classifier>(new KnnClassifier(options.knn_k));
+    case ModelKind::kLogReg:
+      return std::unique_ptr<Classifier>(new LogisticRegression(options.train));
+    case ModelKind::kMlp:
+      return std::unique_ptr<Classifier>(
+          new MlpClassifier(options.train, options.mlp_hidden));
+  }
+  return Status::InvalidArgument("classifier: unknown model kind");
+}
+
+}  // namespace vfps::ml

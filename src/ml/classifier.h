@@ -1,0 +1,53 @@
+#ifndef VFPS_ML_CLASSIFIER_H_
+#define VFPS_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "ml/train_config.h"
+
+namespace vfps::ml {
+
+/// \brief Downstream model kinds evaluated in the paper (Table IV/V).
+enum class ModelKind { kKnn, kLogReg, kMlp };
+
+const char* ModelKindName(ModelKind kind);
+Result<ModelKind> ParseModelKind(const std::string& name);
+
+/// \brief Common interface for the downstream classifiers.
+///
+/// Fit trains on `train` with early stopping against `valid` (ignored by the
+/// non-parametric KNN). Predict returns one class id per test row.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual std::string name() const = 0;
+  virtual Status Fit(const data::Dataset& train, const data::Dataset& valid) = 0;
+  virtual Result<std::vector<int>> Predict(const data::Dataset& test) const = 0;
+
+  /// Number of epochs the last Fit actually ran (0 for KNN); feeds the
+  /// simulated training-time accounting.
+  virtual size_t epochs_trained() const { return 0; }
+
+  /// Convenience: Predict then compute accuracy against test labels.
+  Result<double> Score(const data::Dataset& test) const;
+};
+
+/// \brief Model-specific knobs on top of the shared TrainConfig.
+struct ClassifierOptions {
+  TrainConfig train;
+  size_t knn_k = 10;        // neighbors for the KNN classifier
+  size_t mlp_hidden = 0;    // 0 = min(input_dim, 32)
+};
+
+/// Factory for the three downstream models.
+Result<std::unique_ptr<Classifier>> CreateClassifier(ModelKind kind,
+                                                     const ClassifierOptions& options);
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_CLASSIFIER_H_

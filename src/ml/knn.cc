@@ -1,0 +1,64 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace vfps::ml {
+
+int MajorityVote(const std::vector<int>& labels, int num_classes) {
+  std::vector<size_t> counts(std::max(num_classes, 1), 0);
+  for (int y : labels) {
+    if (y >= 0 && y < num_classes) ++counts[y];
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes; ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return best;
+}
+
+Status KnnClassifier::Fit(const data::Dataset& train, const data::Dataset&) {
+  VFPS_CHECK_ARG(train.num_samples() > 0, "KNN: empty training set");
+  VFPS_CHECK_ARG(k_ >= 1, "KNN: k must be >= 1");
+  train_ = train;
+  return Status::OK();
+}
+
+std::vector<size_t> KnnClassifier::Neighbors(const double* row) const {
+  const size_t n = train_.num_samples();
+  const size_t f = train_.num_features();
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* trow = train_.Row(i);
+    double d = 0.0;
+    for (size_t j = 0; j < f; ++j) {
+      const double diff = row[j] - trow[j];
+      d += diff * diff;
+    }
+    dist[i] = {d, i};
+  }
+  const size_t k = std::min(k_, n);
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+Result<std::vector<int>> KnnClassifier::Predict(const data::Dataset& test) const {
+  if (train_.num_samples() == 0) return Status::Internal("KNN: Predict before Fit");
+  if (test.num_features() != train_.num_features()) {
+    return Status::InvalidArgument("KNN: feature width mismatch");
+  }
+  std::vector<int> preds(test.num_samples());
+  std::vector<int> neighbor_labels;
+  for (size_t i = 0; i < test.num_samples(); ++i) {
+    const auto neighbors = Neighbors(test.Row(i));
+    neighbor_labels.clear();
+    for (size_t idx : neighbors) neighbor_labels.push_back(train_.Label(idx));
+    preds[i] = MajorityVote(neighbor_labels, train_.num_classes());
+  }
+  return preds;
+}
+
+}  // namespace vfps::ml

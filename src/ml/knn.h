@@ -1,0 +1,40 @@
+#ifndef VFPS_ML_KNN_H_
+#define VFPS_ML_KNN_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace vfps::ml {
+
+/// \brief Brute-force k-nearest-neighbors classifier (squared Euclidean
+/// distance, majority vote, smallest class id on ties).
+///
+/// Serves two roles in the reproduction: a downstream task (Table IV "KNN"
+/// rows) and the reference implementation against which the federated,
+/// encrypted KNN oracle (vfl::FederatedKnn) is tested for exactness.
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(size_t k) : k_(k) {}
+
+  std::string name() const override { return "knn"; }
+  Status Fit(const data::Dataset& train, const data::Dataset& valid) override;
+  Result<std::vector<int>> Predict(const data::Dataset& test) const override;
+
+  size_t k() const { return k_; }
+
+  /// Indices of the k nearest training rows to `row` (ascending distance,
+  /// ties broken by index). Exposed for the federated-KNN equivalence tests.
+  std::vector<size_t> Neighbors(const double* row) const;
+
+ private:
+  size_t k_;
+  data::Dataset train_;
+};
+
+/// Majority vote over neighbor labels; smallest class id wins ties.
+int MajorityVote(const std::vector<int>& labels, int num_classes);
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_KNN_H_

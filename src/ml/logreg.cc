@@ -1,0 +1,114 @@
+#include "ml/logreg.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "ml/metrics.h"
+
+namespace vfps::ml {
+
+std::vector<double> LogisticRegression::Probabilities(
+    const data::Dataset& dataset) const {
+  const size_t n = dataset.num_samples();
+  const size_t f = num_features_;
+  const size_t c = static_cast<size_t>(num_classes_);
+  const double* w = params_.data();          // F x C
+  const double* b = params_.data() + f * c;  // C
+  std::vector<double> probs(n * c);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dataset.Row(i);
+    double* out = probs.data() + i * c;
+    for (size_t j = 0; j < c; ++j) out[j] = b[j];
+    for (size_t k = 0; k < f; ++k) {
+      const double x = row[k];
+      if (x == 0.0) continue;
+      const double* wrow = w + k * c;
+      for (size_t j = 0; j < c; ++j) out[j] += x * wrow[j];
+    }
+    SoftmaxInPlace(out, c);
+  }
+  return probs;
+}
+
+double LogisticRegression::Loss(const data::Dataset& dataset) const {
+  return CrossEntropy(Probabilities(dataset), static_cast<size_t>(num_classes_),
+                      dataset.labels());
+}
+
+Status LogisticRegression::Fit(const data::Dataset& train,
+                               const data::Dataset& valid) {
+  VFPS_CHECK_ARG(train.num_samples() > 0, "LR: empty training set");
+  VFPS_CHECK_ARG(train.num_classes() >= 2, "LR: need >= 2 classes");
+  num_features_ = train.num_features();
+  num_classes_ = train.num_classes();
+  const size_t f = num_features_;
+  const size_t c = static_cast<size_t>(num_classes_);
+  params_.assign(f * c + c, 0.0);
+
+  Adam optimizer(config_.learning_rate);
+  Rng rng(config_.seed);
+  EarlyStopper stopper(config_.patience);
+  std::vector<double> grads(params_.size());
+  std::vector<double> logits(c);
+  epochs_trained_ = 0;
+
+  const bool has_valid = valid.num_samples() > 0;
+  for (size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const auto order = rng.Permutation(train.num_samples());
+    const auto batches = MakeBatches(train.num_samples(), config_.batch_size, order);
+    for (const auto& batch : batches) {
+      std::fill(grads.begin(), grads.end(), 0.0);
+      double* gw = grads.data();
+      double* gb = grads.data() + f * c;
+      const double* w = params_.data();
+      const double* b = params_.data() + f * c;
+      for (size_t idx : batch) {
+        const double* row = train.Row(idx);
+        for (size_t j = 0; j < c; ++j) logits[j] = b[j];
+        for (size_t k = 0; k < f; ++k) {
+          const double x = row[k];
+          if (x == 0.0) continue;
+          const double* wrow = w + k * c;
+          for (size_t j = 0; j < c; ++j) logits[j] += x * wrow[j];
+        }
+        SoftmaxInPlace(logits.data(), c);
+        logits[static_cast<size_t>(train.Label(idx))] -= 1.0;  // p - onehot
+        for (size_t k = 0; k < f; ++k) {
+          const double x = row[k];
+          if (x == 0.0) continue;
+          double* grow = gw + k * c;
+          for (size_t j = 0; j < c; ++j) grow[j] += x * logits[j];
+        }
+        for (size_t j = 0; j < c; ++j) gb[j] += logits[j];
+      }
+      const double inv = 1.0 / static_cast<double>(batch.size());
+      for (size_t i = 0; i < f * c; ++i) {
+        grads[i] = grads[i] * inv + config_.l2 * params_[i];
+      }
+      for (size_t i = f * c; i < grads.size(); ++i) grads[i] *= inv;
+      optimizer.Step(&params_, grads);
+    }
+    ++epochs_trained_;
+    const double monitored = has_valid ? Loss(valid) : Loss(train);
+    if (stopper.ShouldStop(monitored)) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> LogisticRegression::Predict(
+    const data::Dataset& test) const {
+  if (params_.empty()) return Status::Internal("LR: Predict before Fit");
+  if (test.num_features() != num_features_) {
+    return Status::InvalidArgument("LR: feature width mismatch");
+  }
+  const size_t c = static_cast<size_t>(num_classes_);
+  const auto probs = Probabilities(test);
+  std::vector<int> preds(test.num_samples());
+  for (size_t i = 0; i < test.num_samples(); ++i) {
+    preds[i] = static_cast<int>(ArgMax(probs.data() + i * c, c));
+  }
+  return preds;
+}
+
+}  // namespace vfps::ml

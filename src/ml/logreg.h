@@ -1,0 +1,39 @@
+#ifndef VFPS_ML_LOGREG_H_
+#define VFPS_ML_LOGREG_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/optimizer.h"
+
+namespace vfps::ml {
+
+/// \brief Multinomial logistic regression trained with Adam, mini-batches,
+/// and validation early stopping (the paper's "LR" downstream task).
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(const TrainConfig& config) : config_(config) {}
+
+  std::string name() const override { return "lr"; }
+  Status Fit(const data::Dataset& train, const data::Dataset& valid) override;
+  Result<std::vector<int>> Predict(const data::Dataset& test) const override;
+  size_t epochs_trained() const override { return epochs_trained_; }
+
+  /// Mean cross-entropy on a dataset with the current parameters.
+  double Loss(const data::Dataset& dataset) const;
+
+ private:
+  // Row-major probabilities (N x C) for a dataset.
+  std::vector<double> Probabilities(const data::Dataset& dataset) const;
+
+  TrainConfig config_;
+  size_t num_features_ = 0;
+  int num_classes_ = 0;
+  // params = [W (F*C) | b (C)]
+  std::vector<double> params_;
+  size_t epochs_trained_ = 0;
+};
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_LOGREG_H_

@@ -1,0 +1,66 @@
+#include "ml/matrix.h"
+
+namespace vfps::ml {
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  *out = Matrix(m, n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out->RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatTMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  *out = Matrix(m, n, 0.0);
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.RowPtr(p);
+    const double* brow = b.RowPtr(p);
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out->RowPtr(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulT(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  *out = Matrix(m, n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out->RowPtr(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b.RowPtr(j);
+      double sum = 0.0;
+      for (size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      orow[j] = sum;
+    }
+  }
+}
+
+void AddRowVector(Matrix* m, const std::vector<double>& bias) {
+  for (size_t i = 0; i < m->rows(); ++i) {
+    double* row = m->RowPtr(i);
+    for (size_t j = 0; j < m->cols(); ++j) row[j] += bias[j];
+  }
+}
+
+std::vector<double> ColumnSums(const Matrix& m) {
+  std::vector<double> sums(m.cols(), 0.0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    for (size_t j = 0; j < m.cols(); ++j) sums[j] += row[j];
+  }
+  return sums;
+}
+
+}  // namespace vfps::ml

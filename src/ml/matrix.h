@@ -1,0 +1,53 @@
+#ifndef VFPS_ML_MATRIX_H_
+#define VFPS_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vfps::ml {
+
+/// \brief Minimal dense row-major matrix for the from-scratch LR/MLP models.
+/// Only the operations the training loops need; no expression templates, no
+/// BLAS — clarity over peak FLOPs at these model sizes.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b  (a: m x k, b: k x n, out: m x n; out is overwritten).
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b  (a: k x m, b: k x n, out: m x n).
+void MatTMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T  (a: m x k, b: n x k, out: m x n).
+void MatMulT(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Add row vector `bias` (size = cols) to every row of m.
+void AddRowVector(Matrix* m, const std::vector<double>& bias);
+
+/// Column sums of m (size = cols).
+std::vector<double> ColumnSums(const Matrix& m);
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_MATRIX_H_

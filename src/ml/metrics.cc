@@ -1,0 +1,49 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vfps::ml {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  if (predictions.empty() || predictions.size() != labels.size()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    correct += (predictions[i] == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+size_t ArgMax(const double* values, size_t count) {
+  size_t best = 0;
+  for (size_t i = 1; i < count; ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+void SoftmaxInPlace(double* values, size_t count) {
+  if (count == 0) return;
+  const double max = *std::max_element(values, values + count);
+  double sum = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    values[i] = std::exp(values[i] - max);
+    sum += values[i];
+  }
+  for (size_t i = 0; i < count; ++i) values[i] /= sum;
+}
+
+double CrossEntropy(const std::vector<double>& probs, size_t num_classes,
+                    const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double p =
+        std::max(probs[i * num_classes + static_cast<size_t>(labels[i])], 1e-12);
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+}  // namespace vfps::ml

@@ -1,0 +1,25 @@
+#ifndef VFPS_ML_METRICS_H_
+#define VFPS_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vfps::ml {
+
+/// Fraction of matching entries; 0 for empty input.
+double Accuracy(const std::vector<int>& predictions, const std::vector<int>& labels);
+
+/// Index of the maximum entry (first on ties).
+size_t ArgMax(const double* values, size_t count);
+
+/// In-place numerically stable softmax over `count` values.
+void SoftmaxInPlace(double* values, size_t count);
+
+/// Mean cross-entropy of row-major probability rows vs integer labels.
+/// Probabilities are clamped away from 0 for stability.
+double CrossEntropy(const std::vector<double>& probs, size_t num_classes,
+                    const std::vector<int>& labels);
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_METRICS_H_

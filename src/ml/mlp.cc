@@ -1,0 +1,165 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "ml/metrics.h"
+
+namespace vfps::ml {
+
+namespace {
+
+Matrix GatherRows(const data::Dataset& dataset, const std::vector<size_t>& rows) {
+  Matrix out(rows.size(), dataset.num_features());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src = dataset.Row(rows[i]);
+    std::copy(src, src + dataset.num_features(), out.RowPtr(i));
+  }
+  return out;
+}
+
+void ReluInPlace(Matrix* m) {
+  for (double& v : m->data()) v = v > 0.0 ? v : 0.0;
+}
+
+// grad ⊙ 1[activation > 0], where `activation` is the post-ReLU value.
+void ReluBackwardInPlace(Matrix* grad, const Matrix& activation) {
+  for (size_t i = 0; i < grad->data().size(); ++i) {
+    if (activation.data()[i] <= 0.0) grad->data()[i] = 0.0;
+  }
+}
+
+void HeInit(Matrix* m, size_t fan_in, Rng* rng) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (double& v : m->data()) v = scale * rng->Normal();
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+}  // namespace
+
+void MlpClassifier::Forward(const data::Dataset& dataset,
+                            const std::vector<size_t>& rows, Matrix* h1,
+                            Matrix* h2, Matrix* probs) const {
+  const Matrix x = GatherRows(dataset, rows);
+  MatMul(x, w1_, h1);
+  AddRowVector(h1, b1_);
+  ReluInPlace(h1);
+  MatMul(*h1, w2_, h2);
+  AddRowVector(h2, b2_);
+  ReluInPlace(h2);
+  MatMul(*h2, w3_, probs);
+  AddRowVector(probs, b3_);
+  for (size_t i = 0; i < probs->rows(); ++i) {
+    SoftmaxInPlace(probs->RowPtr(i), probs->cols());
+  }
+}
+
+double MlpClassifier::Loss(const data::Dataset& dataset) const {
+  Matrix h1, h2, probs;
+  Forward(dataset, AllRows(dataset.num_samples()), &h1, &h2, &probs);
+  return CrossEntropy(probs.data(), static_cast<size_t>(num_classes_),
+                      dataset.labels());
+}
+
+Status MlpClassifier::Fit(const data::Dataset& train, const data::Dataset& valid) {
+  VFPS_CHECK_ARG(train.num_samples() > 0, "MLP: empty training set");
+  VFPS_CHECK_ARG(train.num_classes() >= 2, "MLP: need >= 2 classes");
+  num_features_ = train.num_features();
+  num_classes_ = train.num_classes();
+  const size_t f = num_features_;
+  const size_t h = hidden_dim_ == 0 ? std::min<size_t>(f, 32) : hidden_dim_;
+  hidden_dim_ = h;
+  const size_t c = static_cast<size_t>(num_classes_);
+
+  Rng rng(config_.seed);
+  w1_ = Matrix(f, h);
+  w2_ = Matrix(h, h);
+  w3_ = Matrix(h, c);
+  HeInit(&w1_, f, &rng);
+  HeInit(&w2_, h, &rng);
+  HeInit(&w3_, h, &rng);
+  b1_.assign(h, 0.0);
+  b2_.assign(h, 0.0);
+  b3_.assign(c, 0.0);
+
+  Adam opt_w1(config_.learning_rate), opt_w2(config_.learning_rate),
+      opt_w3(config_.learning_rate), opt_b1(config_.learning_rate),
+      opt_b2(config_.learning_rate), opt_b3(config_.learning_rate);
+  EarlyStopper stopper(config_.patience);
+  epochs_trained_ = 0;
+  const bool has_valid = valid.num_samples() > 0;
+
+  Matrix h1, h2, probs, d3, d2, d1, g_w1, g_w2, g_w3, tmp;
+  for (size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const auto order = rng.Permutation(train.num_samples());
+    const auto batches = MakeBatches(train.num_samples(), config_.batch_size, order);
+    for (const auto& batch : batches) {
+      Forward(train, batch, &h1, &h2, &probs);
+      const double inv = 1.0 / static_cast<double>(batch.size());
+
+      // dZ3 = (P - onehot) / B
+      d3 = probs;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        d3.At(i, static_cast<size_t>(train.Label(batch[i]))) -= 1.0;
+      }
+      for (double& v : d3.data()) v *= inv;
+
+      MatTMul(h2, d3, &g_w3);
+      std::vector<double> g_b3 = ColumnSums(d3);
+      MatMulT(d3, w3_, &d2);
+      ReluBackwardInPlace(&d2, h2);
+
+      MatTMul(h1, d2, &g_w2);
+      std::vector<double> g_b2 = ColumnSums(d2);
+      MatMulT(d2, w2_, &d1);
+      ReluBackwardInPlace(&d1, h1);
+
+      const Matrix x = GatherRows(train, batch);
+      MatTMul(x, d1, &g_w1);
+      std::vector<double> g_b1 = ColumnSums(d1);
+
+      if (config_.l2 > 0.0) {
+        for (size_t i = 0; i < g_w1.data().size(); ++i)
+          g_w1.data()[i] += config_.l2 * w1_.data()[i];
+        for (size_t i = 0; i < g_w2.data().size(); ++i)
+          g_w2.data()[i] += config_.l2 * w2_.data()[i];
+        for (size_t i = 0; i < g_w3.data().size(); ++i)
+          g_w3.data()[i] += config_.l2 * w3_.data()[i];
+      }
+
+      opt_w1.Step(&w1_.data(), g_w1.data());
+      opt_w2.Step(&w2_.data(), g_w2.data());
+      opt_w3.Step(&w3_.data(), g_w3.data());
+      opt_b1.Step(&b1_, g_b1);
+      opt_b2.Step(&b2_, g_b2);
+      opt_b3.Step(&b3_, g_b3);
+    }
+    ++epochs_trained_;
+    const double monitored = has_valid ? Loss(valid) : Loss(train);
+    if (stopper.ShouldStop(monitored)) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> MlpClassifier::Predict(const data::Dataset& test) const {
+  if (w1_.rows() == 0) return Status::Internal("MLP: Predict before Fit");
+  if (test.num_features() != num_features_) {
+    return Status::InvalidArgument("MLP: feature width mismatch");
+  }
+  Matrix h1, h2, probs;
+  Forward(test, AllRows(test.num_samples()), &h1, &h2, &probs);
+  std::vector<int> preds(test.num_samples());
+  for (size_t i = 0; i < test.num_samples(); ++i) {
+    preds[i] = static_cast<int>(ArgMax(probs.RowPtr(i), probs.cols()));
+  }
+  return preds;
+}
+
+}  // namespace vfps::ml

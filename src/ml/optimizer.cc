@@ -1,0 +1,31 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+namespace vfps::ml {
+
+void Adam::Step(std::vector<double>* params, const std::vector<double>& grads) {
+  if (m_.size() != params->size()) {
+    m_.assign(params->size(), 0.0);
+    v_.assign(params->size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params->size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double m_hat = m_[i] / bias1;
+    const double v_hat = v_[i] / bias2;
+    (*params)[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+void Sgd::Step(std::vector<double>* params, const std::vector<double>& grads) {
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i] -= lr_ * grads[i];
+  }
+}
+
+}  // namespace vfps::ml

@@ -1,0 +1,46 @@
+#ifndef VFPS_ML_OPTIMIZER_H_
+#define VFPS_ML_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vfps::ml {
+
+/// \brief Adam optimizer over a flat parameter vector (Kingma & Ba, the
+/// paper's optimizer for LR and MLP).
+class Adam {
+ public:
+  explicit Adam(double learning_rate = 0.01, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+  /// params -= update(grads); both spans must have the same, stable size.
+  void Step(std::vector<double>* params, const std::vector<double>& grads);
+
+  void Reset() {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+
+  double learning_rate() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<double> m_, v_;
+  long t_ = 0;
+};
+
+/// \brief Plain SGD (kept as the baseline optimizer for ablations).
+class Sgd {
+ public:
+  explicit Sgd(double learning_rate = 0.01) : lr_(learning_rate) {}
+  void Step(std::vector<double>* params, const std::vector<double>& grads);
+
+ private:
+  double lr_;
+};
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_OPTIMIZER_H_

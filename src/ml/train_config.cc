@@ -1,0 +1,19 @@
+#include "ml/train_config.h"
+
+#include <algorithm>
+
+namespace vfps::ml {
+
+std::vector<std::vector<size_t>> MakeBatches(size_t num_samples,
+                                             size_t batch_size,
+                                             const std::vector<size_t>& order) {
+  std::vector<std::vector<size_t>> batches;
+  if (batch_size == 0) batch_size = num_samples;
+  for (size_t start = 0; start < num_samples; start += batch_size) {
+    const size_t end = std::min(num_samples, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace vfps::ml

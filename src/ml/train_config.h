@@ -1,0 +1,55 @@
+#ifndef VFPS_ML_TRAIN_CONFIG_H_
+#define VFPS_ML_TRAIN_CONFIG_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace vfps::ml {
+
+/// \brief Shared training hyper-parameters, matching the paper's setup:
+/// batch size 100, at most 200 epochs, stop when the validation loss has not
+/// improved for 5 consecutive epochs, Adam optimizer.
+struct TrainConfig {
+  double learning_rate = 0.01;
+  size_t batch_size = 100;
+  size_t max_epochs = 200;
+  size_t patience = 5;
+  double l2 = 1e-4;
+  uint64_t seed = 7;
+};
+
+/// \brief Validation-loss early stopping with a patience window.
+class EarlyStopper {
+ public:
+  explicit EarlyStopper(size_t patience) : patience_(patience) {}
+
+  /// Report this epoch's validation loss; returns true if training should stop.
+  bool ShouldStop(double valid_loss) {
+    if (valid_loss < best_ - 1e-9) {
+      best_ = valid_loss;
+      stale_ = 0;
+      return false;
+    }
+    ++stale_;
+    return stale_ >= patience_;
+  }
+
+  double best_loss() const { return best_; }
+  size_t epochs_without_improvement() const { return stale_; }
+
+ private:
+  size_t patience_;
+  size_t stale_ = 0;
+  double best_ = std::numeric_limits<double>::infinity();
+};
+
+/// Contiguous mini-batch index ranges over a shuffled order.
+std::vector<std::vector<size_t>> MakeBatches(size_t num_samples,
+                                             size_t batch_size,
+                                             const std::vector<size_t>& order);
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_TRAIN_CONFIG_H_

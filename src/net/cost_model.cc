@@ -1,0 +1,13 @@
+#include "net/cost_model.h"
+
+#include <cmath>
+
+namespace vfps::net {
+
+double CostModel::SortSeconds(uint64_t n) const {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  return dn * std::log2(dn) * compare_seconds;
+}
+
+}  // namespace vfps::net

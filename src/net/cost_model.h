@@ -1,0 +1,119 @@
+#ifndef VFPS_NET_COST_MODEL_H_
+#define VFPS_NET_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "he/backend.h"
+#include "net/network.h"
+
+namespace vfps::net {
+
+/// \brief Converts counted work (HE ops, bytes, plaintext arithmetic) into
+/// simulated cluster seconds.
+///
+/// The paper evaluates on five AWS g4dn.xlarge instances connected by a
+/// datacenter network; this reproduction runs in one process, so end-to-end
+/// times are accounted analytically from exact operation counts. The default
+/// constants are calibrated to the magnitudes reported for TenSEAL CKKS and
+/// gRPC on that hardware:
+///   - CKKS encrypt ~2 ms and decrypt ~1 ms per ciphertext (4096 slots),
+///     homomorphic add ~0.05 ms;
+///   - ~20 M partial-distance computations per second per core;
+///   - 0.5 ms one-way latency, ~1 Gb/s effective bandwidth.
+/// Absolute values are not the point (the paper's own absolute numbers are
+/// hardware-specific); what matters is that the *ratios* between HE work,
+/// plain compute, and traffic match, which is what produces the paper's
+/// relative speedups.
+struct CostModel {
+  // Network.
+  double latency_seconds = 0.5e-3;            // per message, one way
+  double bytes_per_second = 125.0e6;          // ~1 Gb/s
+
+  // Homomorphic encryption (per ciphertext operation).
+  double encrypt_seconds = 2.0e-3;
+  double decrypt_seconds = 1.0e-3;
+  double he_add_seconds = 0.05e-3;
+
+  // Plaintext compute.
+  double distance_seconds = 5.0e-8;           // one partial distance (per feature block)
+  double compare_seconds = 4.0e-9;            // one comparison (sorting, merging)
+
+  // Downstream training (per sample per feature per epoch, split-learning).
+  double train_sample_feature_seconds = 2.5e-8;
+
+  // Analytic ciphertext model (CKKS n = 4096, two 54-bit primes): used so
+  // that simulated times are identical no matter which HeBackend actually
+  // executed (the plain backend is often substituted for speed in accuracy
+  // benches; the time numbers must not change because of that).
+  size_t slots_per_ciphertext = 2048;
+  size_t ciphertext_bytes = 131341;  // serialized size of one ciphertext
+
+  /// Ciphertexts needed to carry `values` packed reals (0 for 0 values).
+  uint64_t NumCiphertexts(uint64_t values) const {
+    if (values == 0) return 0;
+    return (values + slots_per_ciphertext - 1) / slots_per_ciphertext;
+  }
+
+  /// Wire bytes of `values` packed reals under encryption.
+  uint64_t EncryptedWireBytes(uint64_t values) const {
+    return NumCiphertexts(values) * ciphertext_bytes;
+  }
+
+  double EncryptSecondsFor(uint64_t values) const {
+    return static_cast<double>(NumCiphertexts(values)) * encrypt_seconds;
+  }
+  double DecryptSecondsFor(uint64_t values) const {
+    return static_cast<double>(NumCiphertexts(values)) * decrypt_seconds;
+  }
+  /// One homomorphic vector addition over `values` packed reals.
+  double HeAddSecondsFor(uint64_t values) const {
+    return static_cast<double>(NumCiphertexts(values)) * he_add_seconds;
+  }
+
+  /// Seconds to move `bytes` in `messages` messages over one link.
+  double NetworkSeconds(uint64_t bytes, uint64_t messages) const {
+    return static_cast<double>(messages) * latency_seconds +
+           static_cast<double>(bytes) / bytes_per_second;
+  }
+
+  double NetworkSeconds(const TrafficStats& traffic) const {
+    return NetworkSeconds(traffic.bytes, traffic.messages);
+  }
+
+  /// Seconds of HE work implied by backend op counters.
+  double HeSeconds(const he::HeOpStats& stats) const {
+    return static_cast<double>(stats.encrypt_ops) * encrypt_seconds +
+           static_cast<double>(stats.decrypt_ops) * decrypt_seconds +
+           static_cast<double>(stats.add_ops) * he_add_seconds;
+  }
+
+  /// Charge the HE counters onto a clock, split by category, then reset them.
+  void ChargeHe(const he::HeOpStats& stats, SimClock* clock) const {
+    clock->Advance(CostCategory::kEncrypt,
+                   static_cast<double>(stats.encrypt_ops) * encrypt_seconds);
+    clock->Advance(CostCategory::kDecrypt,
+                   static_cast<double>(stats.decrypt_ops) * decrypt_seconds);
+    clock->Advance(CostCategory::kHeEval,
+                   static_cast<double>(stats.add_ops) * he_add_seconds);
+  }
+
+  /// Seconds to compute `count` partial distances over `features` features.
+  double DistanceSeconds(uint64_t count, uint64_t features) const {
+    return static_cast<double>(count) * static_cast<double>(features) *
+           distance_seconds;
+  }
+
+  /// Seconds to sort `n` keys (n log2 n comparisons).
+  double SortSeconds(uint64_t n) const;
+
+  /// Seconds for one epoch of split training over `samples` x `features`.
+  double TrainEpochSeconds(uint64_t samples, uint64_t features) const {
+    return static_cast<double>(samples) * static_cast<double>(features) *
+           train_sample_feature_seconds;
+  }
+};
+
+}  // namespace vfps::net
+
+#endif  // VFPS_NET_COST_MODEL_H_

@@ -1,0 +1,73 @@
+#include "net/network.h"
+
+#include "common/string_util.h"
+
+namespace vfps::net {
+
+std::string NodeName(NodeId id) {
+  if (id == kAggregationServer) return "agg-server";
+  if (id == kKeyServer) return "key-server";
+  if (id == 0) return "leader";
+  return StrFormat("participant-%d", id);
+}
+
+Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
+  if (from == to) {
+    return Status::InvalidArgument("SimNetwork: self-send is not a message");
+  }
+  const LinkKey key{from, to};
+  auto& stats = stats_[key];
+  stats.messages += 1;
+  stats.bytes += payload.size();
+  total_.messages += 1;
+  total_.bytes += payload.size();
+  queues_[key].push_back(std::move(payload));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> SimNetwork::Recv(NodeId from, NodeId to) {
+  const LinkKey key{from, to};
+  auto it = queues_.find(key);
+  if (it == queues_.end() || it->second.empty()) {
+    return Status::ProtocolError(
+        StrFormat("SimNetwork: no pending message on link %s -> %s",
+                  NodeName(from).c_str(), NodeName(to).c_str()));
+  }
+  std::vector<uint8_t> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+size_t SimNetwork::PendingCount() const {
+  size_t n = 0;
+  for (const auto& [key, queue] : queues_) n += queue.size();
+  return n;
+}
+
+TrafficStats SimNetwork::SentBy(NodeId node) const {
+  TrafficStats out;
+  for (const auto& [key, stats] : stats_) {
+    if (key.first == node) out.Merge(stats);
+  }
+  return out;
+}
+
+TrafficStats SimNetwork::ReceivedBy(NodeId node) const {
+  TrafficStats out;
+  for (const auto& [key, stats] : stats_) {
+    if (key.second == node) out.Merge(stats);
+  }
+  return out;
+}
+
+TrafficStats SimNetwork::LinkStats(NodeId from, NodeId to) const {
+  auto it = stats_.find({from, to});
+  return it == stats_.end() ? TrafficStats{} : it->second;
+}
+
+void SimNetwork::ResetStats() {
+  stats_.clear();
+  total_ = TrafficStats{};
+}
+
+}  // namespace vfps::net

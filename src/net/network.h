@@ -1,0 +1,83 @@
+#ifndef VFPS_NET_NETWORK_H_
+#define VFPS_NET_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vfps::net {
+
+/// \brief Logical node identifier in the simulated cluster.
+///
+/// The paper's deployment has three roles besides the participants: a key
+/// server (distributes the HE key pair), an aggregation server (homomorphic
+/// sums), and the leader (participant 0, holds the labels). Participants are
+/// numbered 0..P-1; the special roles use reserved negative ids.
+using NodeId = int;
+
+constexpr NodeId kAggregationServer = -1;
+constexpr NodeId kKeyServer = -2;
+
+/// Human-readable node name for logs ("participant 3", "agg-server", ...).
+std::string NodeName(NodeId id);
+
+/// \brief Per-direction traffic counters.
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  void Merge(const TrafficStats& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+  }
+};
+
+/// \brief In-process message transport with exact byte metering.
+///
+/// This replaces the paper's gRPC links between AWS instances. Protocol code
+/// is written as explicit Send/Recv pairs per directed link (FIFO order per
+/// link), which both documents the communication pattern and lets the cost
+/// model convert metered traffic into simulated wall-clock time. Payloads are
+/// opaque byte strings produced by BinaryWriter, so what is metered is
+/// exactly what a real deployment would serialize.
+class SimNetwork {
+ public:
+  SimNetwork() = default;
+
+  /// Enqueue a payload on the (from -> to) link.
+  Status Send(NodeId from, NodeId to, std::vector<uint8_t> payload);
+
+  /// Dequeue the oldest payload on the (from -> to) link; ProtocolError if
+  /// the link is empty (a send/recv mismatch in the protocol).
+  Result<std::vector<uint8_t>> Recv(NodeId from, NodeId to);
+
+  /// Number of undelivered payloads across all links.
+  size_t PendingCount() const;
+
+  /// Totals over all links since construction or the last ResetStats().
+  const TrafficStats& total() const { return total_; }
+
+  /// Traffic that left `node` / arrived at `node`.
+  TrafficStats SentBy(NodeId node) const;
+  TrafficStats ReceivedBy(NodeId node) const;
+
+  /// Per-link traffic (from -> to).
+  TrafficStats LinkStats(NodeId from, NodeId to) const;
+
+  void ResetStats();
+
+ private:
+  using LinkKey = std::pair<NodeId, NodeId>;
+  std::map<LinkKey, std::deque<std::vector<uint8_t>>> queues_;
+  std::map<LinkKey, TrafficStats> stats_;
+  TrafficStats total_;
+};
+
+}  // namespace vfps::net
+
+#endif  // VFPS_NET_NETWORK_H_

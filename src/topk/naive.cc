@@ -1,0 +1,30 @@
+#include "topk/naive.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace vfps::topk {
+
+Result<TopkResult> NaiveTopk(const RankedListSet& lists, size_t k) {
+  const size_t n = lists.num_items();
+  VFPS_CHECK_ARG(k >= 1, "naive top-k: k must be >= 1");
+  k = std::min(k, n);
+
+  TopkResult result;
+  std::vector<std::pair<double, uint64_t>> aggregated(n);
+  for (uint64_t id = 0; id < n; ++id) {
+    aggregated[id] = {lists.AggregateScore(id), id};
+  }
+  result.candidates = n;
+  result.candidate_ids.resize(n);
+  for (uint64_t id = 0; id < n; ++id) result.candidate_ids[id] = id;
+  result.depth = n;
+  result.sorted_accesses = n * lists.num_parties();
+  std::partial_sort(aggregated.begin(), aggregated.begin() + k, aggregated.end());
+  result.ids.reserve(k);
+  for (size_t i = 0; i < k; ++i) result.ids.push_back(aggregated[i].second);
+  return result;
+}
+
+}  // namespace vfps::topk

@@ -1,0 +1,16 @@
+#ifndef VFPS_TOPK_NAIVE_H_
+#define VFPS_TOPK_NAIVE_H_
+
+#include "common/result.h"
+#include "topk/ranked_list.h"
+
+namespace vfps::topk {
+
+/// \brief Exhaustive baseline: aggregate every item and take the k smallest.
+/// This is what VFPS-SM-BASE effectively does (every instance's partial
+/// distance is encrypted, transmitted, and aggregated).
+Result<TopkResult> NaiveTopk(const RankedListSet& lists, size_t k);
+
+}  // namespace vfps::topk
+
+#endif  // VFPS_TOPK_NAIVE_H_

@@ -1,0 +1,41 @@
+#include "topk/ranked_list.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace vfps::topk {
+
+Result<RankedListSet> RankedListSet::Build(
+    std::vector<std::vector<double>> scores_per_party) {
+  VFPS_CHECK_ARG(!scores_per_party.empty(), "RankedListSet: need >= 1 party");
+  const size_t n = scores_per_party[0].size();
+  VFPS_CHECK_ARG(n > 0, "RankedListSet: empty score lists");
+  for (const auto& scores : scores_per_party) {
+    VFPS_CHECK_ARG(scores.size() == n, "RankedListSet: size mismatch across parties");
+  }
+  RankedListSet set;
+  set.scores_ = std::move(scores_per_party);
+  set.order_.resize(set.scores_.size());
+  for (size_t p = 0; p < set.scores_.size(); ++p) {
+    auto& order = set.order_[p];
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    const auto& scores = set.scores_[p];
+    // Ascending score; ties broken by id for determinism.
+    std::sort(order.begin(), order.end(), [&scores](uint64_t a, uint64_t b) {
+      if (scores[a] != scores[b]) return scores[a] < scores[b];
+      return a < b;
+    });
+  }
+  return set;
+}
+
+double RankedListSet::AggregateScore(uint64_t id) const {
+  double sum = 0.0;
+  for (const auto& scores : scores_) sum += scores[id];
+  return sum;
+}
+
+}  // namespace vfps::topk

@@ -1,0 +1,57 @@
+#include "topk/threshold.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace vfps::topk {
+
+Result<TopkResult> ThresholdTopk(const RankedListSet& lists, size_t k) {
+  const size_t n = lists.num_items();
+  const size_t p = lists.num_parties();
+  VFPS_CHECK_ARG(k >= 1, "TA: k must be >= 1");
+  k = std::min(k, n);
+
+  TopkResult result;
+  std::vector<bool> evaluated(n, false);
+  // Max-heap of (aggregate, id): the root is the worst of the current top-k.
+  std::priority_queue<std::pair<double, uint64_t>> best;
+
+  for (size_t depth = 0; depth < n; ++depth) {
+    double threshold = 0.0;
+    for (size_t party = 0; party < p; ++party) {
+      const uint64_t frontier_id = lists.IdAtRank(party, depth);
+      ++result.sorted_accesses;
+      threshold += lists.Score(party, frontier_id);
+      if (!evaluated[frontier_id]) {
+        evaluated[frontier_id] = true;
+        result.candidate_ids.push_back(frontier_id);
+        // Random-access the other parties' scores for this item.
+        result.random_accesses += p - 1;
+        ++result.candidates;
+        const double agg = lists.AggregateScore(frontier_id);
+        if (best.size() < k) {
+          best.emplace(agg, frontier_id);
+        } else if (agg < best.top().first) {
+          best.pop();
+          best.emplace(agg, frontier_id);
+        }
+      }
+    }
+    result.depth = depth + 1;
+    // Stop when we hold k items and none of the unseen can beat the worst:
+    // any unseen item has per-party score >= the frontier, hence aggregate
+    // >= threshold.
+    if (best.size() == k && best.top().first <= threshold) break;
+  }
+
+  result.ids.resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    result.ids[i] = best.top().second;
+    best.pop();
+  }
+  return result;
+}
+
+}  // namespace vfps::topk

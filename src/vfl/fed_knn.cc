@@ -1,0 +1,512 @@
+#include "vfl/fed_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/buffer.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "ml/knn.h"
+#include "topk/fagin.h"
+#include "topk/threshold.h"
+#include "vfl/pseudo_id.h"
+
+namespace vfps::vfl {
+
+namespace {
+// The leader is participant 0 by convention (it holds the labels).
+constexpr net::NodeId kLeader = 0;
+
+// Indices of the k smallest values, ties broken by index. `values` may
+// contain +inf entries (excluded rows); those lose every comparison.
+std::vector<uint64_t> SmallestK(const std::vector<double>& values, size_t k) {
+  std::vector<uint64_t> idx(values.size());
+  for (uint64_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&values](uint64_t a, uint64_t b) {
+                      if (values[a] != values[b]) return values[a] < values[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<uint8_t> EncodeIds(const std::vector<uint64_t>& ids) {
+  BinaryWriter writer;
+  writer.WriteU64Vec(ids);
+  return writer.TakeBytes();
+}
+
+Result<std::vector<uint64_t>> DecodeIds(const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  return reader.ReadU64Vec();
+}
+
+std::vector<uint8_t> EncodeScalar(double v) {
+  BinaryWriter writer;
+  writer.WriteDouble(v);
+  return writer.TakeBytes();
+}
+
+Result<double> DecodeScalar(const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  return reader.ReadDouble();
+}
+}  // namespace
+
+const char* KnnOracleModeName(KnnOracleMode mode) {
+  switch (mode) {
+    case KnnOracleMode::kBase:
+      return "base";
+    case KnnOracleMode::kFagin:
+      return "fagin";
+    case KnnOracleMode::kThreshold:
+      return "threshold";
+  }
+  return "unknown";
+}
+
+FederatedKnnOracle::FederatedKnnOracle(const data::Dataset* joint_train,
+                                       const data::VerticalPartition* partition,
+                                       he::HeBackend* backend,
+                                       net::SimNetwork* network,
+                                       const net::CostModel* cost_model,
+                                       SimClock* clock)
+    : joint_(joint_train),
+      partition_(partition),
+      backend_(backend),
+      network_(network),
+      cost_(cost_model),
+      clock_(clock) {}
+
+std::vector<double> FederatedKnnOracle::PartialDistances(
+    size_t participant, const data::Dataset& source, size_t query_row,
+    size_t exclude_row) const {
+  const auto& columns = (*partition_)[participant];
+  const size_t n = joint_->num_samples();
+  const double* qrow = source.Row(query_row);
+  const bool excluding = exclude_row < n;
+  std::vector<double> out(excluding ? n - 1 : n);
+  size_t write = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (excluding && i == exclude_row) continue;
+    const double* trow = joint_->Row(i);
+    double d = 0.0;
+    for (size_t c : columns) {
+      const double diff = qrow[c] - trow[c];
+      d += diff * diff;
+    }
+    out[write++] = d;
+  }
+  return out;
+}
+
+void FederatedKnnOracle::ChargeParallelCompute(
+    const std::vector<double>& per_party_seconds) {
+  double worst = 0.0;
+  for (double s : per_party_seconds) worst = std::max(worst, s);
+  clock_->Advance(CostCategory::kCompute, worst);
+}
+
+void FederatedKnnOracle::ChargeFanIn(uint64_t bytes_per_party, size_t parties) {
+  // Participants transmit in parallel; the server's ingress link is the
+  // bottleneck, so one latency plus the total bytes.
+  clock_->Advance(CostCategory::kNetwork,
+                  cost_->NetworkSeconds(bytes_per_party * parties, 1));
+}
+
+void FederatedKnnOracle::ChargeFanOut(uint64_t bytes_per_link, size_t links) {
+  clock_->Advance(CostCategory::kNetwork,
+                  cost_->NetworkSeconds(bytes_per_link * links, 1));
+}
+
+Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
+    const FedKnnConfig& config, FedKnnStats* stats) {
+  const size_t n = joint_->num_samples();
+  const size_t p = num_participants();
+  VFPS_CHECK_ARG(p >= 2, "fed-knn: need >= 2 participants");
+  VFPS_CHECK_ARG(config.k >= 1, "fed-knn: k must be >= 1");
+  VFPS_CHECK_ARG(n > config.k + 1, "fed-knn: dataset smaller than k");
+  VFPS_CHECK_ARG(config.num_queries >= 1, "fed-knn: need >= 1 query");
+
+  const net::TrafficStats traffic_before = network_->total();
+  const he::HeOpStats he_before = backend_->stats();
+
+  // The leader samples the query set and shares the row ids (plain indices of
+  // shared training samples; no feature values cross the wire here).
+  Rng rng(config.seed);
+  const size_t num_queries = std::min(config.num_queries, n);
+  std::vector<size_t> queries = rng.SampleWithoutReplacement(n, num_queries);
+  for (size_t party = 1; party < p; ++party) {
+    std::vector<uint64_t> ids(queries.begin(), queries.end());
+    VFPS_RETURN_NOT_OK(network_->Send(kLeader, static_cast<int>(party),
+                                      EncodeIds(ids)));
+    VFPS_RETURN_NOT_OK(network_->Recv(kLeader, static_cast<int>(party)).status());
+  }
+  ChargeFanOut(num_queries * sizeof(uint64_t), p - 1);
+
+  std::vector<QueryNeighborhood> result;
+  result.reserve(queries.size());
+  for (size_t q : queries) {
+    QueryNeighborhood hood;
+    if (config.mode == KnnOracleMode::kBase) {
+      VFPS_ASSIGN_OR_RETURN(hood, RunBaseQuery(q, config.k, stats));
+    } else {
+      VFPS_ASSIGN_OR_RETURN(
+          hood, RunTopkQuery(q, config.k, config.fagin_batch, config.seed,
+                             config.mode, stats));
+    }
+    result.push_back(std::move(hood));
+  }
+
+  if (stats != nullptr) {
+    stats->queries += queries.size();
+    net::TrafficStats after = network_->total();
+    stats->traffic.messages += after.messages - traffic_before.messages;
+    stats->traffic.bytes += after.bytes - traffic_before.bytes;
+    he::HeOpStats he_after = backend_->stats();
+    stats->he_ops.encrypt_ops += he_after.encrypt_ops - he_before.encrypt_ops;
+    stats->he_ops.decrypt_ops += he_after.decrypt_ops - he_before.decrypt_ops;
+    stats->he_ops.add_ops += he_after.add_ops - he_before.add_ops;
+    stats->he_ops.values_encrypted +=
+        he_after.values_encrypted - he_before.values_encrypted;
+  }
+  return result;
+}
+
+Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(uint64_t query_row,
+                                                           size_t k,
+                                                           FedKnnStats* stats) {
+  const size_t n = joint_->num_samples();
+  const size_t p = num_participants();
+  const size_t count = n - 1;  // the query row itself is excluded
+
+  // Phase 1 (participants, parallel): local partial distances + encryption.
+  std::vector<std::vector<double>> partials(p);
+  std::vector<double> compute_seconds(p);
+  for (size_t party = 0; party < p; ++party) {
+    partials[party] = PartialDistances(party, *joint_, query_row, query_row);
+    compute_seconds[party] =
+        cost_->DistanceSeconds(count, (*partition_)[party].size());
+  }
+  ChargeParallelCompute(compute_seconds);
+
+  std::vector<he::EncryptedVector> encrypted(p);
+  for (size_t party = 0; party < p; ++party) {
+    VFPS_ASSIGN_OR_RETURN(encrypted[party], backend_->Encrypt(partials[party]));
+    VFPS_RETURN_NOT_OK(network_->Send(static_cast<int>(party),
+                                      net::kAggregationServer,
+                                      encrypted[party].blob));
+  }
+  clock_->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
+  ChargeFanIn(cost_->EncryptedWireBytes(count), p);
+
+  // Phase 2 (aggregation server): homomorphic sum, forward to the leader.
+  std::vector<he::EncryptedVector> received(p);
+  std::vector<const he::EncryptedVector*> ptrs(p);
+  for (size_t party = 0; party < p; ++party) {
+    VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(static_cast<int>(party),
+                                                    net::kAggregationServer));
+    received[party] = he::EncryptedVector{std::move(blob), count};
+    ptrs[party] = &received[party];
+  }
+  VFPS_ASSIGN_OR_RETURN(auto summed, backend_->Sum(ptrs));
+  clock_->Advance(CostCategory::kHeEval,
+                  static_cast<double>(p - 1) * cost_->HeAddSecondsFor(count));
+  VFPS_RETURN_NOT_OK(
+      network_->Send(net::kAggregationServer, kLeader, summed.blob));
+  ChargeFanOut(cost_->EncryptedWireBytes(count), 1);
+
+  // Phase 3 (leader): decrypt, rank, pick the k nearest.
+  VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(net::kAggregationServer, kLeader));
+  VFPS_ASSIGN_OR_RETURN(auto distances,
+                        backend_->Decrypt(he::EncryptedVector{std::move(blob), count}));
+  clock_->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(count));
+  clock_->Advance(CostCategory::kCompute, cost_->SortSeconds(count));
+  const auto top = SmallestK(distances, k);
+
+  QueryNeighborhood hood;
+  hood.query_row = query_row;
+  hood.neighbors.reserve(top.size());
+  for (uint64_t idx : top) {
+    hood.neighbors.push_back(CompressedToRow(idx, query_row));
+  }
+
+  // Phase 4: leader broadcasts T; every participant returns d_T^p.
+  for (size_t party = 1; party < p; ++party) {
+    VFPS_RETURN_NOT_OK(
+        network_->Send(kLeader, static_cast<int>(party), EncodeIds(top)));
+  }
+  ChargeFanOut(top.size() * sizeof(uint64_t), p - 1);
+  hood.per_party_dt.resize(p);
+  for (size_t party = 0; party < p; ++party) {
+    std::vector<uint64_t> ids = top;
+    if (party != 0) {
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            network_->Recv(kLeader, static_cast<int>(party)));
+      VFPS_ASSIGN_OR_RETURN(ids, DecodeIds(payload));
+    }
+    double dt = 0.0;
+    for (uint64_t idx : ids) dt += partials[party][idx];
+    if (party == 0) {
+      hood.per_party_dt[0] = dt;
+    } else {
+      VFPS_RETURN_NOT_OK(
+          network_->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            network_->Recv(static_cast<int>(party), kLeader));
+      VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
+    }
+  }
+  ChargeFanIn(sizeof(double), p - 1);
+
+  if (stats != nullptr) stats->candidates_encrypted += count;
+  return hood;
+}
+
+Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
+    uint64_t query_row, size_t k, size_t batch, uint64_t seed,
+    KnnOracleMode mode, FedKnnStats* stats) {
+  const size_t n = joint_->num_samples();
+  const size_t p = num_participants();
+  VFPS_CHECK_ARG(batch >= 1, "fed-knn: fagin batch must be >= 1");
+
+  // Step 1: consortium-shared pseudo-ID shuffle (identity security).
+  const PseudoIdMap pseudo = PseudoIdMap::Create(n, seed);
+  const uint64_t query_pid = pseudo.ToPseudo(query_row);
+
+  // Step 2 (participants, parallel): partial distances in pseudo-ID space,
+  // sorted ascending to form sub-rankings.
+  std::vector<std::vector<double>> scores(p);
+  std::vector<double> compute_seconds(p);
+  for (size_t party = 0; party < p; ++party) {
+    scores[party].assign(n, 0.0);
+    const auto& columns = (*partition_)[party];
+    const double* qrow = joint_->Row(query_row);
+    for (size_t i = 0; i < n; ++i) {
+      const double* trow = joint_->Row(i);
+      double d = 0.0;
+      for (size_t c : columns) {
+        const double diff = qrow[c] - trow[c];
+        d += diff * diff;
+      }
+      scores[party][pseudo.ToPseudo(i)] = d;
+    }
+    scores[party][query_pid] = std::numeric_limits<double>::infinity();
+    compute_seconds[party] = cost_->DistanceSeconds(n, columns.size()) +
+                             cost_->SortSeconds(n);
+  }
+  ChargeParallelCompute(compute_seconds);
+
+  VFPS_ASSIGN_OR_RETURN(auto lists, topk::RankedListSet::Build(scores));
+  topk::TopkResult merge;
+  if (mode == KnnOracleMode::kThreshold) {
+    VFPS_ASSIGN_OR_RETURN(merge, topk::ThresholdTopk(lists, k));
+  } else {
+    VFPS_ASSIGN_OR_RETURN(merge, topk::FaginTopk(lists, k, batch));
+  }
+  const topk::TopkResult& fagin = merge;
+
+  // Steps 3-4: mini-batch streaming of the sub-rankings to the server. The
+  // phase-1 depth of the merge algorithm determines how many rounds happen.
+  const size_t depth = fagin.depth;
+  for (size_t start = 0; start < depth; start += batch) {
+    const size_t end = std::min(depth, start + batch);
+    for (size_t party = 0; party < p; ++party) {
+      std::vector<uint64_t> chunk;
+      chunk.reserve(end - start);
+      for (size_t r = start; r < end; ++r) chunk.push_back(lists.IdAtRank(party, r));
+      VFPS_RETURN_NOT_OK(network_->Send(static_cast<int>(party),
+                                        net::kAggregationServer, EncodeIds(chunk)));
+      VFPS_RETURN_NOT_OK(
+          network_->Recv(static_cast<int>(party), net::kAggregationServer).status());
+    }
+    ChargeFanIn((end - start) * sizeof(uint64_t), p);
+  }
+  clock_->Advance(CostCategory::kCompute,
+                  static_cast<double>(fagin.sorted_accesses) * cost_->compare_seconds);
+
+  if (mode == KnnOracleMode::kThreshold) {
+    // TA's stopping rule needs the aggregate score of each round's frontier:
+    // every participant encrypts one frontier value, the server sums them,
+    // and the leader decrypts the threshold — once per streamed round.
+    const double rounds = std::ceil(static_cast<double>(depth) /
+                                    static_cast<double>(batch));
+    clock_->Advance(CostCategory::kEncrypt, rounds * cost_->EncryptSecondsFor(1));
+    clock_->Advance(CostCategory::kHeEval,
+                    rounds * static_cast<double>(p - 1) * cost_->HeAddSecondsFor(1));
+    clock_->Advance(CostCategory::kDecrypt, rounds * cost_->DecryptSecondsFor(1));
+    clock_->Advance(
+        CostCategory::kNetwork,
+        rounds * cost_->NetworkSeconds(
+                     cost_->EncryptedWireBytes(1) * (static_cast<uint64_t>(p) + 1),
+                     2));
+  }
+
+  // Candidate set: everything seen during phase 1 (minus the query itself).
+  std::vector<uint64_t> candidates = fagin.candidate_ids;
+  candidates.erase(std::remove(candidates.begin(), candidates.end(), query_pid),
+                   candidates.end());
+  const size_t c = candidates.size();
+
+  // Step 5: server broadcasts the candidate pseudo IDs; participants encrypt
+  // exactly those candidates' partial distances.
+  for (size_t party = 0; party < p; ++party) {
+    VFPS_RETURN_NOT_OK(network_->Send(net::kAggregationServer,
+                                      static_cast<int>(party),
+                                      EncodeIds(candidates)));
+  }
+  ChargeFanOut(c * sizeof(uint64_t), p);
+
+  std::vector<he::EncryptedVector> encrypted(p);
+  std::vector<const he::EncryptedVector*> ptrs(p);
+  for (size_t party = 0; party < p; ++party) {
+    VFPS_ASSIGN_OR_RETURN(auto payload, network_->Recv(net::kAggregationServer,
+                                                       static_cast<int>(party)));
+    VFPS_ASSIGN_OR_RETURN(auto ids, DecodeIds(payload));
+    std::vector<double> values;
+    values.reserve(ids.size());
+    for (uint64_t pid : ids) values.push_back(scores[party][pid]);
+    VFPS_ASSIGN_OR_RETURN(encrypted[party], backend_->Encrypt(values));
+    VFPS_RETURN_NOT_OK(network_->Send(static_cast<int>(party),
+                                      net::kAggregationServer,
+                                      encrypted[party].blob));
+    ptrs[party] = &encrypted[party];
+  }
+  clock_->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(c));
+  ChargeFanIn(cost_->EncryptedWireBytes(c), p);
+
+  // Step 6: homomorphic aggregation, forwarded to the leader.
+  for (size_t party = 0; party < p; ++party) {
+    VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(static_cast<int>(party),
+                                                    net::kAggregationServer));
+    encrypted[party] = he::EncryptedVector{std::move(blob), c};
+    ptrs[party] = &encrypted[party];
+  }
+  VFPS_ASSIGN_OR_RETURN(auto summed, backend_->Sum(ptrs));
+  clock_->Advance(CostCategory::kHeEval,
+                  static_cast<double>(p - 1) * cost_->HeAddSecondsFor(c));
+  VFPS_RETURN_NOT_OK(network_->Send(net::kAggregationServer, kLeader, summed.blob));
+  ChargeFanOut(cost_->EncryptedWireBytes(c), 1);
+
+  // Step 7 (leader): decrypt candidate aggregates, take the k nearest.
+  VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(net::kAggregationServer, kLeader));
+  VFPS_ASSIGN_OR_RETURN(
+      auto agg_distances,
+      backend_->Decrypt(he::EncryptedVector{std::move(blob), c}));
+  clock_->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(c));
+  clock_->Advance(CostCategory::kCompute, cost_->SortSeconds(c));
+  const auto top_local = SmallestK(agg_distances, k);
+  std::vector<uint64_t> neighbor_pids;
+  neighbor_pids.reserve(top_local.size());
+  for (uint64_t idx : top_local) neighbor_pids.push_back(candidates[idx]);
+
+  QueryNeighborhood hood;
+  hood.query_row = query_row;
+  VFPS_ASSIGN_OR_RETURN(hood.neighbors, pseudo.MapToOriginal(neighbor_pids));
+
+  // Step 8: leader broadcasts the neighbor set; participants return d_T^p.
+  for (size_t party = 1; party < p; ++party) {
+    VFPS_RETURN_NOT_OK(network_->Send(kLeader, static_cast<int>(party),
+                                      EncodeIds(neighbor_pids)));
+  }
+  ChargeFanOut(neighbor_pids.size() * sizeof(uint64_t), p - 1);
+  hood.per_party_dt.resize(p);
+  for (size_t party = 0; party < p; ++party) {
+    std::vector<uint64_t> pids = neighbor_pids;
+    if (party != 0) {
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            network_->Recv(kLeader, static_cast<int>(party)));
+      VFPS_ASSIGN_OR_RETURN(pids, DecodeIds(payload));
+    }
+    double dt = 0.0;
+    for (uint64_t pid : pids) dt += scores[party][pid];
+    if (party == 0) {
+      hood.per_party_dt[0] = dt;
+    } else {
+      VFPS_RETURN_NOT_OK(
+          network_->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            network_->Recv(static_cast<int>(party), kLeader));
+      VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
+    }
+  }
+  ChargeFanIn(sizeof(double), p - 1);
+
+  if (stats != nullptr) {
+    stats->candidates_encrypted += c;
+    stats->fagin_depth += depth;
+  }
+  return hood;
+}
+
+Result<std::vector<int>> FederatedKnnOracle::ClassifyPredictions(
+    const data::Dataset& queries, const std::vector<size_t>& participants,
+    size_t k, bool charge_costs) {
+  VFPS_CHECK_ARG(!participants.empty(), "fed-knn: empty sub-consortium");
+  VFPS_CHECK_ARG(queries.num_features() == joint_->num_features(),
+                 "fed-knn: query feature width mismatch");
+  const size_t n = joint_->num_samples();
+  const size_t s = participants.size();
+
+  std::vector<int> predictions(queries.num_samples());
+  std::vector<double> aggregate(n);
+  std::vector<int> neighbor_labels;
+  for (size_t qi = 0; qi < queries.num_samples(); ++qi) {
+    std::fill(aggregate.begin(), aggregate.end(), 0.0);
+    for (size_t party : participants) {
+      VFPS_CHECK_ARG(party < num_participants(),
+                     "fed-knn: participant out of range");
+      const auto partial = PartialDistances(party, queries, qi, n /*no exclusion*/);
+      for (size_t i = 0; i < n; ++i) aggregate[i] += partial[i];
+    }
+    const auto top = SmallestK(aggregate, k);
+    neighbor_labels.clear();
+    for (uint64_t idx : top) {
+      neighbor_labels.push_back(joint_->Label(static_cast<size_t>(idx)));
+    }
+    predictions[qi] = ml::MajorityVote(neighbor_labels, joint_->num_classes());
+  }
+
+  if (charge_costs) {
+    // Per query, the deployment would run the BASE aggregation over the
+    // sub-consortium: parallel distance computation + encrypt-all + sum +
+    // decrypt + rank.
+    double max_party_seconds = 0.0;
+    for (size_t party : participants) {
+      max_party_seconds =
+          std::max(max_party_seconds,
+                   cost_->DistanceSeconds(n, (*partition_)[party].size()));
+    }
+    const double nq = static_cast<double>(queries.num_samples());
+    const double network_per_query = cost_->NetworkSeconds(
+        cost_->EncryptedWireBytes(n) * s + cost_->EncryptedWireBytes(n),
+        static_cast<uint64_t>(s) + 1);
+    clock_->Advance(CostCategory::kCompute,
+                    nq * (max_party_seconds + cost_->SortSeconds(n)));
+    clock_->Advance(CostCategory::kEncrypt, nq * cost_->EncryptSecondsFor(n));
+    clock_->Advance(CostCategory::kHeEval,
+                    nq * static_cast<double>(s - 1) * cost_->HeAddSecondsFor(n));
+    clock_->Advance(CostCategory::kDecrypt, nq * cost_->DecryptSecondsFor(n));
+    clock_->Advance(CostCategory::kNetwork, nq * network_per_query);
+  }
+  return predictions;
+}
+
+Result<double> FederatedKnnOracle::ClassifyAccuracy(
+    const data::Dataset& queries, const std::vector<size_t>& participants,
+    size_t k, bool charge_costs) {
+  VFPS_ASSIGN_OR_RETURN(
+      auto predictions, ClassifyPredictions(queries, participants, k, charge_costs));
+  if (predictions.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    correct += (predictions[i] == queries.Label(i));
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+}  // namespace vfps::vfl

@@ -1,0 +1,145 @@
+#ifndef VFPS_VFL_FED_KNN_H_
+#define VFPS_VFL_FED_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "data/dataset.h"
+#include "data/partitioner.h"
+#include "he/backend.h"
+#include "net/cost_model.h"
+#include "net/network.h"
+
+namespace vfps::vfl {
+
+/// How the k-nearest-neighbor oracle finds neighbors across participants.
+enum class KnnOracleMode {
+  kBase,   // VFPS-SM-BASE: encrypt ALL instances' partial distances per query
+  kFagin,  // VFPS-SM: Fagin's algorithm narrows the encrypted candidate set
+  /// Threshold algorithm (TA) variant: the paper notes VFPS-SM "also
+  /// supports other top-k query algorithms". TA usually scans a shallower
+  /// depth than FA but performs random accesses during phase 1; in the
+  /// protocol this trades streamed ranking rows for per-item score requests.
+  /// The candidate set it encrypts is TA's evaluated set.
+  kThreshold,
+};
+
+const char* KnnOracleModeName(KnnOracleMode mode);
+
+/// \brief Configuration of one selection-phase KNN pass.
+struct FedKnnConfig {
+  KnnOracleMode mode = KnnOracleMode::kFagin;
+  size_t k = 10;            // neighbors per query
+  size_t num_queries = 64;  // |Q|: training rows sampled as query samples
+  size_t fagin_batch = 64;  // mini-batch rows streamed per participant round
+  uint64_t seed = 42;       // shared consortium seed (queries, pseudo IDs)
+};
+
+/// \brief What the leader learns about one query sample.
+struct QueryNeighborhood {
+  uint64_t query_row = 0;
+  std::vector<uint64_t> neighbors;   // original train-row ids, nearest first
+  std::vector<double> per_party_dt;  // d_T^p = sum of partial distances to T
+};
+
+/// \brief Protocol statistics accumulated over a Run.
+struct FedKnnStats {
+  size_t queries = 0;
+  /// Rows whose partial distances each participant encrypted, summed over
+  /// queries (BASE: (N-1) per query; FAGIN: the candidate-set size).
+  uint64_t candidates_encrypted = 0;
+  uint64_t fagin_depth = 0;  // summed phase-1 depth across queries
+  net::TrafficStats traffic;  // metered wire traffic of the run
+  he::HeOpStats he_ops;       // HE operations actually executed
+
+  double AvgCandidatesPerQuery() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(candidates_encrypted) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// \brief The vertical federated KNN oracle (paper §IV).
+///
+/// One instance simulates the whole deployment — leader (participant 0, holds
+/// labels and the HE secret key via the backend), aggregation server, and P
+/// participants — but every inter-role data flow passes through SimNetwork
+/// (byte-metered) and the HeBackend (op-counted), and the simulated clock is
+/// charged phase by phase with participant-parallel phases costed as the max
+/// over participants.
+class FederatedKnnOracle {
+ public:
+  /// \param joint_train training split in the joint feature space (already
+  ///        standardized). Kept by pointer; must outlive the oracle.
+  /// \param partition which feature columns each participant holds.
+  FederatedKnnOracle(const data::Dataset* joint_train,
+                     const data::VerticalPartition* partition,
+                     he::HeBackend* backend, net::SimNetwork* network,
+                     const net::CostModel* cost_model, SimClock* clock);
+
+  size_t num_participants() const { return partition_->size(); }
+
+  /// \brief Run the selection-phase protocol: sample |Q| query rows, find
+  /// each query's k nearest neighbors over the full consortium, and return
+  /// the per-participant aggregated distances d_T^p the similarity measure
+  /// needs. Stats (if non-null) receive traffic/HE/candidate counts.
+  Result<std::vector<QueryNeighborhood>> Run(const FedKnnConfig& config,
+                                             FedKnnStats* stats);
+
+  /// \brief Federated KNN classification accuracy of `queries` (a dataset in
+  /// the joint feature space, labels held by the leader) using only the given
+  /// sub-consortium. Used as the utility function of the SHAPLEY baseline and
+  /// for the KNN downstream task. Distances are computed in plaintext but the
+  /// clock is charged as if the BASE protocol ran (encrypt-all), because that
+  /// is what a faithful deployment would execute per coalition.
+  Result<double> ClassifyAccuracy(const data::Dataset& queries,
+                                  const std::vector<size_t>& participants,
+                                  size_t k, bool charge_costs);
+
+  /// Same protocol, returning the per-query predicted labels instead of the
+  /// aggregate accuracy (used by the VF-MINE baseline's MI estimator).
+  Result<std::vector<int>> ClassifyPredictions(
+      const data::Dataset& queries, const std::vector<size_t>& participants,
+      size_t k, bool charge_costs);
+
+ private:
+  // Partial squared distances from participant `p`'s slice of `query_row`
+  // (in `source`) to every train row except `exclude_row` (pass
+  // num_samples() to keep all rows). Output indexed by compressed row index.
+  std::vector<double> PartialDistances(size_t participant,
+                                       const data::Dataset& source,
+                                       size_t query_row,
+                                       size_t exclude_row) const;
+
+  // Compressed index <-> original row id around an excluded row.
+  static uint64_t CompressedToRow(uint64_t idx, size_t excluded) {
+    return idx < excluded ? idx : idx + 1;
+  }
+
+  Result<QueryNeighborhood> RunBaseQuery(uint64_t query_row, size_t k,
+                                         FedKnnStats* stats);
+  // Shared implementation of the Fagin and Threshold oracle modes (they
+  // differ in the phase-1 merge algorithm and TA's per-round threshold
+  // exchange).
+  Result<QueryNeighborhood> RunTopkQuery(uint64_t query_row, size_t k,
+                                         size_t batch, uint64_t seed,
+                                         KnnOracleMode mode, FedKnnStats* stats);
+
+  // Clock helpers.
+  void ChargeParallelCompute(const std::vector<double>& per_party_seconds);
+  void ChargeFanIn(uint64_t bytes_per_party, size_t parties);
+  void ChargeFanOut(uint64_t bytes_per_link, size_t links);
+
+  const data::Dataset* joint_;
+  const data::VerticalPartition* partition_;
+  he::HeBackend* backend_;
+  net::SimNetwork* network_;
+  const net::CostModel* cost_;
+  SimClock* clock_;
+};
+
+}  // namespace vfps::vfl
+
+#endif  // VFPS_VFL_FED_KNN_H_

@@ -1,0 +1,40 @@
+#ifndef VFPS_VFL_PSEUDO_ID_H_
+#define VFPS_VFL_PSEUDO_ID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vfps::vfl {
+
+/// \brief Identity-protecting pseudo-ID mapping (paper §IV-B step 1 and the
+/// identity-security argument of §IV-C).
+///
+/// All participants derive the same permutation from a shared seed, so the
+/// aggregation server only ever sees pseudo IDs; participants can remap
+/// candidates back to original row indices locally.
+class PseudoIdMap {
+ public:
+  /// Build the permutation for `count` instances from the consortium seed.
+  static PseudoIdMap Create(size_t count, uint64_t shared_seed);
+
+  size_t count() const { return to_pseudo_.size(); }
+
+  uint64_t ToPseudo(uint64_t original) const { return to_pseudo_[original]; }
+  uint64_t ToOriginal(uint64_t pseudo) const { return to_original_[pseudo]; }
+
+  /// Map a batch of original ids to pseudo ids (bounds-checked).
+  Result<std::vector<uint64_t>> MapToPseudo(
+      const std::vector<uint64_t>& originals) const;
+  Result<std::vector<uint64_t>> MapToOriginal(
+      const std::vector<uint64_t>& pseudos) const;
+
+ private:
+  std::vector<uint64_t> to_pseudo_;
+  std::vector<uint64_t> to_original_;
+};
+
+}  // namespace vfps::vfl
+
+#endif  // VFPS_VFL_PSEUDO_ID_H_

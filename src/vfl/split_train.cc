@@ -1,0 +1,102 @@
+#include "vfl/split_train.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace vfps::vfl {
+
+double SplitEpochSimSeconds(const data::VerticalPartition& partition,
+                            const std::vector<size_t>& selected,
+                            ml::ModelKind model, size_t num_samples,
+                            size_t batch_size, int num_classes,
+                            const net::CostModel& cost) {
+  if (batch_size == 0) batch_size = num_samples;
+  const size_t batches = (num_samples + batch_size - 1) / batch_size;
+  const size_t total_features = data::SelectedFeatureCount(partition, selected);
+
+  // Plaintext forward/backward compute across the split model.
+  double seconds = cost.TrainEpochSeconds(num_samples, total_features);
+
+  // Per batch: participants encrypt bottom outputs in parallel (max over
+  // parties), the server homomorphically aggregates and sends back encrypted
+  // gradients of the same shape; the leader decrypts the loss head.
+  double enc_parallel = 0.0;
+  uint64_t fan_bytes = 0;
+  for (size_t p : selected) {
+    const size_t act_dim = model == ml::ModelKind::kLogReg
+                               ? static_cast<size_t>(num_classes)
+                               : partition[p].size();
+    const uint64_t values = static_cast<uint64_t>(batch_size) * act_dim;
+    enc_parallel = std::max(enc_parallel, cost.EncryptSecondsFor(values));
+    fan_bytes += cost.EncryptedWireBytes(values);
+  }
+  const uint64_t head_values =
+      static_cast<uint64_t>(batch_size) * static_cast<uint64_t>(num_classes);
+  const double per_batch =
+      enc_parallel +
+      static_cast<double>(selected.size()) * cost.HeAddSecondsFor(head_values) +
+      cost.DecryptSecondsFor(head_values) +
+      // forward fan-in + backward fan-out of the same magnitude
+      2.0 * cost.NetworkSeconds(fan_bytes, 1);
+  seconds += static_cast<double>(batches) * per_batch;
+  return seconds;
+}
+
+double KnnInferenceSimSeconds(const data::VerticalPartition& partition,
+                              const std::vector<size_t>& selected,
+                              size_t num_train, size_t num_queries,
+                              const net::CostModel& cost) {
+  double max_party = 0.0;
+  for (size_t p : selected) {
+    max_party = std::max(max_party,
+                         cost.DistanceSeconds(num_train, partition[p].size()));
+  }
+  const double per_query =
+      max_party + cost.EncryptSecondsFor(num_train) +
+      static_cast<double>(selected.size() - 1) * cost.HeAddSecondsFor(num_train) +
+      cost.DecryptSecondsFor(num_train) + cost.SortSeconds(num_train) +
+      cost.NetworkSeconds(
+          cost.EncryptedWireBytes(num_train) *
+              (static_cast<uint64_t>(selected.size()) + 1),
+          2);
+  return static_cast<double>(num_queries) * per_query;
+}
+
+Result<TrainingOutcome> RunDownstreamTraining(
+    const data::DataSplit& split, const data::VerticalPartition& partition,
+    const std::vector<size_t>& selected, const DownstreamOptions& options,
+    const net::CostModel& cost, SimClock* clock) {
+  VFPS_CHECK_ARG(!selected.empty(), "split-train: empty selection");
+  VFPS_ASSIGN_OR_RETURN(auto train,
+                        data::ConcatViews(split.train, partition, selected));
+  VFPS_ASSIGN_OR_RETURN(auto valid,
+                        data::ConcatViews(split.valid, partition, selected));
+  VFPS_ASSIGN_OR_RETURN(auto test,
+                        data::ConcatViews(split.test, partition, selected));
+
+  VFPS_ASSIGN_OR_RETURN(auto model,
+                        ml::CreateClassifier(options.model, options.classifier));
+  VFPS_RETURN_NOT_OK(model->Fit(train, valid));
+  VFPS_ASSIGN_OR_RETURN(double accuracy, model->Score(test));
+
+  TrainingOutcome outcome;
+  outcome.test_accuracy = accuracy;
+  outcome.epochs = model->epochs_trained();
+
+  double sim = 0.0;
+  if (options.model == ml::ModelKind::kKnn) {
+    sim = KnnInferenceSimSeconds(partition, selected, train.num_samples(),
+                                 test.num_samples(), cost);
+  } else {
+    const double per_epoch = SplitEpochSimSeconds(
+        partition, selected, options.model, train.num_samples(),
+        options.classifier.train.batch_size, train.num_classes(), cost);
+    sim = static_cast<double>(std::max<size_t>(outcome.epochs, 1)) * per_epoch;
+  }
+  outcome.sim_seconds = sim;
+  if (clock != nullptr) clock->Advance(CostCategory::kTraining, sim);
+  return outcome;
+}
+
+}  // namespace vfps::vfl

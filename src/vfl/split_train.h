@@ -1,0 +1,66 @@
+#ifndef VFPS_VFL_SPLIT_TRAIN_H_
+#define VFPS_VFL_SPLIT_TRAIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "data/dataset.h"
+#include "data/partitioner.h"
+#include "ml/classifier.h"
+#include "net/cost_model.h"
+
+namespace vfps::vfl {
+
+/// \brief Downstream task configuration (paper §V-A "Hyper-parameter
+/// Settings"): LR = one linear layer per participant, outputs summed at the
+/// server; MLP = 1-layer bottom models + 2-layer top model; KNN = federated
+/// distance aggregation at inference time. Exchanged activations/gradients
+/// are HE-protected.
+struct DownstreamOptions {
+  ml::ModelKind model = ml::ModelKind::kLogReg;
+  ml::ClassifierOptions classifier;
+};
+
+/// \brief Result of training + evaluating the downstream model on a selected
+/// sub-consortium.
+struct TrainingOutcome {
+  double test_accuracy = 0.0;
+  size_t epochs = 0;
+  double sim_seconds = 0.0;  // simulated federated training time
+};
+
+/// \brief Train the downstream model over the participants in `selected` and
+/// evaluate on the test split.
+///
+/// The model mathematics runs centralized on the concatenated feature view —
+/// exact, because the split model computes the same function — while the
+/// simulated clock is charged for the federated execution: per epoch, every
+/// selected participant encrypts its per-batch bottom-model outputs, the
+/// server aggregates them homomorphically and returns (encrypted) gradients,
+/// and plaintext compute is charged at the cost model's training rate. For
+/// the KNN "task" there is no training; the cost is federated inference over
+/// the test set (the BASE aggregation per test query).
+Result<TrainingOutcome> RunDownstreamTraining(
+    const data::DataSplit& split, const data::VerticalPartition& partition,
+    const std::vector<size_t>& selected, const DownstreamOptions& options,
+    const net::CostModel& cost, SimClock* clock);
+
+/// \brief Simulated seconds for one epoch of split training over the given
+/// sub-consortium (exposed for tests and the time-breakdown bench).
+double SplitEpochSimSeconds(const data::VerticalPartition& partition,
+                            const std::vector<size_t>& selected,
+                            ml::ModelKind model, size_t num_samples,
+                            size_t batch_size, int num_classes,
+                            const net::CostModel& cost);
+
+/// \brief Simulated seconds for federated KNN inference of `num_queries`
+/// test samples against `num_train` rows over the sub-consortium.
+double KnnInferenceSimSeconds(const data::VerticalPartition& partition,
+                              const std::vector<size_t>& selected,
+                              size_t num_train, size_t num_queries,
+                              const net::CostModel& cost);
+
+}  // namespace vfps::vfl
+
+#endif  // VFPS_VFL_SPLIT_TRAIN_H_

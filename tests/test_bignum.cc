@@ -1,0 +1,187 @@
+#include "he/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vfps::he {
+namespace {
+
+TEST(BigIntTest, ConstructionAndU64RoundTrip) {
+  EXPECT_TRUE(BigInt().IsZero());
+  EXPECT_EQ(BigInt(0).ToU64(), 0u);
+  EXPECT_EQ(BigInt(1).ToU64(), 1u);
+  EXPECT_EQ(BigInt(0xFFFFFFFFFFFFFFFFULL).ToU64(), 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_GT(BigInt(1) << 100, BigInt(0xFFFFFFFFFFFFFFFFULL));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_LE(BigInt(7), BigInt(7));
+}
+
+TEST(BigIntTest, AddSubSmall) {
+  EXPECT_EQ((BigInt(100) + BigInt(23)).ToU64(), 123u);
+  EXPECT_EQ((BigInt(100) - BigInt(23)).ToU64(), 77u);
+  EXPECT_TRUE((BigInt(5) - BigInt(5)).IsZero());
+}
+
+TEST(BigIntTest, AddCarriesAcrossLimbs) {
+  BigInt a(0xFFFFFFFFULL);
+  BigInt sum = a + BigInt(1);
+  EXPECT_EQ(sum.ToU64(), 0x100000000ULL);
+  BigInt b = (BigInt(1) << 128) - BigInt(1);
+  BigInt c = b + BigInt(1);
+  EXPECT_EQ(c.BitLength(), 129u);
+}
+
+TEST(BigIntTest, MulAgainstU64) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextBounded(1ULL << 32);
+    uint64_t b = rng.NextBounded(1ULL << 32);
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToU64(), a * b);
+  }
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomWithBits(100, &rng);
+    for (size_t s : {1u, 31u, 32u, 33u, 64u, 77u}) {
+      EXPECT_EQ((a << s) >> s, a);
+    }
+  }
+}
+
+TEST(BigIntTest, DivModIdentity) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::RandomWithBits(200, &rng);
+    BigInt b = BigInt::RandomWithBits(60 + (i % 100), &rng);
+    auto qr = BigInt::DivMod(a, b);
+    ASSERT_TRUE(qr.ok());
+    const auto& [q, r] = *qr;
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(BigIntTest, DivModSmallerDividend) {
+  auto qr = BigInt::DivMod(BigInt(5), BigInt(100));
+  ASSERT_TRUE(qr.ok());
+  EXPECT_TRUE(qr->first.IsZero());
+  EXPECT_EQ(qr->second, BigInt(5));
+}
+
+TEST(BigIntTest, DivByZeroFails) {
+  EXPECT_FALSE(BigInt::DivMod(BigInt(5), BigInt()).ok());
+}
+
+TEST(BigIntTest, PowModMatches64BitReference) {
+  const uint64_t q = 1000003;
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t base = rng.NextBounded(q);
+    uint64_t exp = rng.NextBounded(1000);
+    uint64_t expected = 1;
+    for (uint64_t e = 0; e < exp; ++e) expected = (expected * base) % q;
+    auto got = BigInt::PowMod(BigInt(base), BigInt(exp), BigInt(q));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->ToU64(), expected);
+  }
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(5)), BigInt(1));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(9)), BigInt(9));
+}
+
+TEST(BigIntTest, ModInverseCorrect) {
+  Rng rng(7);
+  const BigInt m = BigInt::GeneratePrime(128, &rng).ValueOrDie();
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::RandomBelow(m, &rng);
+    if (a.IsZero()) continue;
+    auto inv = BigInt::ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(BigInt::MulMod(a, *inv, m).ValueOrDie(), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModInverseFailsWhenNotCoprime) {
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Rng rng(8);
+  for (size_t bits : {8u, 33u, 64u, 100u, 256u}) {
+    BigInt a = BigInt::RandomWithBits(bits, &rng);
+    EXPECT_EQ(BigInt::FromBytes(a.ToBytes()), a);
+  }
+  EXPECT_TRUE(BigInt::FromBytes({}).IsZero());
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  EXPECT_EQ(BigInt::FromHexString("deadbeef").ValueOrDie().ToU64(), 0xdeadbeefULL);
+  EXPECT_EQ(BigInt(0xabcdef).ToHexString(), "abcdef");
+  Rng rng(9);
+  BigInt a = BigInt::RandomWithBits(200, &rng);
+  EXPECT_EQ(BigInt::FromHexString(a.ToHexString()).ValueOrDie(), a);
+  EXPECT_FALSE(BigInt::FromHexString("xyz").ok());
+  EXPECT_FALSE(BigInt::FromHexString("").ok());
+}
+
+TEST(BigIntTest, RandomWithBitsExactBitLength) {
+  Rng rng(10);
+  for (size_t bits : {8u, 31u, 32u, 33u, 512u}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(BigInt::RandomWithBits(bits, &rng).BitLength(), bits);
+    }
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  Rng rng(11);
+  const BigInt bound = BigInt::RandomWithBits(100, &rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigInt::RandomBelow(bound, &rng), bound);
+  }
+}
+
+TEST(BigIntTest, ProbablyPrimeKnownValues) {
+  Rng rng(12);
+  EXPECT_TRUE(BigInt::ProbablyPrime(BigInt(2), 10, &rng));
+  EXPECT_TRUE(BigInt::ProbablyPrime(BigInt(997), 10, &rng));
+  EXPECT_FALSE(BigInt::ProbablyPrime(BigInt(561), 10, &rng));  // Carmichael
+  EXPECT_FALSE(BigInt::ProbablyPrime(BigInt(1), 10, &rng));
+  // 2^127 - 1 is a Mersenne prime.
+  const BigInt m127 = (BigInt(1) << 127) - BigInt(1);
+  EXPECT_TRUE(BigInt::ProbablyPrime(m127, 10, &rng));
+  EXPECT_FALSE(BigInt::ProbablyPrime(m127 + BigInt(2), 10, &rng));
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedSize) {
+  Rng rng(13);
+  auto p = BigInt::GeneratePrime(96, &rng);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->BitLength(), 96u);
+  EXPECT_TRUE(BigInt::ProbablyPrime(*p, 20, &rng));
+}
+
+TEST(BigIntTest, GetBitMatchesShift) {
+  BigInt v = BigInt(0b1011010);
+  EXPECT_FALSE(v.GetBit(0));
+  EXPECT_TRUE(v.GetBit(1));
+  EXPECT_FALSE(v.GetBit(2));
+  EXPECT_TRUE(v.GetBit(3));
+  EXPECT_TRUE(v.GetBit(4));
+  EXPECT_FALSE(v.GetBit(5));
+  EXPECT_TRUE(v.GetBit(6));
+  EXPECT_FALSE(v.GetBit(1000));
+}
+
+}  // namespace
+}  // namespace vfps::he

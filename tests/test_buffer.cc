@@ -1,0 +1,71 @@
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace vfps {
+namespace {
+
+TEST(BufferTest, RoundTripScalars) {
+  BinaryWriter w;
+  w.WriteU8(7);
+  w.WriteU32(123456u);
+  w.WriteU64(0xDEADBEEFCAFEBABEULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.25);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadU8().ValueOrDie(), 7);
+  EXPECT_EQ(r.ReadU32().ValueOrDie(), 123456u);
+  EXPECT_EQ(r.ReadU64().ValueOrDie(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(r.ReadI64().ValueOrDie(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().ValueOrDie(), 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, RoundTripStringsAndVectors) {
+  BinaryWriter w;
+  w.WriteString("hello vfps");
+  w.WriteBytes({1, 2, 3});
+  w.WriteDoubleVec({1.5, -2.5, 0.0});
+  w.WriteU64Vec({10, 20});
+  w.WriteU32Vec({});
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadString().ValueOrDie(), "hello vfps");
+  EXPECT_EQ(r.ReadBytes().ValueOrDie(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.ReadDoubleVec().ValueOrDie(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(r.ReadU64Vec().ValueOrDie(), (std::vector<uint64_t>{10, 20}));
+  EXPECT_TRUE(r.ReadU32Vec().ValueOrDie().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, TruncatedReadFails) {
+  BinaryWriter w;
+  w.WriteU32(5);
+  BinaryReader r(w.bytes());
+  EXPECT_TRUE(r.ReadU64().status().IsOutOfRange());
+}
+
+TEST(BufferTest, TruncatedVectorFails) {
+  BinaryWriter w;
+  w.WriteU32(100);  // claims 100 doubles but provides none
+  BinaryReader r(w.bytes());
+  EXPECT_TRUE(r.ReadDoubleVec().status().IsOutOfRange());
+}
+
+TEST(BufferTest, EmptyStringRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("");
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadString().ValueOrDie(), "");
+}
+
+TEST(BufferTest, SizeTracksWrites) {
+  BinaryWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  w.WriteU64(1);
+  EXPECT_EQ(w.size(), 8u);
+  w.WriteDoubleVec({1.0, 2.0});
+  EXPECT_EQ(w.size(), 8u + 4u + 16u);
+}
+
+}  // namespace
+}  // namespace vfps

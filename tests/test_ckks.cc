@@ -1,0 +1,302 @@
+#include "he/ckks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vfps::he {
+namespace {
+
+CkksParams SmallParams() {
+  CkksParams params;
+  params.poly_degree = 1024;  // fast tests; production default is 4096
+  params.prime_bits = {54, 54};
+  params.scale = std::ldexp(1.0, 40);
+  return params;
+}
+
+class CkksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ctx = CkksContext::Create(SmallParams());
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = *ctx;
+    rng_ = std::make_unique<Rng>(2024);
+    sk_ = ctx_->GenerateSecretKey(rng_.get());
+    pk_ = ctx_->GeneratePublicKey(sk_, rng_.get());
+  }
+
+  std::shared_ptr<const CkksContext> ctx_;
+  std::unique_ptr<Rng> rng_;
+  CkksSecretKey sk_;
+  CkksPublicKey pk_;
+};
+
+TEST_F(CkksTest, EncodeDecodeRoundTrip) {
+  const auto& encoder = ctx_->encoder();
+  std::vector<double> values;
+  Rng rng(7);
+  for (size_t i = 0; i < encoder.slot_count(); ++i) {
+    values.push_back(rng.Uniform(-100.0, 100.0));
+  }
+  auto pt = encoder.Encode(values, ctx_->params().scale);
+  ASSERT_TRUE(pt.ok()) << pt.status().ToString();
+  auto decoded = encoder.Decode(*pt, ctx_->params().scale, values.size());
+  ASSERT_TRUE(decoded.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR((*decoded)[i], values[i], 1e-6) << "slot " << i;
+  }
+}
+
+TEST_F(CkksTest, EncryptDecryptRoundTrip) {
+  std::vector<double> values = {1.5, -2.25, 1000.0, 0.0, -0.001, 42.42};
+  auto ct = ctx_->EncryptVector(pk_, values, rng_.get());
+  ASSERT_TRUE(ct.ok()) << ct.status().ToString();
+  auto decrypted = ctx_->DecryptVector(sk_, *ct, values.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], values[i], 1e-4) << "slot " << i;
+  }
+}
+
+TEST_F(CkksTest, CiphertextHidesPlaintext) {
+  // Two encryptions of the same value must differ (semantic security), and a
+  // fresh ciphertext must not decrypt under a different key.
+  std::vector<double> values = {3.0, 1.0};
+  auto ct1 = ctx_->EncryptVector(pk_, values, rng_.get());
+  auto ct2 = ctx_->EncryptVector(pk_, values, rng_.get());
+  ASSERT_TRUE(ct1.ok() && ct2.ok());
+  EXPECT_NE(ct1->c0.residues, ct2->c0.residues);
+
+  Rng other_rng(999);
+  CkksSecretKey other_sk = ctx_->GenerateSecretKey(&other_rng);
+  auto wrong = ctx_->DecryptVector(other_sk, *ct1, values.size());
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_GT(std::abs((*wrong)[0] - values[0]), 1.0);
+}
+
+TEST_F(CkksTest, HomomorphicAddition) {
+  std::vector<double> a = {1.0, 2.0, -3.5};
+  std::vector<double> b = {10.0, -20.0, 0.25};
+  auto ca = ctx_->EncryptVector(pk_, a, rng_.get());
+  auto cb = ctx_->EncryptVector(pk_, b, rng_.get());
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  auto sum = ctx_->Add(*ca, *cb);
+  ASSERT_TRUE(sum.ok());
+  auto decrypted = ctx_->DecryptVector(sk_, *sum, a.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], a[i] + b[i], 1e-4);
+  }
+}
+
+TEST_F(CkksTest, HomomorphicSubtraction) {
+  std::vector<double> a = {5.0, 7.0};
+  std::vector<double> b = {2.0, 10.0};
+  auto ca = ctx_->EncryptVector(pk_, a, rng_.get());
+  auto cb = ctx_->EncryptVector(pk_, b, rng_.get());
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  auto diff = ctx_->Sub(*ca, *cb);
+  ASSERT_TRUE(diff.ok());
+  auto decrypted = ctx_->DecryptVector(sk_, *diff, a.size());
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_NEAR((*decrypted)[0], 3.0, 1e-4);
+  EXPECT_NEAR((*decrypted)[1], -3.0, 1e-4);
+}
+
+TEST_F(CkksTest, ManyAdditionsAccumulateNoiseGracefully) {
+  // Sum 20 encrypted copies of a ramp vector (matches the P <= 20 participants
+  // in the scalability experiment).
+  std::vector<double> values = {0.5, 1.0, 2.0, 4.0};
+  auto acc = ctx_->EncryptVector(pk_, values, rng_.get());
+  ASSERT_TRUE(acc.ok());
+  for (int i = 0; i < 19; ++i) {
+    auto ct = ctx_->EncryptVector(pk_, values, rng_.get());
+    ASSERT_TRUE(ct.ok());
+    ASSERT_TRUE(ctx_->AddInPlaceCt(&acc.ValueOrDie(), *ct).ok());
+  }
+  auto decrypted = ctx_->DecryptVector(sk_, *acc, values.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], 20.0 * values[i], 1e-3);
+  }
+}
+
+TEST_F(CkksTest, AddPlainMatchesAdd) {
+  std::vector<double> a = {1.0, -1.0};
+  std::vector<double> b = {0.5, 0.5};
+  auto ca = ctx_->EncryptVector(pk_, a, rng_.get());
+  ASSERT_TRUE(ca.ok());
+  auto pt = ctx_->encoder().Encode(b, ctx_->params().scale);
+  ASSERT_TRUE(pt.ok());
+  auto sum = ctx_->AddPlain(*ca, *pt);
+  ASSERT_TRUE(sum.ok());
+  auto decrypted = ctx_->DecryptVector(sk_, *sum, a.size());
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_NEAR((*decrypted)[0], 1.5, 1e-4);
+  EXPECT_NEAR((*decrypted)[1], -0.5, 1e-4);
+}
+
+TEST_F(CkksTest, MulScalar) {
+  std::vector<double> a = {1.0, -2.0, 3.0};
+  auto ca = ctx_->EncryptVector(pk_, a, rng_.get());
+  ASSERT_TRUE(ca.ok());
+  auto scaled = ctx_->MulScalar(*ca, 7);
+  auto decrypted = ctx_->DecryptVector(sk_, scaled, a.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], 7.0 * a[i], 1e-3);
+  }
+}
+
+TEST_F(CkksTest, ScaleMismatchRejected) {
+  std::vector<double> v = {1.0};
+  auto ca = ctx_->EncryptVector(pk_, v, rng_.get());
+  ASSERT_TRUE(ca.ok());
+  CkksCiphertext other = *ca;
+  other.scale *= 2.0;
+  EXPECT_FALSE(ctx_->Add(*ca, other).ok());
+  EXPECT_FALSE(ctx_->Sub(*ca, other).ok());
+}
+
+TEST_F(CkksTest, SerializationRoundTrip) {
+  std::vector<double> values = {9.75, -1.25, 3.0};
+  auto ct = ctx_->EncryptVector(pk_, values, rng_.get());
+  ASSERT_TRUE(ct.ok());
+  BinaryWriter writer;
+  ctx_->SerializeCiphertext(*ct, &writer);
+  EXPECT_EQ(writer.size(), ctx_->CiphertextByteSize());
+  BinaryReader reader(writer.bytes());
+  auto restored = ctx_->DeserializeCiphertext(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto decrypted = ctx_->DecryptVector(sk_, *restored, values.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], values[i], 1e-4);
+  }
+}
+
+TEST_F(CkksTest, EncodeOverCapacityFails) {
+  std::vector<double> too_many(ctx_->slot_count() + 1, 1.0);
+  EXPECT_FALSE(ctx_->EncryptVector(pk_, too_many, rng_.get()).ok());
+}
+
+TEST_F(CkksTest, EncodeOverflowingMagnitudeFails) {
+  std::vector<double> huge = {1e30};
+  EXPECT_FALSE(ctx_->EncryptVector(pk_, huge, rng_.get()).ok());
+}
+
+TEST_F(CkksTest, MultiplyPlainWithRescale) {
+  std::vector<double> a = {1.5, -2.0, 3.0, 0.5};
+  std::vector<double> b = {2.0, 4.0, -1.0, 8.0};
+  auto ct = ctx_->EncryptVector(pk_, a, rng_.get());
+  ASSERT_TRUE(ct.ok());
+  auto pt = ctx_->encoder().Encode(b, ctx_->params().scale);
+  ASSERT_TRUE(pt.ok());
+  auto product = ctx_->MultiplyPlain(*ct, *pt, ctx_->params().scale);
+  ASSERT_TRUE(product.ok());
+  EXPECT_DOUBLE_EQ(product->scale,
+                   ctx_->params().scale * ctx_->params().scale);
+  auto rescaled = ctx_->Rescale(*product);
+  ASSERT_TRUE(rescaled.ok()) << rescaled.status().ToString();
+  EXPECT_EQ(rescaled->level(), 1u);
+  auto decrypted = ctx_->DecryptVector(sk_, *rescaled, a.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], a[i] * b[i], 1e-3) << "slot " << i;
+  }
+}
+
+TEST_F(CkksTest, CiphertextMultiplyWithRelinearization) {
+  auto rk = ctx_->GenerateRelinKey(sk_, rng_.get());
+  std::vector<double> a = {1.5, -2.0, 3.0, 0.25};
+  std::vector<double> b = {2.0, 5.0, -1.5, -4.0};
+  auto ca = ctx_->EncryptVector(pk_, a, rng_.get());
+  auto cb = ctx_->EncryptVector(pk_, b, rng_.get());
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  auto product = ctx_->Multiply(*ca, *cb, rk);
+  ASSERT_TRUE(product.ok()) << product.status().ToString();
+  auto rescaled = ctx_->Rescale(*product);
+  ASSERT_TRUE(rescaled.ok());
+  auto decrypted = ctx_->DecryptVector(sk_, *rescaled, a.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], a[i] * b[i], 1e-2) << "slot " << i;
+  }
+}
+
+TEST_F(CkksTest, MultiplyThenAddComposes) {
+  // Enc(a)*Enc(b) + Enc(c)*Enc(d) after rescale: the add requires equal
+  // scales and levels, which the rescaled products share.
+  auto rk = ctx_->GenerateRelinKey(sk_, rng_.get());
+  std::vector<double> a = {3.0}, b = {2.0}, c = {-1.0}, d = {5.0};
+  auto ca = ctx_->EncryptVector(pk_, a, rng_.get());
+  auto cb = ctx_->EncryptVector(pk_, b, rng_.get());
+  auto cc = ctx_->EncryptVector(pk_, c, rng_.get());
+  auto cd = ctx_->EncryptVector(pk_, d, rng_.get());
+  auto ab = ctx_->Rescale(*ctx_->Multiply(*ca, *cb, rk));
+  auto cd2 = ctx_->Rescale(*ctx_->Multiply(*cc, *cd, rk));
+  ASSERT_TRUE(ab.ok() && cd2.ok());
+  // Scales after rescale are bit-identical (same arithmetic), so Add works.
+  auto sum = ctx_->Add(*ab, *cd2);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  auto decrypted = ctx_->DecryptVector(sk_, *sum, 1);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_NEAR((*decrypted)[0], 3.0 * 2.0 + (-1.0) * 5.0, 2e-2);
+}
+
+TEST_F(CkksTest, RescaleRequiresSparePrime) {
+  std::vector<double> a = {1.0};
+  auto ct = ctx_->EncryptVector(pk_, a, rng_.get());
+  ASSERT_TRUE(ct.ok());
+  auto once = ctx_->Rescale(*ct);
+  ASSERT_TRUE(once.ok());
+  EXPECT_FALSE(ctx_->Rescale(*once).ok());  // level 1: nothing to drop
+}
+
+TEST_F(CkksTest, MultiplyRejectsRescaledInputs) {
+  auto rk = ctx_->GenerateRelinKey(sk_, rng_.get());
+  auto ct = ctx_->EncryptVector(pk_, {1.0}, rng_.get());
+  ASSERT_TRUE(ct.ok());
+  auto low = ctx_->Rescale(*ct);
+  ASSERT_TRUE(low.ok());
+  EXPECT_FALSE(ctx_->Multiply(*low, *ct, rk).ok());
+  EXPECT_FALSE(ctx_->Multiply(*ct, *ct, CkksRelinKey{}).ok());
+}
+
+TEST(CkksParamsTest, RejectsBadParams) {
+  CkksParams params;
+  params.poly_degree = 4;
+  EXPECT_FALSE(CkksContext::Create(params).ok());
+  params = CkksParams{};
+  params.prime_bits = {20};
+  EXPECT_FALSE(CkksContext::Create(params).ok());
+  params = CkksParams{};
+  params.prime_bits = {60};
+  EXPECT_FALSE(CkksContext::Create(params).ok());
+}
+
+TEST(CkksParamsTest, SinglePrimeContextWorks) {
+  CkksParams params;
+  params.poly_degree = 1024;
+  params.prime_bits = {54};
+  params.scale = std::ldexp(1.0, 30);
+  auto ctx = CkksContext::Create(params);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  Rng rng(5);
+  auto sk = (*ctx)->GenerateSecretKey(&rng);
+  auto pk = (*ctx)->GeneratePublicKey(sk, &rng);
+  std::vector<double> values = {1.0, 2.5, -3.0};
+  auto ct = (*ctx)->EncryptVector(pk, values, &rng);
+  ASSERT_TRUE(ct.ok());
+  auto decrypted = (*ctx)->DecryptVector(sk, *ct, values.size());
+  ASSERT_TRUE(decrypted.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR((*decrypted)[i], values[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace vfps::he

@@ -1,0 +1,149 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/scaler.h"
+
+namespace vfps::data {
+namespace {
+
+Dataset MakeToy() {
+  Dataset d(4, 3, 2);
+  // rows: [0,1,2], [10,11,12], [20,21,22], [30,31,32]; labels 0,1,0,1
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) d.Set(i, j, 10.0 * i + j);
+    d.SetLabel(i, static_cast<int>(i % 2));
+  }
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeToy();
+  EXPECT_EQ(d.num_samples(), 4u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_DOUBLE_EQ(d.At(2, 1), 21.0);
+  EXPECT_EQ(d.Label(3), 1);
+  EXPECT_DOUBLE_EQ(d.Row(1)[2], 12.0);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset d = MakeToy();
+  auto counts = d.ClassCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(DatasetTest, SelectRowsPreservesOrderAndLabels) {
+  Dataset d = MakeToy();
+  Dataset sub = d.SelectRows({3, 0});
+  ASSERT_EQ(sub.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(sub.At(0, 0), 30.0);
+  EXPECT_DOUBLE_EQ(sub.At(1, 0), 0.0);
+  EXPECT_EQ(sub.Label(0), 1);
+  EXPECT_EQ(sub.Label(1), 0);
+}
+
+TEST(DatasetTest, SelectColumnsReorders) {
+  Dataset d = MakeToy();
+  Dataset sub = d.SelectColumns({2, 0});
+  ASSERT_EQ(sub.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(sub.At(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(sub.At(1, 1), 10.0);
+  EXPECT_EQ(sub.Label(1), 1);  // labels untouched
+}
+
+TEST(SplitDatasetTest, FractionsRespected) {
+  Dataset d(100, 2, 2);
+  for (size_t i = 0; i < 100; ++i) d.SetLabel(i, static_cast<int>(i % 2));
+  auto split = SplitDataset(d, 0.8, 0.1, 7);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.num_samples(), 80u);
+  EXPECT_EQ(split->valid.num_samples(), 10u);
+  EXPECT_EQ(split->test.num_samples(), 10u);
+}
+
+TEST(SplitDatasetTest, PartitionsAreDisjointAndComplete) {
+  Dataset d(50, 1, 2);
+  for (size_t i = 0; i < 50; ++i) d.Set(i, 0, static_cast<double>(i));
+  auto split = SplitDataset(d, 0.6, 0.2, 3);
+  ASSERT_TRUE(split.ok());
+  std::vector<int> seen(50, 0);
+  for (const Dataset* part : {&split->train, &split->valid, &split->test}) {
+    for (size_t i = 0; i < part->num_samples(); ++i) {
+      seen[static_cast<size_t>(part->At(i, 0))]++;
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(SplitDatasetTest, DeterministicForSeed) {
+  Dataset d(30, 1, 2);
+  for (size_t i = 0; i < 30; ++i) d.Set(i, 0, static_cast<double>(i));
+  auto a = SplitDataset(d, 0.8, 0.1, 11);
+  auto b = SplitDataset(d, 0.8, 0.1, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->train.num_samples(); ++i) {
+    EXPECT_DOUBLE_EQ(a->train.At(i, 0), b->train.At(i, 0));
+  }
+}
+
+TEST(SplitDatasetTest, RejectsBadFractions) {
+  Dataset d = MakeToy();
+  EXPECT_FALSE(SplitDataset(d, 0.0, 0.1, 1).ok());
+  EXPECT_FALSE(SplitDataset(d, 0.9, 0.2, 1).ok());
+}
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVariance) {
+  Dataset d(100, 2, 2);
+  Rng rng(5);
+  for (size_t i = 0; i < 100; ++i) {
+    d.Set(i, 0, rng.Normal(5.0, 3.0));
+    d.Set(i, 1, rng.Normal(-2.0, 0.5));
+  }
+  StandardScaler scaler = StandardScaler::Fit(d);
+  ASSERT_TRUE(scaler.Transform(&d).ok());
+  for (size_t j = 0; j < 2; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (size_t i = 0; i < 100; ++i) mean += d.At(i, j);
+    mean /= 100.0;
+    for (size_t i = 0; i < 100; ++i) {
+      var += (d.At(i, j) - mean) * (d.At(i, j) - mean);
+    }
+    var /= 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantFeatureLeftFinite) {
+  Dataset d(10, 1, 2);
+  for (size_t i = 0; i < 10; ++i) d.Set(i, 0, 7.0);
+  StandardScaler scaler = StandardScaler::Fit(d);
+  ASSERT_TRUE(scaler.Transform(&d).ok());
+  for (size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.At(i, 0), 0.0);
+}
+
+TEST(ScalerTest, WidthMismatchRejected) {
+  Dataset a(5, 2, 2), b(5, 3, 2);
+  StandardScaler scaler = StandardScaler::Fit(a);
+  EXPECT_FALSE(scaler.Transform(&b).ok());
+}
+
+TEST(ScalerTest, StandardizeSplitUsesTrainStats) {
+  Dataset d(200, 1, 2);
+  Rng rng(9);
+  for (size_t i = 0; i < 200; ++i) d.Set(i, 0, rng.Normal(10.0, 2.0));
+  auto split = SplitDataset(d, 0.5, 0.25, 1);
+  ASSERT_TRUE(split.ok());
+  const double test_raw = split->test.At(0, 0);
+  ASSERT_TRUE(StandardizeSplit(&*split).ok());
+  // Test values transformed with TRAIN statistics, not their own.
+  const StandardScaler ref = StandardScaler::Fit(split->train);
+  (void)ref;
+  EXPECT_NE(split->test.At(0, 0), test_raw);
+}
+
+}  // namespace
+}  // namespace vfps::data

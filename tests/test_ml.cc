@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "ml/classifier.h"
+#include "ml/knn.h"
+#include "ml/logreg.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/optimizer.h"
+
+namespace vfps::ml {
+namespace {
+
+// Shared easy dataset: two well-separated classes.
+data::DataSplit EasySplit() {
+  data::SyntheticConfig config;
+  config.num_samples = 600;
+  config.num_features = 6;
+  config.num_informative = 4;
+  config.num_redundant = 1;
+  config.centroid_distance = 4.0;
+  config.label_noise = 0.0;
+  config.seed = 3;
+  auto generated = data::GenerateClassification(config);
+  auto split = data::SplitDataset(generated->data, 0.7, 0.15, 3);
+  data::StandardizeSplit(&*split).Abort("standardize");
+  return split.MoveValueUnsafe();
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 3), b(3, 2), out;
+  double va = 1;
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j) a.At(i, j) = va++;
+  double vb = 1;
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 2; ++j) b.At(i, j) = vb++;
+  MatMul(a, b, &out);
+  // [[1,2,3],[4,5,6]] * [[1,2],[3,4],[5,6]] = [[22,28],[49,64]]
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 1), 64.0);
+}
+
+TEST(MatrixTest, TransposedVariantsConsistent) {
+  Rng rng(4);
+  Matrix a(3, 4), b(3, 5);
+  for (double& v : a.data()) v = rng.Normal();
+  for (double& v : b.data()) v = rng.Normal();
+  // a^T * b via MatTMul must equal manually transposing then MatMul.
+  Matrix at(4, 3);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 4; ++j) at.At(j, i) = a.At(i, j);
+  Matrix expected, got;
+  MatMul(at, b, &expected);
+  MatTMul(a, b, &got);
+  for (size_t i = 0; i < expected.data().size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-12);
+  }
+  // a * b^T via MatMulT: a (3x4), c (5x4) -> 3x5.
+  Matrix c(5, 4);
+  for (double& v : c.data()) v = rng.Normal();
+  Matrix ct(4, 5);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 4; ++j) ct.At(j, i) = c.At(i, j);
+  MatMul(a, ct, &expected);
+  MatMulT(a, c, &got);
+  for (size_t i = 0; i < expected.data().size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, AddRowVectorAndColumnSums) {
+  Matrix m(2, 3, 1.0);
+  AddRowVector(&m, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 4.0);
+  auto sums = ColumnSums(m);
+  EXPECT_DOUBLE_EQ(sums[0], 4.0);
+  EXPECT_DOUBLE_EQ(sums[2], 8.0);
+}
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1}, {1, 2}), 0.0);  // size mismatch
+}
+
+TEST(MetricsTest, SoftmaxSumsToOneAndOrders) {
+  double v[3] = {1.0, 3.0, 2.0};
+  SoftmaxInPlace(v, 3);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_GT(v[1], v[2]);
+  EXPECT_GT(v[2], v[0]);
+}
+
+TEST(MetricsTest, SoftmaxStableForLargeLogits) {
+  double v[2] = {1000.0, 999.0};
+  SoftmaxInPlace(v, 2);
+  EXPECT_TRUE(std::isfinite(v[0]));
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-12);
+}
+
+TEST(MetricsTest, CrossEntropyPerfectAndWrong) {
+  // Perfect prediction -> ~0 loss; confident wrong -> large loss.
+  std::vector<double> good = {1.0, 0.0};
+  EXPECT_NEAR(CrossEntropy(good, 2, {0}), 0.0, 1e-9);
+  std::vector<double> bad = {1e-12, 1.0};
+  EXPECT_GT(CrossEntropy(bad, 2, {0}), 20.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // minimize (x-3)^2 + (y+1)^2
+  std::vector<double> params = {0.0, 0.0};
+  Adam adam(0.1);
+  for (int step = 0; step < 500; ++step) {
+    std::vector<double> grads = {2.0 * (params[0] - 3.0), 2.0 * (params[1] + 1.0)};
+    adam.Step(&params, grads);
+  }
+  EXPECT_NEAR(params[0], 3.0, 1e-2);
+  EXPECT_NEAR(params[1], -1.0, 1e-2);
+}
+
+TEST(SgdTest, DescendsGradient) {
+  std::vector<double> params = {10.0};
+  Sgd sgd(0.1);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<double> grads = {2.0 * params[0]};
+    sgd.Step(&params, grads);
+  }
+  EXPECT_NEAR(params[0], 0.0, 1e-3);
+}
+
+TEST(EarlyStopperTest, StopsAfterPatience) {
+  EarlyStopper stopper(3);
+  EXPECT_FALSE(stopper.ShouldStop(1.0));
+  EXPECT_FALSE(stopper.ShouldStop(0.5));  // improving
+  EXPECT_FALSE(stopper.ShouldStop(0.6));  // stale 1
+  EXPECT_FALSE(stopper.ShouldStop(0.6));  // stale 2
+  EXPECT_TRUE(stopper.ShouldStop(0.7));   // stale 3 -> stop
+  EXPECT_DOUBLE_EQ(stopper.best_loss(), 0.5);
+}
+
+TEST(MakeBatchesTest, CoversAllIndices) {
+  std::vector<size_t> order = {4, 2, 0, 1, 3};
+  auto batches = MakeBatches(5, 2, order);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0], (std::vector<size_t>{4, 2}));
+  EXPECT_EQ(batches[2], (std::vector<size_t>{3}));
+}
+
+TEST(KnnTest, PerfectOnMemorizedPoints) {
+  data::Dataset train(4, 2, 2);
+  train.Set(0, 0, 0.0);
+  train.Set(1, 0, 0.1);
+  train.Set(2, 0, 10.0);
+  train.Set(3, 0, 10.1);
+  train.SetLabel(0, 0);
+  train.SetLabel(1, 0);
+  train.SetLabel(2, 1);
+  train.SetLabel(3, 1);
+  KnnClassifier knn(1);
+  ASSERT_TRUE(knn.Fit(train, {}).ok());
+  auto preds = knn.Predict(train);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_EQ(*preds, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(KnnTest, MajorityVoteAndTies) {
+  EXPECT_EQ(MajorityVote({0, 0, 1}, 2), 0);
+  EXPECT_EQ(MajorityVote({1, 1, 0}, 2), 1);
+  EXPECT_EQ(MajorityVote({0, 1}, 2), 0);  // tie -> smallest class id
+  EXPECT_EQ(MajorityVote({}, 2), 0);
+}
+
+TEST(KnnTest, NeighborsSortedByDistance) {
+  data::Dataset train(5, 1, 2);
+  for (size_t i = 0; i < 5; ++i) train.Set(i, 0, static_cast<double>(i));
+  KnnClassifier knn(3);
+  ASSERT_TRUE(knn.Fit(train, {}).ok());
+  const double query = 1.9;
+  auto neighbors = knn.Neighbors(&query);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0], 2u);
+  EXPECT_EQ(neighbors[1], 1u);
+  EXPECT_EQ(neighbors[2], 3u);
+}
+
+TEST(KnnTest, HighAccuracyOnEasyData) {
+  auto split = EasySplit();
+  KnnClassifier knn(5);
+  ASSERT_TRUE(knn.Fit(split.train, split.valid).ok());
+  auto acc = knn.Score(split.test);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.9);
+}
+
+TEST(LogRegTest, HighAccuracyOnEasyData) {
+  auto split = EasySplit();
+  TrainConfig config;
+  config.learning_rate = 0.05;
+  LogisticRegression lr(config);
+  ASSERT_TRUE(lr.Fit(split.train, split.valid).ok());
+  EXPECT_GT(lr.epochs_trained(), 0u);
+  auto acc = lr.Score(split.test);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.9);
+}
+
+TEST(LogRegTest, LossDecreasesWithTraining) {
+  auto split = EasySplit();
+  TrainConfig config;
+  config.max_epochs = 1;
+  LogisticRegression one_epoch(config);
+  ASSERT_TRUE(one_epoch.Fit(split.train, split.valid).ok());
+  const double early = one_epoch.Loss(split.train);
+  config.max_epochs = 40;
+  LogisticRegression many_epochs(config);
+  ASSERT_TRUE(many_epochs.Fit(split.train, split.valid).ok());
+  EXPECT_LT(many_epochs.Loss(split.train), early);
+}
+
+TEST(LogRegTest, PredictBeforeFitFails) {
+  LogisticRegression lr(TrainConfig{});
+  data::Dataset test(1, 2, 2);
+  EXPECT_FALSE(lr.Predict(test).ok());
+}
+
+TEST(LogRegTest, FeatureWidthMismatchRejected) {
+  auto split = EasySplit();
+  LogisticRegression lr(TrainConfig{});
+  ASSERT_TRUE(lr.Fit(split.train, split.valid).ok());
+  data::Dataset wrong(2, split.train.num_features() + 1, 2);
+  EXPECT_FALSE(lr.Predict(wrong).ok());
+}
+
+TEST(MlpTest, HighAccuracyOnEasyData) {
+  auto split = EasySplit();
+  TrainConfig config;
+  config.learning_rate = 0.01;
+  MlpClassifier mlp(config, /*hidden_dim=*/16);
+  ASSERT_TRUE(mlp.Fit(split.train, split.valid).ok());
+  auto acc = mlp.Score(split.test);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.9);
+  EXPECT_EQ(mlp.hidden_dim(), 16u);
+}
+
+TEST(MlpTest, DefaultHiddenDimCapped) {
+  auto split = EasySplit();
+  TrainConfig config;
+  config.max_epochs = 2;
+  MlpClassifier mlp(config, 0);
+  ASSERT_TRUE(mlp.Fit(split.train, split.valid).ok());
+  EXPECT_EQ(mlp.hidden_dim(), split.train.num_features());  // min(F, 32)
+}
+
+TEST(MlpTest, LearnsXorThatLrCannot) {
+  // XOR pattern: linearly inseparable.
+  data::Dataset train(400, 2, 2);
+  Rng rng(8);
+  for (size_t i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(-1.0, 1.0);
+    const double y = rng.Uniform(-1.0, 1.0);
+    train.Set(i, 0, x);
+    train.Set(i, 1, y);
+    train.SetLabel(i, (x > 0) != (y > 0) ? 1 : 0);
+  }
+  TrainConfig config;
+  config.learning_rate = 0.02;
+  config.max_epochs = 150;
+  config.patience = 30;
+  MlpClassifier mlp(config, 16);
+  ASSERT_TRUE(mlp.Fit(train, {}).ok());
+  auto mlp_acc = mlp.Score(train);
+  ASSERT_TRUE(mlp_acc.ok());
+  EXPECT_GT(*mlp_acc, 0.9);
+
+  LogisticRegression lr(config);
+  ASSERT_TRUE(lr.Fit(train, {}).ok());
+  auto lr_acc = lr.Score(train);
+  ASSERT_TRUE(lr_acc.ok());
+  EXPECT_LT(*lr_acc, 0.7);
+}
+
+TEST(ClassifierFactoryTest, CreatesAllKinds) {
+  ClassifierOptions options;
+  for (ModelKind kind : {ModelKind::kKnn, ModelKind::kLogReg, ModelKind::kMlp}) {
+    auto model = CreateClassifier(kind, options);
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ((*model)->name(), ModelKindName(kind));
+  }
+}
+
+TEST(ClassifierFactoryTest, ParseModelKind) {
+  EXPECT_TRUE(ParseModelKind("knn").ok());
+  EXPECT_TRUE(ParseModelKind("lr").ok());
+  EXPECT_TRUE(ParseModelKind("mlp").ok());
+  EXPECT_FALSE(ParseModelKind("transformer").ok());
+}
+
+}  // namespace
+}  // namespace vfps::ml

@@ -1,0 +1,101 @@
+#include "he/modarith.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vfps::he {
+namespace {
+
+TEST(ModArithTest, AddSubMod) {
+  const uint64_t q = 17;
+  EXPECT_EQ(AddMod(9, 9, q), 1u);
+  EXPECT_EQ(AddMod(0, 0, q), 0u);
+  EXPECT_EQ(SubMod(3, 5, q), 15u);
+  EXPECT_EQ(SubMod(5, 3, q), 2u);
+  EXPECT_EQ(NegateMod(0, q), 0u);
+  EXPECT_EQ(NegateMod(5, q), 12u);
+}
+
+TEST(ModArithTest, MulModLargeOperands) {
+  const uint64_t q = (1ULL << 61) - 1;  // Mersenne prime
+  const uint64_t a = q - 1;
+  // (q-1)^2 mod q = 1.
+  EXPECT_EQ(MulMod(a, a, q), 1u);
+}
+
+TEST(ModArithTest, PowModMatchesRepeatedMul) {
+  const uint64_t q = 1000003;
+  uint64_t acc = 1;
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(PowMod(7, e, q), acc);
+    acc = MulMod(acc, 7, q);
+  }
+}
+
+TEST(ModArithTest, FermatInverse) {
+  const uint64_t q = 998244353;  // NTT-friendly prime
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = 1 + rng.NextBounded(q - 1);
+    uint64_t inv = InvMod(a, q);
+    EXPECT_EQ(MulMod(a, inv, q), 1u);
+  }
+}
+
+TEST(ModArithTest, IsPrimeSmallCases) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(91));  // 7 * 13
+}
+
+TEST(ModArithTest, IsPrimeKnownLarge) {
+  EXPECT_TRUE(IsPrime((1ULL << 61) - 1));   // Mersenne
+  EXPECT_TRUE(IsPrime(998244353));
+  EXPECT_FALSE(IsPrime((1ULL << 61) - 3));
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(IsPrime(561));
+  EXPECT_FALSE(IsPrime(3215031751ULL));  // strong pseudoprime to bases 2,3,5,7
+}
+
+TEST(ModArithTest, GeneratePrimeSatisfiesCongruence) {
+  for (int bits : {30, 50, 54}) {
+    const uint64_t congruence = 8192;
+    auto result = GeneratePrime(bits, congruence);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const uint64_t p = *result;
+    EXPECT_TRUE(IsPrime(p));
+    EXPECT_EQ((p - 1) % congruence, 0u);
+    EXPECT_LT(p, 1ULL << bits);
+    EXPECT_GE(p, 1ULL << (bits - 1));
+  }
+}
+
+TEST(ModArithTest, GeneratePrimeRejectsBadArgs) {
+  EXPECT_FALSE(GeneratePrime(5, 8).ok());
+  EXPECT_FALSE(GeneratePrime(63, 8).ok());
+  EXPECT_FALSE(GeneratePrime(30, 0).ok());
+}
+
+TEST(ModArithTest, PrimitiveRootHasOrderTwoN) {
+  const uint64_t two_n = 8192;
+  auto prime = GeneratePrime(54, two_n);
+  ASSERT_TRUE(prime.ok());
+  auto root = FindPrimitiveRoot(two_n, *prime);
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  const uint64_t psi = *root;
+  // psi^n == -1 and psi^{2n} == 1.
+  EXPECT_EQ(PowMod(psi, two_n / 2, *prime), *prime - 1);
+  EXPECT_EQ(PowMod(psi, two_n, *prime), 1u);
+}
+
+TEST(ModArithTest, PrimitiveRootRejectsIncompatibleModulus) {
+  EXPECT_FALSE(FindPrimitiveRoot(8192, 1000003).ok());
+}
+
+}  // namespace
+}  // namespace vfps::he

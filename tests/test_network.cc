@@ -1,0 +1,145 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/cost_model.h"
+
+namespace vfps::net {
+namespace {
+
+TEST(SimNetworkTest, SendRecvFifoPerLink) {
+  SimNetwork net;
+  ASSERT_TRUE(net.Send(1, kAggregationServer, {1, 2, 3}).ok());
+  ASSERT_TRUE(net.Send(1, kAggregationServer, {4}).ok());
+  auto first = net.Recv(1, kAggregationServer);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, (std::vector<uint8_t>{1, 2, 3}));
+  auto second = net.Recv(1, kAggregationServer);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, (std::vector<uint8_t>{4}));
+}
+
+TEST(SimNetworkTest, RecvOnEmptyLinkIsProtocolError) {
+  SimNetwork net;
+  EXPECT_TRUE(net.Recv(0, 1).status().IsProtocolError());
+  ASSERT_TRUE(net.Send(0, 1, {9}).ok());
+  // Wrong direction is still empty.
+  EXPECT_TRUE(net.Recv(1, 0).status().IsProtocolError());
+}
+
+TEST(SimNetworkTest, SelfSendRejected) {
+  SimNetwork net;
+  EXPECT_FALSE(net.Send(2, 2, {1}).ok());
+}
+
+TEST(SimNetworkTest, MetersBytesAndMessages) {
+  SimNetwork net;
+  ASSERT_TRUE(net.Send(0, 1, std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE(net.Send(0, 1, std::vector<uint8_t>(50)).ok());
+  ASSERT_TRUE(net.Send(1, 0, std::vector<uint8_t>(7)).ok());
+  EXPECT_EQ(net.total().messages, 3u);
+  EXPECT_EQ(net.total().bytes, 157u);
+  EXPECT_EQ(net.SentBy(0).bytes, 150u);
+  EXPECT_EQ(net.ReceivedBy(0).bytes, 7u);
+  EXPECT_EQ(net.LinkStats(0, 1).messages, 2u);
+  EXPECT_EQ(net.LinkStats(1, 0).bytes, 7u);
+  EXPECT_EQ(net.LinkStats(1, 2).messages, 0u);
+}
+
+TEST(SimNetworkTest, StatsSurviveRecvAndReset) {
+  SimNetwork net;
+  ASSERT_TRUE(net.Send(0, 1, {1, 2}).ok());
+  ASSERT_TRUE(net.Recv(0, 1).ok());
+  EXPECT_EQ(net.total().bytes, 2u);  // receiving does not undo metering
+  net.ResetStats();
+  EXPECT_EQ(net.total().bytes, 0u);
+  EXPECT_EQ(net.total().messages, 0u);
+}
+
+TEST(SimNetworkTest, PendingCount) {
+  SimNetwork net;
+  EXPECT_EQ(net.PendingCount(), 0u);
+  ASSERT_TRUE(net.Send(0, 1, {1}).ok());
+  ASSERT_TRUE(net.Send(2, 1, {1}).ok());
+  EXPECT_EQ(net.PendingCount(), 2u);
+  ASSERT_TRUE(net.Recv(0, 1).ok());
+  EXPECT_EQ(net.PendingCount(), 1u);
+}
+
+TEST(SimNetworkTest, NodeNames) {
+  EXPECT_EQ(NodeName(kAggregationServer), "agg-server");
+  EXPECT_EQ(NodeName(kKeyServer), "key-server");
+  EXPECT_EQ(NodeName(0), "leader");
+  EXPECT_EQ(NodeName(3), "participant-3");
+}
+
+TEST(CostModelTest, NetworkSecondsLatencyPlusBandwidth) {
+  CostModel cost;
+  cost.latency_seconds = 1e-3;
+  cost.bytes_per_second = 1e6;
+  EXPECT_DOUBLE_EQ(cost.NetworkSeconds(0, 1), 1e-3);
+  EXPECT_DOUBLE_EQ(cost.NetworkSeconds(1000000, 1), 1e-3 + 1.0);
+  EXPECT_DOUBLE_EQ(cost.NetworkSeconds(500000, 2), 2e-3 + 0.5);
+}
+
+TEST(CostModelTest, CiphertextArithmetic) {
+  CostModel cost;
+  cost.slots_per_ciphertext = 100;
+  EXPECT_EQ(cost.NumCiphertexts(0), 0u);
+  EXPECT_EQ(cost.NumCiphertexts(1), 1u);
+  EXPECT_EQ(cost.NumCiphertexts(100), 1u);
+  EXPECT_EQ(cost.NumCiphertexts(101), 2u);
+  EXPECT_EQ(cost.EncryptedWireBytes(150), 2u * cost.ciphertext_bytes);
+  EXPECT_DOUBLE_EQ(cost.EncryptSecondsFor(150), 2.0 * cost.encrypt_seconds);
+  EXPECT_DOUBLE_EQ(cost.DecryptSecondsFor(50), cost.decrypt_seconds);
+  EXPECT_DOUBLE_EQ(cost.HeAddSecondsFor(250), 3.0 * cost.he_add_seconds);
+}
+
+TEST(CostModelTest, SortSecondsMonotoneInN) {
+  CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.SortSeconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.SortSeconds(1), 0.0);
+  EXPECT_LT(cost.SortSeconds(1000), cost.SortSeconds(10000));
+}
+
+TEST(CostModelTest, HeSecondsFromOpStats) {
+  CostModel cost;
+  he::HeOpStats stats;
+  stats.encrypt_ops = 10;
+  stats.decrypt_ops = 5;
+  stats.add_ops = 100;
+  EXPECT_DOUBLE_EQ(cost.HeSeconds(stats),
+                   10 * cost.encrypt_seconds + 5 * cost.decrypt_seconds +
+                       100 * cost.he_add_seconds);
+}
+
+TEST(CostModelTest, ChargeHeSplitsByCategory) {
+  CostModel cost;
+  he::HeOpStats stats;
+  stats.encrypt_ops = 2;
+  stats.decrypt_ops = 3;
+  stats.add_ops = 4;
+  vfps::SimClock clock;
+  cost.ChargeHe(stats, &clock);
+  EXPECT_DOUBLE_EQ(clock.TotalFor(vfps::CostCategory::kEncrypt),
+                   2 * cost.encrypt_seconds);
+  EXPECT_DOUBLE_EQ(clock.TotalFor(vfps::CostCategory::kDecrypt),
+                   3 * cost.decrypt_seconds);
+  EXPECT_DOUBLE_EQ(clock.TotalFor(vfps::CostCategory::kHeEval),
+                   4 * cost.he_add_seconds);
+}
+
+TEST(SimClockTest, AccumulatesAndMerges) {
+  vfps::SimClock a, b;
+  a.Advance(vfps::CostCategory::kCompute, 1.5);
+  b.Advance(vfps::CostCategory::kNetwork, 2.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Total(), 3.5);
+  EXPECT_DOUBLE_EQ(a.TotalFor(vfps::CostCategory::kNetwork), 2.0);
+  a.Reset();
+  EXPECT_DOUBLE_EQ(a.Total(), 0.0);
+  EXPECT_FALSE(a.Breakdown().empty());
+}
+
+}  // namespace
+}  // namespace vfps::net

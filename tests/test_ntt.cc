@@ -1,0 +1,104 @@
+#include "he/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "he/modarith.h"
+
+namespace vfps::he {
+namespace {
+
+// Schoolbook negacyclic convolution: c = a * b mod (X^n + 1, q).
+std::vector<uint64_t> NegacyclicMul(const std::vector<uint64_t>& a,
+                                    const std::vector<uint64_t>& b, uint64_t q) {
+  const size_t n = a.size();
+  std::vector<uint64_t> c(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t prod = MulMod(a[i], b[j], q);
+      const size_t idx = (i + j) % n;
+      if (i + j < n) {
+        c[idx] = AddMod(c[idx], prod, q);
+      } else {
+        c[idx] = SubMod(c[idx], prod, q);  // X^n = -1
+      }
+    }
+  }
+  return c;
+}
+
+class NttTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NttTest, ForwardInverseRoundTrip) {
+  const size_t n = GetParam();
+  auto prime = GeneratePrime(50, 2 * n);
+  ASSERT_TRUE(prime.ok());
+  auto tables = NttTables::Create(n, *prime);
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  Rng rng(n);
+  std::vector<uint64_t> a(n);
+  for (auto& v : a) v = rng.NextBounded(*prime);
+  auto original = a;
+  tables->Forward(&a);
+  EXPECT_NE(a, original);  // the transform must do something
+  tables->Inverse(&a);
+  EXPECT_EQ(a, original);
+}
+
+TEST_P(NttTest, PointwiseMatchesSchoolbookConvolution) {
+  const size_t n = GetParam();
+  if (n > 256) GTEST_SKIP() << "schoolbook check limited to small n";
+  auto prime = GeneratePrime(50, 2 * n);
+  ASSERT_TRUE(prime.ok());
+  auto tables = NttTables::Create(n, *prime);
+  ASSERT_TRUE(tables.ok());
+  Rng rng(n * 7 + 1);
+  std::vector<uint64_t> a(n), b(n);
+  for (auto& v : a) v = rng.NextBounded(*prime);
+  for (auto& v : b) v = rng.NextBounded(*prime);
+  auto expected = NegacyclicMul(a, b, *prime);
+
+  tables->Forward(&a);
+  tables->Forward(&b);
+  std::vector<uint64_t> c(n);
+  for (size_t i = 0; i < n; ++i) c[i] = MulMod(a[i], b[i], *prime);
+  tables->Inverse(&c);
+  EXPECT_EQ(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttTest,
+                         ::testing::Values(8, 16, 64, 256, 1024, 4096));
+
+TEST(NttTablesTest, RejectsNonPowerOfTwo) {
+  auto prime = GeneratePrime(50, 2 * 4096);
+  ASSERT_TRUE(prime.ok());
+  EXPECT_FALSE(NttTables::Create(100, *prime).ok());
+}
+
+TEST(NttTablesTest, RejectsNonNttFriendlyPrime) {
+  EXPECT_FALSE(NttTables::Create(4096, 1000003).ok());
+}
+
+TEST(NttTest, LinearityOfForwardTransform) {
+  const size_t n = 128;
+  auto prime = GeneratePrime(50, 2 * n);
+  ASSERT_TRUE(prime.ok());
+  auto tables = NttTables::Create(n, *prime);
+  ASSERT_TRUE(tables.ok());
+  Rng rng(99);
+  std::vector<uint64_t> a(n), b(n), sum(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.NextBounded(*prime);
+    b[i] = rng.NextBounded(*prime);
+    sum[i] = AddMod(a[i], b[i], *prime);
+  }
+  tables->Forward(&a);
+  tables->Forward(&b);
+  tables->Forward(&sum);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sum[i], AddMod(a[i], b[i], *prime));
+  }
+}
+
+}  // namespace
+}  // namespace vfps::he

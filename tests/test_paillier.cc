@@ -1,0 +1,120 @@
+#include "he/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vfps::he {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // 256-bit keys: cryptographically weak but fast; key math is identical.
+    Rng rng(77);
+    auto keys = Paillier::GenerateKeys(256, &rng);
+    ASSERT_TRUE(keys.ok()) << keys.status().ToString();
+    keys_ = new PaillierKeyPair(*keys);
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+
+  static PaillierKeyPair* keys_;
+};
+
+PaillierKeyPair* PaillierTest::keys_ = nullptr;
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  Rng rng(1);
+  for (uint64_t m : {0ULL, 1ULL, 42ULL, 123456789ULL}) {
+    auto ct = Paillier::Encrypt(keys_->pub, BigInt(m), &rng);
+    ASSERT_TRUE(ct.ok());
+    auto dec = Paillier::Decrypt(keys_->pub, keys_->priv, *ct);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(dec->ToU64(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  Rng rng(2);
+  auto c1 = Paillier::Encrypt(keys_->pub, BigInt(5), &rng);
+  auto c2 = Paillier::Encrypt(keys_->pub, BigInt(5), &rng);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(c1->value, c2->value);
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  Rng rng(3);
+  auto ca = Paillier::Encrypt(keys_->pub, BigInt(1234), &rng);
+  auto cb = Paillier::Encrypt(keys_->pub, BigInt(8766), &rng);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  auto sum = Paillier::Add(keys_->pub, *ca, *cb);
+  ASSERT_TRUE(sum.ok());
+  auto dec = Paillier::Decrypt(keys_->pub, keys_->priv, *sum);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->ToU64(), 10000u);
+}
+
+TEST_F(PaillierTest, HomomorphicAdditionChain) {
+  Rng rng(4);
+  auto acc = Paillier::Encrypt(keys_->pub, BigInt(0), &rng);
+  ASSERT_TRUE(acc.ok());
+  uint64_t expected = 0;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    auto ct = Paillier::Encrypt(keys_->pub, BigInt(i * i), &rng);
+    ASSERT_TRUE(ct.ok());
+    acc = Paillier::Add(keys_->pub, *acc, *ct);
+    ASSERT_TRUE(acc.ok());
+    expected += i * i;
+  }
+  auto dec = Paillier::Decrypt(keys_->pub, keys_->priv, *acc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->ToU64(), expected);
+}
+
+TEST_F(PaillierTest, ScalarMultiply) {
+  Rng rng(5);
+  auto ct = Paillier::Encrypt(keys_->pub, BigInt(111), &rng);
+  ASSERT_TRUE(ct.ok());
+  auto scaled = Paillier::MulScalar(keys_->pub, *ct, BigInt(9));
+  ASSERT_TRUE(scaled.ok());
+  auto dec = Paillier::Decrypt(keys_->pub, keys_->priv, *scaled);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->ToU64(), 999u);
+}
+
+TEST_F(PaillierTest, SignedEncoding) {
+  for (int64_t v : {0LL, 5LL, -5LL, 1000000LL, -1000000LL}) {
+    const BigInt m = Paillier::EncodeSigned(keys_->pub, v);
+    EXPECT_EQ(Paillier::DecodeSigned(keys_->pub, m), v);
+  }
+}
+
+TEST_F(PaillierTest, SignedHomomorphicSum) {
+  // Enc(7) + Enc(-3) should decode to 4.
+  Rng rng(6);
+  auto ca = Paillier::Encrypt(keys_->pub, Paillier::EncodeSigned(keys_->pub, 7), &rng);
+  auto cb = Paillier::Encrypt(keys_->pub, Paillier::EncodeSigned(keys_->pub, -3), &rng);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  auto sum = Paillier::Add(keys_->pub, *ca, *cb);
+  ASSERT_TRUE(sum.ok());
+  auto dec = Paillier::Decrypt(keys_->pub, keys_->priv, *sum);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(Paillier::DecodeSigned(keys_->pub, *dec), 4);
+}
+
+TEST_F(PaillierTest, PlaintextOutOfRangeRejected) {
+  Rng rng(7);
+  EXPECT_FALSE(Paillier::Encrypt(keys_->pub, keys_->pub.n, &rng).ok());
+  EXPECT_FALSE(Paillier::Encrypt(keys_->pub, keys_->pub.n + BigInt(1), &rng).ok());
+}
+
+TEST(PaillierKeyGenTest, RejectsTinyModulus) {
+  Rng rng(8);
+  EXPECT_FALSE(Paillier::GenerateKeys(32, &rng).ok());
+}
+
+}  // namespace
+}  // namespace vfps::he

@@ -1,0 +1,138 @@
+#include "he/rns.h"
+
+#include <gtest/gtest.h>
+
+#include "he/modarith.h"
+
+namespace vfps::he {
+namespace {
+
+std::shared_ptr<const RnsContext> MakeContext(size_t n = 64,
+                                              std::vector<int> bits = {54, 54}) {
+  auto ctx = RnsContext::Create(n, bits);
+  return ctx.ValueOrDie();
+}
+
+TEST(RnsContextTest, CreatesDistinctNttFriendlyPrimes) {
+  auto ctx = MakeContext();
+  ASSERT_EQ(ctx->num_primes(), 2u);
+  EXPECT_NE(ctx->prime(0), ctx->prime(1));
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(IsPrime(ctx->prime(i)));
+    EXPECT_EQ((ctx->prime(i) - 1) % (2 * ctx->n()), 0u);
+  }
+  EXPECT_GT(ctx->modulus_approx(), 0.0L);
+}
+
+TEST(RnsContextTest, RejectsTooManyPrimes) {
+  EXPECT_FALSE(RnsContext::Create(64, {50, 50, 50}).ok());
+  EXPECT_FALSE(RnsContext::Create(64, {}).ok());
+}
+
+TEST(RnsPolyTest, SetAndComposeRoundTripSigned) {
+  auto ctx = MakeContext();
+  RnsPoly poly = ZeroPoly(*ctx);
+  const __int128 values[] = {0, 1, -1, 123456789, -987654321,
+                             (static_cast<__int128>(1) << 100),
+                             -(static_cast<__int128>(1) << 100)};
+  for (size_t i = 0; i < std::size(values); ++i) {
+    SetCoeffFromInt128(*ctx, &poly, i, values[i]);
+  }
+  for (size_t i = 0; i < std::size(values); ++i) {
+    const double got = ComposeCoeffToDouble(*ctx, poly, i);
+    const double expected = static_cast<double>(values[i]);
+    EXPECT_NEAR(got, expected, std::abs(expected) * 1e-12 + 1e-9) << "idx " << i;
+  }
+}
+
+TEST(RnsPolyTest, ComposeU128MatchesCrt) {
+  auto ctx = MakeContext();
+  Rng rng(3);
+  RnsPoly poly = ZeroPoly(*ctx);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t hi = rng.Next() >> 30;
+    const unsigned __int128 v =
+        (static_cast<unsigned __int128>(hi) << 50) | (rng.Next() >> 20);
+    poly.residues[0][0] = static_cast<uint64_t>(v % ctx->prime(0));
+    poly.residues[1][0] = static_cast<uint64_t>(v % ctx->prime(1));
+    EXPECT_TRUE(ComposeCoeffU128(*ctx, poly, 0) == v);
+  }
+}
+
+TEST(RnsPolyTest, AddSubNegateConsistent) {
+  auto ctx = MakeContext();
+  Rng rng(5);
+  RnsPoly a = SampleUniform(*ctx, &rng);
+  RnsPoly b = SampleUniform(*ctx, &rng);
+  RnsPoly sum = a;
+  AddInPlace(*ctx, &sum, b);
+  RnsPoly back = sum;
+  SubInPlace(*ctx, &back, b);
+  EXPECT_EQ(back.residues, a.residues);
+  RnsPoly neg = a;
+  NegateInPlace(*ctx, &neg);
+  AddInPlace(*ctx, &neg, a);
+  for (const auto& res : neg.residues) {
+    for (uint64_t v : res) EXPECT_EQ(v, 0u);
+  }
+}
+
+TEST(RnsPolyTest, NttRoundTrip) {
+  auto ctx = MakeContext();
+  Rng rng(7);
+  RnsPoly a = SampleGaussian(*ctx, &rng);
+  const auto original = a.residues;
+  ToNtt(*ctx, &a);
+  EXPECT_TRUE(a.ntt_form);
+  EXPECT_NE(a.residues, original);
+  FromNtt(*ctx, &a);
+  EXPECT_FALSE(a.ntt_form);
+  EXPECT_EQ(a.residues, original);
+  // Idempotence of the no-op direction.
+  FromNtt(*ctx, &a);
+  EXPECT_EQ(a.residues, original);
+}
+
+TEST(RnsPolyTest, LevelAwareOpsUseMinimumPrimes) {
+  auto ctx = MakeContext();
+  Rng rng(9);
+  RnsPoly full = SampleUniform(*ctx, &rng);
+  RnsPoly low = full;
+  low.residues.pop_back();  // level-1 polynomial
+  RnsPoly sum = low;
+  AddInPlace(*ctx, &sum, full);  // must not touch the missing prime
+  EXPECT_EQ(sum.num_primes(), 1u);
+  for (size_t c = 0; c < ctx->n(); ++c) {
+    EXPECT_EQ(sum.residues[0][c],
+              AddMod(low.residues[0][c], full.residues[0][c], ctx->prime(0)));
+  }
+}
+
+TEST(RnsPolyTest, TernaryAndGaussianAreSmall) {
+  auto ctx = MakeContext(256);
+  Rng rng(11);
+  RnsPoly t = SampleTernary(*ctx, &rng);
+  for (size_t c = 0; c < ctx->n(); ++c) {
+    const double v = ComposeCoeffToDouble(*ctx, t, c);
+    EXPECT_TRUE(v == 0.0 || v == 1.0 || v == -1.0) << v;
+  }
+  RnsPoly g = SampleGaussian(*ctx, &rng, 3.2);
+  for (size_t c = 0; c < ctx->n(); ++c) {
+    EXPECT_LT(std::abs(ComposeCoeffToDouble(*ctx, g, c)), 40.0);
+  }
+}
+
+TEST(RnsPolyTest, MulScalarMatchesRepeatedAdd) {
+  auto ctx = MakeContext();
+  Rng rng(13);
+  RnsPoly a = SampleUniform(*ctx, &rng);
+  RnsPoly triple = a;
+  MulScalarInPlace(*ctx, &triple, 3);
+  RnsPoly sum = a;
+  AddInPlace(*ctx, &sum, a);
+  AddInPlace(*ctx, &sum, a);
+  EXPECT_EQ(triple.residues, sum.residues);
+}
+
+}  // namespace
+}  // namespace vfps::he

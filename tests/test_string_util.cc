@@ -1,0 +1,71 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vfps {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(TrimString("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString("   "), "");
+  EXPECT_EQ(TrimString("a b"), "a b");
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").ValueOrDie(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -1e3 ").ValueOrDie(), -1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringUtilTest, ParseInt64Valid) {
+  EXPECT_EQ(ParseInt64("-123").ValueOrDie(), -123);
+  EXPECT_EQ(ParseInt64("0").ValueOrDie(), 0);
+}
+
+TEST(StringUtilTest, ParseInt64RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+}
+
+TEST(StringUtilTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatSeconds(0.012), "12.0 ms");
+  EXPECT_EQ(FormatSeconds(3.1), "3.10 s");
+  EXPECT_EQ(FormatSeconds(12345.0), "12345 s");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace vfps

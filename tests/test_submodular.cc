@@ -1,0 +1,211 @@
+#include "core/submodular.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/greedy.h"
+#include "core/similarity.h"
+
+namespace vfps::core {
+namespace {
+
+SimilarityMatrix RandomSimilarity(size_t p, uint64_t seed) {
+  Rng rng(seed);
+  SimilarityMatrix w(p);
+  for (size_t a = 0; a < p; ++a) {
+    for (size_t b = a; b < p; ++b) {
+      w.Set(a, b, a == b ? 1.0 : rng.NextDouble());
+    }
+  }
+  return w;
+}
+
+std::vector<size_t> RandomSubset(size_t p, Rng* rng) {
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < p; ++i) {
+    if (rng->Bernoulli(0.4)) subset.push_back(i);
+  }
+  return subset;
+}
+
+TEST(SimilarityTest, BuildFromNeighborhoods) {
+  std::vector<vfl::QueryNeighborhood> hoods(2);
+  hoods[0].per_party_dt = {1.0, 1.0, 4.0};
+  hoods[1].per_party_dt = {2.0, 2.0, 2.0};
+  auto w = BuildSimilarity(hoods, 3);
+  ASSERT_TRUE(w.ok());
+  // Identical parties 0 and 1: w = 1 in both queries.
+  EXPECT_DOUBLE_EQ(w->At(0, 1), 1.0);
+  // Query 0: |1-4|/6 -> w = 1 - 0.5 = 0.5; query 1: w = 1. Mean = 0.75.
+  EXPECT_DOUBLE_EQ(w->At(0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(w->At(2, 0), 0.75);  // symmetric
+  EXPECT_DOUBLE_EQ(w->At(2, 2), 1.0);   // diagonal
+}
+
+TEST(SimilarityTest, ZeroTotalDistanceGivesFullSimilarity) {
+  std::vector<vfl::QueryNeighborhood> hoods(1);
+  hoods[0].per_party_dt = {0.0, 0.0};
+  auto w = BuildSimilarity(hoods, 2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w->At(0, 1), 1.0);
+}
+
+TEST(SimilarityTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildSimilarity({}, 2).ok());
+  std::vector<vfl::QueryNeighborhood> hoods(1);
+  hoods[0].per_party_dt = {1.0};  // size mismatch vs 2 participants
+  EXPECT_FALSE(BuildSimilarity(hoods, 2).ok());
+}
+
+TEST(SubmodularTest, NormalizedEmptySetIsZero) {
+  KnnSubmodularFunction f(RandomSimilarity(5, 1));
+  EXPECT_DOUBLE_EQ(f.Value({}), 0.0);
+}
+
+// Theorem 1, property-tested over random similarity matrices.
+class Theorem1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1Test, Monotone) {
+  const size_t p = 6;
+  KnnSubmodularFunction f(RandomSimilarity(p, GetParam()));
+  Rng rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto small = RandomSubset(p, &rng);
+    auto big = small;
+    for (size_t i = 0; i < p; ++i) {
+      if (std::find(big.begin(), big.end(), i) == big.end() &&
+          rng.Bernoulli(0.5)) {
+        big.push_back(i);
+      }
+    }
+    EXPECT_LE(f.Value(small), f.Value(big) + 1e-12);
+  }
+}
+
+TEST_P(Theorem1Test, DiminishingReturns) {
+  const size_t p = 6;
+  KnnSubmodularFunction f(RandomSimilarity(p, GetParam()));
+  Rng rng(GetParam() * 29 + 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = RandomSubset(p, &rng);
+    auto b = a;
+    for (size_t i = 0; i < p; ++i) {
+      if (std::find(b.begin(), b.end(), i) == b.end() && rng.Bernoulli(0.5)) {
+        b.push_back(i);
+      }
+    }
+    // Pick an element outside B.
+    std::vector<size_t> outside;
+    for (size_t i = 0; i < p; ++i) {
+      if (std::find(b.begin(), b.end(), i) == b.end()) outside.push_back(i);
+    }
+    if (outside.empty()) continue;
+    const size_t v = outside[rng.NextBounded(outside.size())];
+    EXPECT_GE(f.MarginalGain(a, v), f.MarginalGain(b, v) - 1e-12)
+        << "A subset of B but gain(A) < gain(B)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SubmodularTest, IncrementalMatchesDirect) {
+  const size_t p = 7;
+  KnnSubmodularFunction f(RandomSimilarity(p, 99));
+  KnnSubmodularFunction::Incremental inc(&f);
+  std::vector<size_t> subset;
+  for (size_t pick : {3u, 0u, 5u}) {
+    EXPECT_NEAR(inc.GainOf(pick), f.MarginalGain(subset, pick), 1e-12);
+    inc.Add(pick);
+    subset.push_back(pick);
+    EXPECT_NEAR(inc.value(), f.Value(subset), 1e-12);
+  }
+}
+
+TEST(SubmodularTest, DuplicateParticipantHasZeroGain) {
+  // Two identical participants (similarity 1): after selecting one, the
+  // other's marginal gain must be exactly zero. This is the diversity
+  // property Fig. 6 relies on.
+  SimilarityMatrix w(3);
+  w.Set(0, 0, 1.0);
+  w.Set(1, 1, 1.0);
+  w.Set(2, 2, 1.0);
+  w.Set(0, 1, 1.0);   // participants 0 and 1 are clones
+  w.Set(0, 2, 0.3);
+  w.Set(1, 2, 0.3);
+  KnnSubmodularFunction f(w);
+  EXPECT_NEAR(f.MarginalGain({0}, 1), 0.0, 1e-12);
+  EXPECT_GT(f.MarginalGain({0}, 2), 0.5);
+}
+
+TEST(GreedyTest, PicksCloneLastInDiverseProblem) {
+  SimilarityMatrix w(3);
+  w.Set(0, 0, 1.0);
+  w.Set(1, 1, 1.0);
+  w.Set(2, 2, 1.0);
+  w.Set(0, 1, 1.0);
+  w.Set(0, 2, 0.2);
+  w.Set(1, 2, 0.2);
+  KnnSubmodularFunction f(w);
+  auto greedy = GreedyMaximize(f, 2);
+  // Must pick one clone and the distinct participant 2, never both clones.
+  std::vector<size_t> sorted = greedy.selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted.back(), 2u);
+}
+
+TEST(GreedyTest, GainsNonIncreasing) {
+  KnnSubmodularFunction f(RandomSimilarity(8, 21));
+  auto greedy = GreedyMaximize(f, 8);
+  for (size_t i = 1; i < greedy.gains.size(); ++i) {
+    EXPECT_LE(greedy.gains[i], greedy.gains[i - 1] + 1e-12);
+  }
+  EXPECT_NEAR(greedy.value, f.Value(greedy.selected), 1e-12);
+}
+
+class LazyEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LazyEquivalenceTest, LazyMatchesPlainGreedy) {
+  for (size_t p : {4u, 8u, 16u}) {
+    KnnSubmodularFunction f(RandomSimilarity(p, GetParam() * 100 + p));
+    for (size_t target = 1; target <= p; target += 3) {
+      auto plain = GreedyMaximize(f, target);
+      auto lazy = LazyGreedyMaximize(f, target);
+      EXPECT_EQ(plain.selected, lazy.selected)
+          << "P=" << p << " target=" << target;
+      EXPECT_NEAR(plain.value, lazy.value, 1e-12);
+      EXPECT_LE(lazy.evaluations, plain.evaluations);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GreedyTest, ApproximationGuaranteeHolds) {
+  // (1 - 1/e) ~ 0.632 lower bound vs the exhaustive optimum.
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    KnnSubmodularFunction f(RandomSimilarity(9, seed));
+    for (size_t target : {2u, 4u}) {
+      auto greedy = GreedyMaximize(f, target);
+      auto optimal = ExhaustiveMaximize(f, target);
+      ASSERT_TRUE(optimal.ok());
+      EXPECT_GE(greedy.value, 0.632 * optimal->value - 1e-9);
+    }
+  }
+}
+
+TEST(GreedyTest, TargetClampedToGroundSet) {
+  KnnSubmodularFunction f(RandomSimilarity(4, 3));
+  auto greedy = GreedyMaximize(f, 10);
+  EXPECT_EQ(greedy.selected.size(), 4u);
+}
+
+TEST(ExhaustiveTest, RejectsHugeGroundSets) {
+  EXPECT_FALSE(ExhaustiveMaximize(KnnSubmodularFunction(RandomSimilarity(21, 1)), 2).ok());
+}
+
+}  // namespace
+}  // namespace vfps::core

@@ -1,0 +1,175 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/presets.h"
+
+namespace vfps::data {
+namespace {
+
+SyntheticConfig BaseConfig() {
+  SyntheticConfig config;
+  config.num_samples = 500;
+  config.num_features = 12;
+  config.num_informative = 6;
+  config.num_redundant = 3;
+  config.num_classes = 2;
+  config.seed = 11;
+  return config;
+}
+
+TEST(SyntheticTest, ShapeAndKinds) {
+  auto result = GenerateClassification(BaseConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->data.num_samples(), 500u);
+  EXPECT_EQ(result->data.num_features(), 12u);
+  ASSERT_EQ(result->kinds.size(), 12u);
+  size_t informative = 0, redundant = 0, noise = 0;
+  for (FeatureKind kind : result->kinds) {
+    informative += kind == FeatureKind::kInformative;
+    redundant += kind == FeatureKind::kRedundant;
+    noise += kind == FeatureKind::kNoise;
+  }
+  EXPECT_EQ(informative, 6u);
+  EXPECT_EQ(redundant, 3u);
+  EXPECT_EQ(noise, 3u);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  auto a = GenerateClassification(BaseConfig());
+  auto b = GenerateClassification(BaseConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a->data.At(i, 3), b->data.At(i, 3));
+    EXPECT_EQ(a->data.Label(i), b->data.Label(i));
+  }
+}
+
+TEST(SyntheticTest, BothClassesPresent) {
+  auto result = GenerateClassification(BaseConfig());
+  ASSERT_TRUE(result.ok());
+  auto counts = result->data.ClassCounts();
+  EXPECT_GT(counts[0], 50u);
+  EXPECT_GT(counts[1], 50u);
+}
+
+TEST(SyntheticTest, ClassPriorsRespected) {
+  SyntheticConfig config = BaseConfig();
+  config.num_samples = 4000;
+  config.class_priors = {0.8, 0.2};
+  config.label_noise = 0.0;
+  auto result = GenerateClassification(config);
+  ASSERT_TRUE(result.ok());
+  auto counts = result->data.ClassCounts();
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 4000.0, 0.2, 0.03);
+}
+
+TEST(SyntheticTest, RedundantFeaturesCorrelateWithInformative) {
+  SyntheticConfig config = BaseConfig();
+  config.num_samples = 3000;
+  config.redundant_noise = 0.05;
+  auto result = GenerateClassification(config);
+  ASSERT_TRUE(result.ok());
+  // The first redundant feature (index num_informative) is a unit-norm
+  // combination of the informative block; its variance should clearly exceed
+  // the mixing noise and be label-dependent like the informative ones are.
+  const size_t red = config.num_informative;
+  double mean0 = 0.0, mean1 = 0.0;
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < result->data.num_samples(); ++i) {
+    if (result->data.Label(i) == 0) {
+      mean0 += result->data.At(i, red);
+      ++n0;
+    } else {
+      mean1 += result->data.At(i, red);
+      ++n1;
+    }
+  }
+  mean0 /= static_cast<double>(n0);
+  mean1 /= static_cast<double>(n1);
+  EXPECT_GT(std::abs(mean0 - mean1), 0.05);
+}
+
+TEST(SyntheticTest, NoiseFeaturesIndependentOfLabel) {
+  SyntheticConfig config = BaseConfig();
+  config.num_samples = 5000;
+  auto result = GenerateClassification(config);
+  ASSERT_TRUE(result.ok());
+  const size_t noise_col = config.num_informative + config.num_redundant;
+  double mean0 = 0.0, mean1 = 0.0;
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < result->data.num_samples(); ++i) {
+    if (result->data.Label(i) == 0) {
+      mean0 += result->data.At(i, noise_col);
+      ++n0;
+    } else {
+      mean1 += result->data.At(i, noise_col);
+      ++n1;
+    }
+  }
+  mean0 /= static_cast<double>(n0);
+  mean1 /= static_cast<double>(n1);
+  EXPECT_LT(std::abs(mean0 - mean1), 0.12);
+}
+
+TEST(SyntheticTest, RejectsBadConfigs) {
+  SyntheticConfig config = BaseConfig();
+  config.num_informative = 10;
+  config.num_redundant = 5;  // 15 > 12 features
+  EXPECT_FALSE(GenerateClassification(config).ok());
+  config = BaseConfig();
+  config.num_classes = 1;
+  EXPECT_FALSE(GenerateClassification(config).ok());
+  config = BaseConfig();
+  config.label_noise = 0.7;
+  EXPECT_FALSE(GenerateClassification(config).ok());
+  config = BaseConfig();
+  config.class_priors = {1.0};  // wrong size
+  EXPECT_FALSE(GenerateClassification(config).ok());
+}
+
+TEST(PresetsTest, AllTenPaperDatasetsPresent) {
+  const auto& presets = PaperDatasets();
+  ASSERT_EQ(presets.size(), 10u);
+  // Table III feature widths, exactly.
+  EXPECT_EQ(FindPreset("Bank")->features, 11u);
+  EXPECT_EQ(FindPreset("Credit")->features, 23u);
+  EXPECT_EQ(FindPreset("Phishing")->features, 68u);
+  EXPECT_EQ(FindPreset("Web")->features, 300u);
+  EXPECT_EQ(FindPreset("Rice")->features, 10u);
+  EXPECT_EQ(FindPreset("Adult")->features, 123u);
+  EXPECT_EQ(FindPreset("IJCNN")->features, 22u);
+  EXPECT_EQ(FindPreset("SUSY")->features, 18u);
+  EXPECT_EQ(FindPreset("HDI")->features, 21u);
+  EXPECT_EQ(FindPreset("SD")->features, 23u);
+}
+
+TEST(PresetsTest, RelativeSizeOrderingMatchesPaper) {
+  // Larger paper datasets must stay larger after scaling down.
+  const auto& presets = PaperDatasets();
+  for (const auto& a : presets) {
+    for (const auto& b : presets) {
+      if (a.paper_rows < b.paper_rows) {
+        EXPECT_LE(a.base_rows, b.base_rows)
+            << a.name << " vs " << b.name;
+      }
+    }
+  }
+}
+
+TEST(PresetsTest, UnknownNameFails) {
+  EXPECT_TRUE(FindPreset("MNIST").status().IsNotFound());
+}
+
+TEST(PresetsTest, LoadPresetScalesRows) {
+  auto half = LoadPreset("Bank", 0.5, 1);
+  auto full = LoadPreset("Bank", 1.0, 1);
+  ASSERT_TRUE(half.ok() && full.ok());
+  EXPECT_EQ(half->data.num_samples() * 2, full->data.num_samples());
+  EXPECT_EQ(half->data.num_features(), full->data.num_features());
+}
+
+}  // namespace
+}  // namespace vfps::data

@@ -1,0 +1,184 @@
+// vfps_cli — command-line front end for the VFPS-SM experiment pipeline.
+//
+//   vfps_cli datasets
+//       List the Table III dataset presets.
+//   vfps_cli run [--dataset=Bank] [--method=VFPS-SM] [--model=lr]
+//                [--participants=4] [--select=2] [--backend=plain]
+//                [--scale=0.5] [--k=10] [--queries=64] [--seed=42]
+//                [--duplicates=0] [--partition=random|stratified]
+//       Run one experiment grid cell and print the outcome.
+//   vfps_cli sweep --dataset=Bank [--model=lr] [...]
+//       Run every selection method on one configuration side by side.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "data/presets.h"
+
+namespace {
+
+using namespace vfps;  // NOLINT(build/namespaces)
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "1";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Get(const std::map<std::string, std::string>& flags,
+                const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<core::ExperimentConfig> BuildConfig(
+    const std::map<std::string, std::string>& flags) {
+  core::ExperimentConfig config;
+  config.dataset = Get(flags, "dataset", "Bank");
+  config.csv_path = Get(flags, "csv", "");
+  VFPS_ASSIGN_OR_RETURN(auto method,
+                        core::ParseSelectionMethod(Get(flags, "method", "VFPS-SM")));
+  config.method = method;
+  VFPS_ASSIGN_OR_RETURN(auto model, ml::ParseModelKind(Get(flags, "model", "lr")));
+  config.model = model;
+  VFPS_ASSIGN_OR_RETURN(int64_t participants,
+                        ParseInt64(Get(flags, "participants", "4")));
+  config.participants = static_cast<size_t>(participants);
+  VFPS_ASSIGN_OR_RETURN(int64_t select, ParseInt64(Get(flags, "select", "2")));
+  config.select = static_cast<size_t>(select);
+  VFPS_ASSIGN_OR_RETURN(config.scale, ParseDouble(Get(flags, "scale", "0.5")));
+  VFPS_ASSIGN_OR_RETURN(int64_t k, ParseInt64(Get(flags, "k", "10")));
+  config.knn.k = static_cast<size_t>(k);
+  VFPS_ASSIGN_OR_RETURN(int64_t queries, ParseInt64(Get(flags, "queries", "64")));
+  config.knn.num_queries = static_cast<size_t>(queries);
+  VFPS_ASSIGN_OR_RETURN(int64_t seed, ParseInt64(Get(flags, "seed", "42")));
+  config.seed = static_cast<uint64_t>(seed);
+  VFPS_ASSIGN_OR_RETURN(int64_t duplicates, ParseInt64(Get(flags, "duplicates", "0")));
+  config.duplicates = static_cast<size_t>(duplicates);
+
+  const std::string backend = Get(flags, "backend", "plain");
+  if (backend == "plain") {
+    config.backend = core::HeBackendKind::kPlain;
+  } else if (backend == "ckks") {
+    config.backend = core::HeBackendKind::kCkks;
+  } else if (backend == "paillier") {
+    config.backend = core::HeBackendKind::kPaillier;
+  } else {
+    return Status::InvalidArgument("unknown backend: " + backend);
+  }
+  const std::string partition = Get(flags, "partition", "random");
+  if (partition == "random") {
+    config.partition = core::PartitionMode::kRandom;
+  } else if (partition == "stratified") {
+    config.partition = core::PartitionMode::kQualityStratified;
+  } else {
+    return Status::InvalidArgument("unknown partition mode: " + partition);
+  }
+  return config;
+}
+
+void PrintResult(const char* method, const core::ExperimentResult& r) {
+  std::string picked;
+  for (size_t p : r.selection.selected) {
+    picked += (picked.empty() ? "" : ",") + std::to_string(p);
+  }
+  std::printf(
+      "%-13s picked={%s} accuracy=%.4f selection=%.1fs training=%.1fs "
+      "total=%.1fs (wall %.2fs)\n",
+      method, picked.c_str(), r.training.test_accuracy, r.selection_sim_seconds,
+      r.training_sim_seconds, r.total_sim_seconds, r.wall_seconds);
+}
+
+int CmdDatasets() {
+  std::printf("%-10s %-11s %12s %10s %9s %8s\n", "Name", "Domain", "PaperRows",
+              "BaseRows", "Features", "Classes");
+  for (const auto& preset : data::PaperDatasets()) {
+    std::printf("%-10s %-11s %12zu %10zu %9zu %8d\n", preset.name.c_str(),
+                preset.domain.c_str(), preset.paper_rows, preset.base_rows,
+                preset.features, preset.classes);
+  }
+  return 0;
+}
+
+int CmdRun(const std::map<std::string, std::string>& flags) {
+  auto config = BuildConfig(flags);
+  config.status().Abort("config");
+  auto result = core::RunExperiment(*config);
+  result.status().Abort("experiment");
+  const std::string source =
+      config->csv_path.empty() ? config->dataset : config->csv_path;
+  std::printf("dataset=%s rows=%zu features=%zu consortium=%zu backend=%s\n\n",
+              source.c_str(), result->rows, result->features,
+              result->consortium_size, core::HeBackendKindName(config->backend));
+  PrintResult(core::SelectionMethodName(config->method), *result);
+  if (!result->selection.scores.empty()) {
+    std::printf("\nper-participant scores:");
+    for (size_t p = 0; p < result->selection.scores.size(); ++p) {
+      std::printf(" %zu:%.4f", p, result->selection.scores[p]);
+    }
+    std::printf("\n");
+  }
+  if (result->selection.knn_stats.queries > 0) {
+    std::printf("oracle: %zu queries, %.0f candidates/query, %llu KB on the wire\n",
+                result->selection.knn_stats.queries,
+                result->selection.knn_stats.AvgCandidatesPerQuery(),
+                static_cast<unsigned long long>(
+                    result->selection.knn_stats.traffic.bytes / 1024));
+  }
+  return 0;
+}
+
+int CmdSweep(const std::map<std::string, std::string>& flags) {
+  const core::SelectionMethod methods[] = {
+      core::SelectionMethod::kAll,     core::SelectionMethod::kRandom,
+      core::SelectionMethod::kShapley, core::SelectionMethod::kVfMine,
+      core::SelectionMethod::kVfpsSmBase, core::SelectionMethod::kVfpsSm};
+  for (core::SelectionMethod method : methods) {
+    auto mutable_flags = flags;
+    mutable_flags["method"] = core::SelectionMethodName(method);
+    auto config = BuildConfig(mutable_flags);
+    config.status().Abort("config");
+    auto result = core::RunExperiment(*config);
+    result.status().Abort("experiment");
+    PrintResult(core::SelectionMethodName(method), *result);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: vfps_cli <datasets|run|sweep> [--key=value ...]\n"
+               "try:   vfps_cli run --dataset=SUSY --method=VFPS-SM --model=lr\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "datasets") return CmdDatasets();
+  if (command == "run") return CmdRun(ParseFlags(argc, argv, 2));
+  if (command == "sweep") return CmdSweep(ParseFlags(argc, argv, 2));
+  Usage();
+  return 2;
+}
