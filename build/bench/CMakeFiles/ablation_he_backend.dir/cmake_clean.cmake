@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_he_backend.dir/ablation_he_backend.cc.o"
+  "CMakeFiles/ablation_he_backend.dir/ablation_he_backend.cc.o.d"
+  "ablation_he_backend"
+  "ablation_he_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_he_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shapley.dir/ablation_shapley.cc.o"
+  "CMakeFiles/ablation_shapley.dir/ablation_shapley.cc.o.d"
+  "ablation_shapley"
+  "ablation_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

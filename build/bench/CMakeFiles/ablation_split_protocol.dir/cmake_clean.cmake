@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_protocol.dir/ablation_split_protocol.cc.o"
+  "CMakeFiles/ablation_split_protocol.dir/ablation_split_protocol.cc.o.d"
+  "ablation_split_protocol"
+  "ablation_split_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_he.dir/bench_he.cc.o"
+  "CMakeFiles/bench_he.dir/bench_he.cc.o.d"
+  "bench_he"
+  "bench_he.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_he.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

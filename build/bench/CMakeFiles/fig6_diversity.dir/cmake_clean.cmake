@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_diversity.dir/fig6_diversity.cc.o"
+  "CMakeFiles/fig6_diversity.dir/fig6_diversity.cc.o.d"
+  "fig6_diversity"
+  "fig6_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_candidates.dir/fig9_candidates.cc.o"
+  "CMakeFiles/fig9_candidates.dir/fig9_candidates.cc.o.d"
+  "fig9_candidates"
+  "fig9_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_motivation.dir/table1_motivation.cc.o"
+  "CMakeFiles/table1_motivation.dir/table1_motivation.cc.o.d"
+  "table1_motivation"
+  "table1_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

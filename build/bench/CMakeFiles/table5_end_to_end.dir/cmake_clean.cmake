@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_end_to_end.dir/table5_end_to_end.cc.o"
+  "CMakeFiles/table5_end_to_end.dir/table5_end_to_end.cc.o.d"
+  "table5_end_to_end"
+  "table5_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

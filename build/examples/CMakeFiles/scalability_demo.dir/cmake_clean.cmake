@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_demo.dir/scalability_demo.cc.o"
+  "CMakeFiles/scalability_demo.dir/scalability_demo.cc.o.d"
+  "scalability_demo"
+  "scalability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

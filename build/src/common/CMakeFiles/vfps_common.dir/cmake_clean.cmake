@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_common.dir/buffer.cc.o"
+  "CMakeFiles/vfps_common.dir/buffer.cc.o.d"
+  "CMakeFiles/vfps_common.dir/logging.cc.o"
+  "CMakeFiles/vfps_common.dir/logging.cc.o.d"
+  "CMakeFiles/vfps_common.dir/random.cc.o"
+  "CMakeFiles/vfps_common.dir/random.cc.o.d"
+  "CMakeFiles/vfps_common.dir/sim_clock.cc.o"
+  "CMakeFiles/vfps_common.dir/sim_clock.cc.o.d"
+  "CMakeFiles/vfps_common.dir/status.cc.o"
+  "CMakeFiles/vfps_common.dir/status.cc.o.d"
+  "CMakeFiles/vfps_common.dir/string_util.cc.o"
+  "CMakeFiles/vfps_common.dir/string_util.cc.o.d"
+  "CMakeFiles/vfps_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vfps_common.dir/thread_pool.cc.o.d"
+  "libvfps_common.a"
+  "libvfps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

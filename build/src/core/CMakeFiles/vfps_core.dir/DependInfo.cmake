@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/vfps_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/vfps_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/random_select.cc" "src/core/CMakeFiles/vfps_core.dir/random_select.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/random_select.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/core/CMakeFiles/vfps_core.dir/selector.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/selector.cc.o.d"
+  "/root/repo/src/core/shapley.cc" "src/core/CMakeFiles/vfps_core.dir/shapley.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/shapley.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/vfps_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/submodular.cc" "src/core/CMakeFiles/vfps_core.dir/submodular.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/submodular.cc.o.d"
+  "/root/repo/src/core/vfmine.cc" "src/core/CMakeFiles/vfps_core.dir/vfmine.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/vfmine.cc.o.d"
+  "/root/repo/src/core/vfps_sm.cc" "src/core/CMakeFiles/vfps_core.dir/vfps_sm.cc.o" "gcc" "src/core/CMakeFiles/vfps_core.dir/vfps_sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/he/CMakeFiles/vfps_he.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vfps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vfps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vfps_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/topk/CMakeFiles/vfps_topk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfl/CMakeFiles/vfps_vfl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_core.dir/experiment.cc.o"
+  "CMakeFiles/vfps_core.dir/experiment.cc.o.d"
+  "CMakeFiles/vfps_core.dir/greedy.cc.o"
+  "CMakeFiles/vfps_core.dir/greedy.cc.o.d"
+  "CMakeFiles/vfps_core.dir/random_select.cc.o"
+  "CMakeFiles/vfps_core.dir/random_select.cc.o.d"
+  "CMakeFiles/vfps_core.dir/selector.cc.o"
+  "CMakeFiles/vfps_core.dir/selector.cc.o.d"
+  "CMakeFiles/vfps_core.dir/shapley.cc.o"
+  "CMakeFiles/vfps_core.dir/shapley.cc.o.d"
+  "CMakeFiles/vfps_core.dir/similarity.cc.o"
+  "CMakeFiles/vfps_core.dir/similarity.cc.o.d"
+  "CMakeFiles/vfps_core.dir/submodular.cc.o"
+  "CMakeFiles/vfps_core.dir/submodular.cc.o.d"
+  "CMakeFiles/vfps_core.dir/vfmine.cc.o"
+  "CMakeFiles/vfps_core.dir/vfmine.cc.o.d"
+  "CMakeFiles/vfps_core.dir/vfps_sm.cc.o"
+  "CMakeFiles/vfps_core.dir/vfps_sm.cc.o.d"
+  "libvfps_core.a"
+  "libvfps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

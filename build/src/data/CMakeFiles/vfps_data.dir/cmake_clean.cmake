@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_data.dir/csv_loader.cc.o"
+  "CMakeFiles/vfps_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/vfps_data.dir/dataset.cc.o"
+  "CMakeFiles/vfps_data.dir/dataset.cc.o.d"
+  "CMakeFiles/vfps_data.dir/libsvm_loader.cc.o"
+  "CMakeFiles/vfps_data.dir/libsvm_loader.cc.o.d"
+  "CMakeFiles/vfps_data.dir/partitioner.cc.o"
+  "CMakeFiles/vfps_data.dir/partitioner.cc.o.d"
+  "CMakeFiles/vfps_data.dir/presets.cc.o"
+  "CMakeFiles/vfps_data.dir/presets.cc.o.d"
+  "CMakeFiles/vfps_data.dir/scaler.cc.o"
+  "CMakeFiles/vfps_data.dir/scaler.cc.o.d"
+  "CMakeFiles/vfps_data.dir/synthetic.cc.o"
+  "CMakeFiles/vfps_data.dir/synthetic.cc.o.d"
+  "libvfps_data.a"
+  "libvfps_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

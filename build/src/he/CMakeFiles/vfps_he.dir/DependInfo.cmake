@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/he/backend.cc" "src/he/CMakeFiles/vfps_he.dir/backend.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/backend.cc.o.d"
+  "/root/repo/src/he/bignum.cc" "src/he/CMakeFiles/vfps_he.dir/bignum.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/bignum.cc.o.d"
+  "/root/repo/src/he/ckks.cc" "src/he/CMakeFiles/vfps_he.dir/ckks.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/ckks.cc.o.d"
+  "/root/repo/src/he/ckks_encoder.cc" "src/he/CMakeFiles/vfps_he.dir/ckks_encoder.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/ckks_encoder.cc.o.d"
+  "/root/repo/src/he/modarith.cc" "src/he/CMakeFiles/vfps_he.dir/modarith.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/modarith.cc.o.d"
+  "/root/repo/src/he/ntt.cc" "src/he/CMakeFiles/vfps_he.dir/ntt.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/ntt.cc.o.d"
+  "/root/repo/src/he/paillier.cc" "src/he/CMakeFiles/vfps_he.dir/paillier.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/paillier.cc.o.d"
+  "/root/repo/src/he/rns.cc" "src/he/CMakeFiles/vfps_he.dir/rns.cc.o" "gcc" "src/he/CMakeFiles/vfps_he.dir/rns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_he.dir/backend.cc.o"
+  "CMakeFiles/vfps_he.dir/backend.cc.o.d"
+  "CMakeFiles/vfps_he.dir/bignum.cc.o"
+  "CMakeFiles/vfps_he.dir/bignum.cc.o.d"
+  "CMakeFiles/vfps_he.dir/ckks.cc.o"
+  "CMakeFiles/vfps_he.dir/ckks.cc.o.d"
+  "CMakeFiles/vfps_he.dir/ckks_encoder.cc.o"
+  "CMakeFiles/vfps_he.dir/ckks_encoder.cc.o.d"
+  "CMakeFiles/vfps_he.dir/modarith.cc.o"
+  "CMakeFiles/vfps_he.dir/modarith.cc.o.d"
+  "CMakeFiles/vfps_he.dir/ntt.cc.o"
+  "CMakeFiles/vfps_he.dir/ntt.cc.o.d"
+  "CMakeFiles/vfps_he.dir/paillier.cc.o"
+  "CMakeFiles/vfps_he.dir/paillier.cc.o.d"
+  "CMakeFiles/vfps_he.dir/rns.cc.o"
+  "CMakeFiles/vfps_he.dir/rns.cc.o.d"
+  "libvfps_he.a"
+  "libvfps_he.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_he.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/vfps_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/vfps_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/logreg.cc" "src/ml/CMakeFiles/vfps_ml.dir/logreg.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/logreg.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/vfps_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/vfps_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/vfps_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/ml/CMakeFiles/vfps_ml.dir/optimizer.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/optimizer.cc.o.d"
+  "/root/repo/src/ml/train_config.cc" "src/ml/CMakeFiles/vfps_ml.dir/train_config.cc.o" "gcc" "src/ml/CMakeFiles/vfps_ml.dir/train_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vfps_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

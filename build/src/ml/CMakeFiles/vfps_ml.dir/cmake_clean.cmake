@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_ml.dir/classifier.cc.o"
+  "CMakeFiles/vfps_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/vfps_ml.dir/knn.cc.o"
+  "CMakeFiles/vfps_ml.dir/knn.cc.o.d"
+  "CMakeFiles/vfps_ml.dir/logreg.cc.o"
+  "CMakeFiles/vfps_ml.dir/logreg.cc.o.d"
+  "CMakeFiles/vfps_ml.dir/matrix.cc.o"
+  "CMakeFiles/vfps_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/vfps_ml.dir/metrics.cc.o"
+  "CMakeFiles/vfps_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/vfps_ml.dir/mlp.cc.o"
+  "CMakeFiles/vfps_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/vfps_ml.dir/optimizer.cc.o"
+  "CMakeFiles/vfps_ml.dir/optimizer.cc.o.d"
+  "CMakeFiles/vfps_ml.dir/train_config.cc.o"
+  "CMakeFiles/vfps_ml.dir/train_config.cc.o.d"
+  "libvfps_ml.a"
+  "libvfps_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

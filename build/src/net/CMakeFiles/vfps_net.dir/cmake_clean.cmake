@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_net.dir/cost_model.cc.o"
+  "CMakeFiles/vfps_net.dir/cost_model.cc.o.d"
+  "CMakeFiles/vfps_net.dir/network.cc.o"
+  "CMakeFiles/vfps_net.dir/network.cc.o.d"
+  "libvfps_net.a"
+  "libvfps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

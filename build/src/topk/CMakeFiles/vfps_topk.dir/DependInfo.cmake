@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topk/fagin.cc" "src/topk/CMakeFiles/vfps_topk.dir/fagin.cc.o" "gcc" "src/topk/CMakeFiles/vfps_topk.dir/fagin.cc.o.d"
+  "/root/repo/src/topk/naive.cc" "src/topk/CMakeFiles/vfps_topk.dir/naive.cc.o" "gcc" "src/topk/CMakeFiles/vfps_topk.dir/naive.cc.o.d"
+  "/root/repo/src/topk/ranked_list.cc" "src/topk/CMakeFiles/vfps_topk.dir/ranked_list.cc.o" "gcc" "src/topk/CMakeFiles/vfps_topk.dir/ranked_list.cc.o.d"
+  "/root/repo/src/topk/threshold.cc" "src/topk/CMakeFiles/vfps_topk.dir/threshold.cc.o" "gcc" "src/topk/CMakeFiles/vfps_topk.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

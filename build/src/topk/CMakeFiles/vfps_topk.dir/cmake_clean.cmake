@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_topk.dir/fagin.cc.o"
+  "CMakeFiles/vfps_topk.dir/fagin.cc.o.d"
+  "CMakeFiles/vfps_topk.dir/naive.cc.o"
+  "CMakeFiles/vfps_topk.dir/naive.cc.o.d"
+  "CMakeFiles/vfps_topk.dir/ranked_list.cc.o"
+  "CMakeFiles/vfps_topk.dir/ranked_list.cc.o.d"
+  "CMakeFiles/vfps_topk.dir/threshold.cc.o"
+  "CMakeFiles/vfps_topk.dir/threshold.cc.o.d"
+  "libvfps_topk.a"
+  "libvfps_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

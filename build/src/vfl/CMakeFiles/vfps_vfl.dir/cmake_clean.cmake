@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_vfl.dir/fed_knn.cc.o"
+  "CMakeFiles/vfps_vfl.dir/fed_knn.cc.o.d"
+  "CMakeFiles/vfps_vfl.dir/pseudo_id.cc.o"
+  "CMakeFiles/vfps_vfl.dir/pseudo_id.cc.o.d"
+  "CMakeFiles/vfps_vfl.dir/split_lr.cc.o"
+  "CMakeFiles/vfps_vfl.dir/split_lr.cc.o.d"
+  "CMakeFiles/vfps_vfl.dir/split_train.cc.o"
+  "CMakeFiles/vfps_vfl.dir/split_train.cc.o.d"
+  "libvfps_vfl.a"
+  "libvfps_vfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_vfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bignum.dir/test_bignum.cc.o"
+  "CMakeFiles/test_bignum.dir/test_bignum.cc.o.d"
+  "test_bignum"
+  "test_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fed_knn.dir/test_fed_knn.cc.o"
+  "CMakeFiles/test_fed_knn.dir/test_fed_knn.cc.o.d"
+  "test_fed_knn"
+  "test_fed_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fed_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_he_backend.dir/test_he_backend.cc.o"
+  "CMakeFiles/test_he_backend.dir/test_he_backend.cc.o.d"
+  "test_he_backend"
+  "test_he_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_he_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loaders.dir/test_loaders.cc.o"
+  "CMakeFiles/test_loaders.dir/test_loaders.cc.o.d"
+  "test_loaders"
+  "test_loaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modarith.dir/test_modarith.cc.o"
+  "CMakeFiles/test_modarith.dir/test_modarith.cc.o.d"
+  "test_modarith"
+  "test_modarith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modarith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paillier.dir/test_paillier.cc.o"
+  "CMakeFiles/test_paillier.dir/test_paillier.cc.o.d"
+  "test_paillier"
+  "test_paillier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rns.cc" "tests/CMakeFiles/test_rns.dir/test_rns.cc.o" "gcc" "tests/CMakeFiles/test_rns.dir/test_rns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vfps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfl/CMakeFiles/vfps_vfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/topk/CMakeFiles/vfps_topk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vfps_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vfps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vfps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/he/CMakeFiles/vfps_he.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vfps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

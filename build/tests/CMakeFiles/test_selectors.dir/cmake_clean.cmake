@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selectors.dir/test_selectors.cc.o"
+  "CMakeFiles/test_selectors.dir/test_selectors.cc.o.d"
+  "test_selectors"
+  "test_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

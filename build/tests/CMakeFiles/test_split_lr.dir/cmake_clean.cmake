@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_lr.dir/test_split_lr.cc.o"
+  "CMakeFiles/test_split_lr.dir/test_split_lr.cc.o.d"
+  "test_split_lr"
+  "test_split_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

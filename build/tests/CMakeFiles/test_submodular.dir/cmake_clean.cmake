@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_submodular.dir/test_submodular.cc.o"
+  "CMakeFiles/test_submodular.dir/test_submodular.cc.o.d"
+  "test_submodular"
+  "test_submodular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_submodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
