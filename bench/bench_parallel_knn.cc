@@ -1,0 +1,119 @@
+// Wall-clock scaling of the parallel encrypted-KNN pipeline on the Fig. 7
+// workload (Phishing-style dataset, P participants, one VFPS-SM selection
+// pass with a real CKKS backend so encryption dominates per-query work).
+//
+// The pipeline guarantees bit-identical outputs at every thread count (see
+// tests/test_parallel_determinism.cc); this bench measures the only thing
+// parallelism is allowed to change — wall time — and verifies the outputs
+// really did stay identical while doing so.
+//
+// Usage: bench_parallel_knn [--scale=0.35] [--queries=24] [--seed=42]
+//                           [--threads=1,2,4,8]
+//
+// Note: speedup is bounded by the host's core count; on a machine with >= 8
+// cores the 8-thread row is expected to come in at >= 2x over serial.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+
+using namespace vfps;         // NOLINT(build/namespaces)
+using namespace vfps::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+std::vector<size_t> ParseThreadList(const std::string& spec) {
+  std::vector<size_t> out;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string tok = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!tok.empty()) {
+      auto parsed = ParseInt64(tok);
+      if (!parsed.ok() || *parsed < 1 || *parsed > 1024) {
+        std::fprintf(stderr,
+                     "--threads must be a comma list of counts in [1, 1024], "
+                     "got \"%s\"\n", tok.c_str());
+        std::exit(2);
+      }
+      out.push_back(static_cast<size_t>(*parsed));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--threads list is empty\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.35);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 24));
+  const std::vector<size_t> thread_counts =
+      ParseThreadList(flags.GetString("threads", "1,2,4,8"));
+
+  std::printf(
+      "Parallel encrypted-KNN pipeline: wall-clock vs worker threads\n"
+      "(Fig. 7 workload: Phishing, P=8, select 4, CKKS backend, |Q|=%zu, "
+      "scale=%.2f; host has %u hardware threads)\n\n",
+      queries, scale, std::thread::hardware_concurrency());
+
+  TablePrinter table({"Threads", "Wall s", "Speedup", "SimSeconds", "Picked"});
+  double serial_wall = 0.0;
+  double serial_sim = -1.0;
+  std::string serial_picked;
+  for (size_t threads : thread_counts) {
+    auto config = GridConfig("Phishing", core::SelectionMethod::kVfpsSm,
+                             ml::ModelKind::kKnn, scale, seed);
+    config.participants = 8;
+    config.select = 4;
+    config.backend = core::HeBackendKind::kCkks;
+    config.knn.num_queries = queries;
+    config.num_threads = threads;
+
+    Stopwatch wall;
+    auto result = core::RunExperiment(config);
+    RunOrDie("Phishing", result.status());
+    const double seconds = wall.ElapsedSeconds();
+
+    std::string picked;
+    for (size_t p : result->selection.selected) {
+      picked += (picked.empty() ? "" : ",") + std::to_string(p);
+    }
+    if (serial_wall == 0.0) {
+      serial_wall = seconds;
+      serial_sim = result->selection_sim_seconds;
+      serial_picked = picked;
+    }
+    // The determinism contract, checked live: same selection, same simulated
+    // clock, regardless of the thread count.
+    if (picked != serial_picked ||
+        result->selection_sim_seconds != serial_sim) {
+      std::fprintf(stderr,
+                   "FATAL: outputs changed with threads=%zu (picked={%s} vs "
+                   "{%s}, sim %.6f vs %.6f)\n",
+                   threads, picked.c_str(), serial_picked.c_str(),
+                   result->selection_sim_seconds, serial_sim);
+      return 1;
+    }
+    table.AddRow({std::to_string(threads), StrFormat("%.2f", seconds),
+                  StrFormat("%.2fx", serial_wall / seconds),
+                  FormatSimSeconds(result->selection_sim_seconds), picked});
+  }
+  table.Print();
+  std::printf(
+      "\nOutputs verified identical across all thread counts; speedup is pure "
+      "wall-clock.\n");
+  return 0;
+}

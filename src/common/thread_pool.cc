@@ -41,21 +41,35 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
   const size_t n = end - begin;
-  const size_t workers = num_threads();
-  if (workers <= 1 || n == 1) {
+  if (num_threads() <= 1 || n == 1) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    const size_t lo = begin + w * chunk;
-    const size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+  // Dynamic scheduling: every participant (workers + the calling thread)
+  // claims the next unprocessed index from a shared cursor, which
+  // load-balances uneven iteration costs (e.g. per-query Fagin depth).
+  // The caller always participates, so even if every worker is stuck behind
+  // other tasks the loop completes — this is what makes nested ParallelFor
+  // deadlock-free.
+  std::atomic<size_t> cursor{begin};
+  const size_t helpers = std::min(num_threads(), n - 1);
+  Latch latch(helpers);
+  for (size_t w = 0; w < helpers; ++w) {
+    Submit([&cursor, &latch, &fn, end] {
+      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < end;
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+      latch.CountDown();
     });
   }
-  Wait();
+  for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed); i < end;
+       i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+    fn(i);
+  }
+  // The caller's stack frame (cursor, latch, fn) stays alive until every
+  // helper task has counted down, so the by-reference captures are safe.
+  latch.Wait();
 }
 
 void ThreadPool::WorkerLoop() {

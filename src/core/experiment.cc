@@ -87,6 +87,11 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   VFPS_ASSIGN_OR_RETURN(auto backend, MakeBackend(config));
   net::SimNetwork network;
   SimClock clock;
+  std::unique_ptr<ThreadPool> pool;
+  if (config.num_threads != 1) {  // 0 = hardware concurrency (ThreadPool ctor)
+    pool = std::make_unique<ThreadPool>(config.num_threads);
+    backend->set_thread_pool(pool.get());
+  }
 
   ExperimentResult result;
   result.rows = split.train.num_samples();
@@ -107,6 +112,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     ctx.network = &network;
     ctx.cost = &config.cost;
     ctx.clock = &clock;
+    ctx.pool = pool.get();
     ctx.knn = config.knn;
     ctx.seed = config.seed;
     ctx.utility_queries = config.utility_queries;

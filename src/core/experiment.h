@@ -61,6 +61,12 @@ struct ExperimentConfig {
   size_t utility_queries = 32;           // SHAPLEY / VF-MINE query budget
   size_t shapley_exact_limit = 12;
   size_t shapley_mc_permutations = 16;
+
+  /// Worker threads for the encrypted-KNN pipeline. 1 (default) runs fully
+  /// serial; 0 means "use the hardware concurrency"; N > 1 creates an
+  /// N-thread pool shared by the selection phase. Results are bit-identical
+  /// at any value — only wall_seconds changes.
+  size_t num_threads = 1;
 };
 
 /// \brief Everything a table/figure needs about one experiment run.

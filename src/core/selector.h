@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/sim_clock.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "data/partitioner.h"
 #include "he/backend.h"
@@ -31,6 +32,11 @@ Result<SelectionMethod> ParseSelectionMethod(const std::string& name);
 
 /// \brief Everything a selector needs: the data, the simulated deployment,
 /// and method hyper-parameters.
+///
+/// All pointers are borrowed: the caller owns the objects and must keep them
+/// alive for the duration of Select(). One context must not be used by two
+/// selectors concurrently (the deployment objects it points at are not
+/// thread-safe); selectors parallelize internally through `pool`.
 struct SelectionContext {
   const data::DataSplit* split = nullptr;  // standardized joint feature views
   const data::VerticalPartition* partition = nullptr;
@@ -38,6 +44,11 @@ struct SelectionContext {
   net::SimNetwork* network = nullptr;
   const net::CostModel* cost = nullptr;
   SimClock* clock = nullptr;  // charged with selection-phase time
+  /// Optional worker pool. When non-null (and > 1 thread), the encrypted-KNN
+  /// oracle runs its queries in parallel and the similarity matrix is
+  /// assembled threaded; results are bit-identical to the serial path (see
+  /// vfl::FederatedKnnOracle). nullptr selects the serial path.
+  ThreadPool* pool = nullptr;
 
   vfl::FedKnnConfig knn;  // oracle settings (k, |Q|, Fagin batch, seed)
   uint64_t seed = 42;
@@ -67,19 +78,38 @@ struct SelectionOutcome {
 class ParticipantSelector {
  public:
   virtual ~ParticipantSelector() = default;
+
+  /// Method name as it appears in CLI flags and result tables ("vfps-sm",
+  /// "shapley", ...). Stable across runs; safe to key result files on.
   virtual std::string name() const = 0;
 
-  /// Choose `target` of the ctx.partition->size() participants.
+  /// \brief Choose `target` of the ctx.partition->size() participants.
+  ///
+  /// \param ctx borrowed deployment + hyper-parameters; see SelectionContext
+  ///        for lifetime and threading rules.
+  /// \param target how many participants to keep, 1 <= target <= P.
+  /// \return the selected ids (ascending), per-participant scores, and the
+  ///         simulated selection-phase seconds charged to ctx.clock.
+  ///
+  /// Deterministic for a fixed (ctx seeds, target) at any thread count.
+  /// Complexity is method-specific: VFPS-SM runs |Q| encrypted KNN queries
+  /// plus an O(P^2 * target) greedy pass; SHAPLEY runs up to 2^P coalition
+  /// evaluations (Monte-Carlo beyond shapley_exact_limit).
   virtual Result<SelectionOutcome> Select(const SelectionContext& ctx,
                                           size_t target) = 0;
 };
 
-/// Factory. kAll is not a selector (there is nothing to select); asking for
-/// it returns InvalidArgument.
+/// \brief Factory for the method implementations.
+///
+/// kAll is not a selector (there is nothing to select); asking for it
+/// returns InvalidArgument. The returned selector is stateless between
+/// Select() calls and may be reused across experiments.
 Result<std::unique_ptr<ParticipantSelector>> CreateSelector(
     SelectionMethod method);
 
-/// Validate that a context is fully populated (shared by implementations).
+/// \brief Validate that a context is fully populated (shared by
+/// implementations): non-null data/deployment pointers, a consistent
+/// partition, and 1 <= target <= P. Returns InvalidArgument otherwise.
 Status ValidateContext(const SelectionContext& ctx, size_t target);
 
 }  // namespace vfps::core

@@ -69,7 +69,7 @@ Result<SelectionOutcome> ShapleySelector::Select(const SelectionContext& ctx,
   VFPS_CHECK_ARG(queries.num_samples() > 0,
                  "SHAPLEY: empty validation split, no utility queries");
   vfl::FederatedKnnOracle oracle(&ctx.split->train, ctx.partition, ctx.backend,
-                                 ctx.network, ctx.cost, ctx.clock);
+                                 ctx.network, ctx.cost, ctx.clock, ctx.pool);
   const double u_empty = EmptyCoalitionUtility(ctx.split->train, queries);
 
   std::vector<double> values(p, 0.0);

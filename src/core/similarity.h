@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "vfl/fed_knn.h"
 
 namespace vfps::core {
@@ -35,9 +36,14 @@ class SimilarityMatrix {
 /// \brief Build the similarity matrix from the per-query distance aggregates
 /// the federated KNN oracle produced. Queries whose total distance d_T is
 /// zero (all participants agree exactly) contribute full similarity.
+///
+/// When `pool` is non-null, rows of the upper triangle are assembled in
+/// parallel. Each matrix cell is still accumulated in query order, so the
+/// result is bit-identical at any thread count (floating-point addition
+/// order per accumulator never changes). Complexity: O(|Q| * P^2).
 Result<SimilarityMatrix> BuildSimilarity(
     const std::vector<vfl::QueryNeighborhood>& neighborhoods,
-    size_t num_participants);
+    size_t num_participants, ThreadPool* pool = nullptr);
 
 }  // namespace vfps::core
 

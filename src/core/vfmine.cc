@@ -51,7 +51,7 @@ Result<SelectionOutcome> VfMineSelector::Select(const SelectionContext& ctx,
   std::vector<int> truth = queries.labels();
 
   vfl::FederatedKnnOracle oracle(&ctx.split->train, ctx.partition, ctx.backend,
-                                 ctx.network, ctx.cost, ctx.clock);
+                                 ctx.network, ctx.cost, ctx.clock, ctx.pool);
 
   // Sample groups of about half the consortium; group g is anchored on
   // participant g mod P so that every participant is scored.

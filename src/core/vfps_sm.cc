@@ -12,15 +12,16 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
   const double clock_before = ctx.clock->Total();
 
   vfl::FederatedKnnOracle oracle(&ctx.split->train, ctx.partition, ctx.backend,
-                                 ctx.network, ctx.cost, ctx.clock);
+                                 ctx.network, ctx.cost, ctx.clock, ctx.pool);
   vfl::FedKnnConfig knn = ctx.knn;
   knn.mode = mode_;
   knn.seed = ctx.seed;
 
   SelectionOutcome outcome;
   VFPS_ASSIGN_OR_RETURN(auto neighborhoods, oracle.Run(knn, &outcome.knn_stats));
-  VFPS_ASSIGN_OR_RETURN(last_similarity_,
-                        BuildSimilarity(neighborhoods, ctx.partition->size()));
+  VFPS_ASSIGN_OR_RETURN(
+      last_similarity_,
+      BuildSimilarity(neighborhoods, ctx.partition->size(), ctx.pool));
 
   KnnSubmodularFunction f(last_similarity_);
   const GreedyResult greedy =

@@ -14,8 +14,20 @@ namespace vfps::core {
 ///
 /// The oracle mode distinguishes VFPS-SM (Fagin-optimized candidate sets)
 /// from the VFPS-SM-BASE ablation (every instance encrypted per query).
+///
+/// Threading: Select() honors SelectionContext::pool — the KNN queries and
+/// the similarity-matrix assembly run on the pool when one is supplied, and
+/// both stages guarantee bit-identical outputs at any thread count, so the
+/// selected set and scores never depend on parallelism. One VfpsSmSelector
+/// instance must be driven from one thread at a time (it caches
+/// last_similarity()).
 class VfpsSmSelector final : public ParticipantSelector {
  public:
+  /// \param mode kFagin for VFPS-SM, kBase for the VFPS-SM-BASE ablation
+  ///        (kThreshold selects the TA merge variant).
+  /// \param lazy_greedy use the lazy-evaluation greedy (same output as the
+  ///        plain greedy — the submodular function is exact — but fewer
+  ///        marginal-gain evaluations charged to the clock).
   explicit VfpsSmSelector(vfl::KnnOracleMode mode, bool lazy_greedy = true)
       : mode_(mode), lazy_greedy_(lazy_greedy) {}
 
@@ -23,10 +35,18 @@ class VfpsSmSelector final : public ParticipantSelector {
     return mode_ == vfl::KnnOracleMode::kFagin ? "VFPS-SM" : "VFPS-SM-BASE";
   }
 
+  /// \brief Run selection: |Q| encrypted KNN queries, similarity assembly,
+  /// then (lazy) greedy maximization.
+  ///
+  /// Complexity: the oracle dominates — per query O(P * N * F/P + N log N)
+  /// simulated work, encrypting only the Fagin/TA candidate set (or N-1
+  /// values under kBase) — followed by O(target * P^2) greedy. Simulated
+  /// seconds land on ctx.clock; wall-clock scales with the pool size.
   Result<SelectionOutcome> Select(const SelectionContext& ctx,
                                   size_t target) override;
 
   /// The similarity matrix of the last Select call (for diagnostics/tests).
+  /// Valid until the next Select on this instance.
   const SimilarityMatrix& last_similarity() const { return last_similarity_; }
 
  private:

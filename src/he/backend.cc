@@ -11,6 +11,33 @@ namespace vfps::he {
 
 namespace {
 
+// Run fn(i) for i in [0, n): on the pool when one is attached and useful,
+// serially otherwise. Helpers below guarantee result/stats determinism by
+// keeping all randomness derivation and stats merging on the calling thread.
+void RunIndexed(ThreadPool* pool, size_t n,
+                const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(0, n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+// Per-item scratch for the parallel batch paths.
+struct BatchSlot {
+  Status status = Status::OK();
+  HeOpStats stats;
+};
+
+// Check every slot's status (in order) and fold its counters into `stats`.
+Status MergeSlots(std::vector<BatchSlot>* slots, HeOpStats* stats) {
+  for (auto& slot : *slots) {
+    if (!slot.status.ok()) return slot.status;
+    stats->Merge(slot.stats);
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // CKKS backend: values are chunked into slot_count()-sized slices, one
 // ciphertext per slice.
@@ -23,9 +50,97 @@ class CkksBackend final : public HeBackend {
     pk_ = ctx_->GeneratePublicKey(sk_, &rng_);
   }
 
+  // Fork constructor: share the context and keys, own randomness stream.
+  CkksBackend(std::shared_ptr<const CkksContext> ctx, CkksSecretKey sk,
+              CkksPublicKey pk, uint64_t stream_seed)
+      : ctx_(std::move(ctx)), rng_(stream_seed), sk_(std::move(sk)),
+        pk_(std::move(pk)) {}
+
   std::string name() const override { return "ckks"; }
 
   Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+    return EncryptImpl(values, &rng_, &stats_);
+  }
+
+  Result<EncryptedVector> Sum(
+      const std::vector<const EncryptedVector*>& vectors) override {
+    return SumImpl(vectors, &stats_);
+  }
+
+  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+    return DecryptImpl(v, &stats_);
+  }
+
+  Result<std::vector<EncryptedVector>> EncryptBatch(
+      const std::vector<std::vector<double>>& batch) override {
+    const size_t n = batch.size();
+    // Randomness is consumed serially, in batch order, before fanning out:
+    // the ciphertexts are identical at any thread count.
+    std::vector<uint64_t> seeds(n);
+    for (size_t i = 0; i < n; ++i) seeds[i] = rng_.Next();
+    std::vector<EncryptedVector> out(n);
+    std::vector<BatchSlot> slots(n);
+    RunIndexed(pool_, n, [&](size_t i) {
+      Rng rng(seeds[i]);
+      auto enc = EncryptImpl(batch[i], &rng, &slots[i].stats);
+      if (enc.ok()) {
+        out[i] = enc.MoveValueUnsafe();
+      } else {
+        slots[i].status = enc.status();
+      }
+    });
+    VFPS_RETURN_NOT_OK(MergeSlots(&slots, &stats_));
+    return out;
+  }
+
+  Result<std::vector<EncryptedVector>> AddBatch(
+      const std::vector<std::vector<const EncryptedVector*>>& groups) override {
+    const size_t n = groups.size();
+    std::vector<EncryptedVector> out(n);
+    std::vector<BatchSlot> slots(n);
+    RunIndexed(pool_, n, [&](size_t g) {
+      auto sum = SumImpl(groups[g], &slots[g].stats);
+      if (sum.ok()) {
+        out[g] = sum.MoveValueUnsafe();
+      } else {
+        slots[g].status = sum.status();
+      }
+    });
+    VFPS_RETURN_NOT_OK(MergeSlots(&slots, &stats_));
+    return out;
+  }
+
+  Result<std::vector<std::vector<double>>> DecryptBatch(
+      const std::vector<EncryptedVector>& batch) override {
+    const size_t n = batch.size();
+    std::vector<std::vector<double>> out(n);
+    std::vector<BatchSlot> slots(n);
+    RunIndexed(pool_, n, [&](size_t i) {
+      auto dec = DecryptImpl(batch[i], &slots[i].stats);
+      if (dec.ok()) {
+        out[i] = dec.MoveValueUnsafe();
+      } else {
+        slots[i].status = dec.status();
+      }
+    });
+    VFPS_RETURN_NOT_OK(MergeSlots(&slots, &stats_));
+    return out;
+  }
+
+  Result<std::unique_ptr<HeBackend>> Fork(uint64_t stream_seed) const override {
+    return std::unique_ptr<HeBackend>(
+        new CkksBackend(ctx_, sk_, pk_, stream_seed));
+  }
+
+  size_t CiphertextBytes(size_t count) const override {
+    const size_t slots = ctx_->slot_count();
+    const size_t chunks = count == 0 ? 0 : (count + slots - 1) / slots;
+    return sizeof(uint32_t) + chunks * ctx_->CiphertextByteSize();
+  }
+
+ private:
+  Result<EncryptedVector> EncryptImpl(const std::vector<double>& values,
+                                      Rng* rng, HeOpStats* stats) const {
     BinaryWriter writer;
     const size_t slots = ctx_->slot_count();
     const size_t num_chunks = values.empty() ? 0 : (values.size() + slots - 1) / slots;
@@ -34,19 +149,20 @@ class CkksBackend final : public HeBackend {
       const size_t lo = c * slots;
       const size_t hi = std::min(values.size(), lo + slots);
       std::vector<double> chunk(values.begin() + lo, values.begin() + hi);
-      VFPS_ASSIGN_OR_RETURN(auto ct, ctx_->EncryptVector(pk_, chunk, &rng_));
+      VFPS_ASSIGN_OR_RETURN(auto ct, ctx_->EncryptVector(pk_, chunk, rng));
       ctx_->SerializeCiphertext(ct, &writer);
-      ++stats_.encrypt_ops;
+      ++stats->encrypt_ops;
     }
-    stats_.values_encrypted += values.size();
+    stats->values_encrypted += values.size();
     EncryptedVector out;
     out.blob = writer.TakeBytes();
     out.count = values.size();
     return out;
   }
 
-  Result<EncryptedVector> Sum(
-      const std::vector<const EncryptedVector*>& vectors) override {
+  Result<EncryptedVector> SumImpl(
+      const std::vector<const EncryptedVector*>& vectors,
+      HeOpStats* stats) const {
     VFPS_CHECK_ARG(!vectors.empty(), "CKKS Sum: no inputs");
     const size_t count = vectors[0]->count;
     std::vector<CkksCiphertext> acc;
@@ -59,7 +175,7 @@ class CkksBackend final : public HeBackend {
       VFPS_RETURN_NOT_OK(ParseChunks(*vectors[i], &cts));
       for (size_t c = 0; c < acc.size(); ++c) {
         VFPS_RETURN_NOT_OK(ctx_->AddInPlaceCt(&acc[c], cts[c]));
-        ++stats_.add_ops;
+        ++stats->add_ops;
       }
     }
     BinaryWriter writer;
@@ -71,7 +187,8 @@ class CkksBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+  Result<std::vector<double>> DecryptImpl(const EncryptedVector& v,
+                                          HeOpStats* stats) const {
     std::vector<CkksCiphertext> cts;
     VFPS_RETURN_NOT_OK(ParseChunks(v, &cts));
     std::vector<double> out;
@@ -81,18 +198,11 @@ class CkksBackend final : public HeBackend {
       const size_t want = std::min(slots, v.count - out.size());
       VFPS_ASSIGN_OR_RETURN(auto values, ctx_->DecryptVector(sk_, cts[c], want));
       out.insert(out.end(), values.begin(), values.end());
-      ++stats_.decrypt_ops;
+      ++stats->decrypt_ops;
     }
     return out;
   }
 
-  size_t CiphertextBytes(size_t count) const override {
-    const size_t slots = ctx_->slot_count();
-    const size_t chunks = count == 0 ? 0 : (count + slots - 1) / slots;
-    return sizeof(uint32_t) + chunks * ctx_->CiphertextByteSize();
-  }
-
- private:
   Status ParseChunks(const EncryptedVector& v,
                      std::vector<CkksCiphertext>* out) const {
     BinaryReader reader(v.blob);
@@ -126,6 +236,91 @@ class PaillierBackend final : public HeBackend {
   std::string name() const override { return "paillier"; }
 
   Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+    return EncryptImpl(values, &rng_, &stats_);
+  }
+
+  Result<EncryptedVector> Sum(
+      const std::vector<const EncryptedVector*>& vectors) override {
+    return SumImpl(vectors, &stats_);
+  }
+
+  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+    return DecryptImpl(v, &stats_);
+  }
+
+  Result<std::vector<EncryptedVector>> EncryptBatch(
+      const std::vector<std::vector<double>>& batch) override {
+    const size_t n = batch.size();
+    std::vector<uint64_t> seeds(n);
+    for (size_t i = 0; i < n; ++i) seeds[i] = rng_.Next();
+    std::vector<EncryptedVector> out(n);
+    std::vector<BatchSlot> slots(n);
+    RunIndexed(pool_, n, [&](size_t i) {
+      Rng rng(seeds[i]);
+      auto enc = EncryptImpl(batch[i], &rng, &slots[i].stats);
+      if (enc.ok()) {
+        out[i] = enc.MoveValueUnsafe();
+      } else {
+        slots[i].status = enc.status();
+      }
+    });
+    VFPS_RETURN_NOT_OK(MergeSlots(&slots, &stats_));
+    return out;
+  }
+
+  Result<std::vector<EncryptedVector>> AddBatch(
+      const std::vector<std::vector<const EncryptedVector*>>& groups) override {
+    const size_t n = groups.size();
+    std::vector<EncryptedVector> out(n);
+    std::vector<BatchSlot> slots(n);
+    RunIndexed(pool_, n, [&](size_t g) {
+      auto sum = SumImpl(groups[g], &slots[g].stats);
+      if (sum.ok()) {
+        out[g] = sum.MoveValueUnsafe();
+      } else {
+        slots[g].status = sum.status();
+      }
+    });
+    VFPS_RETURN_NOT_OK(MergeSlots(&slots, &stats_));
+    return out;
+  }
+
+  Result<std::vector<std::vector<double>>> DecryptBatch(
+      const std::vector<EncryptedVector>& batch) override {
+    const size_t n = batch.size();
+    std::vector<std::vector<double>> out(n);
+    std::vector<BatchSlot> slots(n);
+    RunIndexed(pool_, n, [&](size_t i) {
+      auto dec = DecryptImpl(batch[i], &slots[i].stats);
+      if (dec.ok()) {
+        out[i] = dec.MoveValueUnsafe();
+      } else {
+        slots[i].status = dec.status();
+      }
+    });
+    VFPS_RETURN_NOT_OK(MergeSlots(&slots, &stats_));
+    return out;
+  }
+
+  Result<std::unique_ptr<HeBackend>> Fork(uint64_t stream_seed) const override {
+    auto fork = std::unique_ptr<PaillierBackend>(
+        new PaillierBackend(keys_, frac_scale_, ct_bytes_, stream_seed));
+    return std::unique_ptr<HeBackend>(std::move(fork));
+  }
+
+  size_t CiphertextBytes(size_t count) const override {
+    return sizeof(uint32_t) + count * (sizeof(uint32_t) + ct_bytes_);
+  }
+
+ private:
+  // Fork constructor: share keys and encoding, own randomness stream.
+  PaillierBackend(PaillierKeyPair keys, double frac_scale, size_t ct_bytes,
+                  uint64_t stream_seed)
+      : keys_(std::move(keys)), frac_scale_(frac_scale), rng_(stream_seed),
+        ct_bytes_(ct_bytes) {}
+
+  Result<EncryptedVector> EncryptImpl(const std::vector<double>& values,
+                                      Rng* rng, HeOpStats* stats) const {
     BinaryWriter writer;
     writer.WriteU32(static_cast<uint32_t>(values.size()));
     for (double v : values) {
@@ -135,19 +330,20 @@ class PaillierBackend final : public HeBackend {
       }
       const int64_t fixed = static_cast<int64_t>(std::llround(scaled));
       const BigInt m = Paillier::EncodeSigned(keys_.pub, fixed);
-      VFPS_ASSIGN_OR_RETURN(auto ct, Paillier::Encrypt(keys_.pub, m, &rng_));
+      VFPS_ASSIGN_OR_RETURN(auto ct, Paillier::Encrypt(keys_.pub, m, rng));
       writer.WriteBytes(PadCiphertext(ct.value));
-      ++stats_.encrypt_ops;
+      ++stats->encrypt_ops;
     }
-    stats_.values_encrypted += values.size();
+    stats->values_encrypted += values.size();
     EncryptedVector out;
     out.blob = writer.TakeBytes();
     out.count = values.size();
     return out;
   }
 
-  Result<EncryptedVector> Sum(
-      const std::vector<const EncryptedVector*>& vectors) override {
+  Result<EncryptedVector> SumImpl(
+      const std::vector<const EncryptedVector*>& vectors,
+      HeOpStats* stats) const {
     VFPS_CHECK_ARG(!vectors.empty(), "Paillier Sum: no inputs");
     const size_t count = vectors[0]->count;
     std::vector<PaillierCiphertext> acc;
@@ -160,7 +356,7 @@ class PaillierBackend final : public HeBackend {
       VFPS_RETURN_NOT_OK(Parse(*vectors[i], &cts));
       for (size_t j = 0; j < acc.size(); ++j) {
         VFPS_ASSIGN_OR_RETURN(acc[j], Paillier::Add(keys_.pub, acc[j], cts[j]));
-        ++stats_.add_ops;
+        ++stats->add_ops;
       }
     }
     BinaryWriter writer;
@@ -172,7 +368,8 @@ class PaillierBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+  Result<std::vector<double>> DecryptImpl(const EncryptedVector& v,
+                                          HeOpStats* stats) const {
     std::vector<PaillierCiphertext> cts;
     VFPS_RETURN_NOT_OK(Parse(v, &cts));
     std::vector<double> out;
@@ -181,16 +378,11 @@ class PaillierBackend final : public HeBackend {
       VFPS_ASSIGN_OR_RETURN(BigInt m, Paillier::Decrypt(keys_.pub, keys_.priv, ct));
       out.push_back(static_cast<double>(Paillier::DecodeSigned(keys_.pub, m)) /
                     frac_scale_);
-      ++stats_.decrypt_ops;
+      ++stats->decrypt_ops;
     }
     return out;
   }
 
-  size_t CiphertextBytes(size_t count) const override {
-    return sizeof(uint32_t) + count * (sizeof(uint32_t) + ct_bytes_);
-  }
-
- private:
   // Fixed-width big-endian encoding so every ciphertext has the same wire
   // size (leaking the magnitude through the length would be a side channel).
   std::vector<uint8_t> PadCiphertext(const BigInt& value) const {
@@ -267,12 +459,55 @@ class PlainBackend final : public HeBackend {
     return reader.ReadDoubleVec();
   }
 
+  Result<std::unique_ptr<HeBackend>> Fork(uint64_t /*stream_seed*/) const override {
+    // No randomness, no keys: a fresh instance is a valid session (the
+    // "ciphertexts" are plain serialized doubles, interchangeable across
+    // instances).
+    return std::unique_ptr<HeBackend>(std::make_unique<PlainBackend>());
+  }
+
   size_t CiphertextBytes(size_t count) const override {
     return sizeof(uint32_t) + count * sizeof(double);
   }
 };
 
 }  // namespace
+
+// Default (serial) batch implementations: the cheap backends (plain) and any
+// future backend get correct behaviour for free; CKKS/Paillier override with
+// internally-parallel versions.
+Result<std::vector<EncryptedVector>> HeBackend::EncryptBatch(
+    const std::vector<std::vector<double>>& batch) {
+  std::vector<EncryptedVector> out;
+  out.reserve(batch.size());
+  for (const auto& values : batch) {
+    VFPS_ASSIGN_OR_RETURN(auto enc, Encrypt(values));
+    out.push_back(std::move(enc));
+  }
+  return out;
+}
+
+Result<std::vector<EncryptedVector>> HeBackend::AddBatch(
+    const std::vector<std::vector<const EncryptedVector*>>& groups) {
+  std::vector<EncryptedVector> out;
+  out.reserve(groups.size());
+  for (const auto& group : groups) {
+    VFPS_ASSIGN_OR_RETURN(auto sum, Sum(group));
+    out.push_back(std::move(sum));
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> HeBackend::DecryptBatch(
+    const std::vector<EncryptedVector>& batch) {
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  for (const auto& v : batch) {
+    VFPS_ASSIGN_OR_RETURN(auto dec, Decrypt(v));
+    out.push_back(std::move(dec));
+  }
+  return out;
+}
 
 Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,
                                                      uint64_t seed) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "he/ckks.h"
 #include "he/paillier.h"
 
@@ -45,7 +46,20 @@ struct HeOpStats {
 /// One backend instance is created by the (simulated) key server and shared
 /// by every party; the protocol layer enforces the trust model: only the
 /// leader invokes Decrypt, and the aggregation server only invokes Sum.
-/// Implementations are single-threaded (protocol simulation is sequential).
+///
+/// Thread-safety contract:
+///  - A single HeBackend instance is NOT safe for concurrent calls: Encrypt
+///    consumes the internal randomness stream and every operation mutates the
+///    stats() counters. Callers that parallelize *across* protocol rounds
+///    must give each thread its own session via Fork() and fold the sessions'
+///    counters back with AbsorbStats() (see FederatedKnnOracle::Run).
+///  - The *Batch operations parallelize internally (over items) when a
+///    ThreadPool is attached with set_thread_pool(); their results and stats
+///    are bit-identical with and without a pool, at any thread count, because
+///    per-item randomness is derived serially before fanning out.
+///  - Fork() sessions share the (immutable) key material, so ciphertexts
+///    produced by one session decrypt under any other; forks do NOT inherit
+///    the thread pool (they are meant to be thread-confined).
 class HeBackend {
  public:
   virtual ~HeBackend() = default;
@@ -62,14 +76,56 @@ class HeBackend {
   /// Decrypt (secret-key operation; leader only).
   virtual Result<std::vector<double>> Decrypt(const EncryptedVector& v) = 0;
 
+  /// \brief Encrypt many vectors at once — out[i] = Enc(batch[i]).
+  ///
+  /// Parallelized over the batch when a thread pool is attached. Per-item
+  /// encryption randomness is pre-derived from the backend's stream in batch
+  /// order, so the ciphertexts (and therefore CKKS decryption noise) do not
+  /// depend on the thread count. Note the randomness *schedule* differs from
+  /// looping Encrypt(): EncryptBatch({v}) != Encrypt(v) ciphertext-wise, but
+  /// both decrypt to the same values. Complexity: one Encrypt per item,
+  /// wall-clock ~ max item cost when parallel.
+  virtual Result<std::vector<EncryptedVector>> EncryptBatch(
+      const std::vector<std::vector<double>>& batch);
+
+  /// \brief Homomorphically sum each group — out[g] = Sum(groups[g]).
+  /// Parallelized over groups when a thread pool is attached.
+  virtual Result<std::vector<EncryptedVector>> AddBatch(
+      const std::vector<std::vector<const EncryptedVector*>>& groups);
+
+  /// \brief Decrypt many vectors at once — out[i] = Dec(batch[i]).
+  /// Parallelized over the batch when a thread pool is attached.
+  virtual Result<std::vector<std::vector<double>>> DecryptBatch(
+      const std::vector<EncryptedVector>& batch);
+
+  /// \brief Create an independent session sharing this backend's keys.
+  ///
+  /// The fork has its own randomness stream (seeded from `stream_seed`) and
+  /// its own zeroed stats() counters, so it can run on another thread without
+  /// synchronization. Deterministic: the same (keys, stream_seed) pair always
+  /// produces the same ciphertext stream.
+  virtual Result<std::unique_ptr<HeBackend>> Fork(uint64_t stream_seed) const = 0;
+
   /// Wire size of an encrypted vector holding `count` values.
   virtual size_t CiphertextBytes(size_t count) const = 0;
+
+  /// Attach (or detach, with nullptr) the pool the *Batch operations use.
+  /// Not thread-safe; set it before sharing the backend. Not inherited by
+  /// Fork() sessions.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   const HeOpStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Fold a forked session's counters into this backend's stats().
+  void AbsorbStats(const HeOpStats& session_stats) {
+    stats_.Merge(session_stats);
+  }
+
  protected:
   HeOpStats stats_;
+  ThreadPool* pool_ = nullptr;
 };
 
 /// CKKS-based backend (what the paper uses via TenSEAL).

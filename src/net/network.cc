@@ -65,6 +65,11 @@ TrafficStats SimNetwork::LinkStats(NodeId from, NodeId to) const {
   return it == stats_.end() ? TrafficStats{} : it->second;
 }
 
+void SimNetwork::MergeStatsFrom(const SimNetwork& other) {
+  for (const auto& [key, stats] : other.stats_) stats_[key].Merge(stats);
+  total_.Merge(other.total_);
+}
+
 void SimNetwork::ResetStats() {
   stats_.clear();
   total_ = TrafficStats{};

@@ -45,6 +45,10 @@ struct TrafficStats {
 /// model convert metered traffic into simulated wall-clock time. Payloads are
 /// opaque byte strings produced by BinaryWriter, so what is metered is
 /// exactly what a real deployment would serialize.
+///
+/// Thread-safety: NOT thread-safe — one SimNetwork must only be driven from
+/// one thread at a time. Parallel protocol code gives each task its own
+/// SimNetwork and merges metering with MergeStatsFrom() afterwards.
 class SimNetwork {
  public:
   SimNetwork() = default;
@@ -70,6 +74,13 @@ class SimNetwork {
   TrafficStats LinkStats(NodeId from, NodeId to) const;
 
   void ResetStats();
+
+  /// Fold another network's per-link and total traffic counters into this
+  /// one (queued payloads are NOT transferred). Used by the parallel
+  /// encrypted-KNN path: each query task runs its self-contained protocol
+  /// against a task-local SimNetwork, and the main network absorbs the
+  /// metering afterwards in deterministic query order.
+  void MergeStatsFrom(const SimNetwork& other);
 
  private:
   using LinkKey = std::pair<NodeId, NodeId>;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/buffer.h"
 #include "common/macros.h"
@@ -11,13 +12,16 @@
 #include "ml/knn.h"
 #include "topk/fagin.h"
 #include "topk/threshold.h"
-#include "vfl/pseudo_id.h"
 
 namespace vfps::vfl {
 
 namespace {
 // The leader is participant 0 by convention (it holds the labels).
 constexpr net::NodeId kLeader = 0;
+
+// Salt separating the per-query HE randomness streams from the query-sampling
+// stream (both are derived from the consortium seed).
+constexpr uint64_t kHeStreamSalt = 0xC0FFEE5EEDD1CE5ULL;
 
 // Indices of the k smallest values, ties broken by index. `values` may
 // contain +inf entries (excluded rows); those lose every comparison.
@@ -74,13 +78,14 @@ FederatedKnnOracle::FederatedKnnOracle(const data::Dataset* joint_train,
                                        he::HeBackend* backend,
                                        net::SimNetwork* network,
                                        const net::CostModel* cost_model,
-                                       SimClock* clock)
+                                       SimClock* clock, ThreadPool* pool)
     : joint_(joint_train),
       partition_(partition),
       backend_(backend),
       network_(network),
       cost_(cost_model),
-      clock_(clock) {}
+      clock_(clock),
+      pool_(pool) {}
 
 std::vector<double> FederatedKnnOracle::PartialDistances(
     size_t participant, const data::Dataset& source, size_t query_row,
@@ -105,22 +110,24 @@ std::vector<double> FederatedKnnOracle::PartialDistances(
 }
 
 void FederatedKnnOracle::ChargeParallelCompute(
-    const std::vector<double>& per_party_seconds) {
+    SimClock* clock, const std::vector<double>& per_party_seconds) const {
   double worst = 0.0;
   for (double s : per_party_seconds) worst = std::max(worst, s);
-  clock_->Advance(CostCategory::kCompute, worst);
+  clock->Advance(CostCategory::kCompute, worst);
 }
 
-void FederatedKnnOracle::ChargeFanIn(uint64_t bytes_per_party, size_t parties) {
+void FederatedKnnOracle::ChargeFanIn(SimClock* clock, uint64_t bytes_per_party,
+                                     size_t parties) const {
   // Participants transmit in parallel; the server's ingress link is the
   // bottleneck, so one latency plus the total bytes.
-  clock_->Advance(CostCategory::kNetwork,
-                  cost_->NetworkSeconds(bytes_per_party * parties, 1));
+  clock->Advance(CostCategory::kNetwork,
+                 cost_->NetworkSeconds(bytes_per_party * parties, 1));
 }
 
-void FederatedKnnOracle::ChargeFanOut(uint64_t bytes_per_link, size_t links) {
-  clock_->Advance(CostCategory::kNetwork,
-                  cost_->NetworkSeconds(bytes_per_link * links, 1));
+void FederatedKnnOracle::ChargeFanOut(SimClock* clock, uint64_t bytes_per_link,
+                                      size_t links) const {
+  clock->Advance(CostCategory::kNetwork,
+                 cost_->NetworkSeconds(bytes_per_link * links, 1));
 }
 
 Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
@@ -131,6 +138,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   VFPS_CHECK_ARG(config.k >= 1, "fed-knn: k must be >= 1");
   VFPS_CHECK_ARG(n > config.k + 1, "fed-knn: dataset smaller than k");
   VFPS_CHECK_ARG(config.num_queries >= 1, "fed-knn: need >= 1 query");
+  VFPS_CHECK_ARG(config.fagin_batch >= 1, "fed-knn: fagin batch must be >= 1");
 
   const net::TrafficStats traffic_before = network_->total();
   const he::HeOpStats he_before = backend_->stats();
@@ -146,20 +154,75 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
                                       EncodeIds(ids)));
     VFPS_RETURN_NOT_OK(network_->Recv(kLeader, static_cast<int>(party)).status());
   }
-  ChargeFanOut(num_queries * sizeof(uint64_t), p - 1);
+  ChargeFanOut(clock_, num_queries * sizeof(uint64_t), p - 1);
 
+  // Consortium-shared pseudo-ID shuffle for the top-k modes, derived once per
+  // Run from the shared seed and read concurrently by every query task.
+  const PseudoIdMap pseudo = (config.mode == KnnOracleMode::kBase)
+                                 ? PseudoIdMap()
+                                 : PseudoIdMap::Create(n, config.seed);
+
+  // Pre-derive one HE randomness stream per query, in query order, so the
+  // ciphertexts each task produces are independent of scheduling.
+  Rng stream_rng(config.seed ^ kHeStreamSalt);
+  std::vector<uint64_t> stream_seeds(queries.size());
+  for (uint64_t& s : stream_seeds) s = stream_rng.Next();
+
+  // Per-query task state: every query runs its complete protocol against a
+  // task-local deployment (HE session, byte-metered network, clock), merged
+  // back below in deterministic query order.
+  struct QuerySlot {
+    Status status = Status::OK();
+    QueryNeighborhood hood;
+    FedKnnStats stats;
+    net::SimNetwork net;
+    SimClock clock;
+    std::unique_ptr<he::HeBackend> session;
+  };
+  std::vector<QuerySlot> slots(queries.size());
+
+  const auto run_query = [&](size_t i) {
+    QuerySlot& slot = slots[i];
+    auto session = backend_->Fork(stream_seeds[i]);
+    if (!session.ok()) {
+      slot.status = session.status();
+      return;
+    }
+    slot.session = session.MoveValueUnsafe();
+    const QueryEnv env{slot.session.get(), &slot.net, &slot.clock};
+    Result<QueryNeighborhood> hood =
+        config.mode == KnnOracleMode::kBase
+            ? RunBaseQuery(env, queries[i], config.k, &slot.stats)
+            : RunTopkQuery(env, pseudo, queries[i], config.k,
+                           config.fagin_batch, config.mode, &slot.stats);
+    if (hood.ok()) {
+      slot.hood = hood.MoveValueUnsafe();
+    } else {
+      slot.status = hood.status();
+    }
+  };
+
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    pool_->ParallelFor(0, queries.size(), run_query);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) run_query(i);
+  }
+
+  // Deterministic merge: fold every task-local deployment back into the
+  // shared one in query order (clock charges are doubles, so the fold order
+  // is part of the bit-identical guarantee).
   std::vector<QueryNeighborhood> result;
   result.reserve(queries.size());
-  for (size_t q : queries) {
-    QueryNeighborhood hood;
-    if (config.mode == KnnOracleMode::kBase) {
-      VFPS_ASSIGN_OR_RETURN(hood, RunBaseQuery(q, config.k, stats));
-    } else {
-      VFPS_ASSIGN_OR_RETURN(
-          hood, RunTopkQuery(q, config.k, config.fagin_batch, config.seed,
-                             config.mode, stats));
+  for (QuerySlot& slot : slots) {
+    VFPS_RETURN_NOT_OK(slot.status);
+    result.push_back(std::move(slot.hood));
+    clock_->Merge(slot.clock);
+    network_->MergeStatsFrom(slot.net);
+    backend_->AbsorbStats(slot.session->stats());
+    if (stats != nullptr) {
+      stats->candidates_encrypted += slot.stats.candidates_encrypted;
+      stats->fagin_depth += slot.stats.fagin_depth;
     }
-    result.push_back(std::move(hood));
   }
 
   if (stats != nullptr) {
@@ -177,9 +240,9 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   return result;
 }
 
-Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(uint64_t query_row,
-                                                           size_t k,
-                                                           FedKnnStats* stats) {
+Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
+    const QueryEnv& env, uint64_t query_row, size_t k,
+    FedKnnStats* stats) const {
   const size_t n = joint_->num_samples();
   const size_t p = num_participants();
   const size_t count = n - 1;  // the query row itself is excluded
@@ -192,40 +255,40 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(uint64_t query_row,
     compute_seconds[party] =
         cost_->DistanceSeconds(count, (*partition_)[party].size());
   }
-  ChargeParallelCompute(compute_seconds);
+  ChargeParallelCompute(env.clock, compute_seconds);
 
-  std::vector<he::EncryptedVector> encrypted(p);
+  VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(partials));
   for (size_t party = 0; party < p; ++party) {
-    VFPS_ASSIGN_OR_RETURN(encrypted[party], backend_->Encrypt(partials[party]));
-    VFPS_RETURN_NOT_OK(network_->Send(static_cast<int>(party),
-                                      net::kAggregationServer,
-                                      encrypted[party].blob));
+    VFPS_RETURN_NOT_OK(env.net->Send(static_cast<int>(party),
+                                     net::kAggregationServer,
+                                     encrypted[party].blob));
   }
-  clock_->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
-  ChargeFanIn(cost_->EncryptedWireBytes(count), p);
+  env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
+  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), p);
 
   // Phase 2 (aggregation server): homomorphic sum, forward to the leader.
   std::vector<he::EncryptedVector> received(p);
   std::vector<const he::EncryptedVector*> ptrs(p);
   for (size_t party = 0; party < p; ++party) {
-    VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(static_cast<int>(party),
-                                                    net::kAggregationServer));
+    VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(static_cast<int>(party),
+                                                   net::kAggregationServer));
     received[party] = he::EncryptedVector{std::move(blob), count};
     ptrs[party] = &received[party];
   }
-  VFPS_ASSIGN_OR_RETURN(auto summed, backend_->Sum(ptrs));
-  clock_->Advance(CostCategory::kHeEval,
-                  static_cast<double>(p - 1) * cost_->HeAddSecondsFor(count));
+  VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
+  env.clock->Advance(CostCategory::kHeEval,
+                     static_cast<double>(p - 1) * cost_->HeAddSecondsFor(count));
   VFPS_RETURN_NOT_OK(
-      network_->Send(net::kAggregationServer, kLeader, summed.blob));
-  ChargeFanOut(cost_->EncryptedWireBytes(count), 1);
+      env.net->Send(net::kAggregationServer, kLeader, summed.blob));
+  ChargeFanOut(env.clock, cost_->EncryptedWireBytes(count), 1);
 
   // Phase 3 (leader): decrypt, rank, pick the k nearest.
-  VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(net::kAggregationServer, kLeader));
-  VFPS_ASSIGN_OR_RETURN(auto distances,
-                        backend_->Decrypt(he::EncryptedVector{std::move(blob), count}));
-  clock_->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(count));
-  clock_->Advance(CostCategory::kCompute, cost_->SortSeconds(count));
+  VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(net::kAggregationServer, kLeader));
+  VFPS_ASSIGN_OR_RETURN(
+      auto distances,
+      env.backend->Decrypt(he::EncryptedVector{std::move(blob), count}));
+  env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(count));
+  env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(count));
   const auto top = SmallestK(distances, k);
 
   QueryNeighborhood hood;
@@ -238,15 +301,15 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(uint64_t query_row,
   // Phase 4: leader broadcasts T; every participant returns d_T^p.
   for (size_t party = 1; party < p; ++party) {
     VFPS_RETURN_NOT_OK(
-        network_->Send(kLeader, static_cast<int>(party), EncodeIds(top)));
+        env.net->Send(kLeader, static_cast<int>(party), EncodeIds(top)));
   }
-  ChargeFanOut(top.size() * sizeof(uint64_t), p - 1);
+  ChargeFanOut(env.clock, top.size() * sizeof(uint64_t), p - 1);
   hood.per_party_dt.resize(p);
   for (size_t party = 0; party < p; ++party) {
     std::vector<uint64_t> ids = top;
     if (party != 0) {
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            network_->Recv(kLeader, static_cast<int>(party)));
+                            env.net->Recv(kLeader, static_cast<int>(party)));
       VFPS_ASSIGN_OR_RETURN(ids, DecodeIds(payload));
     }
     double dt = 0.0;
@@ -255,27 +318,26 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(uint64_t query_row,
       hood.per_party_dt[0] = dt;
     } else {
       VFPS_RETURN_NOT_OK(
-          network_->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+          env.net->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            network_->Recv(static_cast<int>(party), kLeader));
+                            env.net->Recv(static_cast<int>(party), kLeader));
       VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
     }
   }
-  ChargeFanIn(sizeof(double), p - 1);
+  ChargeFanIn(env.clock, sizeof(double), p - 1);
 
   if (stats != nullptr) stats->candidates_encrypted += count;
   return hood;
 }
 
 Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
-    uint64_t query_row, size_t k, size_t batch, uint64_t seed,
-    KnnOracleMode mode, FedKnnStats* stats) {
+    const QueryEnv& env, const PseudoIdMap& pseudo, uint64_t query_row,
+    size_t k, size_t batch, KnnOracleMode mode, FedKnnStats* stats) const {
   const size_t n = joint_->num_samples();
   const size_t p = num_participants();
-  VFPS_CHECK_ARG(batch >= 1, "fed-knn: fagin batch must be >= 1");
 
-  // Step 1: consortium-shared pseudo-ID shuffle (identity security).
-  const PseudoIdMap pseudo = PseudoIdMap::Create(n, seed);
+  // Step 1: consortium-shared pseudo-ID shuffle (identity security). The map
+  // is built once per Run and shared read-only across query tasks.
   const uint64_t query_pid = pseudo.ToPseudo(query_row);
 
   // Step 2 (participants, parallel): partial distances in pseudo-ID space,
@@ -299,7 +361,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
     compute_seconds[party] = cost_->DistanceSeconds(n, columns.size()) +
                              cost_->SortSeconds(n);
   }
-  ChargeParallelCompute(compute_seconds);
+  ChargeParallelCompute(env.clock, compute_seconds);
 
   VFPS_ASSIGN_OR_RETURN(auto lists, topk::RankedListSet::Build(scores));
   topk::TopkResult merge;
@@ -319,15 +381,15 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
       std::vector<uint64_t> chunk;
       chunk.reserve(end - start);
       for (size_t r = start; r < end; ++r) chunk.push_back(lists.IdAtRank(party, r));
-      VFPS_RETURN_NOT_OK(network_->Send(static_cast<int>(party),
-                                        net::kAggregationServer, EncodeIds(chunk)));
+      VFPS_RETURN_NOT_OK(env.net->Send(static_cast<int>(party),
+                                       net::kAggregationServer, EncodeIds(chunk)));
       VFPS_RETURN_NOT_OK(
-          network_->Recv(static_cast<int>(party), net::kAggregationServer).status());
+          env.net->Recv(static_cast<int>(party), net::kAggregationServer).status());
     }
-    ChargeFanIn((end - start) * sizeof(uint64_t), p);
+    ChargeFanIn(env.clock, (end - start) * sizeof(uint64_t), p);
   }
-  clock_->Advance(CostCategory::kCompute,
-                  static_cast<double>(fagin.sorted_accesses) * cost_->compare_seconds);
+  env.clock->Advance(CostCategory::kCompute,
+                     static_cast<double>(fagin.sorted_accesses) * cost_->compare_seconds);
 
   if (mode == KnnOracleMode::kThreshold) {
     // TA's stopping rule needs the aggregate score of each round's frontier:
@@ -335,11 +397,11 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
     // and the leader decrypts the threshold — once per streamed round.
     const double rounds = std::ceil(static_cast<double>(depth) /
                                     static_cast<double>(batch));
-    clock_->Advance(CostCategory::kEncrypt, rounds * cost_->EncryptSecondsFor(1));
-    clock_->Advance(CostCategory::kHeEval,
-                    rounds * static_cast<double>(p - 1) * cost_->HeAddSecondsFor(1));
-    clock_->Advance(CostCategory::kDecrypt, rounds * cost_->DecryptSecondsFor(1));
-    clock_->Advance(
+    env.clock->Advance(CostCategory::kEncrypt, rounds * cost_->EncryptSecondsFor(1));
+    env.clock->Advance(CostCategory::kHeEval,
+                       rounds * static_cast<double>(p - 1) * cost_->HeAddSecondsFor(1));
+    env.clock->Advance(CostCategory::kDecrypt, rounds * cost_->DecryptSecondsFor(1));
+    env.clock->Advance(
         CostCategory::kNetwork,
         rounds * cost_->NetworkSeconds(
                      cost_->EncryptedWireBytes(1) * (static_cast<uint64_t>(p) + 1),
@@ -352,53 +414,55 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
                    candidates.end());
   const size_t c = candidates.size();
 
-  // Step 5: server broadcasts the candidate pseudo IDs; participants encrypt
-  // exactly those candidates' partial distances.
+  // Step 5: server broadcasts the candidate pseudo IDs; participants look up
+  // exactly those candidates' partial distances and encrypt them as one
+  // batch (the batched-HE fast path; identical ciphertexts at any thread
+  // count, see HeBackend::EncryptBatch).
   for (size_t party = 0; party < p; ++party) {
-    VFPS_RETURN_NOT_OK(network_->Send(net::kAggregationServer,
-                                      static_cast<int>(party),
-                                      EncodeIds(candidates)));
+    VFPS_RETURN_NOT_OK(env.net->Send(net::kAggregationServer,
+                                     static_cast<int>(party),
+                                     EncodeIds(candidates)));
   }
-  ChargeFanOut(c * sizeof(uint64_t), p);
+  ChargeFanOut(env.clock, c * sizeof(uint64_t), p);
 
-  std::vector<he::EncryptedVector> encrypted(p);
+  std::vector<std::vector<double>> party_values(p);
+  for (size_t party = 0; party < p; ++party) {
+    VFPS_ASSIGN_OR_RETURN(auto payload, env.net->Recv(net::kAggregationServer,
+                                                      static_cast<int>(party)));
+    VFPS_ASSIGN_OR_RETURN(auto ids, DecodeIds(payload));
+    party_values[party].reserve(ids.size());
+    for (uint64_t pid : ids) party_values[party].push_back(scores[party][pid]);
+  }
+  VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(party_values));
   std::vector<const he::EncryptedVector*> ptrs(p);
   for (size_t party = 0; party < p; ++party) {
-    VFPS_ASSIGN_OR_RETURN(auto payload, network_->Recv(net::kAggregationServer,
-                                                       static_cast<int>(party)));
-    VFPS_ASSIGN_OR_RETURN(auto ids, DecodeIds(payload));
-    std::vector<double> values;
-    values.reserve(ids.size());
-    for (uint64_t pid : ids) values.push_back(scores[party][pid]);
-    VFPS_ASSIGN_OR_RETURN(encrypted[party], backend_->Encrypt(values));
-    VFPS_RETURN_NOT_OK(network_->Send(static_cast<int>(party),
-                                      net::kAggregationServer,
-                                      encrypted[party].blob));
-    ptrs[party] = &encrypted[party];
+    VFPS_RETURN_NOT_OK(env.net->Send(static_cast<int>(party),
+                                     net::kAggregationServer,
+                                     encrypted[party].blob));
   }
-  clock_->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(c));
-  ChargeFanIn(cost_->EncryptedWireBytes(c), p);
+  env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(c));
+  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(c), p);
 
   // Step 6: homomorphic aggregation, forwarded to the leader.
   for (size_t party = 0; party < p; ++party) {
-    VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(static_cast<int>(party),
-                                                    net::kAggregationServer));
+    VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(static_cast<int>(party),
+                                                   net::kAggregationServer));
     encrypted[party] = he::EncryptedVector{std::move(blob), c};
     ptrs[party] = &encrypted[party];
   }
-  VFPS_ASSIGN_OR_RETURN(auto summed, backend_->Sum(ptrs));
-  clock_->Advance(CostCategory::kHeEval,
-                  static_cast<double>(p - 1) * cost_->HeAddSecondsFor(c));
-  VFPS_RETURN_NOT_OK(network_->Send(net::kAggregationServer, kLeader, summed.blob));
-  ChargeFanOut(cost_->EncryptedWireBytes(c), 1);
+  VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
+  env.clock->Advance(CostCategory::kHeEval,
+                     static_cast<double>(p - 1) * cost_->HeAddSecondsFor(c));
+  VFPS_RETURN_NOT_OK(env.net->Send(net::kAggregationServer, kLeader, summed.blob));
+  ChargeFanOut(env.clock, cost_->EncryptedWireBytes(c), 1);
 
   // Step 7 (leader): decrypt candidate aggregates, take the k nearest.
-  VFPS_ASSIGN_OR_RETURN(auto blob, network_->Recv(net::kAggregationServer, kLeader));
+  VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
       auto agg_distances,
-      backend_->Decrypt(he::EncryptedVector{std::move(blob), c}));
-  clock_->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(c));
-  clock_->Advance(CostCategory::kCompute, cost_->SortSeconds(c));
+      env.backend->Decrypt(he::EncryptedVector{std::move(blob), c}));
+  env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(c));
+  env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(c));
   const auto top_local = SmallestK(agg_distances, k);
   std::vector<uint64_t> neighbor_pids;
   neighbor_pids.reserve(top_local.size());
@@ -410,16 +474,16 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
 
   // Step 8: leader broadcasts the neighbor set; participants return d_T^p.
   for (size_t party = 1; party < p; ++party) {
-    VFPS_RETURN_NOT_OK(network_->Send(kLeader, static_cast<int>(party),
-                                      EncodeIds(neighbor_pids)));
+    VFPS_RETURN_NOT_OK(env.net->Send(kLeader, static_cast<int>(party),
+                                     EncodeIds(neighbor_pids)));
   }
-  ChargeFanOut(neighbor_pids.size() * sizeof(uint64_t), p - 1);
+  ChargeFanOut(env.clock, neighbor_pids.size() * sizeof(uint64_t), p - 1);
   hood.per_party_dt.resize(p);
   for (size_t party = 0; party < p; ++party) {
     std::vector<uint64_t> pids = neighbor_pids;
     if (party != 0) {
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            network_->Recv(kLeader, static_cast<int>(party)));
+                            env.net->Recv(kLeader, static_cast<int>(party)));
       VFPS_ASSIGN_OR_RETURN(pids, DecodeIds(payload));
     }
     double dt = 0.0;
@@ -428,13 +492,13 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
       hood.per_party_dt[0] = dt;
     } else {
       VFPS_RETURN_NOT_OK(
-          network_->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+          env.net->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            network_->Recv(static_cast<int>(party), kLeader));
+                            env.net->Recv(static_cast<int>(party), kLeader));
       VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
     }
   }
-  ChargeFanIn(sizeof(double), p - 1);
+  ChargeFanIn(env.clock, sizeof(double), p - 1);
 
   if (stats != nullptr) {
     stats->candidates_encrypted += c;
@@ -449,26 +513,35 @@ Result<std::vector<int>> FederatedKnnOracle::ClassifyPredictions(
   VFPS_CHECK_ARG(!participants.empty(), "fed-knn: empty sub-consortium");
   VFPS_CHECK_ARG(queries.num_features() == joint_->num_features(),
                  "fed-knn: query feature width mismatch");
+  for (size_t party : participants) {
+    VFPS_CHECK_ARG(party < num_participants(),
+                   "fed-knn: participant out of range");
+  }
   const size_t n = joint_->num_samples();
   const size_t s = participants.size();
 
+  // Plaintext per-query scoring: rows are independent (disjoint output
+  // slots, read-only inputs), so the pool can chew through them in any
+  // order without affecting the predictions.
   std::vector<int> predictions(queries.num_samples());
-  std::vector<double> aggregate(n);
-  std::vector<int> neighbor_labels;
-  for (size_t qi = 0; qi < queries.num_samples(); ++qi) {
-    std::fill(aggregate.begin(), aggregate.end(), 0.0);
+  const auto classify_one = [&](size_t qi) {
+    std::vector<double> aggregate(n, 0.0);
     for (size_t party : participants) {
-      VFPS_CHECK_ARG(party < num_participants(),
-                     "fed-knn: participant out of range");
       const auto partial = PartialDistances(party, queries, qi, n /*no exclusion*/);
       for (size_t i = 0; i < n; ++i) aggregate[i] += partial[i];
     }
     const auto top = SmallestK(aggregate, k);
-    neighbor_labels.clear();
+    std::vector<int> neighbor_labels;
+    neighbor_labels.reserve(top.size());
     for (uint64_t idx : top) {
       neighbor_labels.push_back(joint_->Label(static_cast<size_t>(idx)));
     }
     predictions[qi] = ml::MajorityVote(neighbor_labels, joint_->num_classes());
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    pool_->ParallelFor(0, queries.num_samples(), classify_one);
+  } else {
+    for (size_t qi = 0; qi < queries.num_samples(); ++qi) classify_one(qi);
   }
 
   if (charge_costs) {

@@ -6,11 +6,13 @@
 
 #include "common/result.h"
 #include "common/sim_clock.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "data/partitioner.h"
 #include "he/backend.h"
 #include "net/cost_model.h"
 #include "net/network.h"
+#include "vfl/pseudo_id.h"
 
 namespace vfps::vfl {
 
@@ -69,15 +71,43 @@ struct FedKnnStats {
 /// (byte-metered) and the HeBackend (op-counted), and the simulated clock is
 /// charged phase by phase with participant-parallel phases costed as the max
 /// over participants.
+///
+/// Threading model: when a ThreadPool is supplied, Run() executes each
+/// query's complete protocol (Fagin/TA phase-1 merge, partial-distance
+/// computation, encryption, aggregation, leader decrypt+rank) as an
+/// independent task. Every task operates on task-local state — its own
+/// SimNetwork, its own SimClock, and its own HeBackend session obtained via
+/// HeBackend::Fork() with a per-query stream seed pre-derived from
+/// FedKnnConfig::seed in query order. After all tasks complete, the results,
+/// traffic meters, clock charges, and HE counters are folded back into the
+/// shared deployment state *in query order*, so:
+///
+///   Determinism guarantee: a Run() with any thread count (including the
+///   serial path, which executes the very same per-query tasks inline)
+///   produces byte-identical neighborhoods, identical ciphertext streams,
+///   identical stats, and an identical simulated clock. Parallelism changes
+///   wall-clock time only.
+///
+/// Thread-safety: one FederatedKnnOracle must only be driven from one thread
+/// at a time (Run/ClassifyAccuracy/ClassifyPredictions are not reentrant);
+/// the oracle parallelizes internally. The referenced Dataset, partition,
+/// and cost model are read-only and may be shared across oracles.
 class FederatedKnnOracle {
  public:
   /// \param joint_train training split in the joint feature space (already
   ///        standardized). Kept by pointer; must outlive the oracle.
   /// \param partition which feature columns each participant holds.
+  /// \param backend shared HE backend (keys live here); forked per query.
+  /// \param network main byte-metered transport; absorbs per-query metering.
+  /// \param cost_model calibration constants (seconds per op/byte).
+  /// \param clock simulated deployment clock; charged in query order.
+  /// \param pool optional worker pool for per-query parallelism; nullptr (or
+  ///        a 1-thread pool) selects the serial path. Not owned.
   FederatedKnnOracle(const data::Dataset* joint_train,
                      const data::VerticalPartition* partition,
                      he::HeBackend* backend, net::SimNetwork* network,
-                     const net::CostModel* cost_model, SimClock* clock);
+                     const net::CostModel* cost_model, SimClock* clock,
+                     ThreadPool* pool = nullptr);
 
   size_t num_participants() const { return partition_->size(); }
 
@@ -85,6 +115,11 @@ class FederatedKnnOracle {
   /// each query's k nearest neighbors over the full consortium, and return
   /// the per-participant aggregated distances d_T^p the similarity measure
   /// needs. Stats (if non-null) receive traffic/HE/candidate counts.
+  ///
+  /// Queries run in parallel on the pool passed at construction (see the
+  /// class comment for the determinism guarantee). Complexity per query:
+  /// BASE is O(P·N·F/P) distance work + N encrypted values; FAGIN/TA is
+  /// O(P·N·F/P + N log N) plus encryption of only the candidate set.
   Result<std::vector<QueryNeighborhood>> Run(const FedKnnConfig& config,
                                              FedKnnStats* stats);
 
@@ -94,6 +129,14 @@ class FederatedKnnOracle {
   /// for the KNN downstream task. Distances are computed in plaintext but the
   /// clock is charged as if the BASE protocol ran (encrypt-all), because that
   /// is what a faithful deployment would execute per coalition.
+  ///
+  /// \param queries evaluation rows (joint feature space, leader's labels).
+  /// \param participants sub-consortium indices, each < num_participants().
+  /// \param k neighbors per query row.
+  /// \param charge_costs when true, advance the simulated clock by the cost
+  ///        of the equivalent encrypted protocol (simulated seconds).
+  /// Query rows are scored in parallel on the pool; results are independent
+  /// of the thread count (plaintext arithmetic, disjoint output slots).
   Result<double> ClassifyAccuracy(const data::Dataset& queries,
                                   const std::vector<size_t>& participants,
                                   size_t k, bool charge_costs);
@@ -105,6 +148,14 @@ class FederatedKnnOracle {
       size_t k, bool charge_costs);
 
  private:
+  /// Task-local deployment view for one query: its own HE session, metered
+  /// transport, and clock, so query tasks never contend (merged afterwards).
+  struct QueryEnv {
+    he::HeBackend* backend;
+    net::SimNetwork* net;
+    SimClock* clock;
+  };
+
   // Partial squared distances from participant `p`'s slice of `query_row`
   // (in `source`) to every train row except `exclude_row` (pass
   // num_samples() to keep all rows). Output indexed by compressed row index.
@@ -118,19 +169,25 @@ class FederatedKnnOracle {
     return idx < excluded ? idx : idx + 1;
   }
 
-  Result<QueryNeighborhood> RunBaseQuery(uint64_t query_row, size_t k,
-                                         FedKnnStats* stats);
+  Result<QueryNeighborhood> RunBaseQuery(const QueryEnv& env,
+                                         uint64_t query_row, size_t k,
+                                         FedKnnStats* stats) const;
   // Shared implementation of the Fagin and Threshold oracle modes (they
   // differ in the phase-1 merge algorithm and TA's per-round threshold
-  // exchange).
-  Result<QueryNeighborhood> RunTopkQuery(uint64_t query_row, size_t k,
-                                         size_t batch, uint64_t seed,
-                                         KnnOracleMode mode, FedKnnStats* stats);
+  // exchange). `pseudo` is the consortium-shared shuffle, built once per Run.
+  Result<QueryNeighborhood> RunTopkQuery(const QueryEnv& env,
+                                         const PseudoIdMap& pseudo,
+                                         uint64_t query_row, size_t k,
+                                         size_t batch, KnnOracleMode mode,
+                                         FedKnnStats* stats) const;
 
-  // Clock helpers.
-  void ChargeParallelCompute(const std::vector<double>& per_party_seconds);
-  void ChargeFanIn(uint64_t bytes_per_party, size_t parties);
-  void ChargeFanOut(uint64_t bytes_per_link, size_t links);
+  // Clock helpers (charge the given task-local clock).
+  void ChargeParallelCompute(SimClock* clock,
+                             const std::vector<double>& per_party_seconds) const;
+  void ChargeFanIn(SimClock* clock, uint64_t bytes_per_party,
+                   size_t parties) const;
+  void ChargeFanOut(SimClock* clock, uint64_t bytes_per_link,
+                    size_t links) const;
 
   const data::Dataset* joint_;
   const data::VerticalPartition* partition_;
@@ -138,6 +195,7 @@ class FederatedKnnOracle {
   net::SimNetwork* network_;
   const net::CostModel* cost_;
   SimClock* clock_;
+  ThreadPool* pool_;
 };
 
 }  // namespace vfps::vfl

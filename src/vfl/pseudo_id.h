@@ -14,9 +14,15 @@ namespace vfps::vfl {
 /// All participants derive the same permutation from a shared seed, so the
 /// aggregation server only ever sees pseudo IDs; participants can remap
 /// candidates back to original row indices locally.
+///
+/// Immutable after Create(); safe to share read-only across threads. The
+/// KNN oracle builds one map per Run and every query task reads it
+/// concurrently.
 class PseudoIdMap {
  public:
   /// Build the permutation for `count` instances from the consortium seed.
+  /// Deterministic: the same (count, shared_seed) always yields the same
+  /// permutation. O(count) time and memory.
   static PseudoIdMap Create(size_t count, uint64_t shared_seed);
 
   size_t count() const { return to_pseudo_.size(); }

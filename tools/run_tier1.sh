@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate: configure, build, and run the full test suite.
+# Exits nonzero on the first failure. Usage: tools/run_tier1.sh [build-dir]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-"$ROOT/build"}"
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j
+cd "$BUILD" && ctest --output-on-failure -j

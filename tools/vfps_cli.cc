@@ -6,6 +6,8 @@
 //                [--participants=4] [--select=2] [--backend=plain]
 //                [--scale=0.5] [--k=10] [--queries=64] [--seed=42]
 //                [--duplicates=0] [--partition=random|stratified]
+//                [--threads=1]   (0 = all cores; results are identical at
+//                                 any thread count, only wall time changes)
 //       Run one experiment grid cell and print the outcome.
 //   vfps_cli sweep --dataset=Bank [--model=lr] [...]
 //       Run every selection method on one configuration side by side.
@@ -72,6 +74,11 @@ Result<core::ExperimentConfig> BuildConfig(
   config.seed = static_cast<uint64_t>(seed);
   VFPS_ASSIGN_OR_RETURN(int64_t duplicates, ParseInt64(Get(flags, "duplicates", "0")));
   config.duplicates = static_cast<size_t>(duplicates);
+  VFPS_ASSIGN_OR_RETURN(int64_t threads, ParseInt64(Get(flags, "threads", "1")));
+  if (threads < 0 || threads > 1024) {
+    return Status::InvalidArgument("--threads must be in [0, 1024] (0 = all cores)");
+  }
+  config.num_threads = static_cast<size_t>(threads);
 
   const std::string backend = Get(flags, "backend", "plain");
   if (backend == "plain") {
