@@ -1,8 +1,36 @@
 #include "common/buffer.h"
 
 #include "common/macros.h"
+#include "common/string_util.h"
 
 namespace vfps {
+
+namespace {
+// Table-driven CRC-32 (IEEE), generated once from the reflected polynomial.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+    return entries;
+  }();
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 Result<uint8_t> BinaryReader::ReadU8() {
   VFPS_RETURN_NOT_OK(Require(1));
@@ -61,7 +89,8 @@ Result<std::vector<double>> BinaryReader::ReadDoubleVec() {
   VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
   VFPS_RETURN_NOT_OK(Require(n * sizeof(double)));
   std::vector<double> out(n);
-  std::memcpy(out.data(), data_ + pos_, n * sizeof(double));
+  // n == 0 leaves out.data() null; memcpy's arguments are declared nonnull.
+  if (n != 0) std::memcpy(out.data(), data_ + pos_, n * sizeof(double));
   pos_ += n * sizeof(double);
   return out;
 }
@@ -70,16 +99,28 @@ Result<std::vector<uint64_t>> BinaryReader::ReadU64Vec() {
   VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
   VFPS_RETURN_NOT_OK(Require(n * sizeof(uint64_t)));
   std::vector<uint64_t> out(n);
-  std::memcpy(out.data(), data_ + pos_, n * sizeof(uint64_t));
+  if (n != 0) std::memcpy(out.data(), data_ + pos_, n * sizeof(uint64_t));
   pos_ += n * sizeof(uint64_t);
   return out;
+}
+
+Result<std::vector<uint8_t>> BinaryReader::ReadCrcFramed() {
+  VFPS_ASSIGN_OR_RETURN(uint32_t expected, ReadU32());
+  VFPS_ASSIGN_OR_RETURN(auto payload, ReadBytes());
+  const uint32_t actual = Crc32(payload);
+  if (actual != expected) {
+    return Status::Corrupt(
+        StrFormat("CRC mismatch: frame carries 0x%08X, payload hashes to 0x%08X",
+                  expected, actual));
+  }
+  return payload;
 }
 
 Result<std::vector<uint32_t>> BinaryReader::ReadU32Vec() {
   VFPS_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
   VFPS_RETURN_NOT_OK(Require(n * sizeof(uint32_t)));
   std::vector<uint32_t> out(n);
-  std::memcpy(out.data(), data_ + pos_, n * sizeof(uint32_t));
+  if (n != 0) std::memcpy(out.data(), data_ + pos_, n * sizeof(uint32_t));
   pos_ += n * sizeof(uint32_t);
   return out;
 }

@@ -11,6 +11,13 @@
 
 namespace vfps {
 
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n`
+/// bytes. Matches zlib's crc32(): Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const uint8_t* data, size_t n);
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
 /// \brief Growable byte buffer plus a little-endian binary writer.
 ///
 /// All wire messages in vfps::net are serialized through this writer so that
@@ -50,6 +57,14 @@ class BinaryWriter {
     AppendRaw(v.data(), v.size() * sizeof(uint32_t));
   }
 
+  /// Write `payload` as an integrity-checked frame: [crc32 u32][len u32]
+  /// [bytes]. The matching BinaryReader::ReadCrcFramed() detects in-flight
+  /// corruption instead of silently consuming flipped bits.
+  void WriteCrcFramed(const std::vector<uint8_t>& payload) {
+    WriteU32(Crc32(payload));
+    WriteBytes(payload);
+  }
+
   size_t size() const { return bytes_.size(); }
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
@@ -79,6 +94,11 @@ class BinaryReader {
   Result<std::vector<double>> ReadDoubleVec();
   Result<std::vector<uint64_t>> ReadU64Vec();
   Result<std::vector<uint32_t>> ReadU32Vec();
+
+  /// Read a frame written by BinaryWriter::WriteCrcFramed(). Returns Corrupt
+  /// if the payload's CRC does not match the transmitted one, OutOfRange if
+  /// the frame is truncated (e.g. a corrupted length field).
+  Result<std::vector<uint8_t>> ReadCrcFramed();
 
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }

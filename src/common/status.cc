@@ -29,6 +29,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Protocol error";
     case StatusCode::kCapacityError:
       return "Capacity error";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCorrupt:
+      return "Corrupt";
+    case StatusCode::kPeerDead:
+      return "Peer dead";
   }
   return "Unknown";
 }

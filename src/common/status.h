@@ -20,6 +20,9 @@ enum class StatusCode : int {
   kCryptoError = 8,
   kProtocolError = 9,
   kCapacityError = 10,
+  kTimeout = 11,    // a retried exchange exhausted its attempts
+  kCorrupt = 12,    // payload failed its integrity check (CRC mismatch)
+  kPeerDead = 13,   // the counterpart of an exchange has crashed
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument", ...).
@@ -76,6 +79,15 @@ class Status {
   static Status CapacityError(std::string msg) {
     return Status(StatusCode::kCapacityError, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Corrupt(std::string msg) {
+    return Status(StatusCode::kCorrupt, std::move(msg));
+  }
+  static Status PeerDead(std::string msg) {
+    return Status(StatusCode::kPeerDead, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -92,6 +104,9 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCryptoError() const { return code() == StatusCode::kCryptoError; }
   bool IsProtocolError() const { return code() == StatusCode::kProtocolError; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsCorrupt() const { return code() == StatusCode::kCorrupt; }
+  bool IsPeerDead() const { return code() == StatusCode::kPeerDead; }
 
   /// \brief "OK" or "<Code name>: <message>".
   std::string ToString() const;

@@ -87,6 +87,10 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   VFPS_ASSIGN_OR_RETURN(auto backend, MakeBackend(config));
   net::SimNetwork network;
   SimClock clock;
+  if (config.faults.any()) {
+    VFPS_RETURN_NOT_OK(config.faults.Validate());
+    network.EnableFaults(config.faults, config.fault_seed, &clock);
+  }
   std::unique_ptr<ThreadPool> pool;
   if (config.num_threads != 1) {  // 0 = hardware concurrency (ThreadPool ctor)
     pool = std::make_unique<ThreadPool>(config.num_threads);
@@ -122,6 +126,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     VFPS_ASSIGN_OR_RETURN(result.selection, selector->Select(ctx, config.select));
   }
   result.selection_sim_seconds = result.selection.sim_seconds;
+  result.faults = network.fault_stats();
 
   // Downstream training on the selected sub-consortium.
   vfl::DownstreamOptions downstream;

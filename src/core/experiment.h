@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/selector.h"
 #include "ml/classifier.h"
+#include "net/fault.h"
 #include "vfl/split_train.h"
 
 namespace vfps::core {
@@ -67,6 +68,15 @@ struct ExperimentConfig {
   /// N-thread pool shared by the selection phase. Results are bit-identical
   /// at any value — only wall_seconds changes.
   size_t num_threads = 1;
+
+  /// Seeded network-fault plan (CLI `--fault-spec`). The zero default means
+  /// no plan is attached and the run is bit-identical to pre-fault-injection
+  /// behavior. Faults the retry layer absorbs leave selection output
+  /// unchanged; a participant crash triggers graceful degradation (see
+  /// VfpsSmSelector). The schedule is a pure function of (faults, fault_seed)
+  /// at any thread count.
+  net::FaultSpec faults;
+  uint64_t fault_seed = 0;  // CLI `--fault-seed`
 };
 
 /// \brief Everything a table/figure needs about one experiment run.
@@ -80,6 +90,9 @@ struct ExperimentResult {
   size_t rows = 0;            // training rows after the split
   size_t features = 0;
   size_t consortium_size = 0;  // P after duplicate injection
+  /// Injected faults that fired during the run (all zeros without a fault
+  /// plan). Quarantined participants are in selection.quarantined.
+  net::FaultStats faults;
 };
 
 /// \brief Run the full pipeline for one grid cell: generate the dataset

@@ -72,6 +72,10 @@ struct SelectionOutcome {
   std::vector<double> scores;
   double sim_seconds = 0.0;       // simulated selection time
   vfl::FedKnnStats knn_stats;     // populated by the VFPS-SM variants
+  /// Participants that crashed mid-protocol and were excluded by graceful
+  /// degradation (ascending ids). Empty in a healthy run. Quarantined
+  /// participants are never in `selected` and keep a 0.0 score.
+  std::vector<size_t> quarantined;
 };
 
 /// \brief Interface implemented by every selection method.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/macros.h"
+#include "common/string_util.h"
 
 namespace vfps::core {
 
@@ -10,6 +12,7 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
                                                 size_t target) {
   VFPS_RETURN_NOT_OK(ValidateContext(ctx, target));
   const double clock_before = ctx.clock->Total();
+  const size_t p = ctx.partition->size();
 
   vfl::FederatedKnnOracle oracle(&ctx.split->train, ctx.partition, ctx.backend,
                                  ctx.network, ctx.cost, ctx.clock, ctx.pool);
@@ -17,27 +20,90 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
   knn.mode = mode_;
   knn.seed = ctx.seed;
 
+  // Run the oracle; on a participant crash, quarantine the dead and rerun
+  // over the survivors (a second crash during the rerun degrades again).
+  // Only participants (ids >= 1) are expendable: a dead leader or server is
+  // unrecoverable and the error propagates.
   SelectionOutcome outcome;
-  VFPS_ASSIGN_OR_RETURN(auto neighborhoods, oracle.Run(knn, &outcome.knn_stats));
-  VFPS_ASSIGN_OR_RETURN(
-      last_similarity_,
-      BuildSimilarity(neighborhoods, ctx.partition->size(), ctx.pool));
+  Result<std::vector<vfl::QueryNeighborhood>> run = oracle.Run(knn, &outcome.knn_stats);
+  while (!run.ok() && run.status().IsPeerDead()) {
+    const std::vector<net::NodeId> dead = outcome.knn_stats.dead_nodes;
+    bool recoverable = !dead.empty();
+    for (net::NodeId d : dead) {
+      recoverable = recoverable && d >= 1 && static_cast<size_t>(d) < p;
+    }
+    if (!recoverable) return run.status();
+    for (net::NodeId d : dead) {
+      const auto id = static_cast<size_t>(d);
+      if (std::find(knn.quarantined.begin(), knn.quarantined.end(), id) ==
+          knn.quarantined.end()) {
+        knn.quarantined.push_back(id);
+      }
+    }
+    std::sort(knn.quarantined.begin(), knn.quarantined.end());
+    if (knn.quarantined.size() + 2 > p) return run.status();  // < 2 survivors
+    VFPS_LOG(Warning) << name() << ": participant crash mid-oracle ("
+                      << run.status().ToString() << "); quarantining "
+                      << knn.quarantined.size()
+                      << " participant(s) and rerunning over survivors";
+    outcome.knn_stats = vfl::FedKnnStats{};
+    run = oracle.Run(knn, &outcome.knn_stats);
+  }
+  if (!run.ok()) return run.status();
+  const std::vector<vfl::QueryNeighborhood> neighborhoods = run.MoveValueUnsafe();
+  outcome.quarantined = knn.quarantined;
+
+  // Similarity + greedy over the survivors. With no quarantine this is the
+  // pristine P-sized path, bit-identical to the fault-free run.
+  std::vector<size_t> survivors;
+  survivors.reserve(p - outcome.quarantined.size());
+  for (size_t id = 0; id < p; ++id) {
+    if (std::find(outcome.quarantined.begin(), outcome.quarantined.end(), id) ==
+        outcome.quarantined.end()) {
+      survivors.push_back(id);
+    }
+  }
+
+  if (outcome.quarantined.empty()) {
+    VFPS_ASSIGN_OR_RETURN(last_similarity_,
+                          BuildSimilarity(neighborhoods, p, ctx.pool));
+  } else {
+    // Compact each neighborhood's per-participant aggregates to survivor
+    // positions so the matrix is indexed 0..|survivors|-1.
+    std::vector<vfl::QueryNeighborhood> compact = neighborhoods;
+    for (vfl::QueryNeighborhood& hood : compact) {
+      std::vector<double> dt;
+      dt.reserve(survivors.size());
+      for (size_t id : survivors) dt.push_back(hood.per_party_dt[id]);
+      hood.per_party_dt = std::move(dt);
+    }
+    VFPS_ASSIGN_OR_RETURN(
+        last_similarity_,
+        BuildSimilarity(compact, survivors.size(), ctx.pool));
+  }
 
   KnnSubmodularFunction f(last_similarity_);
-  const GreedyResult greedy =
-      lazy_greedy_ ? LazyGreedyMaximize(f, target) : GreedyMaximize(f, target);
-  // The greedy pass runs at the leader over the P x P similarity matrix;
-  // its cost is P^2 per marginal-gain evaluation.
-  ctx.clock->Advance(
-      CostCategory::kCompute,
-      static_cast<double>(greedy.evaluations) *
-          static_cast<double>(ctx.partition->size()) * ctx.cost->compare_seconds);
+  const size_t effective_target = std::min(target, survivors.size());
+  const GreedyResult greedy = lazy_greedy_
+                                  ? LazyGreedyMaximize(f, effective_target)
+                                  : GreedyMaximize(f, effective_target);
+  // The greedy pass runs at the leader over the survivor-sized similarity
+  // matrix; its cost is |survivors|^2 per marginal-gain evaluation.
+  ctx.clock->Advance(CostCategory::kCompute,
+                     static_cast<double>(greedy.evaluations) *
+                         static_cast<double>(survivors.size()) *
+                         ctx.cost->compare_seconds);
 
-  outcome.scores.assign(ctx.partition->size(), 0.0);
+  // Map survivor positions back to original participant ids; quarantined
+  // slots keep a 0.0 score.
+  outcome.scores.assign(p, 0.0);
+  outcome.selected.clear();
+  outcome.selected.reserve(greedy.selected.size());
   for (size_t i = 0; i < greedy.selected.size(); ++i) {
-    outcome.scores[greedy.selected[i]] = greedy.gains[i];
+    const size_t id = survivors[greedy.selected[i]];
+    outcome.scores[id] = greedy.gains[i];
+    outcome.selected.push_back(id);
   }
-  outcome.selected = greedy.selected;
   std::sort(outcome.selected.begin(), outcome.selected.end());
   outcome.sim_seconds = ctx.clock->Total() - clock_before;
   return outcome;

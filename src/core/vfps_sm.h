@@ -21,6 +21,15 @@ namespace vfps::core {
 /// selected set and scores never depend on parallelism. One VfpsSmSelector
 /// instance must be driven from one thread at a time (it caches
 /// last_similarity()).
+///
+/// Graceful degradation: when the network has a fault plan and a participant
+/// crashes mid-oracle (PeerDead), Select() quarantines the dead participants,
+/// reruns the oracle over the survivors, builds the survivor-sized similarity
+/// matrix, and completes the greedy pass — reporting the exclusion in
+/// SelectionOutcome::quarantined. Only participants (ids >= 1) can be
+/// quarantined; a dead leader or server still fails the run. After a degraded
+/// run, last_similarity() is indexed by survivor position, not participant
+/// id.
 class VfpsSmSelector final : public ParticipantSelector {
  public:
   /// \param mode kFagin for VFPS-SM, kBase for the VFPS-SM-BASE ablation

@@ -1,0 +1,80 @@
+#include "net/channel.h"
+
+#include "common/buffer.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace vfps::net {
+
+std::vector<uint8_t> ReliableChannel::Frame(
+    uint32_t seq, const std::vector<uint8_t>& payload) {
+  BinaryWriter w;
+  w.WriteU32(seq);
+  w.WriteCrcFramed(payload);
+  return w.TakeBytes();
+}
+
+Status ReliableChannel::Send(NodeId from, NodeId to,
+                             std::vector<uint8_t> payload) {
+  if (!net_->faults_enabled()) {
+    return net_->Send(from, to, std::move(payload));
+  }
+  const LinkKey key{from, to};
+  const uint32_t seq = next_send_seq_[key]++;
+  VFPS_RETURN_NOT_OK(net_->Send(from, to, Frame(seq, payload)));
+  // Keep the payload until the link's next Send: the lockstep protocol has at
+  // most one exchange outstanding per link, and the receiver may need resends.
+  pending_[key] = Pending{seq, std::move(payload)};
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
+  if (!net_->faults_enabled()) return net_->Recv(from, to);
+
+  const LinkKey key{from, to};
+  const uint32_t want = next_recv_seq_[key];
+  double wait = policy_.timeout_seconds;
+  for (size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    // Drain whatever is on the link; a good frame may sit behind stale
+    // duplicates or corrupted copies.
+    while (true) {
+      auto recv = net_->Recv(from, to);
+      if (!recv.ok()) break;  // link empty -> fall through to timeout
+      BinaryReader reader(*recv);
+      auto seq = reader.ReadU32();
+      if (!seq.ok()) continue;  // mangled beyond parsing; discard
+      if (*seq < want) continue;  // stale duplicate of a delivered seq
+      auto payload = reader.ReadCrcFramed();
+      if (!payload.ok() || *seq > want) continue;  // corrupt; discard
+      next_recv_seq_[key] = want + 1;
+      return payload.MoveValueUnsafe();
+    }
+    if (net_->NodeDead(from) || net_->NodeDead(to)) {
+      return Status::PeerDead(StrFormat(
+          "ReliableChannel: %s is down, link %s -> %s unserviceable",
+          NodeName(net_->NodeDead(from) ? from : to).c_str(),
+          NodeName(from).c_str(), NodeName(to).c_str()));
+    }
+    auto pending = pending_.find(key);
+    if (pending == pending_.end() || pending->second.seq != want) {
+      // Nothing in flight to wait for: the protocol never sent seq `want`.
+      return Status::ProtocolError(StrFormat(
+          "ReliableChannel: no in-flight message with seq %u on link "
+          "%s -> %s (protocol send/recv mismatch)",
+          want, NodeName(from).c_str(), NodeName(to).c_str()));
+    }
+    // Simulated timeout, then ask the sender to retransmit. The resend goes
+    // back through the fault plan, so it can be lost or corrupted again.
+    clock_->Advance(CostCategory::kNetwork, wait);
+    wait *= policy_.backoff_factor;
+    VFPS_RETURN_NOT_OK(
+        net_->Send(from, to, Frame(want, pending->second.payload)));
+  }
+  return Status::Timeout(StrFormat(
+      "ReliableChannel: gave up on link %s -> %s after %zu attempts "
+      "(seq %u never arrived intact)",
+      NodeName(from).c_str(), NodeName(to).c_str(), policy_.max_attempts,
+      want));
+}
+
+}  // namespace vfps::net

@@ -1,0 +1,168 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace vfps::net {
+
+Status FaultSpec::Validate() const {
+  for (double p : {drop_prob, duplicate_prob, corrupt_prob, delay_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("fault-spec: probability %g outside [0, 1]", p));
+    }
+  }
+  if (delay_seconds < 0.0) {
+    return Status::InvalidArgument("fault-spec: negative delay seconds");
+  }
+  if (delay_prob > 0.0 && delay_seconds == 0.0) {
+    return Status::InvalidArgument(
+        "fault-spec: delay probability set but delay seconds is 0 "
+        "(use delay=PROB:SECONDS)");
+  }
+  return Status::OK();
+}
+
+namespace {
+Result<double> ParseProb(std::string_view value, const char* key) {
+  VFPS_ASSIGN_OR_RETURN(double p, ParseDouble(value));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("fault-spec: %s=%g outside [0, 1]", key, p));
+  }
+  return p;
+}
+
+// "NODE@AFTER" -> (node, after); shared by crash= and the stall= prefix.
+Status ParseNodeAt(std::string_view value, NodeId* node, uint64_t* after) {
+  const auto at = value.find('@');
+  if (at == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "fault-spec: expected NODE@AFTER_SENDS, e.g. crash=2@40");
+  }
+  VFPS_ASSIGN_OR_RETURN(int64_t id, ParseInt64(value.substr(0, at)));
+  VFPS_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value.substr(at + 1)));
+  if (n < 1) {
+    return Status::InvalidArgument("fault-spec: AFTER_SENDS must be >= 1");
+  }
+  *node = static_cast<NodeId>(id);
+  *after = static_cast<uint64_t>(n);
+  return Status::OK();
+}
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  if (TrimString(text).empty()) return spec;
+  for (const std::string& term : SplitString(text, ',')) {
+    const std::string_view trimmed = TrimString(term);
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("fault-spec: term '%.*s' is not key=value",
+                    static_cast<int>(trimmed.size()), trimmed.data()));
+    }
+    const std::string_view key = trimmed.substr(0, eq);
+    const std::string_view value = trimmed.substr(eq + 1);
+    if (key == "drop") {
+      VFPS_ASSIGN_OR_RETURN(spec.drop_prob, ParseProb(value, "drop"));
+    } else if (key == "dup") {
+      VFPS_ASSIGN_OR_RETURN(spec.duplicate_prob, ParseProb(value, "dup"));
+    } else if (key == "corrupt") {
+      VFPS_ASSIGN_OR_RETURN(spec.corrupt_prob, ParseProb(value, "corrupt"));
+    } else if (key == "delay") {
+      const auto colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument(
+            "fault-spec: delay needs PROB:SECONDS, e.g. delay=0.1:0.05");
+      }
+      VFPS_ASSIGN_OR_RETURN(spec.delay_prob,
+                            ParseProb(value.substr(0, colon), "delay"));
+      VFPS_ASSIGN_OR_RETURN(spec.delay_seconds,
+                            ParseDouble(value.substr(colon + 1)));
+    } else if (key == "crash") {
+      CrashRule rule;
+      VFPS_RETURN_NOT_OK(ParseNodeAt(value, &rule.node, &rule.after_sends));
+      spec.crashes.push_back(rule);
+    } else if (key == "stall") {
+      const auto plus = value.find('+');
+      if (plus == std::string_view::npos) {
+        return Status::InvalidArgument(
+            "fault-spec: stall needs NODE@AFTER+COUNT, e.g. stall=3@10+5");
+      }
+      StallRule rule;
+      VFPS_RETURN_NOT_OK(
+          ParseNodeAt(value.substr(0, plus), &rule.node, &rule.after_sends));
+      VFPS_ASSIGN_OR_RETURN(int64_t count, ParseInt64(value.substr(plus + 1)));
+      if (count < 1) {
+        return Status::InvalidArgument("fault-spec: stall COUNT must be >= 1");
+      }
+      rule.drop_count = static_cast<uint64_t>(count);
+      spec.stalls.push_back(rule);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("fault-spec: unknown key '%.*s'",
+                    static_cast<int>(key.size()), key.data()));
+    }
+  }
+  VFPS_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+FaultInjector::Delivery FaultInjector::OnSend(NodeId from, NodeId to) {
+  Delivery d;
+  if (NodeDead(from)) {
+    d.sender_dead = true;
+    return d;  // dead nodes emit nothing; the fault stream does not advance
+  }
+  const uint64_t send_index = ++sends_by_node_[from];  // 1-based
+  (void)to;
+
+  // A stalled sender's message is metered (it left the NIC) but lost.
+  for (const StallRule& rule : spec_.stalls) {
+    if (rule.node == from && send_index >= rule.after_sends &&
+        send_index < rule.after_sends + rule.drop_count) {
+      d.dropped = true;
+    }
+  }
+  // Bernoulli rules, drawn in fixed order so the fault stream is a pure
+  // function of the send sequence.
+  if (spec_.drop_prob > 0.0 && rng_.Bernoulli(spec_.drop_prob)) {
+    d.dropped = true;
+  }
+  if (spec_.duplicate_prob > 0.0 && rng_.Bernoulli(spec_.duplicate_prob)) {
+    d.duplicate = true;
+  }
+  if (spec_.corrupt_prob > 0.0 && rng_.Bernoulli(spec_.corrupt_prob)) {
+    d.corrupt = true;
+    d.corrupt_bit = rng_.Next();
+  }
+  if (spec_.delay_prob > 0.0 && rng_.Bernoulli(spec_.delay_prob)) {
+    d.extra_delay = spec_.delay_seconds;
+  }
+  return d;
+}
+
+bool FaultInjector::NodeDead(NodeId node) const {
+  for (const CrashRule& rule : spec_.crashes) {
+    if (rule.node != node) continue;
+    auto it = sends_by_node_.find(node);
+    const uint64_t sent = it == sends_by_node_.end() ? 0 : it->second;
+    if (sent >= rule.after_sends) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> FaultInjector::DeadNodes() const {
+  std::vector<NodeId> dead;
+  for (const CrashRule& rule : spec_.crashes) {
+    if (NodeDead(rule.node)) dead.push_back(rule.node);
+  }
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  return dead;
+}
+
+}  // namespace vfps::net

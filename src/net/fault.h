@@ -1,0 +1,117 @@
+#ifndef VFPS_NET_FAULT_H_
+#define VFPS_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace vfps::net {
+
+/// \brief A participant (or server) that dies for good: once `node` has
+/// transmitted `after_sends` messages it emits nothing further, and peers
+/// eventually observe PeerDead. Counted per fault stream, i.e. per
+/// SimNetwork — under the parallel per-query fan-out each query task sees
+/// the crash unfold independently against its task-local network.
+struct CrashRule {
+  NodeId node = 0;
+  uint64_t after_sends = 1;
+};
+
+/// \brief A transient straggler: starting with its `after_sends`-th
+/// transmission, `node` loses `drop_count` consecutive sends (they are
+/// metered but never delivered), then recovers. Unlike a crash, a stall is
+/// absorbable by the retry layer.
+struct StallRule {
+  NodeId node = 0;
+  uint64_t after_sends = 1;
+  uint64_t drop_count = 1;
+};
+
+/// \brief Seeded fault schedule consulted on every SimNetwork delivery.
+///
+/// Probabilities apply independently per message, drawn from the stream seed
+/// passed to SimNetwork::EnableFaults — the same (spec, seed) pair always
+/// reproduces the same fault sequence. The zero value (all probabilities 0,
+/// no crash/stall rules) means "no faults" and is the library-wide default.
+struct FaultSpec {
+  double drop_prob = 0.0;       // message vanishes after being metered
+  double duplicate_prob = 0.0;  // message is delivered twice
+  double corrupt_prob = 0.0;    // one random payload bit is flipped
+  double delay_prob = 0.0;      // message is late by delay_seconds
+  double delay_seconds = 0.0;   // extra simulated latency when delay fires
+  std::vector<CrashRule> crashes;
+  std::vector<StallRule> stalls;
+
+  /// True if any rule can ever fire; false selects the pristine transport.
+  bool any() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || corrupt_prob > 0.0 ||
+           delay_prob > 0.0 || !crashes.empty() || !stalls.empty();
+  }
+
+  /// Rejects probabilities outside [0, 1] and rules naming invalid nodes.
+  Status Validate() const;
+};
+
+/// \brief Parse the CLI `--fault-spec` mini-language: comma-separated
+/// `key=value` terms.
+///
+///   drop=0.05            drop probability
+///   dup=0.01             duplicate probability
+///   corrupt=0.02         bit-corruption probability
+///   delay=0.1:0.05       delay probability : extra seconds
+///   crash=2@40           participant 2 dies after sending 40 messages
+///   stall=3@10+5         participant 3 loses sends 10..14, then recovers
+///
+/// Example: "drop=0.05,delay=0.2:0.01,crash=2@40". Empty input yields the
+/// zero (fault-free) spec.
+Result<FaultSpec> ParseFaultSpec(const std::string& text);
+
+/// \brief The seeded decision engine behind a fault-injected SimNetwork.
+///
+/// One injector per network; the network asks it what to do with each send.
+/// All randomness comes from the single constructor seed, and decisions are
+/// drawn in a fixed order per send (drop, duplicate, corrupt, delay), so the
+/// fault sequence is a pure function of (spec, seed, send sequence).
+/// Thread-safety: none — owned and driven by one SimNetwork.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSpec& spec, uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  /// The fate of one message from `from` to `to`.
+  struct Delivery {
+    bool sender_dead = false;  // emit nothing, meter nothing
+    bool dropped = false;      // meter, do not enqueue
+    bool duplicate = false;    // enqueue twice
+    bool corrupt = false;      // flip payload bit (corrupt_bit % payload bits)
+    uint64_t corrupt_bit = 0;
+    double extra_delay = 0.0;  // simulated seconds to charge the clock
+  };
+
+  /// Consult the schedule for the next send on (from -> to). Advances the
+  /// fault stream and the per-node send counters.
+  Delivery OnSend(NodeId from, NodeId to);
+
+  /// True once `node` crossed a CrashRule threshold (or was born past it).
+  bool NodeDead(NodeId node) const;
+
+  /// Every node currently considered crashed, ascending.
+  std::vector<NodeId> DeadNodes() const;
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  std::map<NodeId, uint64_t> sends_by_node_;
+};
+
+}  // namespace vfps::net
+
+#endif  // VFPS_NET_FAULT_H_

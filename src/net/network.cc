@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include "common/string_util.h"
+#include "net/fault.h"
 
 namespace vfps::net {
 
@@ -11,16 +12,63 @@ std::string NodeName(NodeId id) {
   return StrFormat("participant-%d", id);
 }
 
+SimNetwork::SimNetwork() = default;
+SimNetwork::~SimNetwork() = default;
+SimNetwork::SimNetwork(SimNetwork&&) noexcept = default;
+SimNetwork& SimNetwork::operator=(SimNetwork&&) noexcept = default;
+
+void SimNetwork::Meter(const LinkKey& key, size_t bytes) {
+  auto& stats = stats_[key];
+  stats.messages += 1;
+  stats.bytes += bytes;
+  total_.messages += 1;
+  total_.bytes += bytes;
+}
+
 Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
   if (from == to) {
     return Status::InvalidArgument("SimNetwork: self-send is not a message");
   }
   const LinkKey key{from, to};
-  auto& stats = stats_[key];
-  stats.messages += 1;
-  stats.bytes += payload.size();
-  total_.messages += 1;
-  total_.bytes += payload.size();
+  if (injector_ == nullptr) {
+    Meter(key, payload.size());
+    queues_[key].push_back(std::move(payload));
+    return Status::OK();
+  }
+
+  const FaultInjector::Delivery fate = injector_->OnSend(from, to);
+  if (fate.sender_dead) {
+    // A crashed node emits nothing: no bytes on the wire, nothing metered.
+    fault_stats_.swallowed_dead += 1;
+    return Status::OK();
+  }
+  // The payload left the sender; it is metered even if it is then lost.
+  Meter(key, payload.size());
+  if (fate.extra_delay > 0.0) {
+    fault_stats_.delayed += 1;
+    fault_stats_.delay_seconds += fate.extra_delay;
+    fault_clock_->Advance(CostCategory::kNetwork, fate.extra_delay);
+  }
+  if (injector_->NodeDead(to)) {
+    // Connection refused: the sender pays for the transmission but the dead
+    // receiver consumes nothing.
+    fault_stats_.swallowed_dead += 1;
+    return Status::OK();
+  }
+  if (fate.dropped) {
+    fault_stats_.dropped += 1;
+    return Status::OK();
+  }
+  if (fate.corrupt && !payload.empty()) {
+    const uint64_t bit = fate.corrupt_bit % (payload.size() * 8);
+    payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    fault_stats_.corrupted += 1;
+  }
+  if (fate.duplicate) {
+    fault_stats_.duplicated += 1;
+    Meter(key, payload.size());  // the duplicate also crossed the wire
+    queues_[key].push_back(payload);
+  }
   queues_[key].push_back(std::move(payload));
   return Status::OK();
 }
@@ -29,9 +77,13 @@ Result<std::vector<uint8_t>> SimNetwork::Recv(NodeId from, NodeId to) {
   const LinkKey key{from, to};
   auto it = queues_.find(key);
   if (it == queues_.end() || it->second.empty()) {
-    return Status::ProtocolError(
-        StrFormat("SimNetwork: no pending message on link %s -> %s",
-                  NodeName(from).c_str(), NodeName(to).c_str()));
+    auto st = stats_.find(key);
+    const uint64_t ever_sent = st == stats_.end() ? 0 : st->second.messages;
+    return Status::ProtocolError(StrFormat(
+        "SimNetwork: no pending message on link %s -> %s "
+        "(%llu messages ever sent on this link, %zu pending network-wide)",
+        NodeName(from).c_str(), NodeName(to).c_str(),
+        static_cast<unsigned long long>(ever_sent), PendingCount()));
   }
   std::vector<uint8_t> payload = std::move(it->second.front());
   it->second.pop_front();
@@ -68,11 +120,32 @@ TrafficStats SimNetwork::LinkStats(NodeId from, NodeId to) const {
 void SimNetwork::MergeStatsFrom(const SimNetwork& other) {
   for (const auto& [key, stats] : other.stats_) stats_[key].Merge(stats);
   total_.Merge(other.total_);
+  fault_stats_.Merge(other.fault_stats_);
 }
 
 void SimNetwork::ResetStats() {
   stats_.clear();
   total_ = TrafficStats{};
+  fault_stats_ = FaultStats{};
+}
+
+void SimNetwork::EnableFaults(const FaultSpec& spec, uint64_t seed,
+                              SimClock* clock) {
+  injector_ = std::make_unique<FaultInjector>(spec, seed);
+  fault_clock_ = clock;
+  fault_seed_ = seed;
+}
+
+const FaultSpec* SimNetwork::fault_spec() const {
+  return injector_ == nullptr ? nullptr : &injector_->spec();
+}
+
+bool SimNetwork::NodeDead(NodeId node) const {
+  return injector_ != nullptr && injector_->NodeDead(node);
+}
+
+std::vector<NodeId> SimNetwork::DeadNodes() const {
+  return injector_ == nullptr ? std::vector<NodeId>{} : injector_->DeadNodes();
 }
 
 }  // namespace vfps::net

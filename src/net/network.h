@@ -4,13 +4,18 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sim_clock.h"
 #include "common/status.h"
 
 namespace vfps::net {
+
+struct FaultSpec;
+class FaultInjector;
 
 /// \brief Logical node identifier in the simulated cluster.
 ///
@@ -37,6 +42,29 @@ struct TrafficStats {
   }
 };
 
+/// \brief Counters of injected faults that actually fired on one network
+/// (folded across task-local networks by MergeStatsFrom, like TrafficStats).
+struct FaultStats {
+  uint64_t dropped = 0;     // messages metered but never delivered
+  uint64_t duplicated = 0;  // extra deliveries enqueued
+  uint64_t corrupted = 0;   // payloads with a flipped bit
+  uint64_t delayed = 0;     // messages charged extra latency
+  double delay_seconds = 0.0;
+  uint64_t swallowed_dead = 0;  // sends from or to a crashed node
+
+  void Merge(const FaultStats& o) {
+    dropped += o.dropped;
+    duplicated += o.duplicated;
+    corrupted += o.corrupted;
+    delayed += o.delayed;
+    delay_seconds += o.delay_seconds;
+    swallowed_dead += o.swallowed_dead;
+  }
+  bool any() const {
+    return dropped + duplicated + corrupted + delayed + swallowed_dead > 0;
+  }
+};
+
 /// \brief In-process message transport with exact byte metering.
 ///
 /// This replaces the paper's gRPC links between AWS instances. Protocol code
@@ -46,18 +74,34 @@ struct TrafficStats {
 /// opaque byte strings produced by BinaryWriter, so what is metered is
 /// exactly what a real deployment would serialize.
 ///
+/// Fault injection: EnableFaults attaches a seeded FaultPlan (net/fault.h)
+/// that is consulted on every Send — messages may then be dropped,
+/// duplicated, bit-corrupted, delayed (the extra latency is charged to the
+/// supplied SimClock), or swallowed because a node crashed or stalled. With
+/// no plan attached (the default), the fast path is a single null-pointer
+/// check and behavior is bit-identical to the pristine transport. Protocol
+/// code that must survive injected faults goes through net::ReliableChannel
+/// (channel.h) rather than raw Send/Recv.
+///
 /// Thread-safety: NOT thread-safe — one SimNetwork must only be driven from
 /// one thread at a time. Parallel protocol code gives each task its own
-/// SimNetwork and merges metering with MergeStatsFrom() afterwards.
+/// SimNetwork and merges metering with MergeStatsFrom() afterwards; each
+/// task-local network gets its own fault stream seed, pre-derived serially,
+/// so fault schedules are reproducible at any thread count.
 class SimNetwork {
  public:
-  SimNetwork() = default;
+  SimNetwork();
+  ~SimNetwork();
+  SimNetwork(SimNetwork&&) noexcept;
+  SimNetwork& operator=(SimNetwork&&) noexcept;
 
   /// Enqueue a payload on the (from -> to) link.
   Status Send(NodeId from, NodeId to, std::vector<uint8_t> payload);
 
   /// Dequeue the oldest payload on the (from -> to) link; ProtocolError if
-  /// the link is empty (a send/recv mismatch in the protocol).
+  /// the link is empty (a send/recv mismatch in the protocol, or every copy
+  /// of the expected message was lost to injected faults). The message names
+  /// both endpoints and reports the link's delivery counters.
   Result<std::vector<uint8_t>> Recv(NodeId from, NodeId to);
 
   /// Number of undelivered payloads across all links.
@@ -75,18 +119,47 @@ class SimNetwork {
 
   void ResetStats();
 
-  /// Fold another network's per-link and total traffic counters into this
+  /// Fold another network's per-link, total, and fault counters into this
   /// one (queued payloads are NOT transferred). Used by the parallel
   /// encrypted-KNN path: each query task runs its self-contained protocol
   /// against a task-local SimNetwork, and the main network absorbs the
   /// metering afterwards in deterministic query order.
   void MergeStatsFrom(const SimNetwork& other);
 
+  /// Attach a seeded fault plan. `clock` (borrowed, may not be null) receives
+  /// the injected-latency charges; the same (spec, seed) always reproduces
+  /// the same fault schedule. Replaces any previously attached plan.
+  void EnableFaults(const FaultSpec& spec, uint64_t seed, SimClock* clock);
+
+  /// True once EnableFaults was called (even with an all-zero spec).
+  bool faults_enabled() const { return injector_ != nullptr; }
+
+  /// The attached fault plan, or nullptr. The seed is exposed so protocol
+  /// layers can derive per-task fault streams from it serially.
+  const FaultSpec* fault_spec() const;
+  uint64_t fault_seed() const { return fault_seed_; }
+
+  /// True if `node` crossed a CrashRule threshold on this network's stream.
+  bool NodeDead(NodeId node) const;
+
+  /// All crashed nodes on this network's stream, ascending.
+  std::vector<NodeId> DeadNodes() const;
+
+  /// Faults that fired on this network (plus everything merged into it).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   using LinkKey = std::pair<NodeId, NodeId>;
+
+  void Meter(const LinkKey& key, size_t bytes);
+
   std::map<LinkKey, std::deque<std::vector<uint8_t>>> queues_;
   std::map<LinkKey, TrafficStats> stats_;
   TrafficStats total_;
+  FaultStats fault_stats_;
+  std::unique_ptr<FaultInjector> injector_;
+  SimClock* fault_clock_ = nullptr;  // borrowed; set with the injector
+  uint64_t fault_seed_ = 0;
 };
 
 }  // namespace vfps::net

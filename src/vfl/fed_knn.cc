@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <set>
 
 #include "common/buffer.h"
 #include "common/macros.h"
@@ -22,6 +23,10 @@ constexpr net::NodeId kLeader = 0;
 // Salt separating the per-query HE randomness streams from the query-sampling
 // stream (both are derived from the consortium seed).
 constexpr uint64_t kHeStreamSalt = 0xC0FFEE5EEDD1CE5ULL;
+
+// Salt separating the per-query fault streams from the main network's fault
+// stream (both are derived from the seed passed to EnableFaults).
+constexpr uint64_t kFaultStreamSalt = 0xFA117AB1E5A17ULL;
 
 // Indices of the k smallest values, ties broken by index. `values` may
 // contain +inf entries (excluded rows); those lose every comparison.
@@ -140,21 +145,47 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   VFPS_CHECK_ARG(config.num_queries >= 1, "fed-knn: need >= 1 query");
   VFPS_CHECK_ARG(config.fagin_batch >= 1, "fed-knn: fagin batch must be >= 1");
 
+  // Survivor view: everybody minus the quarantined participants. With no
+  // quarantine the list is 0..P-1 and every code path below is the pristine
+  // protocol.
+  std::vector<size_t> active;
+  active.reserve(p);
+  for (size_t party = 0; party < p; ++party) {
+    if (std::find(config.quarantined.begin(), config.quarantined.end(),
+                  party) == config.quarantined.end()) {
+      active.push_back(party);
+    }
+  }
+  VFPS_CHECK_ARG(!active.empty() && active.front() == 0,
+                 "fed-knn: the leader (participant 0) cannot be quarantined");
+  VFPS_CHECK_ARG(active.size() >= 2,
+                 "fed-knn: quarantine left fewer than 2 active participants");
+
   const net::TrafficStats traffic_before = network_->total();
   const he::HeOpStats he_before = backend_->stats();
 
   // The leader samples the query set and shares the row ids (plain indices of
-  // shared training samples; no feature values cross the wire here).
+  // shared training samples; no feature values cross the wire here). The
+  // exchange rides the reliable channel so injected faults on the broadcast
+  // are retried; a dead peer here fails the run before any query starts.
   Rng rng(config.seed);
   const size_t num_queries = std::min(config.num_queries, n);
   std::vector<size_t> queries = rng.SampleWithoutReplacement(n, num_queries);
-  for (size_t party = 1; party < p; ++party) {
+  net::ReliableChannel main_chan(network_, clock_);
+  for (size_t party : active) {
+    if (party == 0) continue;
     std::vector<uint64_t> ids(queries.begin(), queries.end());
-    VFPS_RETURN_NOT_OK(network_->Send(kLeader, static_cast<int>(party),
-                                      EncodeIds(ids)));
-    VFPS_RETURN_NOT_OK(network_->Recv(kLeader, static_cast<int>(party)).status());
+    Status sent =
+        main_chan.Send(kLeader, static_cast<int>(party), EncodeIds(ids));
+    if (sent.ok()) {
+      sent = main_chan.Recv(kLeader, static_cast<int>(party)).status();
+    }
+    if (!sent.ok()) {
+      if (stats != nullptr) stats->dead_nodes = network_->DeadNodes();
+      return sent;
+    }
   }
-  ChargeFanOut(clock_, num_queries * sizeof(uint64_t), p - 1);
+  ChargeFanOut(clock_, num_queries * sizeof(uint64_t), active.size() - 1);
 
   // Consortium-shared pseudo-ID shuffle for the top-k modes, derived once per
   // Run from the shared seed and read concurrently by every query task.
@@ -167,6 +198,16 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   Rng stream_rng(config.seed ^ kHeStreamSalt);
   std::vector<uint64_t> stream_seeds(queries.size());
   for (uint64_t& s : stream_seeds) s = stream_rng.Next();
+
+  // Same trick for fault streams: each query task's network gets its own
+  // seed, pre-derived serially from the plan seed, so the fault schedule is
+  // reproducible at any thread count.
+  std::vector<uint64_t> fault_seeds;
+  if (network_->faults_enabled()) {
+    Rng fault_rng(network_->fault_seed() ^ kFaultStreamSalt);
+    fault_seeds.resize(queries.size());
+    for (uint64_t& s : fault_seeds) s = fault_rng.Next();
+  }
 
   // Per-query task state: every query runs its complete protocol against a
   // task-local deployment (HE session, byte-metered network, clock), merged
@@ -189,7 +230,13 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
       return;
     }
     slot.session = session.MoveValueUnsafe();
-    const QueryEnv env{slot.session.get(), &slot.net, &slot.clock};
+    if (!fault_seeds.empty()) {
+      slot.net.EnableFaults(*network_->fault_spec(), fault_seeds[i],
+                            &slot.clock);
+    }
+    net::ReliableChannel chan(&slot.net, &slot.clock);
+    const QueryEnv env{slot.session.get(), &slot.net, &chan, &slot.clock,
+                       &active};
     Result<QueryNeighborhood> hood =
         config.mode == KnnOracleMode::kBase
             ? RunBaseQuery(env, queries[i], config.k, &slot.stats)
@@ -208,13 +255,29 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     for (size_t i = 0; i < queries.size(); ++i) run_query(i);
   }
 
+  // Failed run: report the first error in query order without merging any
+  // task-local state, so a quarantine-and-rerun starts from a clean slate.
+  // Dead nodes are unioned over every fault stream (each task-local network
+  // watches the crash unfold independently).
+  for (const QuerySlot& slot : slots) {
+    if (slot.status.ok()) continue;
+    if (stats != nullptr) {
+      std::set<net::NodeId> dead;
+      for (net::NodeId d : network_->DeadNodes()) dead.insert(d);
+      for (const QuerySlot& s : slots) {
+        for (net::NodeId d : s.net.DeadNodes()) dead.insert(d);
+      }
+      stats->dead_nodes.assign(dead.begin(), dead.end());
+    }
+    return slot.status;
+  }
+
   // Deterministic merge: fold every task-local deployment back into the
   // shared one in query order (clock charges are doubles, so the fold order
   // is part of the bit-identical guarantee).
   std::vector<QueryNeighborhood> result;
   result.reserve(queries.size());
   for (QuerySlot& slot : slots) {
-    VFPS_RETURN_NOT_OK(slot.status);
     result.push_back(std::move(slot.hood));
     clock_->Merge(slot.clock);
     network_->MergeStatsFrom(slot.net);
@@ -245,45 +308,49 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
     FedKnnStats* stats) const {
   const size_t n = joint_->num_samples();
   const size_t p = num_participants();
-  const size_t count = n - 1;  // the query row itself is excluded
+  const std::vector<size_t>& active = *env.active;
+  const size_t a = active.size();  // == p with no quarantine
+  const size_t count = n - 1;      // the query row itself is excluded
 
-  // Phase 1 (participants, parallel): local partial distances + encryption.
-  std::vector<std::vector<double>> partials(p);
-  std::vector<double> compute_seconds(p);
-  for (size_t party = 0; party < p; ++party) {
-    partials[party] = PartialDistances(party, *joint_, query_row, query_row);
-    compute_seconds[party] =
-        cost_->DistanceSeconds(count, (*partition_)[party].size());
+  // Phase 1 (active participants, parallel): local partial distances +
+  // encryption. Everything below indexes by position in `active`.
+  std::vector<std::vector<double>> partials(a);
+  std::vector<double> compute_seconds(a);
+  for (size_t ai = 0; ai < a; ++ai) {
+    partials[ai] = PartialDistances(active[ai], *joint_, query_row, query_row);
+    compute_seconds[ai] =
+        cost_->DistanceSeconds(count, (*partition_)[active[ai]].size());
   }
   ChargeParallelCompute(env.clock, compute_seconds);
 
   VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(partials));
-  for (size_t party = 0; party < p; ++party) {
-    VFPS_RETURN_NOT_OK(env.net->Send(static_cast<int>(party),
-                                     net::kAggregationServer,
-                                     encrypted[party].blob));
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                      net::kAggregationServer,
+                                      encrypted[ai].blob));
   }
   env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
-  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), p);
+  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), a);
 
   // Phase 2 (aggregation server): homomorphic sum, forward to the leader.
-  std::vector<he::EncryptedVector> received(p);
-  std::vector<const he::EncryptedVector*> ptrs(p);
-  for (size_t party = 0; party < p; ++party) {
-    VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(static_cast<int>(party),
-                                                   net::kAggregationServer));
-    received[party] = he::EncryptedVector{std::move(blob), count};
-    ptrs[party] = &received[party];
+  std::vector<he::EncryptedVector> received(a);
+  std::vector<const he::EncryptedVector*> ptrs(a);
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_ASSIGN_OR_RETURN(auto blob,
+                          env.chan->Recv(static_cast<int>(active[ai]),
+                                         net::kAggregationServer));
+    received[ai] = he::EncryptedVector{std::move(blob), count};
+    ptrs[ai] = &received[ai];
   }
   VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
   env.clock->Advance(CostCategory::kHeEval,
-                     static_cast<double>(p - 1) * cost_->HeAddSecondsFor(count));
+                     static_cast<double>(a - 1) * cost_->HeAddSecondsFor(count));
   VFPS_RETURN_NOT_OK(
-      env.net->Send(net::kAggregationServer, kLeader, summed.blob));
+      env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
   ChargeFanOut(env.clock, cost_->EncryptedWireBytes(count), 1);
 
   // Phase 3 (leader): decrypt, rank, pick the k nearest.
-  VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(net::kAggregationServer, kLeader));
+  VFPS_ASSIGN_OR_RETURN(auto blob, env.chan->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
       auto distances,
       env.backend->Decrypt(he::EncryptedVector{std::move(blob), count}));
@@ -298,33 +365,36 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
     hood.neighbors.push_back(CompressedToRow(idx, query_row));
   }
 
-  // Phase 4: leader broadcasts T; every participant returns d_T^p.
-  for (size_t party = 1; party < p; ++party) {
+  // Phase 4: leader broadcasts T; every active participant returns d_T^p.
+  // Quarantined slots keep d_T^p = 0 (the caller drops them anyway).
+  for (size_t party : active) {
+    if (party == 0) continue;
     VFPS_RETURN_NOT_OK(
-        env.net->Send(kLeader, static_cast<int>(party), EncodeIds(top)));
+        env.chan->Send(kLeader, static_cast<int>(party), EncodeIds(top)));
   }
-  ChargeFanOut(env.clock, top.size() * sizeof(uint64_t), p - 1);
-  hood.per_party_dt.resize(p);
-  for (size_t party = 0; party < p; ++party) {
+  ChargeFanOut(env.clock, top.size() * sizeof(uint64_t), a - 1);
+  hood.per_party_dt.assign(p, 0.0);
+  for (size_t ai = 0; ai < a; ++ai) {
+    const size_t party = active[ai];
     std::vector<uint64_t> ids = top;
     if (party != 0) {
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            env.net->Recv(kLeader, static_cast<int>(party)));
+                            env.chan->Recv(kLeader, static_cast<int>(party)));
       VFPS_ASSIGN_OR_RETURN(ids, DecodeIds(payload));
     }
     double dt = 0.0;
-    for (uint64_t idx : ids) dt += partials[party][idx];
+    for (uint64_t idx : ids) dt += partials[ai][idx];
     if (party == 0) {
       hood.per_party_dt[0] = dt;
     } else {
       VFPS_RETURN_NOT_OK(
-          env.net->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+          env.chan->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            env.net->Recv(static_cast<int>(party), kLeader));
+                            env.chan->Recv(static_cast<int>(party), kLeader));
       VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
     }
   }
-  ChargeFanIn(env.clock, sizeof(double), p - 1);
+  ChargeFanIn(env.clock, sizeof(double), a - 1);
 
   if (stats != nullptr) stats->candidates_encrypted += count;
   return hood;
@@ -335,18 +405,21 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
     size_t k, size_t batch, KnnOracleMode mode, FedKnnStats* stats) const {
   const size_t n = joint_->num_samples();
   const size_t p = num_participants();
+  const std::vector<size_t>& active = *env.active;
+  const size_t a = active.size();  // == p with no quarantine
 
   // Step 1: consortium-shared pseudo-ID shuffle (identity security). The map
   // is built once per Run and shared read-only across query tasks.
   const uint64_t query_pid = pseudo.ToPseudo(query_row);
 
-  // Step 2 (participants, parallel): partial distances in pseudo-ID space,
-  // sorted ascending to form sub-rankings.
-  std::vector<std::vector<double>> scores(p);
-  std::vector<double> compute_seconds(p);
-  for (size_t party = 0; party < p; ++party) {
-    scores[party].assign(n, 0.0);
-    const auto& columns = (*partition_)[party];
+  // Step 2 (active participants, parallel): partial distances in pseudo-ID
+  // space, sorted ascending to form sub-rankings. Indexed by position in
+  // `active`.
+  std::vector<std::vector<double>> scores(a);
+  std::vector<double> compute_seconds(a);
+  for (size_t ai = 0; ai < a; ++ai) {
+    scores[ai].assign(n, 0.0);
+    const auto& columns = (*partition_)[active[ai]];
     const double* qrow = joint_->Row(query_row);
     for (size_t i = 0; i < n; ++i) {
       const double* trow = joint_->Row(i);
@@ -355,11 +428,11 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
         const double diff = qrow[c] - trow[c];
         d += diff * diff;
       }
-      scores[party][pseudo.ToPseudo(i)] = d;
+      scores[ai][pseudo.ToPseudo(i)] = d;
     }
-    scores[party][query_pid] = std::numeric_limits<double>::infinity();
-    compute_seconds[party] = cost_->DistanceSeconds(n, columns.size()) +
-                             cost_->SortSeconds(n);
+    scores[ai][query_pid] = std::numeric_limits<double>::infinity();
+    compute_seconds[ai] = cost_->DistanceSeconds(n, columns.size()) +
+                          cost_->SortSeconds(n);
   }
   ChargeParallelCompute(env.clock, compute_seconds);
 
@@ -377,16 +450,18 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   const size_t depth = fagin.depth;
   for (size_t start = 0; start < depth; start += batch) {
     const size_t end = std::min(depth, start + batch);
-    for (size_t party = 0; party < p; ++party) {
+    for (size_t ai = 0; ai < a; ++ai) {
       std::vector<uint64_t> chunk;
       chunk.reserve(end - start);
-      for (size_t r = start; r < end; ++r) chunk.push_back(lists.IdAtRank(party, r));
-      VFPS_RETURN_NOT_OK(env.net->Send(static_cast<int>(party),
-                                       net::kAggregationServer, EncodeIds(chunk)));
-      VFPS_RETURN_NOT_OK(
-          env.net->Recv(static_cast<int>(party), net::kAggregationServer).status());
+      for (size_t r = start; r < end; ++r) chunk.push_back(lists.IdAtRank(ai, r));
+      VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                        net::kAggregationServer,
+                                        EncodeIds(chunk)));
+      VFPS_RETURN_NOT_OK(env.chan->Recv(static_cast<int>(active[ai]),
+                                        net::kAggregationServer)
+                             .status());
     }
-    ChargeFanIn(env.clock, (end - start) * sizeof(uint64_t), p);
+    ChargeFanIn(env.clock, (end - start) * sizeof(uint64_t), a);
   }
   env.clock->Advance(CostCategory::kCompute,
                      static_cast<double>(fagin.sorted_accesses) * cost_->compare_seconds);
@@ -399,12 +474,12 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
                                     static_cast<double>(batch));
     env.clock->Advance(CostCategory::kEncrypt, rounds * cost_->EncryptSecondsFor(1));
     env.clock->Advance(CostCategory::kHeEval,
-                       rounds * static_cast<double>(p - 1) * cost_->HeAddSecondsFor(1));
+                       rounds * static_cast<double>(a - 1) * cost_->HeAddSecondsFor(1));
     env.clock->Advance(CostCategory::kDecrypt, rounds * cost_->DecryptSecondsFor(1));
     env.clock->Advance(
         CostCategory::kNetwork,
         rounds * cost_->NetworkSeconds(
-                     cost_->EncryptedWireBytes(1) * (static_cast<uint64_t>(p) + 1),
+                     cost_->EncryptedWireBytes(1) * (static_cast<uint64_t>(a) + 1),
                      2));
   }
 
@@ -418,46 +493,48 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   // exactly those candidates' partial distances and encrypt them as one
   // batch (the batched-HE fast path; identical ciphertexts at any thread
   // count, see HeBackend::EncryptBatch).
-  for (size_t party = 0; party < p; ++party) {
-    VFPS_RETURN_NOT_OK(env.net->Send(net::kAggregationServer,
-                                     static_cast<int>(party),
-                                     EncodeIds(candidates)));
+  for (size_t party : active) {
+    VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer,
+                                      static_cast<int>(party),
+                                      EncodeIds(candidates)));
   }
-  ChargeFanOut(env.clock, c * sizeof(uint64_t), p);
+  ChargeFanOut(env.clock, c * sizeof(uint64_t), a);
 
-  std::vector<std::vector<double>> party_values(p);
-  for (size_t party = 0; party < p; ++party) {
-    VFPS_ASSIGN_OR_RETURN(auto payload, env.net->Recv(net::kAggregationServer,
-                                                      static_cast<int>(party)));
+  std::vector<std::vector<double>> party_values(a);
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_ASSIGN_OR_RETURN(auto payload,
+                          env.chan->Recv(net::kAggregationServer,
+                                         static_cast<int>(active[ai])));
     VFPS_ASSIGN_OR_RETURN(auto ids, DecodeIds(payload));
-    party_values[party].reserve(ids.size());
-    for (uint64_t pid : ids) party_values[party].push_back(scores[party][pid]);
+    party_values[ai].reserve(ids.size());
+    for (uint64_t pid : ids) party_values[ai].push_back(scores[ai][pid]);
   }
   VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(party_values));
-  std::vector<const he::EncryptedVector*> ptrs(p);
-  for (size_t party = 0; party < p; ++party) {
-    VFPS_RETURN_NOT_OK(env.net->Send(static_cast<int>(party),
-                                     net::kAggregationServer,
-                                     encrypted[party].blob));
+  std::vector<const he::EncryptedVector*> ptrs(a);
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                      net::kAggregationServer,
+                                      encrypted[ai].blob));
   }
   env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(c));
-  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(c), p);
+  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(c), a);
 
   // Step 6: homomorphic aggregation, forwarded to the leader.
-  for (size_t party = 0; party < p; ++party) {
-    VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(static_cast<int>(party),
-                                                   net::kAggregationServer));
-    encrypted[party] = he::EncryptedVector{std::move(blob), c};
-    ptrs[party] = &encrypted[party];
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_ASSIGN_OR_RETURN(auto blob,
+                          env.chan->Recv(static_cast<int>(active[ai]),
+                                         net::kAggregationServer));
+    encrypted[ai] = he::EncryptedVector{std::move(blob), c};
+    ptrs[ai] = &encrypted[ai];
   }
   VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
   env.clock->Advance(CostCategory::kHeEval,
-                     static_cast<double>(p - 1) * cost_->HeAddSecondsFor(c));
-  VFPS_RETURN_NOT_OK(env.net->Send(net::kAggregationServer, kLeader, summed.blob));
+                     static_cast<double>(a - 1) * cost_->HeAddSecondsFor(c));
+  VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
   ChargeFanOut(env.clock, cost_->EncryptedWireBytes(c), 1);
 
   // Step 7 (leader): decrypt candidate aggregates, take the k nearest.
-  VFPS_ASSIGN_OR_RETURN(auto blob, env.net->Recv(net::kAggregationServer, kLeader));
+  VFPS_ASSIGN_OR_RETURN(auto blob, env.chan->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
       auto agg_distances,
       env.backend->Decrypt(he::EncryptedVector{std::move(blob), c}));
@@ -472,33 +549,36 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   hood.query_row = query_row;
   VFPS_ASSIGN_OR_RETURN(hood.neighbors, pseudo.MapToOriginal(neighbor_pids));
 
-  // Step 8: leader broadcasts the neighbor set; participants return d_T^p.
-  for (size_t party = 1; party < p; ++party) {
-    VFPS_RETURN_NOT_OK(env.net->Send(kLeader, static_cast<int>(party),
-                                     EncodeIds(neighbor_pids)));
+  // Step 8: leader broadcasts the neighbor set; active participants return
+  // d_T^p (quarantined slots keep 0).
+  for (size_t party : active) {
+    if (party == 0) continue;
+    VFPS_RETURN_NOT_OK(env.chan->Send(kLeader, static_cast<int>(party),
+                                      EncodeIds(neighbor_pids)));
   }
-  ChargeFanOut(env.clock, neighbor_pids.size() * sizeof(uint64_t), p - 1);
-  hood.per_party_dt.resize(p);
-  for (size_t party = 0; party < p; ++party) {
+  ChargeFanOut(env.clock, neighbor_pids.size() * sizeof(uint64_t), a - 1);
+  hood.per_party_dt.assign(p, 0.0);
+  for (size_t ai = 0; ai < a; ++ai) {
+    const size_t party = active[ai];
     std::vector<uint64_t> pids = neighbor_pids;
     if (party != 0) {
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            env.net->Recv(kLeader, static_cast<int>(party)));
+                            env.chan->Recv(kLeader, static_cast<int>(party)));
       VFPS_ASSIGN_OR_RETURN(pids, DecodeIds(payload));
     }
     double dt = 0.0;
-    for (uint64_t pid : pids) dt += scores[party][pid];
+    for (uint64_t pid : pids) dt += scores[ai][pid];
     if (party == 0) {
       hood.per_party_dt[0] = dt;
     } else {
       VFPS_RETURN_NOT_OK(
-          env.net->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+          env.chan->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
       VFPS_ASSIGN_OR_RETURN(auto payload,
-                            env.net->Recv(static_cast<int>(party), kLeader));
+                            env.chan->Recv(static_cast<int>(party), kLeader));
       VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
     }
   }
-  ChargeFanIn(env.clock, sizeof(double), p - 1);
+  ChargeFanIn(env.clock, sizeof(double), a - 1);
 
   if (stats != nullptr) {
     stats->candidates_encrypted += c;

@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "data/partitioner.h"
 #include "he/backend.h"
+#include "net/channel.h"
 #include "net/cost_model.h"
 #include "net/network.h"
 #include "vfl/pseudo_id.h"
@@ -37,6 +38,10 @@ struct FedKnnConfig {
   size_t num_queries = 64;  // |Q|: training rows sampled as query samples
   size_t fagin_batch = 64;  // mini-batch rows streamed per participant round
   uint64_t seed = 42;       // shared consortium seed (queries, pseudo IDs)
+  /// Participants excluded from the protocol (crashed on a previous run and
+  /// quarantined by the selector). The leader (0) can never be quarantined;
+  /// at least two participants must remain active.
+  std::vector<size_t> quarantined;
 };
 
 /// \brief What the leader learns about one query sample.
@@ -55,6 +60,11 @@ struct FedKnnStats {
   uint64_t fagin_depth = 0;  // summed phase-1 depth across queries
   net::TrafficStats traffic;  // metered wire traffic of the run
   he::HeOpStats he_ops;       // HE operations actually executed
+  /// Nodes observed crashed when a Run fails with PeerDead — the union over
+  /// the main network's and every query task's fault stream. Empty on
+  /// success. Participant ids are >= 1 (the leader is 0); negative ids are
+  /// the servers (net::kAggregationServer / net::kKeyServer).
+  std::vector<net::NodeId> dead_nodes;
 
   double AvgCandidatesPerQuery() const {
     return queries == 0 ? 0.0
@@ -87,6 +97,18 @@ struct FedKnnStats {
 ///   produces byte-identical neighborhoods, identical ciphertext streams,
 ///   identical stats, and an identical simulated clock. Parallelism changes
 ///   wall-clock time only.
+///
+/// Fault tolerance: when the main network has a fault plan attached
+/// (SimNetwork::EnableFaults), every exchange goes through a per-task
+/// net::ReliableChannel, and each query task's network receives its own
+/// fault-stream seed pre-derived serially from the plan seed — so the fault
+/// schedule, the retries it forces, and the extra simulated latency are all
+/// reproducible at any thread count. Faults that retries absorb (drops,
+/// duplicates, corruption, delay, stalls) leave the protocol *output*
+/// identical to the fault-free run; a crashed node surfaces as a PeerDead
+/// error with FedKnnStats::dead_nodes filled, and the caller may quarantine
+/// the dead participants (FedKnnConfig::quarantined) and rerun over the
+/// survivors.
 ///
 /// Thread-safety: one FederatedKnnOracle must only be driven from one thread
 /// at a time (Run/ClassifyAccuracy/ClassifyPredictions are not reentrant);
@@ -149,11 +171,15 @@ class FederatedKnnOracle {
 
  private:
   /// Task-local deployment view for one query: its own HE session, metered
-  /// transport, and clock, so query tasks never contend (merged afterwards).
+  /// transport, reliable channel, and clock, so query tasks never contend
+  /// (merged afterwards). `active` lists the non-quarantined participants in
+  /// ascending order (always starting with the leader, 0).
   struct QueryEnv {
     he::HeBackend* backend;
     net::SimNetwork* net;
+    net::ReliableChannel* chan;
     SimClock* clock;
+    const std::vector<size_t>* active;
   };
 
   // Partial squared distances from participant `p`'s slice of `query_row`

@@ -58,6 +58,53 @@ TEST(BufferTest, EmptyStringRoundTrip) {
   EXPECT_EQ(r.ReadString().ValueOrDie(), "");
 }
 
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical CRC-32 check value (zlib, IEEE 802.3).
+  const std::vector<uint8_t> check = {'1', '2', '3', '4', '5',
+                                      '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(check), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, SensitiveToEveryBit) {
+  std::vector<uint8_t> payload(64, 0xA5);
+  const uint32_t reference = Crc32(payload);
+  for (size_t bit : {size_t{0}, size_t{7}, size_t{200}, payload.size() * 8 - 1}) {
+    std::vector<uint8_t> flipped = payload;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32(flipped), reference) << "bit " << bit;
+  }
+}
+
+TEST(BufferTest, CrcFramedRoundTrip) {
+  const std::vector<uint8_t> payload = {9, 8, 7, 6, 5};
+  BinaryWriter w;
+  w.WriteCrcFramed(payload);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadCrcFramed().ValueOrDie(), payload);
+  EXPECT_TRUE(r.AtEnd());
+
+  BinaryWriter empty;
+  empty.WriteCrcFramed({});
+  BinaryReader re(empty.bytes());
+  EXPECT_TRUE(re.ReadCrcFramed().ValueOrDie().empty());
+}
+
+TEST(BufferTest, CrcFramedDetectsCorruption) {
+  BinaryWriter w;
+  w.WriteCrcFramed({1, 2, 3, 4});
+  // Flip one payload bit (the payload starts after crc u32 + len u32).
+  std::vector<uint8_t> wire = w.bytes();
+  wire[8] ^= 0x10;
+  BinaryReader r(wire);
+  EXPECT_TRUE(r.ReadCrcFramed().status().IsCorrupt());
+  // A corrupted length field must fail bounds-checked, not crash.
+  std::vector<uint8_t> truncated = w.bytes();
+  truncated[4] = 0xFF;  // length now claims far more bytes than exist
+  BinaryReader rt(truncated);
+  EXPECT_TRUE(rt.ReadCrcFramed().status().IsOutOfRange());
+}
+
 TEST(BufferTest, SizeTracksWrites) {
   BinaryWriter w;
   EXPECT_EQ(w.size(), 0u);

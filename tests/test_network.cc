@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/cost_model.h"
+#include "net/fault.h"
 
 namespace vfps::net {
 namespace {
@@ -25,6 +26,20 @@ TEST(SimNetworkTest, RecvOnEmptyLinkIsProtocolError) {
   ASSERT_TRUE(net.Send(0, 1, {9}).ok());
   // Wrong direction is still empty.
   EXPECT_TRUE(net.Recv(1, 0).status().IsProtocolError());
+}
+
+TEST(SimNetworkTest, EmptyLinkErrorNamesEndpointsAndCounters) {
+  SimNetwork net;
+  ASSERT_TRUE(net.Send(0, 3, {1, 2}).ok());
+  ASSERT_TRUE(net.Recv(0, 3).ok());
+  ASSERT_TRUE(net.Send(2, kAggregationServer, {7}).ok());  // stays pending
+  const std::string message = net.Recv(0, 3).status().ToString();
+  // Both endpoints by name, delivery history of the link, and the
+  // network-wide backlog — enough to debug a protocol mismatch from the log.
+  EXPECT_NE(message.find("leader"), std::string::npos) << message;
+  EXPECT_NE(message.find("participant-3"), std::string::npos) << message;
+  EXPECT_NE(message.find("1 messages ever sent"), std::string::npos) << message;
+  EXPECT_NE(message.find("1 pending network-wide"), std::string::npos) << message;
 }
 
 TEST(SimNetworkTest, SelfSendRejected) {
@@ -64,6 +79,72 @@ TEST(SimNetworkTest, PendingCount) {
   EXPECT_EQ(net.PendingCount(), 2u);
   ASSERT_TRUE(net.Recv(0, 1).ok());
   EXPECT_EQ(net.PendingCount(), 1u);
+}
+
+TEST(SimNetworkTest, SentByReceivedByUnseenNodesAreZero) {
+  SimNetwork net;
+  ASSERT_TRUE(net.Send(1, 2, std::vector<uint8_t>(10)).ok());
+  const TrafficStats unseen_sent = net.SentBy(9);
+  const TrafficStats unseen_received = net.ReceivedBy(kKeyServer);
+  EXPECT_EQ(unseen_sent.messages, 0u);
+  EXPECT_EQ(unseen_sent.bytes, 0u);
+  EXPECT_EQ(unseen_received.messages, 0u);
+  EXPECT_EQ(unseen_received.bytes, 0u);
+  // A node is "seen" per direction: 2 has received but never sent.
+  EXPECT_EQ(net.SentBy(2).messages, 0u);
+  EXPECT_EQ(net.ReceivedBy(2).messages, 1u);
+}
+
+TEST(SimNetworkTest, MergeStatsFromFoldsMultiLinkTraffic) {
+  // The parallel per-query fan-out merges task-local networks into the main
+  // one; per-link counters, totals, and fault counters must all fold.
+  SimNetwork main_net, task_a, task_b;
+  ASSERT_TRUE(main_net.Send(0, 1, std::vector<uint8_t>(5)).ok());
+  ASSERT_TRUE(task_a.Send(0, 1, std::vector<uint8_t>(10)).ok());
+  ASSERT_TRUE(task_a.Send(1, kAggregationServer, std::vector<uint8_t>(20)).ok());
+  ASSERT_TRUE(task_b.Send(0, 1, std::vector<uint8_t>(40)).ok());
+  ASSERT_TRUE(task_b.Send(2, kAggregationServer, std::vector<uint8_t>(80)).ok());
+
+  main_net.MergeStatsFrom(task_a);
+  main_net.MergeStatsFrom(task_b);
+  EXPECT_EQ(main_net.total().messages, 5u);
+  EXPECT_EQ(main_net.total().bytes, 155u);
+  EXPECT_EQ(main_net.LinkStats(0, 1).messages, 3u);       // 5 + 10 + 40
+  EXPECT_EQ(main_net.LinkStats(0, 1).bytes, 55u);
+  EXPECT_EQ(main_net.LinkStats(1, kAggregationServer).bytes, 20u);
+  EXPECT_EQ(main_net.LinkStats(2, kAggregationServer).bytes, 80u);
+  EXPECT_EQ(main_net.SentBy(0).bytes, 55u);
+  EXPECT_EQ(main_net.ReceivedBy(kAggregationServer).bytes, 100u);
+  // Queued payloads are NOT transferred — only the metering is.
+  EXPECT_EQ(main_net.PendingCount(), 1u);
+  EXPECT_TRUE(main_net.Recv(1, kAggregationServer).status().IsProtocolError());
+}
+
+TEST(SimNetworkTest, MergeAfterResetStartsFromZero) {
+  SimNetwork main_net, task;
+  ASSERT_TRUE(main_net.Send(0, 1, std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE(task.Send(0, 1, std::vector<uint8_t>(30)).ok());
+  main_net.ResetStats();
+  main_net.MergeStatsFrom(task);
+  EXPECT_EQ(main_net.total().bytes, 30u);
+  EXPECT_EQ(main_net.LinkStats(0, 1).messages, 1u);
+  EXPECT_EQ(main_net.SentBy(0).bytes, 30u);
+}
+
+TEST(SimNetworkTest, MergeStatsFromFoldsFaultCounters) {
+  FaultSpec drop_all;
+  drop_all.drop_prob = 1.0;
+  SimClock clock;
+  SimNetwork main_net, task;
+  task.EnableFaults(drop_all, 3, &clock);
+  ASSERT_TRUE(task.Send(0, 1, {1, 2}).ok());
+  ASSERT_TRUE(task.Send(0, 1, {3}).ok());
+  EXPECT_EQ(task.fault_stats().dropped, 2u);
+  main_net.MergeStatsFrom(task);
+  EXPECT_EQ(main_net.fault_stats().dropped, 2u);
+  EXPECT_TRUE(main_net.fault_stats().any());
+  main_net.ResetStats();
+  EXPECT_FALSE(main_net.fault_stats().any());
 }
 
 TEST(SimNetworkTest, NodeNames) {

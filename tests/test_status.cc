@@ -32,6 +32,18 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::CryptoError("x").IsCryptoError());
   EXPECT_TRUE(Status::ProtocolError("x").IsProtocolError());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Corrupt("x").IsCorrupt());
+  EXPECT_TRUE(Status::PeerDead("x").IsPeerDead());
+}
+
+TEST(StatusTest, FaultCodesRenderDistinctNames) {
+  EXPECT_EQ(Status::Timeout("t").ToString(), "Timeout: t");
+  EXPECT_EQ(Status::Corrupt("c").ToString(), "Corrupt: c");
+  EXPECT_EQ(Status::PeerDead("p").ToString(), "Peer dead: p");
+  // The fault codes are NOT protocol errors: callers dispatch on them.
+  EXPECT_FALSE(Status::Timeout("t").IsProtocolError());
+  EXPECT_FALSE(Status::PeerDead("p").IsProtocolError());
 }
 
 TEST(StatusTest, CopyPreservesState) {

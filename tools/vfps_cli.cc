@@ -8,6 +8,13 @@
 //                [--duplicates=0] [--partition=random|stratified]
 //                [--threads=1]   (0 = all cores; results are identical at
 //                                 any thread count, only wall time changes)
+//                [--fault-spec=drop=0.05,delay=0.1:0.01,crash=2@40]
+//                [--fault-seed=7]
+//                                (seeded network-fault plan; see net/fault.h
+//                                 for the mini-language. Absorbable faults
+//                                 leave results identical; a participant
+//                                 crash quarantines it and selection
+//                                 completes over the survivors)
 //       Run one experiment grid cell and print the outcome.
 //   vfps_cli sweep --dataset=Bank [--model=lr] [...]
 //       Run every selection method on one configuration side by side.
@@ -79,6 +86,11 @@ Result<core::ExperimentConfig> BuildConfig(
     return Status::InvalidArgument("--threads must be in [0, 1024] (0 = all cores)");
   }
   config.num_threads = static_cast<size_t>(threads);
+  VFPS_ASSIGN_OR_RETURN(config.faults,
+                        net::ParseFaultSpec(Get(flags, "fault-spec", "")));
+  VFPS_ASSIGN_OR_RETURN(int64_t fault_seed,
+                        ParseInt64(Get(flags, "fault-seed", "0")));
+  config.fault_seed = static_cast<uint64_t>(fault_seed);
 
   const std::string backend = Get(flags, "backend", "plain");
   if (backend == "plain") {
@@ -148,6 +160,27 @@ int CmdRun(const std::map<std::string, std::string>& flags) {
                 result->selection.knn_stats.AvgCandidatesPerQuery(),
                 static_cast<unsigned long long>(
                     result->selection.knn_stats.traffic.bytes / 1024));
+  }
+  if (result->faults.any()) {
+    std::printf(
+        "faults: %llu dropped, %llu duplicated, %llu corrupted, %llu delayed "
+        "(+%.3fs), %llu swallowed by dead nodes\n",
+        static_cast<unsigned long long>(result->faults.dropped),
+        static_cast<unsigned long long>(result->faults.duplicated),
+        static_cast<unsigned long long>(result->faults.corrupted),
+        static_cast<unsigned long long>(result->faults.delayed),
+        result->faults.delay_seconds,
+        static_cast<unsigned long long>(result->faults.swallowed_dead));
+  }
+  if (!result->selection.quarantined.empty()) {
+    std::string quarantined;
+    for (size_t p : result->selection.quarantined) {
+      quarantined += (quarantined.empty() ? "" : ",") + std::to_string(p);
+    }
+    std::printf(
+        "degraded: participant(s) {%s} crashed mid-protocol and were "
+        "quarantined; selection completed over the survivors\n",
+        quarantined.c_str());
   }
   return 0;
 }
