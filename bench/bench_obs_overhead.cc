@@ -1,0 +1,119 @@
+// Measures what the observability layer costs when it is NOT being used —
+// the property the "disabled registry = one null-pointer branch per site"
+// contract rests on (the companion of bench_fault_overhead).
+//
+// Three layers, each compared with no registry (the default every
+// pre-existing experiment takes) vs. with a MetricsRegistry attached:
+//   1. Raw Counter::Add on a hot loop (the primitive's ceiling).
+//   2. SimNetwork Send+Recv (one metered site per message).
+//   3. A Fig.7-style VFPS-SM selection end to end — the acceptance bar is
+//      that the obs:0 row is within noise (<= ~1%) of the pre-obs baseline,
+//      and the obs:1 row shows the (small) cost of full instrumentation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/vfps_sm.h"
+#include "data/scaler.h"
+#include "data/synthetic.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vfps {
+namespace {
+
+// The primitive itself: a striped relaxed add (attached) vs. the branch the
+// instrumentation sites take when no registry is present (null check only).
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter =
+      state.range(0) != 0 ? registry.GetCounter("bench.counter") : nullptr;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    if (counter != nullptr) counter->Add(i & 7);
+    benchmark::DoNotOptimize(counter);
+    ++i;
+  }
+}
+BENCHMARK(BM_CounterAdd)->ArgNames({"obs"})->Arg(0)->Arg(1);
+
+std::vector<uint8_t> MakePayload(size_t bytes) {
+  std::vector<uint8_t> payload(bytes);
+  for (size_t i = 0; i < bytes; ++i) payload[i] = static_cast<uint8_t>(i);
+  return payload;
+}
+
+// arg0: payload bytes; arg1: 1 = attach a metrics registry.
+void BM_RawSendRecv(benchmark::State& state) {
+  net::SimNetwork net;
+  obs::MetricsRegistry registry;
+  if (state.range(1) != 0) net.set_metrics(&registry);
+  const auto payload = MakePayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    (void)net.Send(0, 1, payload);
+    auto got = net.Recv(0, 1);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RawSendRecv)
+    ->ArgNames({"bytes", "obs"})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({4096, 0})->Args({4096, 1});
+
+// arg0: 0 = no registry (the pre-obs code path), 1 = registry attached,
+// 2 = registry + tracing. Workload mirrors BM_VfpsSmSelection in
+// bench_fault_overhead exactly, so the two benches are cross-comparable.
+void BM_VfpsSmSelection(benchmark::State& state) {
+  data::SyntheticConfig config;
+  config.num_samples = 400;
+  config.num_features = 12;
+  config.num_informative = 6;
+  config.num_redundant = 3;
+  config.seed = 31;
+  auto generated = data::GenerateClassification(config);
+  auto split = data::SplitDataset(generated->data, 0.8, 0.1, 5).MoveValueUnsafe();
+  data::StandardizeSplit(&split).Abort("standardize");
+  auto partition =
+      data::RandomVerticalPartition(config.num_features, 4, 9).MoveValueUnsafe();
+  auto backend = he::CreatePlainBackend();
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+  obs::MetricsRegistry registry;
+  if (state.range(0) >= 2) registry.EnableTracing();
+
+  core::SelectionContext ctx;
+  ctx.split = &split;
+  ctx.partition = &partition;
+  ctx.backend = backend.get();
+  ctx.network = &network;
+  ctx.cost = &cost;
+  ctx.clock = &clock;
+  ctx.knn.k = 6;
+  ctx.knn.num_queries = 16;
+  ctx.seed = 11;
+  if (state.range(0) != 0) {
+    ctx.obs = &registry;
+    backend->set_metrics(&registry);
+    network.set_metrics(&registry);
+  }
+  core::VfpsSmSelector selector(vfl::KnnOracleMode::kFagin);
+  for (auto _ : state) {
+    auto outcome = selector.Select(ctx, 2);
+    if (!outcome.ok()) state.SkipWithError(outcome.status().ToString().c_str());
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_VfpsSmSelection)
+    ->ArgNames({"obs"})
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vfps
+
+BENCHMARK_MAIN();

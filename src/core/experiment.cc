@@ -7,6 +7,8 @@
 #include "data/csv_loader.h"
 #include "data/presets.h"
 #include "data/scaler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vfps::core {
 
@@ -87,6 +89,10 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   VFPS_ASSIGN_OR_RETURN(auto backend, MakeBackend(config));
   net::SimNetwork network;
   SimClock clock;
+  backend->set_metrics(config.obs);
+  network.set_metrics(config.obs);
+  obs::Tracer* const tracer =
+      config.obs == nullptr ? nullptr : config.obs->tracer();
   if (config.faults.any()) {
     VFPS_RETURN_NOT_OK(config.faults.Validate());
     network.EnableFaults(config.faults, config.fault_seed, &clock);
@@ -109,6 +115,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
               size_t{0});
     result.selection.sim_seconds = 0.0;
   } else {
+    obs::Span span_select(tracer, "experiment.selection", &clock);
     SelectionContext ctx;
     ctx.split = &split;
     ctx.partition = &partition;
@@ -117,6 +124,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     ctx.cost = &config.cost;
     ctx.clock = &clock;
     ctx.pool = pool.get();
+    ctx.obs = config.obs;
     ctx.knn = config.knn;
     ctx.seed = config.seed;
     ctx.utility_queries = config.utility_queries;
@@ -129,6 +137,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   result.faults = network.fault_stats();
 
   // Downstream training on the selected sub-consortium.
+  obs::Span span_train(tracer, "experiment.training", &clock);
   vfl::DownstreamOptions downstream;
   downstream.model = config.model;
   downstream.classifier = config.classifier;
@@ -136,10 +145,18 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       result.training,
       vfl::RunDownstreamTraining(split, partition, result.selection.selected,
                                  downstream, config.cost, &clock));
+  span_train.End();
   result.training_sim_seconds = result.training.sim_seconds;
   result.total_sim_seconds =
       result.selection_sim_seconds + result.training_sim_seconds;
   result.wall_seconds = wall.ElapsedSeconds();
+  if (config.obs != nullptr) {
+    config.obs->SetGauge("experiment.accuracy", result.training.test_accuracy);
+    config.obs->SetGauge("experiment.sim_seconds", result.total_sim_seconds);
+    config.obs->SetGauge("experiment.wall_seconds", result.wall_seconds);
+    config.obs->SetGauge("experiment.consortium_size",
+                         static_cast<double>(result.consortium_size));
+  }
   return result;
 }
 

@@ -77,6 +77,13 @@ struct ExperimentConfig {
   /// at any thread count.
   net::FaultSpec faults;
   uint64_t fault_seed = 0;  // CLI `--fault-seed`
+
+  /// Optional metrics/tracing sink (CLI `--metrics-out` / `--trace-out`).
+  /// When non-null, the deployment objects (HE backend, network, selector)
+  /// publish their counters and spans here; run-level facts are added as
+  /// gauges. Borrowed; must outlive RunExperiment. nullptr disables all
+  /// observability (the default, and effectively free).
+  obs::MetricsRegistry* obs = nullptr;
 };
 
 /// \brief Everything a table/figure needs about one experiment run.

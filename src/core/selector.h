@@ -15,6 +15,10 @@
 #include "net/network.h"
 #include "vfl/fed_knn.h"
 
+namespace vfps::obs {
+class MetricsRegistry;
+}  // namespace vfps::obs
+
 namespace vfps::core {
 
 /// Participant-selection methods evaluated in the paper.
@@ -49,6 +53,11 @@ struct SelectionContext {
   /// assembled threaded; results are bit-identical to the serial path (see
   /// vfl::FederatedKnnOracle). nullptr selects the serial path.
   ThreadPool* pool = nullptr;
+  /// Optional metrics/tracing sink. When non-null, selectors publish
+  /// `select.*` counters and phase spans, and the deployment objects they
+  /// build (oracle, task-local networks) inherit it. nullptr (the default)
+  /// disables all observability at the cost of a branch per site.
+  obs::MetricsRegistry* obs = nullptr;
 
   vfl::FedKnnConfig knn;  // oracle settings (k, |Q|, Fagin batch, seed)
   uint64_t seed = 42;

@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vfps::core {
 
@@ -13,9 +15,12 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
   VFPS_RETURN_NOT_OK(ValidateContext(ctx, target));
   const double clock_before = ctx.clock->Total();
   const size_t p = ctx.partition->size();
+  obs::Tracer* const tracer =
+      ctx.obs == nullptr ? nullptr : ctx.obs->tracer();
 
   vfl::FederatedKnnOracle oracle(&ctx.split->train, ctx.partition, ctx.backend,
-                                 ctx.network, ctx.cost, ctx.clock, ctx.pool);
+                                 ctx.network, ctx.cost, ctx.clock, ctx.pool,
+                                 ctx.obs);
   vfl::FedKnnConfig knn = ctx.knn;
   knn.mode = mode_;
   knn.seed = ctx.seed;
@@ -25,6 +30,7 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
   // Only participants (ids >= 1) are expendable: a dead leader or server is
   // unrecoverable and the error propagates.
   SelectionOutcome outcome;
+  obs::Span span_oracle(tracer, "select.oracle", ctx.clock);
   Result<std::vector<vfl::QueryNeighborhood>> run = oracle.Run(knn, &outcome.knn_stats);
   while (!run.ok() && run.status().IsPeerDead()) {
     const std::vector<net::NodeId> dead = outcome.knn_stats.dead_nodes;
@@ -46,10 +52,18 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
                       << run.status().ToString() << "); quarantining "
                       << knn.quarantined.size()
                       << " participant(s) and rerunning over survivors";
+    if (ctx.obs != nullptr) {
+      ctx.obs->GetCounter("select.quarantine.events")->Add(1);
+    }
     outcome.knn_stats = vfl::FedKnnStats{};
     run = oracle.Run(knn, &outcome.knn_stats);
   }
   if (!run.ok()) return run.status();
+  span_oracle.End();
+  if (ctx.obs != nullptr && !knn.quarantined.empty()) {
+    ctx.obs->GetCounter("select.quarantine.participants")
+        ->Add(knn.quarantined.size());
+  }
   const std::vector<vfl::QueryNeighborhood> neighborhoods = run.MoveValueUnsafe();
   outcome.quarantined = knn.quarantined;
 
@@ -64,6 +78,7 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
     }
   }
 
+  obs::Span span_sim(tracer, "select.similarity", ctx.clock);
   if (outcome.quarantined.empty()) {
     VFPS_ASSIGN_OR_RETURN(last_similarity_,
                           BuildSimilarity(neighborhoods, p, ctx.pool));
@@ -82,6 +97,9 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
         BuildSimilarity(compact, survivors.size(), ctx.pool));
   }
 
+  span_sim.End();
+
+  obs::Span span_greedy(tracer, "select.greedy", ctx.clock);
   KnnSubmodularFunction f(last_similarity_);
   const size_t effective_target = std::min(target, survivors.size());
   const GreedyResult greedy = lazy_greedy_
@@ -93,6 +111,10 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
                      static_cast<double>(greedy.evaluations) *
                          static_cast<double>(survivors.size()) *
                          ctx.cost->compare_seconds);
+  span_greedy.End();
+  if (ctx.obs != nullptr) {
+    ctx.obs->GetCounter("select.greedy.evaluations")->Add(greedy.evaluations);
+  }
 
   // Map survivor positions back to original participant ids; quarantined
   // slots keep a 0.0 score.

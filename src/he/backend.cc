@@ -6,6 +6,7 @@
 #include "common/buffer.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace vfps::he {
 
@@ -58,20 +59,20 @@ class CkksBackend final : public HeBackend {
 
   std::string name() const override { return "ckks"; }
 
-  Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+  Result<EncryptedVector> DoEncrypt(const std::vector<double>& values) override {
     return EncryptImpl(values, &rng_, &stats_);
   }
 
-  Result<EncryptedVector> Sum(
+  Result<EncryptedVector> DoSum(
       const std::vector<const EncryptedVector*>& vectors) override {
     return SumImpl(vectors, &stats_);
   }
 
-  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+  Result<std::vector<double>> DoDecrypt(const EncryptedVector& v) override {
     return DecryptImpl(v, &stats_);
   }
 
-  Result<std::vector<EncryptedVector>> EncryptBatch(
+  Result<std::vector<EncryptedVector>> DoEncryptBatch(
       const std::vector<std::vector<double>>& batch) override {
     const size_t n = batch.size();
     // Randomness is consumed serially, in batch order, before fanning out:
@@ -93,7 +94,7 @@ class CkksBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::vector<EncryptedVector>> AddBatch(
+  Result<std::vector<EncryptedVector>> DoAddBatch(
       const std::vector<std::vector<const EncryptedVector*>>& groups) override {
     const size_t n = groups.size();
     std::vector<EncryptedVector> out(n);
@@ -110,7 +111,7 @@ class CkksBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::vector<std::vector<double>>> DecryptBatch(
+  Result<std::vector<std::vector<double>>> DoDecryptBatch(
       const std::vector<EncryptedVector>& batch) override {
     const size_t n = batch.size();
     std::vector<std::vector<double>> out(n);
@@ -127,7 +128,7 @@ class CkksBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::unique_ptr<HeBackend>> Fork(uint64_t stream_seed) const override {
+  Result<std::unique_ptr<HeBackend>> DoFork(uint64_t stream_seed) const override {
     return std::unique_ptr<HeBackend>(
         new CkksBackend(ctx_, sk_, pk_, stream_seed));
   }
@@ -235,20 +236,20 @@ class PaillierBackend final : public HeBackend {
 
   std::string name() const override { return "paillier"; }
 
-  Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+  Result<EncryptedVector> DoEncrypt(const std::vector<double>& values) override {
     return EncryptImpl(values, &rng_, &stats_);
   }
 
-  Result<EncryptedVector> Sum(
+  Result<EncryptedVector> DoSum(
       const std::vector<const EncryptedVector*>& vectors) override {
     return SumImpl(vectors, &stats_);
   }
 
-  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+  Result<std::vector<double>> DoDecrypt(const EncryptedVector& v) override {
     return DecryptImpl(v, &stats_);
   }
 
-  Result<std::vector<EncryptedVector>> EncryptBatch(
+  Result<std::vector<EncryptedVector>> DoEncryptBatch(
       const std::vector<std::vector<double>>& batch) override {
     const size_t n = batch.size();
     std::vector<uint64_t> seeds(n);
@@ -268,7 +269,7 @@ class PaillierBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::vector<EncryptedVector>> AddBatch(
+  Result<std::vector<EncryptedVector>> DoAddBatch(
       const std::vector<std::vector<const EncryptedVector*>>& groups) override {
     const size_t n = groups.size();
     std::vector<EncryptedVector> out(n);
@@ -285,7 +286,7 @@ class PaillierBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::vector<std::vector<double>>> DecryptBatch(
+  Result<std::vector<std::vector<double>>> DoDecryptBatch(
       const std::vector<EncryptedVector>& batch) override {
     const size_t n = batch.size();
     std::vector<std::vector<double>> out(n);
@@ -302,7 +303,7 @@ class PaillierBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::unique_ptr<HeBackend>> Fork(uint64_t stream_seed) const override {
+  Result<std::unique_ptr<HeBackend>> DoFork(uint64_t stream_seed) const override {
     auto fork = std::unique_ptr<PaillierBackend>(
         new PaillierBackend(keys_, frac_scale_, ct_bytes_, stream_seed));
     return std::unique_ptr<HeBackend>(std::move(fork));
@@ -417,7 +418,7 @@ class PlainBackend final : public HeBackend {
  public:
   std::string name() const override { return "plain"; }
 
-  Result<EncryptedVector> Encrypt(const std::vector<double>& values) override {
+  Result<EncryptedVector> DoEncrypt(const std::vector<double>& values) override {
     BinaryWriter writer;
     writer.WriteDoubleVec(values);
     stats_.encrypt_ops += values.empty() ? 0 : 1;
@@ -428,7 +429,7 @@ class PlainBackend final : public HeBackend {
     return out;
   }
 
-  Result<EncryptedVector> Sum(
+  Result<EncryptedVector> DoSum(
       const std::vector<const EncryptedVector*>& vectors) override {
     VFPS_CHECK_ARG(!vectors.empty(), "Plain Sum: no inputs");
     std::vector<double> acc;
@@ -453,13 +454,13 @@ class PlainBackend final : public HeBackend {
     return out;
   }
 
-  Result<std::vector<double>> Decrypt(const EncryptedVector& v) override {
+  Result<std::vector<double>> DoDecrypt(const EncryptedVector& v) override {
     BinaryReader reader(v.blob);
     ++stats_.decrypt_ops;
     return reader.ReadDoubleVec();
   }
 
-  Result<std::unique_ptr<HeBackend>> Fork(uint64_t /*stream_seed*/) const override {
+  Result<std::unique_ptr<HeBackend>> DoFork(uint64_t /*stream_seed*/) const override {
     // No randomness, no keys: a fresh instance is a valid session (the
     // "ciphertexts" are plain serialized doubles, interchangeable across
     // instances).
@@ -473,40 +474,134 @@ class PlainBackend final : public HeBackend {
 
 }  // namespace
 
-// Default (serial) batch implementations: the cheap backends (plain) and any
-// future backend get correct behaviour for free; CKKS/Paillier override with
-// internally-parallel versions.
-Result<std::vector<EncryptedVector>> HeBackend::EncryptBatch(
+// Default (serial) batch hooks: the cheap backends (plain) and any future
+// backend get correct behaviour for free; CKKS/Paillier override with
+// internally-parallel versions. They call the Do* hooks — not the public
+// wrappers — so metrics are published exactly once, by the batch wrapper.
+Result<std::vector<EncryptedVector>> HeBackend::DoEncryptBatch(
     const std::vector<std::vector<double>>& batch) {
   std::vector<EncryptedVector> out;
   out.reserve(batch.size());
   for (const auto& values : batch) {
-    VFPS_ASSIGN_OR_RETURN(auto enc, Encrypt(values));
+    VFPS_ASSIGN_OR_RETURN(auto enc, DoEncrypt(values));
     out.push_back(std::move(enc));
   }
   return out;
 }
 
-Result<std::vector<EncryptedVector>> HeBackend::AddBatch(
+Result<std::vector<EncryptedVector>> HeBackend::DoAddBatch(
     const std::vector<std::vector<const EncryptedVector*>>& groups) {
   std::vector<EncryptedVector> out;
   out.reserve(groups.size());
   for (const auto& group : groups) {
-    VFPS_ASSIGN_OR_RETURN(auto sum, Sum(group));
+    VFPS_ASSIGN_OR_RETURN(auto sum, DoSum(group));
     out.push_back(std::move(sum));
   }
   return out;
 }
 
-Result<std::vector<std::vector<double>>> HeBackend::DecryptBatch(
+Result<std::vector<std::vector<double>>> HeBackend::DoDecryptBatch(
     const std::vector<EncryptedVector>& batch) {
   std::vector<std::vector<double>> out;
   out.reserve(batch.size());
   for (const auto& v : batch) {
-    VFPS_ASSIGN_OR_RETURN(auto dec, Decrypt(v));
+    VFPS_ASSIGN_OR_RETURN(auto dec, DoDecrypt(v));
     out.push_back(std::move(dec));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// NVI wrappers: delegate to the Do* hooks, then publish the stats_ delta
+// (and output ciphertext bytes) to the attached registry, if any.
+// ---------------------------------------------------------------------------
+
+void HeBackend::set_metrics(obs::MetricsRegistry* registry) {
+  obs_registry_ = registry;
+  if (registry == nullptr) {
+    c_encrypt_count_ = c_encrypt_values_ = c_encrypt_bytes_ = nullptr;
+    c_decrypt_count_ = c_add_count_ = nullptr;
+    return;
+  }
+  c_encrypt_count_ = registry->GetCounter("he.encrypt.count");
+  c_encrypt_values_ = registry->GetCounter("he.encrypt.values");
+  c_encrypt_bytes_ = registry->GetCounter("he.encrypt.bytes");
+  c_decrypt_count_ = registry->GetCounter("he.decrypt.count");
+  c_add_count_ = registry->GetCounter("he.add.count");
+}
+
+void HeBackend::PublishDelta(const HeOpStats& before, uint64_t bytes_out) {
+  if (uint64_t d = stats_.encrypt_ops - before.encrypt_ops; d != 0) {
+    c_encrypt_count_->Add(d);
+  }
+  if (uint64_t d = stats_.values_encrypted - before.values_encrypted; d != 0) {
+    c_encrypt_values_->Add(d);
+  }
+  if (bytes_out != 0) c_encrypt_bytes_->Add(bytes_out);
+  if (uint64_t d = stats_.decrypt_ops - before.decrypt_ops; d != 0) {
+    c_decrypt_count_->Add(d);
+  }
+  if (uint64_t d = stats_.add_ops - before.add_ops; d != 0) {
+    c_add_count_->Add(d);
+  }
+}
+
+Result<EncryptedVector> HeBackend::Encrypt(const std::vector<double>& values) {
+  const HeOpStats before = stats_;
+  auto result = DoEncrypt(values);
+  if (obs_registry_ != nullptr && result.ok()) {
+    PublishDelta(before, result->ByteSize());
+  }
+  return result;
+}
+
+Result<EncryptedVector> HeBackend::Sum(
+    const std::vector<const EncryptedVector*>& vectors) {
+  const HeOpStats before = stats_;
+  auto result = DoSum(vectors);
+  if (obs_registry_ != nullptr && result.ok()) PublishDelta(before, 0);
+  return result;
+}
+
+Result<std::vector<double>> HeBackend::Decrypt(const EncryptedVector& v) {
+  const HeOpStats before = stats_;
+  auto result = DoDecrypt(v);
+  if (obs_registry_ != nullptr && result.ok()) PublishDelta(before, 0);
+  return result;
+}
+
+Result<std::vector<EncryptedVector>> HeBackend::EncryptBatch(
+    const std::vector<std::vector<double>>& batch) {
+  const HeOpStats before = stats_;
+  auto result = DoEncryptBatch(batch);
+  if (obs_registry_ != nullptr && result.ok()) {
+    uint64_t bytes = 0;
+    for (const auto& v : *result) bytes += v.ByteSize();
+    PublishDelta(before, bytes);
+  }
+  return result;
+}
+
+Result<std::vector<EncryptedVector>> HeBackend::AddBatch(
+    const std::vector<std::vector<const EncryptedVector*>>& groups) {
+  const HeOpStats before = stats_;
+  auto result = DoAddBatch(groups);
+  if (obs_registry_ != nullptr && result.ok()) PublishDelta(before, 0);
+  return result;
+}
+
+Result<std::vector<std::vector<double>>> HeBackend::DecryptBatch(
+    const std::vector<EncryptedVector>& batch) {
+  const HeOpStats before = stats_;
+  auto result = DoDecryptBatch(batch);
+  if (obs_registry_ != nullptr && result.ok()) PublishDelta(before, 0);
+  return result;
+}
+
+Result<std::unique_ptr<HeBackend>> HeBackend::Fork(uint64_t stream_seed) const {
+  VFPS_ASSIGN_OR_RETURN(auto fork, DoFork(stream_seed));
+  if (obs_registry_ != nullptr) fork->set_metrics(obs_registry_);
+  return fork;
 }
 
 Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,

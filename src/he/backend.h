@@ -11,6 +11,11 @@
 #include "he/ckks.h"
 #include "he/paillier.h"
 
+namespace vfps::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace vfps::obs
+
 namespace vfps::he {
 
 /// \brief An encrypted vector of real values, as it travels on the wire.
@@ -47,6 +52,12 @@ struct HeOpStats {
 /// by every party; the protocol layer enforces the trust model: only the
 /// leader invokes Decrypt, and the aggregation server only invokes Sum.
 ///
+/// The public operations are non-virtual (NVI): they delegate to the
+/// protected Do* hooks and, when a MetricsRegistry is attached with
+/// set_metrics(), publish the op/byte deltas as `he.*` counters. With no
+/// registry attached (the default) the bookkeeping is a single null-pointer
+/// branch per call.
+///
 /// Thread-safety contract:
 ///  - A single HeBackend instance is NOT safe for concurrent calls: Encrypt
 ///    consumes the internal randomness stream and every operation mutates the
@@ -59,7 +70,10 @@ struct HeOpStats {
 ///    per-item randomness is derived serially before fanning out.
 ///  - Fork() sessions share the (immutable) key material, so ciphertexts
 ///    produced by one session decrypt under any other; forks do NOT inherit
-///    the thread pool (they are meant to be thread-confined).
+///    the thread pool (they are meant to be thread-confined). Forks DO
+///    inherit the metrics registry: its counters are striped and safe for
+///    concurrent sessions, and the shard-merge is order-independent, so
+///    totals stay thread-count-invariant.
 class HeBackend {
  public:
   virtual ~HeBackend() = default;
@@ -67,14 +81,14 @@ class HeBackend {
   virtual std::string name() const = 0;
 
   /// Encrypt a vector of real values (public-key operation).
-  virtual Result<EncryptedVector> Encrypt(const std::vector<double>& values) = 0;
+  Result<EncryptedVector> Encrypt(const std::vector<double>& values);
 
   /// Homomorphic elementwise sum; all inputs must have equal count.
-  virtual Result<EncryptedVector> Sum(
-      const std::vector<const EncryptedVector*>& vectors) = 0;
+  Result<EncryptedVector> Sum(
+      const std::vector<const EncryptedVector*>& vectors);
 
   /// Decrypt (secret-key operation; leader only).
-  virtual Result<std::vector<double>> Decrypt(const EncryptedVector& v) = 0;
+  Result<std::vector<double>> Decrypt(const EncryptedVector& v);
 
   /// \brief Encrypt many vectors at once — out[i] = Enc(batch[i]).
   ///
@@ -85,17 +99,17 @@ class HeBackend {
   /// looping Encrypt(): EncryptBatch({v}) != Encrypt(v) ciphertext-wise, but
   /// both decrypt to the same values. Complexity: one Encrypt per item,
   /// wall-clock ~ max item cost when parallel.
-  virtual Result<std::vector<EncryptedVector>> EncryptBatch(
+  Result<std::vector<EncryptedVector>> EncryptBatch(
       const std::vector<std::vector<double>>& batch);
 
   /// \brief Homomorphically sum each group — out[g] = Sum(groups[g]).
   /// Parallelized over groups when a thread pool is attached.
-  virtual Result<std::vector<EncryptedVector>> AddBatch(
+  Result<std::vector<EncryptedVector>> AddBatch(
       const std::vector<std::vector<const EncryptedVector*>>& groups);
 
   /// \brief Decrypt many vectors at once — out[i] = Dec(batch[i]).
   /// Parallelized over the batch when a thread pool is attached.
-  virtual Result<std::vector<std::vector<double>>> DecryptBatch(
+  Result<std::vector<std::vector<double>>> DecryptBatch(
       const std::vector<EncryptedVector>& batch);
 
   /// \brief Create an independent session sharing this backend's keys.
@@ -103,8 +117,9 @@ class HeBackend {
   /// The fork has its own randomness stream (seeded from `stream_seed`) and
   /// its own zeroed stats() counters, so it can run on another thread without
   /// synchronization. Deterministic: the same (keys, stream_seed) pair always
-  /// produces the same ciphertext stream.
-  virtual Result<std::unique_ptr<HeBackend>> Fork(uint64_t stream_seed) const = 0;
+  /// produces the same ciphertext stream. The fork inherits this backend's
+  /// metrics registry (see class comment).
+  Result<std::unique_ptr<HeBackend>> Fork(uint64_t stream_seed) const;
 
   /// Wire size of an encrypted vector holding `count` values.
   virtual size_t CiphertextBytes(size_t count) const = 0;
@@ -115,17 +130,56 @@ class HeBackend {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// Attach (or detach, with nullptr) a metrics registry. Counter handles
+  /// are cached here, so the per-operation cost is a null check plus relaxed
+  /// atomic adds. Not thread-safe; set it before sharing the backend.
+  /// Inherited by Fork() sessions.
+  void set_metrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() const { return obs_registry_; }
+
   const HeOpStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
-  /// Fold a forked session's counters into this backend's stats().
+  /// Fold a forked session's counters into this backend's stats(). Does NOT
+  /// touch the metrics registry: forks record there live (at op time), so
+  /// re-publishing absorbed counters would double-count.
   void AbsorbStats(const HeOpStats& session_stats) {
     stats_.Merge(session_stats);
   }
 
  protected:
+  /// Implementation hooks; the public wrappers above add metrics recording.
+  /// Each hook updates stats_ itself (the wrapper publishes the delta).
+  virtual Result<EncryptedVector> DoEncrypt(
+      const std::vector<double>& values) = 0;
+  virtual Result<EncryptedVector> DoSum(
+      const std::vector<const EncryptedVector*>& vectors) = 0;
+  virtual Result<std::vector<double>> DoDecrypt(const EncryptedVector& v) = 0;
+  /// Default batch hooks loop the scalar hooks (NOT the public wrappers, so
+  /// metrics are recorded exactly once, in the public batch wrapper).
+  virtual Result<std::vector<EncryptedVector>> DoEncryptBatch(
+      const std::vector<std::vector<double>>& batch);
+  virtual Result<std::vector<EncryptedVector>> DoAddBatch(
+      const std::vector<std::vector<const EncryptedVector*>>& groups);
+  virtual Result<std::vector<std::vector<double>>> DoDecryptBatch(
+      const std::vector<EncryptedVector>& batch);
+  virtual Result<std::unique_ptr<HeBackend>> DoFork(
+      uint64_t stream_seed) const = 0;
+
   HeOpStats stats_;
   ThreadPool* pool_ = nullptr;
+
+ private:
+  /// Publish stats_ minus `before` (plus `bytes_out` ciphertext bytes) to the
+  /// cached counter handles. Caller checks obs_registry_ first.
+  void PublishDelta(const HeOpStats& before, uint64_t bytes_out);
+
+  obs::MetricsRegistry* obs_registry_ = nullptr;
+  obs::Counter* c_encrypt_count_ = nullptr;
+  obs::Counter* c_encrypt_values_ = nullptr;
+  obs::Counter* c_encrypt_bytes_ = nullptr;
+  obs::Counter* c_decrypt_count_ = nullptr;
+  obs::Counter* c_add_count_ = nullptr;
 };
 
 /// CKKS-based backend (what the paper uses via TenSEAL).

@@ -3,8 +3,18 @@
 #include "common/buffer.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace vfps::net {
+
+ReliableChannel::ReliableChannel(SimNetwork* net, SimClock* clock,
+                                 RetryPolicy policy)
+    : net_(net), clock_(clock), policy_(policy) {
+  if (obs::MetricsRegistry* registry = net_->metrics(); registry != nullptr) {
+    c_retries_ = registry->GetCounter("net.chan.retries");
+    c_discards_ = registry->GetCounter("net.chan.discards");
+  }
+}
 
 std::vector<uint8_t> ReliableChannel::Frame(
     uint32_t seq, const std::vector<uint8_t>& payload) {
@@ -42,10 +52,19 @@ Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
       if (!recv.ok()) break;  // link empty -> fall through to timeout
       BinaryReader reader(*recv);
       auto seq = reader.ReadU32();
-      if (!seq.ok()) continue;  // mangled beyond parsing; discard
-      if (*seq < want) continue;  // stale duplicate of a delivered seq
+      if (!seq.ok()) {  // mangled beyond parsing; discard
+        if (c_discards_ != nullptr) c_discards_->Add(1);
+        continue;
+      }
+      if (*seq < want) {  // stale duplicate of a delivered seq
+        if (c_discards_ != nullptr) c_discards_->Add(1);
+        continue;
+      }
       auto payload = reader.ReadCrcFramed();
-      if (!payload.ok() || *seq > want) continue;  // corrupt; discard
+      if (!payload.ok() || *seq > want) {  // corrupt; discard
+        if (c_discards_ != nullptr) c_discards_->Add(1);
+        continue;
+      }
       next_recv_seq_[key] = want + 1;
       return payload.MoveValueUnsafe();
     }
@@ -67,6 +86,7 @@ Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
     // back through the fault plan, so it can be lost or corrupted again.
     clock_->Advance(CostCategory::kNetwork, wait);
     wait *= policy_.backoff_factor;
+    if (c_retries_ != nullptr) c_retries_->Add(1);
     VFPS_RETURN_NOT_OK(
         net_->Send(from, to, Frame(want, pending->second.payload)));
   }

@@ -51,9 +51,11 @@ struct RetryPolicy {
 /// task's SimNetwork and SimClock, like the objects it borrows.
 class ReliableChannel {
  public:
-  /// Both pointers are borrowed and must outlive the channel.
-  ReliableChannel(SimNetwork* net, SimClock* clock, RetryPolicy policy = {})
-      : net_(net), clock_(clock), policy_(policy) {}
+  /// Both pointers are borrowed and must outlive the channel. If a metrics
+  /// registry is attached to `net` (attach it *before* constructing the
+  /// channel), retransmissions and discarded frames are published as
+  /// `net.chan.retries` / `net.chan.discards`.
+  ReliableChannel(SimNetwork* net, SimClock* clock, RetryPolicy policy = {});
 
   /// Transmit `payload` on (from -> to). With faults enabled the frame is
   /// sequence-numbered, CRC-protected, and remembered for retransmission
@@ -81,6 +83,8 @@ class ReliableChannel {
   SimNetwork* net_;
   SimClock* clock_;
   RetryPolicy policy_;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_discards_ = nullptr;
   std::map<LinkKey, uint32_t> next_send_seq_;
   std::map<LinkKey, uint32_t> next_recv_seq_;
   std::map<LinkKey, Pending> pending_;

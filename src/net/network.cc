@@ -1,7 +1,10 @@
 #include "net/network.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 #include "net/fault.h"
+#include "obs/metrics.h"
 
 namespace vfps::net {
 
@@ -17,12 +20,34 @@ SimNetwork::~SimNetwork() = default;
 SimNetwork::SimNetwork(SimNetwork&&) noexcept = default;
 SimNetwork& SimNetwork::operator=(SimNetwork&&) noexcept = default;
 
+void SimNetwork::set_metrics(obs::MetricsRegistry* registry) {
+  obs_registry_ = registry;
+  if (registry == nullptr) {
+    c_messages_ = c_bytes_ = nullptr;
+    c_dropped_ = c_duplicated_ = c_corrupted_ = nullptr;
+    c_delayed_ = c_delay_ns_ = c_swallowed_dead_ = nullptr;
+    return;
+  }
+  c_messages_ = registry->GetCounter("net.messages");
+  c_bytes_ = registry->GetCounter("net.bytes_sent");
+  c_dropped_ = registry->GetCounter("net.faults.dropped");
+  c_duplicated_ = registry->GetCounter("net.faults.duplicated");
+  c_corrupted_ = registry->GetCounter("net.faults.corrupted");
+  c_delayed_ = registry->GetCounter("net.faults.delayed");
+  c_delay_ns_ = registry->GetCounter("net.faults.delay_ns");
+  c_swallowed_dead_ = registry->GetCounter("net.faults.swallowed_dead");
+}
+
 void SimNetwork::Meter(const LinkKey& key, size_t bytes) {
   auto& stats = stats_[key];
   stats.messages += 1;
   stats.bytes += bytes;
   total_.messages += 1;
   total_.bytes += bytes;
+  if (c_messages_ != nullptr) {
+    c_messages_->Add(1);
+    c_bytes_->Add(bytes);
+  }
 }
 
 Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
@@ -40,6 +65,7 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
   if (fate.sender_dead) {
     // A crashed node emits nothing: no bytes on the wire, nothing metered.
     fault_stats_.swallowed_dead += 1;
+    if (c_swallowed_dead_ != nullptr) c_swallowed_dead_->Add(1);
     return Status::OK();
   }
   // The payload left the sender; it is metered even if it is then lost.
@@ -48,24 +74,32 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
     fault_stats_.delayed += 1;
     fault_stats_.delay_seconds += fate.extra_delay;
     fault_clock_->Advance(CostCategory::kNetwork, fate.extra_delay);
+    if (c_delayed_ != nullptr) {
+      c_delayed_->Add(1);
+      c_delay_ns_->Add(static_cast<uint64_t>(std::llround(fate.extra_delay * 1e9)));
+    }
   }
   if (injector_->NodeDead(to)) {
     // Connection refused: the sender pays for the transmission but the dead
     // receiver consumes nothing.
     fault_stats_.swallowed_dead += 1;
+    if (c_swallowed_dead_ != nullptr) c_swallowed_dead_->Add(1);
     return Status::OK();
   }
   if (fate.dropped) {
     fault_stats_.dropped += 1;
+    if (c_dropped_ != nullptr) c_dropped_->Add(1);
     return Status::OK();
   }
   if (fate.corrupt && !payload.empty()) {
     const uint64_t bit = fate.corrupt_bit % (payload.size() * 8);
     payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
     fault_stats_.corrupted += 1;
+    if (c_corrupted_ != nullptr) c_corrupted_->Add(1);
   }
   if (fate.duplicate) {
     fault_stats_.duplicated += 1;
+    if (c_duplicated_ != nullptr) c_duplicated_->Add(1);
     Meter(key, payload.size());  // the duplicate also crossed the wire
     queues_[key].push_back(payload);
   }

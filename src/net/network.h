@@ -12,6 +12,11 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 
+namespace vfps::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace vfps::obs
+
 namespace vfps::net {
 
 struct FaultSpec;
@@ -148,6 +153,16 @@ class SimNetwork {
   /// Faults that fired on this network (plus everything merged into it).
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  /// Attach (or detach, with nullptr) a metrics registry: every metered send
+  /// bumps `net.messages`/`net.bytes_sent` and every fired fault bumps its
+  /// `net.faults.*` counter, live. Handles are cached, so the disabled path
+  /// is one null check in Meter(). Not thread-safe; set before use. Task-
+  /// local networks attach the parent's registry (see FederatedKnnOracle) —
+  /// MergeStatsFrom deliberately does NOT republish merged counters, since
+  /// the task-local network already recorded them at event time.
+  void set_metrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() const { return obs_registry_; }
+
  private:
   using LinkKey = std::pair<NodeId, NodeId>;
 
@@ -160,6 +175,16 @@ class SimNetwork {
   std::unique_ptr<FaultInjector> injector_;
   SimClock* fault_clock_ = nullptr;  // borrowed; set with the injector
   uint64_t fault_seed_ = 0;
+
+  obs::MetricsRegistry* obs_registry_ = nullptr;  // borrowed
+  obs::Counter* c_messages_ = nullptr;
+  obs::Counter* c_bytes_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
+  obs::Counter* c_duplicated_ = nullptr;
+  obs::Counter* c_corrupted_ = nullptr;
+  obs::Counter* c_delayed_ = nullptr;
+  obs::Counter* c_delay_ns_ = nullptr;
+  obs::Counter* c_swallowed_dead_ = nullptr;
 };
 
 }  // namespace vfps::net

@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace vfps::obs {
+
+namespace internal {
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) &
+      (kCounterShards - 1);
+  return shard;
+}
+
+}  // namespace internal
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+std::vector<uint64_t> ExponentialBuckets(uint64_t start, uint64_t factor,
+                                         size_t count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  uint64_t edge = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = ExponentialBuckets(1, 4, 12);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  GetGauge(name)->Set(value);
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+void MetricsRegistry::EnableTracing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>();
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += StrFormat("\\u%04x", c);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += StrFormat(": %llu",
+                     static_cast<unsigned long long>(counter->Value()));
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += StrFormat(": %.17g", gauge->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += StrFormat(": {\"count\": %llu, \"sum\": %llu, \"buckets\": [",
+                     static_cast<unsigned long long>(hist->Count()),
+                     static_cast<unsigned long long>(hist->Sum()));
+    const auto& bounds = hist->bounds();
+    for (size_t b = 0; b <= bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      if (b < bounds.size()) {
+        out += StrFormat("{\"le\": %llu, \"count\": %llu}",
+                         static_cast<unsigned long long>(bounds[b]),
+                         static_cast<unsigned long long>(hist->BucketCount(b)));
+      } else {
+        out += StrFormat("{\"le\": \"+inf\", \"count\": %llu}",
+                         static_cast<unsigned long long>(hist->BucketCount(b)));
+      }
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("metrics: cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != json.size() || !closed_ok) {
+    return Status::IOError("metrics: short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace vfps::obs

@@ -1,0 +1,184 @@
+#ifndef VFPS_OBS_METRICS_H_
+#define VFPS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vfps::obs {
+
+class Tracer;
+
+/// Number of per-thread shards a Counter stripes its value across. A power of
+/// two so the shard index is a cheap mask.
+inline constexpr size_t kCounterShards = 16;
+
+namespace internal {
+/// Stable shard index of the calling thread (assigned on first use, reused for
+/// the thread's lifetime). Two threads may share a shard; correctness never
+/// depends on exclusivity, sharding only spreads cache-line traffic.
+size_t ShardIndex();
+}  // namespace internal
+
+/// \brief Monotonic event counter, striped across per-thread shards.
+///
+/// Thread-safety/determinism contract: Add() is safe from any thread (each
+/// thread hits its own cache-line-padded shard with a relaxed atomic add) and
+/// Value() merges the shards by summing them in fixed shard order. Because
+/// shard merging is a sum of non-negative integers, the merged total depends
+/// only on the multiset of Add() calls — never on which thread issued them —
+/// so a workload whose *event set* is thread-count-invariant (the guarantee
+/// every parallel path in this codebase already makes) reports identical
+/// totals at any --threads value.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    cells_[internal::ShardIndex()].v.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+
+  /// Merged total over all shards. May be called concurrently with Add();
+  /// a concurrent read observes some prefix of the in-flight increments.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zero every shard. Only call while no thread is concurrently Add()ing.
+  void Reset() {
+    for (Cell& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kCounterShards> cells_{};
+};
+
+/// \brief Last-write-wins instantaneous value. Safe to Set()/Value() from any
+/// thread; deterministic only when set from a single-threaded context (which
+/// is how the pipeline uses it — gauges record run-level facts, not events).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { v_.store(value, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// \brief Fixed-bucket histogram over non-negative integer observations
+/// (byte sizes, candidate counts, latencies in nanoseconds).
+///
+/// `bounds` are inclusive upper bucket edges in strictly ascending order; an
+/// implicit +inf bucket catches everything above the last edge. Buckets,
+/// count, and sum are Counters, so the same shard-merge determinism contract
+/// applies: totals are identical at any thread count for a thread-count-
+/// invariant event set.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    buckets_[b].Add(1);
+    count_.Add(1);
+    sum_.Add(value);
+  }
+
+  uint64_t Count() const { return count_.Value(); }
+  uint64_t Sum() const { return sum_.Value(); }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Count in bucket `i`; i == bounds().size() is the +inf bucket.
+  uint64_t BucketCount(size_t i) const { return buckets_[i].Value(); }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<Counter> buckets_;  // bounds_.size() + 1 (last = +inf)
+  Counter count_;
+  Counter sum_;
+};
+
+/// Bucket edges `start, start*factor, ...` (count edges), for Histogram.
+std::vector<uint64_t> ExponentialBuckets(uint64_t start, uint64_t factor,
+                                         size_t count);
+
+/// \brief Process-wide named-metric registry with optional tracing.
+///
+/// The registry is the opt-in switch of the observability layer: every
+/// instrumented component holds a `MetricsRegistry*` that defaults to
+/// nullptr, and a disabled registry costs exactly one branch on that null
+/// pointer per instrumentation site (bench_obs_overhead pins this down).
+/// When attached, instrumentation sites cache `Counter*`/`Histogram*`
+/// handles once (Get* takes a mutex; Add()/Record() never does).
+///
+/// Metric naming scheme: dot-separated `<layer>.<event>[.<unit>]`, e.g.
+/// `he.encrypt.count`, `net.bytes_sent`, `topk.fagin.sorted_access_depth`
+/// (see docs/ARCHITECTURE.md, "Observability").
+///
+/// Thread-safety: Get*/SetGauge/CounterValue/ToJson may be called from any
+/// thread. Handles returned by Get* are stable for the registry's lifetime.
+/// ToJson() output is deterministic: metrics are emitted in name order and
+/// values are shard-merged sums.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The first call decides a histogram's bucket bounds;
+  /// later calls with different bounds return the existing instance.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<uint64_t> bounds = {});
+
+  void SetGauge(const std::string& name, double value);
+
+  /// Current merged value of a counter, 0 if it was never created.
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Attach a span collector; tracer() stays nullptr (and every OBS_SPAN is a
+  /// no-op) until this is called.
+  void EnableTracing();
+  Tracer* tracer() const { return tracer_.get(); }
+
+  /// Deterministic JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}, keys in lexicographic order.
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace vfps::obs
+
+#endif  // VFPS_OBS_METRICS_H_

@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "common/sim_clock.h"
+#include "common/string_util.h"
+
+namespace vfps::obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-thread span nesting depth. Thread-local (not per-Tracer) because a
+// thread records to at most one tracer at a time in this codebase.
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : origin_ns_(SteadyNowNs()) {}
+
+uint64_t Tracer::NowNs() const { return SteadyNowNs() - origin_ns_; }
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint32_t Tracer::ThreadOrdinal() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t ordinal =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.name < b.name;
+            });
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": %u, "
+        "\"ts\": %.3f, \"dur\": %.3f, \"args\": {\"sim_start_s\": %.9f, "
+        "\"sim_dur_s\": %.9f, \"depth\": %u}}",
+        e.name.c_str(), e.thread, static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.dur_ns) / 1e3, e.sim_start_seconds,
+        e.sim_dur_seconds, e.depth);
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteJsonFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("trace: cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != json.size() || !closed_ok) {
+    return Status::IOError("trace: short write to " + path);
+  }
+  return Status::OK();
+}
+
+Span::Span(Tracer* tracer, const char* name, const SimClock* clock)
+    : tracer_(tracer), name_(name), clock_(clock) {
+  if (tracer_ == nullptr) return;
+  start_ns_ = tracer_->NowNs();
+  sim_start_seconds_ = clock_ != nullptr ? clock_->Total() : 0.0;
+  depth_ = t_span_depth++;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;  // Idempotence: a second End() (or the dtor) is a no-op.
+  --t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = tracer->NowNs() - start_ns_;
+  if (clock_ != nullptr) {
+    event.sim_start_seconds = sim_start_seconds_;
+    event.sim_dur_seconds = clock_->Total() - sim_start_seconds_;
+  }
+  event.thread = Tracer::ThreadOrdinal();
+  event.depth = depth_;
+  tracer->Record(std::move(event));
+}
+
+}  // namespace vfps::obs

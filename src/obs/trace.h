@@ -1,0 +1,103 @@
+#ifndef VFPS_OBS_TRACE_H_
+#define VFPS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vfps {
+class SimClock;
+}  // namespace vfps
+
+namespace vfps::obs {
+
+/// One completed span. Wall times are nanoseconds relative to the Tracer's
+/// construction; sim times are simulated seconds (0 when the span had no
+/// SimClock attached).
+struct TraceEvent {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  double sim_start_seconds = 0.0;
+  double sim_dur_seconds = 0.0;
+  uint32_t thread = 0;  ///< Stable per-thread ordinal (first-use order).
+  uint32_t depth = 0;   ///< Nesting depth within the recording thread.
+};
+
+/// \brief Collector for scoped spans.
+///
+/// Spans are recorded on End() under a mutex; the instrumented code paths emit
+/// a handful of spans per query (phase granularity, not per-element), so the
+/// lock is off any hot loop. Export is chrome://tracing "trace event" JSON so
+/// the output loads directly in Perfetto.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Nanoseconds since this Tracer was constructed (steady clock).
+  uint64_t NowNs() const;
+
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [{"name": ..., "ph": "X",
+  /// "ts": us, "dur": us, "pid": 0, "tid": thread, "args": {...}}, ...]}.
+  /// Events are emitted sorted by (start_ns, thread, name) so the output is
+  /// stable for a deterministic workload.
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Stable ordinal of the calling thread (assigned on first use).
+  static uint32_t ThreadOrdinal();
+
+ private:
+  uint64_t origin_ns_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief RAII scoped span. A null tracer makes construction, End(), and
+/// destruction no-ops (one branch each), preserving the zero-cost-when-
+/// disabled contract.
+///
+/// If a SimClock is attached the span also records the simulated time that
+/// elapsed while it was open — fed_knn phases charge costs to the per-task
+/// clock, so the span shows both wall time and simulated protocol time.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name, const SimClock* clock = nullptr);
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Record the span now instead of at scope exit. Idempotent.
+  void End();
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const SimClock* clock_;
+  uint64_t start_ns_ = 0;
+  double sim_start_seconds_ = 0.0;
+  uint32_t depth_ = 0;
+};
+
+/// Open a scoped span for the rest of the enclosing block. `tracer` may be
+/// null (no-op). OBS_SPAN_CLOCKED additionally samples `clock` (SimClock*)
+/// so the span carries simulated elapsed time.
+#define OBS_SPAN(tracer, name) \
+  ::vfps::obs::Span VFPS_CONCAT(obs_span_, __LINE__)((tracer), (name))
+#define OBS_SPAN_CLOCKED(tracer, name, clock)                            \
+  ::vfps::obs::Span VFPS_CONCAT(obs_span_, __LINE__)((tracer), (name), \
+                                                     (clock))
+
+}  // namespace vfps::obs
+
+#endif  // VFPS_OBS_TRACE_H_

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace vfps::topk {
 
-Result<TopkResult> FaginTopk(const RankedListSet& lists, size_t k, size_t batch) {
+Result<TopkResult> FaginTopk(const RankedListSet& lists, size_t k,
+                             size_t batch, obs::MetricsRegistry* obs) {
   const size_t n = lists.num_items();
   const size_t p = lists.num_parties();
   VFPS_CHECK_ARG(k >= 1, "Fagin: k must be >= 1");
@@ -22,7 +24,9 @@ Result<TopkResult> FaginTopk(const RankedListSet& lists, size_t k, size_t batch)
 
   // Phase 1: round-robin sorted access in mini-batches.
   size_t depth = 0;
+  size_t rounds = 0;
   while (fully_seen < k && depth < n) {
+    ++rounds;
     const size_t limit = std::min(n, depth + batch);
     for (size_t party = 0; party < p; ++party) {
       for (size_t r = depth; r < limit; ++r) {
@@ -52,6 +56,15 @@ Result<TopkResult> FaginTopk(const RankedListSet& lists, size_t k, size_t batch)
                     aggregated.end());
   result.ids.reserve(take);
   for (size_t i = 0; i < take; ++i) result.ids.push_back(aggregated[i].second);
+
+  if (obs != nullptr) {
+    obs->GetCounter("topk.fagin.runs")->Add(1);
+    obs->GetCounter("topk.fagin.rounds")->Add(rounds);
+    obs->GetCounter("topk.fagin.sorted_access_depth")->Add(result.depth);
+    obs->GetCounter("topk.fagin.sorted_accesses")->Add(result.sorted_accesses);
+    obs->GetCounter("topk.fagin.random_accesses")->Add(result.random_accesses);
+    obs->GetHistogram("topk.fagin.candidates")->Record(result.candidates);
+  }
   return result;
 }
 

@@ -4,6 +4,10 @@
 #include "common/result.h"
 #include "topk/ranked_list.h"
 
+namespace vfps::obs {
+class MetricsRegistry;
+}  // namespace vfps::obs
+
 namespace vfps::topk {
 
 /// \brief Fagin's algorithm (FA) for monotone aggregate top-k over P ranked
@@ -17,8 +21,12 @@ namespace vfps::topk {
 ///
 /// \param batch rows revealed per party per round (the protocol's mini-batch
 ///        size b; 1 reproduces textbook FA).
+/// \param obs optional metrics sink: bumps `topk.fagin.*` counters (runs,
+///        rounds, sorted_access_depth, sorted/random accesses) and records
+///        the candidate-set size in the `topk.fagin.candidates` histogram.
 Result<TopkResult> FaginTopk(const RankedListSet& lists, size_t k,
-                             size_t batch = 1);
+                             size_t batch = 1,
+                             obs::MetricsRegistry* obs = nullptr);
 
 }  // namespace vfps::topk
 

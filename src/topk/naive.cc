@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace vfps::topk {
 
-Result<TopkResult> NaiveTopk(const RankedListSet& lists, size_t k) {
+Result<TopkResult> NaiveTopk(const RankedListSet& lists, size_t k,
+                             obs::MetricsRegistry* obs) {
   const size_t n = lists.num_items();
   VFPS_CHECK_ARG(k >= 1, "naive top-k: k must be >= 1");
   k = std::min(k, n);
@@ -24,6 +26,11 @@ Result<TopkResult> NaiveTopk(const RankedListSet& lists, size_t k) {
   std::partial_sort(aggregated.begin(), aggregated.begin() + k, aggregated.end());
   result.ids.reserve(k);
   for (size_t i = 0; i < k; ++i) result.ids.push_back(aggregated[i].second);
+
+  if (obs != nullptr) {
+    obs->GetCounter("topk.naive.runs")->Add(1);
+    obs->GetCounter("topk.naive.scanned")->Add(n);
+  }
   return result;
 }
 

@@ -4,12 +4,18 @@
 #include "common/result.h"
 #include "topk/ranked_list.h"
 
+namespace vfps::obs {
+class MetricsRegistry;
+}  // namespace vfps::obs
+
 namespace vfps::topk {
 
 /// \brief Exhaustive baseline: aggregate every item and take the k smallest.
 /// This is what VFPS-SM-BASE effectively does (every instance's partial
 /// distance is encrypted, transmitted, and aggregated).
-Result<TopkResult> NaiveTopk(const RankedListSet& lists, size_t k);
+/// `obs` (optional) receives `topk.naive.runs` / `topk.naive.scanned`.
+Result<TopkResult> NaiveTopk(const RankedListSet& lists, size_t k,
+                             obs::MetricsRegistry* obs = nullptr);
 
 }  // namespace vfps::topk
 

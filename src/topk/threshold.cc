@@ -4,10 +4,12 @@
 #include <queue>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace vfps::topk {
 
-Result<TopkResult> ThresholdTopk(const RankedListSet& lists, size_t k) {
+Result<TopkResult> ThresholdTopk(const RankedListSet& lists, size_t k,
+                                 obs::MetricsRegistry* obs) {
   const size_t n = lists.num_items();
   const size_t p = lists.num_parties();
   VFPS_CHECK_ARG(k >= 1, "TA: k must be >= 1");
@@ -50,6 +52,14 @@ Result<TopkResult> ThresholdTopk(const RankedListSet& lists, size_t k) {
   for (size_t i = best.size(); i-- > 0;) {
     result.ids[i] = best.top().second;
     best.pop();
+  }
+
+  if (obs != nullptr) {
+    obs->GetCounter("topk.ta.runs")->Add(1);
+    obs->GetCounter("topk.ta.sorted_access_depth")->Add(result.depth);
+    obs->GetCounter("topk.ta.sorted_accesses")->Add(result.sorted_accesses);
+    obs->GetCounter("topk.ta.random_accesses")->Add(result.random_accesses);
+    obs->GetHistogram("topk.ta.candidates")->Record(result.candidates);
   }
   return result;
 }

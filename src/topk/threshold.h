@@ -4,6 +4,10 @@
 #include "common/result.h"
 #include "topk/ranked_list.h"
 
+namespace vfps::obs {
+class MetricsRegistry;
+}  // namespace vfps::obs
+
 namespace vfps::topk {
 
 /// \brief Threshold algorithm (TA, Fagin-Lotem-Naor) for the same problem:
@@ -12,7 +16,9 @@ namespace vfps::topk {
 /// at the current sorted-access frontier). Usually stops at a smaller depth
 /// than FA at the price of more random accesses; VFPS-SM supports it as an
 /// alternative top-k oracle (paper §IV-B "also supports other algorithms").
-Result<TopkResult> ThresholdTopk(const RankedListSet& lists, size_t k);
+/// `obs` (optional) receives the analogous `topk.ta.*` metrics.
+Result<TopkResult> ThresholdTopk(const RankedListSet& lists, size_t k,
+                                 obs::MetricsRegistry* obs = nullptr);
 
 }  // namespace vfps::topk
 

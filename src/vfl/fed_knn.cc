@@ -11,6 +11,8 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "ml/knn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topk/fagin.h"
 #include "topk/threshold.h"
 
@@ -83,14 +85,21 @@ FederatedKnnOracle::FederatedKnnOracle(const data::Dataset* joint_train,
                                        he::HeBackend* backend,
                                        net::SimNetwork* network,
                                        const net::CostModel* cost_model,
-                                       SimClock* clock, ThreadPool* pool)
+                                       SimClock* clock, ThreadPool* pool,
+                                       obs::MetricsRegistry* obs)
     : joint_(joint_train),
       partition_(partition),
       backend_(backend),
       network_(network),
       cost_(cost_model),
       clock_(clock),
-      pool_(pool) {}
+      pool_(pool),
+      obs_(obs) {
+  if (obs_ != nullptr) {
+    c_queries_ = obs_->GetCounter("knn.queries");
+    h_candidates_ = obs_->GetHistogram("knn.candidates");
+  }
+}
 
 std::vector<double> FederatedKnnOracle::PartialDistances(
     size_t participant, const data::Dataset& source, size_t query_row,
@@ -163,6 +172,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
 
   const net::TrafficStats traffic_before = network_->total();
   const he::HeOpStats he_before = backend_->stats();
+  obs::Tracer* const tracer = obs_ == nullptr ? nullptr : obs_->tracer();
 
   // The leader samples the query set and shares the row ids (plain indices of
   // shared training samples; no feature values cross the wire here). The
@@ -230,13 +240,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
       return;
     }
     slot.session = session.MoveValueUnsafe();
+    slot.net.set_metrics(obs_);
     if (!fault_seeds.empty()) {
       slot.net.EnableFaults(*network_->fault_spec(), fault_seeds[i],
                             &slot.clock);
     }
     net::ReliableChannel chan(&slot.net, &slot.clock);
     const QueryEnv env{slot.session.get(), &slot.net, &chan, &slot.clock,
-                       &active};
+                       &active, tracer};
     Result<QueryNeighborhood> hood =
         config.mode == KnnOracleMode::kBase
             ? RunBaseQuery(env, queries[i], config.k, &slot.stats)
@@ -288,6 +299,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     }
   }
 
+  if (c_queries_ != nullptr) c_queries_->Add(queries.size());
   if (stats != nullptr) {
     stats->queries += queries.size();
     net::TrafficStats after = network_->total();
@@ -314,6 +326,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
 
   // Phase 1 (active participants, parallel): local partial distances +
   // encryption. Everything below indexes by position in `active`.
+  obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
   std::vector<std::vector<double>> partials(a);
   std::vector<double> compute_seconds(a);
   for (size_t ai = 0; ai < a; ++ai) {
@@ -322,7 +335,9 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
         cost_->DistanceSeconds(count, (*partition_)[active[ai]].size());
   }
   ChargeParallelCompute(env.clock, compute_seconds);
+  span_dist.End();
 
+  obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
   VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(partials));
   for (size_t ai = 0; ai < a; ++ai) {
     VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
@@ -331,8 +346,10 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   }
   env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
   ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), a);
+  span_enc.End();
 
   // Phase 2 (aggregation server): homomorphic sum, forward to the leader.
+  obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
   std::vector<he::EncryptedVector> received(a);
   std::vector<const he::EncryptedVector*> ptrs(a);
   for (size_t ai = 0; ai < a; ++ai) {
@@ -348,8 +365,10 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   VFPS_RETURN_NOT_OK(
       env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
   ChargeFanOut(env.clock, cost_->EncryptedWireBytes(count), 1);
+  span_agg.End();
 
   // Phase 3 (leader): decrypt, rank, pick the k nearest.
+  obs::Span span_rank(env.tracer, "knn.decrypt_rank", env.clock);
   VFPS_ASSIGN_OR_RETURN(auto blob, env.chan->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
       auto distances,
@@ -357,6 +376,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(count));
   env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(count));
   const auto top = SmallestK(distances, k);
+  span_rank.End();
 
   QueryNeighborhood hood;
   hood.query_row = query_row;
@@ -366,6 +386,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   }
 
   // Phase 4: leader broadcasts T; every active participant returns d_T^p.
+  obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
   // Quarantined slots keep d_T^p = 0 (the caller drops them anyway).
   for (size_t party : active) {
     if (party == 0) continue;
@@ -395,7 +416,9 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
     }
   }
   ChargeFanIn(env.clock, sizeof(double), a - 1);
+  span_dt.End();
 
+  if (h_candidates_ != nullptr) h_candidates_->Record(count);
   if (stats != nullptr) stats->candidates_encrypted += count;
   return hood;
 }
@@ -415,6 +438,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   // Step 2 (active participants, parallel): partial distances in pseudo-ID
   // space, sorted ascending to form sub-rankings. Indexed by position in
   // `active`.
+  obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
   std::vector<std::vector<double>> scores(a);
   std::vector<double> compute_seconds(a);
   for (size_t ai = 0; ai < a; ++ai) {
@@ -435,18 +459,22 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
                           cost_->SortSeconds(n);
   }
   ChargeParallelCompute(env.clock, compute_seconds);
+  span_dist.End();
 
+  obs::Span span_merge(env.tracer, "knn.topk_merge", env.clock);
   VFPS_ASSIGN_OR_RETURN(auto lists, topk::RankedListSet::Build(scores));
   topk::TopkResult merge;
   if (mode == KnnOracleMode::kThreshold) {
-    VFPS_ASSIGN_OR_RETURN(merge, topk::ThresholdTopk(lists, k));
+    VFPS_ASSIGN_OR_RETURN(merge, topk::ThresholdTopk(lists, k, obs_));
   } else {
-    VFPS_ASSIGN_OR_RETURN(merge, topk::FaginTopk(lists, k, batch));
+    VFPS_ASSIGN_OR_RETURN(merge, topk::FaginTopk(lists, k, batch, obs_));
   }
   const topk::TopkResult& fagin = merge;
+  span_merge.End();
 
   // Steps 3-4: mini-batch streaming of the sub-rankings to the server. The
   // phase-1 depth of the merge algorithm determines how many rounds happen.
+  obs::Span span_stream(env.tracer, "knn.stream_rankings", env.clock);
   const size_t depth = fagin.depth;
   for (size_t start = 0; start < depth; start += batch) {
     const size_t end = std::min(depth, start + batch);
@@ -483,6 +511,8 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
                      2));
   }
 
+  span_stream.End();
+
   // Candidate set: everything seen during phase 1 (minus the query itself).
   std::vector<uint64_t> candidates = fagin.candidate_ids;
   candidates.erase(std::remove(candidates.begin(), candidates.end(), query_pid),
@@ -493,6 +523,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   // exactly those candidates' partial distances and encrypt them as one
   // batch (the batched-HE fast path; identical ciphertexts at any thread
   // count, see HeBackend::EncryptBatch).
+  obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
   for (size_t party : active) {
     VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer,
                                       static_cast<int>(party),
@@ -518,8 +549,10 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   }
   env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(c));
   ChargeFanIn(env.clock, cost_->EncryptedWireBytes(c), a);
+  span_enc.End();
 
   // Step 6: homomorphic aggregation, forwarded to the leader.
+  obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
   for (size_t ai = 0; ai < a; ++ai) {
     VFPS_ASSIGN_OR_RETURN(auto blob,
                           env.chan->Recv(static_cast<int>(active[ai]),
@@ -532,8 +565,10 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
                      static_cast<double>(a - 1) * cost_->HeAddSecondsFor(c));
   VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
   ChargeFanOut(env.clock, cost_->EncryptedWireBytes(c), 1);
+  span_agg.End();
 
   // Step 7 (leader): decrypt candidate aggregates, take the k nearest.
+  obs::Span span_rank(env.tracer, "knn.decrypt_rank", env.clock);
   VFPS_ASSIGN_OR_RETURN(auto blob, env.chan->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
       auto agg_distances,
@@ -541,6 +576,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(c));
   env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(c));
   const auto top_local = SmallestK(agg_distances, k);
+  span_rank.End();
   std::vector<uint64_t> neighbor_pids;
   neighbor_pids.reserve(top_local.size());
   for (uint64_t idx : top_local) neighbor_pids.push_back(candidates[idx]);
@@ -551,6 +587,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
 
   // Step 8: leader broadcasts the neighbor set; active participants return
   // d_T^p (quarantined slots keep 0).
+  obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
   for (size_t party : active) {
     if (party == 0) continue;
     VFPS_RETURN_NOT_OK(env.chan->Send(kLeader, static_cast<int>(party),
@@ -579,7 +616,9 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
     }
   }
   ChargeFanIn(env.clock, sizeof(double), a - 1);
+  span_dt.End();
 
+  if (h_candidates_ != nullptr) h_candidates_->Record(c);
   if (stats != nullptr) {
     stats->candidates_encrypted += c;
     stats->fagin_depth += depth;

@@ -15,6 +15,13 @@
 #include "net/network.h"
 #include "vfl/pseudo_id.h"
 
+namespace vfps::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+class Tracer;
+}  // namespace vfps::obs
+
 namespace vfps::vfl {
 
 /// How the k-nearest-neighbor oracle finds neighbors across participants.
@@ -125,11 +132,16 @@ class FederatedKnnOracle {
   /// \param clock simulated deployment clock; charged in query order.
   /// \param pool optional worker pool for per-query parallelism; nullptr (or
   ///        a 1-thread pool) selects the serial path. Not owned.
+  /// \param obs optional metrics/tracing sink (`knn.*` counters, per-phase
+  ///        spans). Task-local query networks attach it too, so `net.*`
+  ///        counters cover the whole protocol; the striped counters keep
+  ///        totals thread-count-invariant.
   FederatedKnnOracle(const data::Dataset* joint_train,
                      const data::VerticalPartition* partition,
                      he::HeBackend* backend, net::SimNetwork* network,
                      const net::CostModel* cost_model, SimClock* clock,
-                     ThreadPool* pool = nullptr);
+                     ThreadPool* pool = nullptr,
+                     obs::MetricsRegistry* obs = nullptr);
 
   size_t num_participants() const { return partition_->size(); }
 
@@ -180,6 +192,7 @@ class FederatedKnnOracle {
     net::ReliableChannel* chan;
     SimClock* clock;
     const std::vector<size_t>* active;
+    obs::Tracer* tracer;  // nullptr unless tracing is enabled
   };
 
   // Partial squared distances from participant `p`'s slice of `query_row`
@@ -222,6 +235,9 @@ class FederatedKnnOracle {
   const net::CostModel* cost_;
   SimClock* clock_;
   ThreadPool* pool_;
+  obs::MetricsRegistry* obs_;
+  obs::Counter* c_queries_ = nullptr;        // knn.queries
+  obs::Histogram* h_candidates_ = nullptr;   // knn.candidates per query
 };
 
 }  // namespace vfps::vfl

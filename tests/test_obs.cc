@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "obs/trace.h"
+
+namespace vfps::obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(5);
+  EXPECT_EQ(c.Value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+// The determinism contract: the merged total depends only on the multiset of
+// Add() calls, never on which thread issued them. Partition one fixed
+// workload across 1, 2, and 8 threads and require identical totals.
+TEST(CounterTest, MergeIsThreadCountInvariant) {
+  // Workload item i contributes (i % 7) + 1; fixed regardless of threading.
+  constexpr size_t kItems = 40000;
+  uint64_t expected = 0;
+  for (size_t i = 0; i < kItems; ++i) expected += (i % 7) + 1;
+
+  std::vector<uint64_t> totals;
+  for (size_t threads : {1u, 2u, 8u}) {
+    Counter c;
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&c, t, threads] {
+        for (size_t i = t; i < kItems; i += threads) c.Add((i % 7) + 1);
+      });
+    }
+    for (auto& w : workers) w.join();
+    totals.push_back(c.Value());
+  }
+  EXPECT_EQ(totals[0], expected);
+  EXPECT_EQ(totals[1], expected);
+  EXPECT_EQ(totals[2], expected);
+}
+
+TEST(HistogramTest, InclusiveUpperEdges) {
+  Histogram h({10, 100});
+  for (uint64_t v : {5u, 10u, 11u, 100u, 101u}) h.Record(v);
+  EXPECT_EQ(h.BucketCount(0), 2u);  // 5, 10
+  EXPECT_EQ(h.BucketCount(1), 2u);  // 11, 100
+  EXPECT_EQ(h.BucketCount(2), 1u);  // 101 -> +inf
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 227u);
+}
+
+TEST(HistogramTest, BucketsAreThreadCountInvariant) {
+  constexpr size_t kItems = 10000;
+  std::vector<std::vector<uint64_t>> shapes;
+  for (size_t threads : {1u, 2u, 8u}) {
+    Histogram h(ExponentialBuckets(1, 4, 6));
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&h, t, threads] {
+        for (size_t i = t; i < kItems; i += threads) h.Record(i % 5000);
+      });
+    }
+    for (auto& w : workers) w.join();
+    std::vector<uint64_t> shape;
+    for (size_t b = 0; b <= h.bounds().size(); ++b) {
+      shape.push_back(h.BucketCount(b));
+    }
+    shape.push_back(h.Count());
+    shape.push_back(h.Sum());
+    shapes.push_back(std::move(shape));
+  }
+  EXPECT_EQ(shapes[0], shapes[1]);
+  EXPECT_EQ(shapes[0], shapes[2]);
+}
+
+TEST(ExponentialBucketsTest, GeometricEdges) {
+  EXPECT_EQ(ExponentialBuckets(1, 4, 5),
+            (std::vector<uint64_t>{1, 4, 16, 64, 256}));
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("layer.event");
+  Counter* b = reg.GetCounter("layer.event");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(reg.CounterValue("layer.event"), 3u);
+  EXPECT_EQ(reg.CounterValue("never.created"), 0u);
+
+  // The first call decides histogram bounds; later bounds are ignored.
+  Histogram* h1 = reg.GetHistogram("layer.hist", {1, 2, 3});
+  Histogram* h2 = reg.GetHistogram("layer.hist", {9});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 3u);
+}
+
+TEST(RegistryTest, JsonShapeIsDeterministicAndSorted) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.count")->Add(2);
+  reg.GetCounter("a.count")->Add(1);
+  reg.SetGauge("run.accuracy", 0.5);
+  reg.GetHistogram("sizes", {10})->Record(7);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+inf\""), std::string::npos);
+  // Lexicographic key order within each section.
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  // Two snapshots of an idle registry are byte-identical.
+  EXPECT_EQ(json, reg.ToJson());
+}
+
+TEST(RegistryTest, WriteJsonFileRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("x")->Add(1);
+  const std::string path = ::testing::TempDir() + "/obs_metrics_test.json";
+  ASSERT_TRUE(reg.WriteJsonFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 12, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_EQ(content, reg.ToJson());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(reg.WriteJsonFile("/nonexistent-dir/metrics.json").ok());
+}
+
+TEST(RegistryTest, TracingIsOptIn) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.tracer(), nullptr);
+  reg.EnableTracing();
+  ASSERT_NE(reg.tracer(), nullptr);
+  Tracer* t = reg.tracer();
+  reg.EnableTracing();  // idempotent: handle stays stable
+  EXPECT_EQ(reg.tracer(), t);
+}
+
+TEST(SpanTest, NullTracerIsNoop) {
+  Span span(nullptr, "nothing");
+  span.End();
+  span.End();  // idempotent even when disabled
+  { OBS_SPAN(nullptr, "macro.nothing"); }
+}
+
+TEST(SpanTest, RecordsNestingDepthAndSimTime) {
+  Tracer tracer;
+  SimClock clock;
+  {
+    Span outer(&tracer, "outer", &clock);
+    clock.Advance(CostCategory::kCompute, 1.5);
+    {
+      Span inner(&tracer, "inner", &clock);
+      clock.Advance(CostCategory::kNetwork, 0.25);
+    }
+    clock.Advance(CostCategory::kEncrypt, 0.5);
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at End(), so the inner span lands first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_DOUBLE_EQ(events[0].sim_start_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(events[0].sim_dur_seconds, 0.25);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_DOUBLE_EQ(events[1].sim_start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].sim_dur_seconds, 2.25);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].dur_ns, events[0].dur_ns);
+
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+TEST(SpanTest, ManualEndIsIdempotent) {
+  Tracer tracer;
+  Span span(&tracer, "once");
+  span.End();
+  span.End();  // second End() and the destructor must not re-record
+  EXPECT_EQ(tracer.Snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace vfps::obs

@@ -1,0 +1,158 @@
+// Property tests for the selection pipeline's mathematical backbone:
+//
+//  (a) f(S) = sum_p max_{s in S} w(p, s) is normalized, monotone, and
+//      submodular on *random* similarity matrices (Theorem 1, stressed far
+//      beyond the handful of seeds in test_submodular.cc);
+//  (b) greedy maximization achieves at least (1 - 1/e) * OPT against the
+//      brute-force optimum for small ground sets (Nemhauser et al.), and
+//      lazy greedy is pick-for-pick identical to plain greedy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/greedy.h"
+#include "core/similarity.h"
+#include "core/submodular.h"
+
+namespace vfps::core {
+namespace {
+
+// Random symmetric matrix with unit diagonal and off-diagonal values in
+// [0, 1) — exactly the shape BuildSimilarity produces.
+SimilarityMatrix RandomSimilarity(size_t p, Rng* rng) {
+  SimilarityMatrix w(p);
+  for (size_t a = 0; a < p; ++a) {
+    for (size_t b = a; b < p; ++b) {
+      w.Set(a, b, a == b ? 1.0 : rng->NextDouble());
+    }
+  }
+  return w;
+}
+
+std::vector<size_t> RandomSubset(size_t p, Rng* rng, double density) {
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < p; ++i) {
+    if (rng->Bernoulli(density)) subset.push_back(i);
+  }
+  return subset;
+}
+
+bool Contains(const std::vector<size_t>& v, size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// 200 random matrices; on each, several random (A ⊆ B, x) probes.
+TEST(SubmodularityProperty, MonotoneAndDiminishingReturnsOn200Matrices) {
+  constexpr double kTol = 1e-9;
+  Rng rng(20250806);
+  for (int matrix = 0; matrix < 200; ++matrix) {
+    const size_t p = 2 + static_cast<size_t>(rng.NextBounded(9));  // 2..10
+    KnnSubmodularFunction f(RandomSimilarity(p, &rng));
+    ASSERT_DOUBLE_EQ(f.Value({}), 0.0);  // normalized
+
+    for (int probe = 0; probe < 8; ++probe) {
+      auto small = RandomSubset(p, &rng, 0.3);
+      auto big = small;
+      for (size_t i = 0; i < p; ++i) {
+        if (!Contains(big, i) && rng.Bernoulli(0.5)) big.push_back(i);
+      }
+      // Monotonicity: adding any element never decreases f.
+      for (size_t x = 0; x < p; ++x) {
+        if (Contains(small, x)) continue;
+        EXPECT_GE(f.MarginalGain(small, x), -kTol)
+            << "matrix " << matrix << " probe " << probe << " x " << x;
+      }
+      // Diminishing returns: gain w.r.t. the superset is never larger.
+      for (size_t x = 0; x < p; ++x) {
+        if (Contains(big, x)) continue;
+        EXPECT_GE(f.MarginalGain(small, x), f.MarginalGain(big, x) - kTol)
+            << "matrix " << matrix << " probe " << probe << " x " << x;
+      }
+      // Consistency: MarginalGain agrees with the Value difference.
+      for (size_t x = 0; x < p; ++x) {
+        if (Contains(small, x)) continue;
+        auto with_x = small;
+        with_x.push_back(x);
+        EXPECT_NEAR(f.MarginalGain(small, x), f.Value(with_x) - f.Value(small),
+                    1e-9);
+      }
+    }
+  }
+}
+
+// The Incremental evaluator must agree with the direct formula along a
+// random insertion order — greedy correctness rides on this.
+TEST(SubmodularityProperty, IncrementalMatchesDirectEvaluation) {
+  Rng rng(77);
+  for (int matrix = 0; matrix < 50; ++matrix) {
+    const size_t p = 3 + static_cast<size_t>(rng.NextBounded(8));
+    KnnSubmodularFunction f(RandomSimilarity(p, &rng));
+    KnnSubmodularFunction::Incremental inc(&f);
+    std::vector<size_t> subset;
+    for (size_t pick : rng.Permutation(p)) {
+      EXPECT_NEAR(inc.GainOf(pick), f.MarginalGain(subset, pick), 1e-12);
+      inc.Add(pick);
+      subset.push_back(pick);
+      EXPECT_NEAR(inc.value(), f.Value(subset), 1e-12);
+    }
+  }
+}
+
+// Greedy >= (1 - 1/e) * OPT, brute-forced for P <= 10 over many random
+// instances and every feasible target size.
+TEST(GreedyGuaranteeProperty, AtLeastOneMinusOneOverEOfOptimum) {
+  const double kRatio = 1.0 - 1.0 / std::exp(1.0);
+  Rng rng(424242);
+  for (int instance = 0; instance < 60; ++instance) {
+    const size_t p = 4 + static_cast<size_t>(rng.NextBounded(7));  // 4..10
+    KnnSubmodularFunction f(RandomSimilarity(p, &rng));
+    for (size_t target = 1; target <= p; ++target) {
+      GreedyResult greedy = GreedyMaximize(f, target);
+      ASSERT_EQ(greedy.selected.size(), target);
+      auto opt = ExhaustiveMaximize(f, target);
+      ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+      EXPECT_GE(greedy.value, kRatio * opt->value - 1e-9)
+          << "instance " << instance << " P=" << p << " target=" << target;
+      EXPECT_LE(greedy.value, opt->value + 1e-9);
+    }
+  }
+}
+
+// Lazy greedy (CELF) must reproduce plain greedy's picks exactly while
+// never evaluating more marginal gains.
+TEST(GreedyGuaranteeProperty, LazyGreedyMatchesPlainGreedy) {
+  Rng rng(31337);
+  for (int instance = 0; instance < 60; ++instance) {
+    const size_t p = 4 + static_cast<size_t>(rng.NextBounded(9));  // 4..12
+    KnnSubmodularFunction f(RandomSimilarity(p, &rng));
+    const size_t target = 1 + static_cast<size_t>(rng.NextBounded(p));
+    GreedyResult plain = GreedyMaximize(f, target);
+    GreedyResult lazy = LazyGreedyMaximize(f, target);
+    EXPECT_EQ(lazy.selected, plain.selected);
+    EXPECT_NEAR(lazy.value, plain.value, 1e-12);
+    EXPECT_LE(lazy.evaluations, plain.evaluations);
+  }
+}
+
+// Gains reported by greedy must be non-increasing (a corollary of
+// submodularity that the lazy queue exploits) and sum to the value.
+TEST(GreedyGuaranteeProperty, GainsAreDecreasingAndSumToValue) {
+  Rng rng(9001);
+  for (int instance = 0; instance < 40; ++instance) {
+    const size_t p = 3 + static_cast<size_t>(rng.NextBounded(8));
+    KnnSubmodularFunction f(RandomSimilarity(p, &rng));
+    GreedyResult r = GreedyMaximize(f, p);
+    double sum = 0.0;
+    for (size_t i = 0; i < r.gains.size(); ++i) {
+      sum += r.gains[i];
+      if (i > 0) EXPECT_LE(r.gains[i], r.gains[i - 1] + 1e-9);
+    }
+    EXPECT_NEAR(sum, r.value, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vfps::core

@@ -1,0 +1,203 @@
+// Differential testing of the three top-k oracles: Fagin's algorithm (the
+// paper's optimization), the threshold algorithm, and the naive full scan.
+// All three must agree on every randomized instance — under ties the
+// agreement is on the *aggregate-score multiset* (any minimal-k set is
+// acceptable; tie-break order is an implementation detail), and when the
+// aggregates are distinct the id sets themselves must match. Fagin and TA
+// must also never consume more sorted-access depth than the naive scan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "topk/fagin.h"
+#include "topk/naive.h"
+#include "topk/threshold.h"
+
+namespace vfps::topk {
+namespace {
+
+std::vector<double> SortedAggregates(const RankedListSet& lists,
+                                     const std::vector<uint64_t>& ids) {
+  std::vector<double> agg;
+  agg.reserve(ids.size());
+  for (uint64_t id : ids) agg.push_back(lists.AggregateScore(id));
+  std::sort(agg.begin(), agg.end());
+  return agg;
+}
+
+bool AggregatesDistinct(const RankedListSet& lists) {
+  std::vector<double> agg;
+  for (uint64_t id = 0; id < lists.num_items(); ++id) {
+    agg.push_back(lists.AggregateScore(id));
+  }
+  std::sort(agg.begin(), agg.end());
+  return std::adjacent_find(agg.begin(), agg.end()) == agg.end();
+}
+
+std::set<uint64_t> AsSet(const std::vector<uint64_t>& ids) {
+  return {ids.begin(), ids.end()};
+}
+
+// One differential probe: run all three algorithms and cross-check.
+void CheckInstance(const std::vector<std::vector<double>>& scores, size_t k,
+                   size_t batch, const std::string& label) {
+  auto lists = RankedListSet::Build(scores);
+  ASSERT_TRUE(lists.ok()) << label;
+  const size_t n = lists->num_items();
+
+  auto naive = NaiveTopk(*lists, k);
+  auto fagin = FaginTopk(*lists, k, batch);
+  auto ta = ThresholdTopk(*lists, k);
+  ASSERT_TRUE(naive.ok()) << label << ": " << naive.status().ToString();
+  ASSERT_TRUE(fagin.ok()) << label << ": " << fagin.status().ToString();
+  ASSERT_TRUE(ta.ok()) << label << ": " << ta.status().ToString();
+
+  const size_t want = std::min(k, n);
+  ASSERT_EQ(naive->ids.size(), want) << label;
+  ASSERT_EQ(fagin->ids.size(), want) << label;
+  ASSERT_EQ(ta->ids.size(), want) << label;
+
+  // No duplicates in any result.
+  EXPECT_EQ(AsSet(naive->ids).size(), want) << label;
+  EXPECT_EQ(AsSet(fagin->ids).size(), want) << label;
+  EXPECT_EQ(AsSet(ta->ids).size(), want) << label;
+
+  // Aggregate-score multisets agree exactly (the minimal-k semantics).
+  const auto truth = SortedAggregates(*lists, naive->ids);
+  EXPECT_EQ(SortedAggregates(*lists, fagin->ids), truth) << label;
+  EXPECT_EQ(SortedAggregates(*lists, ta->ids), truth) << label;
+
+  // With distinct aggregates the minimal-k set is unique: ids must match.
+  if (AggregatesDistinct(*lists)) {
+    EXPECT_EQ(AsSet(fagin->ids), AsSet(naive->ids)) << label;
+    EXPECT_EQ(AsSet(ta->ids), AsSet(naive->ids)) << label;
+  }
+
+  // The point of the optimization: never deeper than the full scan, and the
+  // candidate set covers the reported top-k.
+  EXPECT_LE(fagin->depth, naive->depth) << label;
+  EXPECT_LE(ta->depth, naive->depth) << label;
+  EXPECT_EQ(fagin->candidates, fagin->candidate_ids.size()) << label;
+  const auto fagin_cands = AsSet(fagin->candidate_ids);
+  for (uint64_t id : fagin->ids) {
+    EXPECT_TRUE(fagin_cands.count(id)) << label << " id " << id;
+  }
+}
+
+std::vector<std::vector<double>> RandomScores(size_t parties, size_t items,
+                                              Rng* rng) {
+  std::vector<std::vector<double>> scores(parties,
+                                          std::vector<double>(items));
+  for (auto& list : scores) {
+    for (double& v : list) v = rng->Uniform(0.0, 100.0);
+  }
+  return scores;
+}
+
+TEST(TopkDifferentialTest, RandomInstances) {
+  Rng rng(0xD1FF);
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t parties = 1 + rng.NextBounded(5);
+    const size_t items = 1 + rng.NextBounded(40);
+    const size_t k = 1 + rng.NextBounded(items + 3);  // sometimes k > N
+    const size_t batch = 1 + rng.NextBounded(4);
+    CheckInstance(RandomScores(parties, items, &rng), k, batch,
+                  "trial " + std::to_string(trial));
+  }
+}
+
+TEST(TopkDifferentialTest, HeavyTies) {
+  Rng rng(0x7135);
+  for (int trial = 0; trial < 80; ++trial) {
+    const size_t parties = 1 + rng.NextBounded(4);
+    const size_t items = 2 + rng.NextBounded(30);
+    // Scores drawn from a tiny integer alphabet: aggregates collide a lot.
+    std::vector<std::vector<double>> scores(parties,
+                                            std::vector<double>(items));
+    for (auto& list : scores) {
+      for (double& v : list) v = static_cast<double>(rng.NextBounded(4));
+    }
+    const size_t k = 1 + rng.NextBounded(items);
+    CheckInstance(scores, k, 1 + rng.NextBounded(3),
+                  "ties trial " + std::to_string(trial));
+  }
+}
+
+TEST(TopkDifferentialTest, KAtLeastN) {
+  Rng rng(0xCAFE);
+  auto scores = RandomScores(3, 8, &rng);
+  CheckInstance(scores, 8, 1, "k == N");
+  CheckInstance(scores, 20, 2, "k > N");
+}
+
+TEST(TopkDifferentialTest, SingleList) {
+  Rng rng(0x0001);
+  CheckInstance(RandomScores(1, 25, &rng), 7, 1, "single list");
+  CheckInstance({{4.0}}, 1, 1, "single item");
+}
+
+TEST(TopkDifferentialTest, AdversarialDistributions) {
+  // All items identical on every list: any k-subset is minimal.
+  CheckInstance({{1.0, 1.0, 1.0, 1.0}, {2.0, 2.0, 2.0, 2.0}}, 2, 1,
+                "all equal");
+  // Anti-correlated lists: each party's best is the other's worst, the
+  // classic worst case for sorted-access pruning.
+  {
+    std::vector<double> up(32), down(32);
+    for (size_t i = 0; i < 32; ++i) {
+      up[i] = static_cast<double>(i);
+      down[i] = static_cast<double>(31 - i);
+    }
+    CheckInstance({up, down}, 5, 1, "anti-correlated");
+  }
+  // One party fully discriminates, the others are constant.
+  {
+    std::vector<double> ramp(20), flat(20, 3.0);
+    for (size_t i = 0; i < 20; ++i) ramp[i] = static_cast<double>(i) * 0.5;
+    CheckInstance({ramp, flat, flat}, 4, 2, "one informative party");
+  }
+  // Clustered duplicates with one clear winner block.
+  {
+    std::vector<double> a(24, 9.0), b(24, 9.0);
+    for (size_t i = 0; i < 3; ++i) a[i] = b[i] = 0.0;
+    CheckInstance({a, b}, 3, 1, "winner block");
+    CheckInstance({a, b}, 6, 1, "winner block + ties");
+  }
+}
+
+// The instrumented entry points publish run/access counters that must agree
+// with the TopkResult bookkeeping (the observability layer is data, too).
+TEST(TopkDifferentialTest, MetricsMatchResultCounters) {
+  Rng rng(0xBEEF);
+  auto lists = RankedListSet::Build(RandomScores(3, 30, &rng));
+  ASSERT_TRUE(lists.ok());
+
+  obs::MetricsRegistry reg;
+  auto fagin = FaginTopk(*lists, 5, 2, &reg);
+  ASSERT_TRUE(fagin.ok());
+  EXPECT_EQ(reg.CounterValue("topk.fagin.runs"), 1u);
+  EXPECT_EQ(reg.CounterValue("topk.fagin.sorted_access_depth"), fagin->depth);
+  EXPECT_EQ(reg.CounterValue("topk.fagin.sorted_accesses"),
+            fagin->sorted_accesses);
+  EXPECT_EQ(reg.CounterValue("topk.fagin.random_accesses"),
+            fagin->random_accesses);
+
+  auto ta = ThresholdTopk(*lists, 5, &reg);
+  ASSERT_TRUE(ta.ok());
+  EXPECT_EQ(reg.CounterValue("topk.ta.runs"), 1u);
+  EXPECT_EQ(reg.CounterValue("topk.ta.sorted_access_depth"), ta->depth);
+
+  auto naive = NaiveTopk(*lists, 5, &reg);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(reg.CounterValue("topk.naive.runs"), 1u);
+  EXPECT_EQ(reg.CounterValue("topk.naive.scanned"), 30u);
+}
+
+}  // namespace
+}  // namespace vfps::topk

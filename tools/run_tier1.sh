@@ -8,4 +8,6 @@ BUILD="${1:-"$ROOT/build"}"
 
 cmake -B "$BUILD" -S "$ROOT"
 cmake --build "$BUILD" -j
-cd "$BUILD" && ctest --output-on-failure -j
+# --schedule-random shakes out inter-test ordering dependencies (shared
+# fixtures, leftover files) that a fixed schedule would mask.
+cd "$BUILD" && ctest --output-on-failure --schedule-random -j

@@ -15,6 +15,14 @@
 //                                 leave results identical; a participant
 //                                 crash quarantines it and selection
 //                                 completes over the survivors)
+//                [--metrics-out=metrics.json]
+//                                (write the run's internal counters — HE ops,
+//                                 wire bytes, Fagin depth, greedy evaluations
+//                                 — as deterministic JSON; identical at any
+//                                 --threads value)
+//                [--trace-out=trace.json]
+//                                (write per-phase spans as chrome://tracing
+//                                 JSON, loadable in Perfetto)
 //       Run one experiment grid cell and print the outcome.
 //   vfps_cli sweep --dataset=Bank [--model=lr] [...]
 //       Run every selection method on one configuration side by side.
@@ -28,6 +36,8 @@
 #include "common/string_util.h"
 #include "core/experiment.h"
 #include "data/presets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -139,8 +149,23 @@ int CmdDatasets() {
 int CmdRun(const std::map<std::string, std::string>& flags) {
   auto config = BuildConfig(flags);
   config.status().Abort("config");
+  const std::string metrics_out = Get(flags, "metrics-out", "");
+  const std::string trace_out = Get(flags, "trace-out", "");
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    if (!trace_out.empty()) registry.EnableTracing();
+    config->obs = &registry;
+  }
   auto result = core::RunExperiment(*config);
   result.status().Abort("experiment");
+  if (!metrics_out.empty()) {
+    registry.WriteJsonFile(metrics_out).Abort("metrics-out");
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    registry.tracer()->WriteJsonFile(trace_out).Abort("trace-out");
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
   const std::string source =
       config->csv_path.empty() ? config->dataset : config->csv_path;
   std::printf("dataset=%s rows=%zu features=%zu consortium=%zu backend=%s\n\n",
