@@ -1,0 +1,308 @@
+// Kernel-level microbenchmarks feeding the bench-regression harness
+// (tools/run_bench.sh -> BENCH_*.json). Benchmarks are named after the
+// OPERATION the product executes, not the implementation, so the harness can
+// compare runs across PRs: the same name always measures "what the product
+// does for this operation today".
+//
+// Coverage: 64-bit modular multiplication, the negacyclic NTT, the CKKS
+// ciphertext ops on the selection hot path (encrypt/decrypt/add/rescale),
+// the plaintext distance kernels behind KnnClassifier / FederatedKnnOracle,
+// the bounded top-k selection, and one end-to-end encrypted-KNN query.
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "he/backend.h"
+#include "he/ckks.h"
+#include "he/modarith.h"
+#include "he/ntt.h"
+#include "ml/kernels.h"
+#include "ml/knn.h"
+#include "vfl/fed_knn.h"
+
+namespace vfps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Modular arithmetic
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMulOps = 4096;
+
+struct MulModFixture {
+  uint64_t q;
+  std::vector<uint64_t> a, b;
+
+  MulModFixture() {
+    q = *he::GeneratePrime(54, 2 * 4096);
+    Rng rng(17);
+    a.resize(kMulOps);
+    b.resize(kMulOps);
+    for (size_t i = 0; i < kMulOps; ++i) {
+      a[i] = rng.NextBounded(q);
+      b[i] = rng.NextBounded(q);
+    }
+  }
+};
+
+void BM_MulModU128(benchmark::State& state) {
+  MulModFixture f;
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kMulOps; ++i) acc ^= he::MulMod(f.a[i], f.b[i], f.q);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kMulOps));
+}
+BENCHMARK(BM_MulModU128);
+
+void BM_MulModBarrett(benchmark::State& state) {
+  MulModFixture f;
+  const he::Modulus m(f.q);
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kMulOps; ++i) acc ^= he::MulMod(f.a[i], f.b[i], m);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kMulOps));
+}
+BENCHMARK(BM_MulModBarrett);
+
+// Multiplication by a fixed operand with a precomputed Shoup quotient — the
+// form every NTT butterfly executes.
+void BM_MulModShoup(benchmark::State& state) {
+  MulModFixture f;
+  std::vector<uint64_t> bs(kMulOps);
+  for (size_t i = 0; i < kMulOps; ++i) {
+    bs[i] = he::ShoupPrecompute(f.b[i], f.q);
+  }
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kMulOps; ++i) {
+      acc ^= he::MulModShoup(f.a[i], f.b[i], bs[i], f.q);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kMulOps));
+}
+BENCHMARK(BM_MulModShoup);
+
+// ---------------------------------------------------------------------------
+// Negacyclic NTT
+// ---------------------------------------------------------------------------
+
+void BM_NttForward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto prime = he::GeneratePrime(54, 2 * n);
+  auto tables = he::NttTables::Create(n, *prime);
+  Rng rng(1);
+  std::vector<uint64_t> poly(n);
+  for (auto& v : poly) v = rng.NextBounded(*prime);
+  for (auto _ : state) {
+    tables->Forward(poly.data());
+    benchmark::DoNotOptimize(poly.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(n * sizeof(uint64_t)));
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096);
+
+void BM_NttInverse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto prime = he::GeneratePrime(54, 2 * n);
+  auto tables = he::NttTables::Create(n, *prime);
+  Rng rng(2);
+  std::vector<uint64_t> poly(n);
+  for (auto& v : poly) v = rng.NextBounded(*prime);
+  for (auto _ : state) {
+    tables->Inverse(poly.data());
+    benchmark::DoNotOptimize(poly.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(n * sizeof(uint64_t)));
+}
+BENCHMARK(BM_NttInverse)->Arg(1024)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// CKKS scheme operations (the encrypted-KNN oracle's per-query HE cost)
+// ---------------------------------------------------------------------------
+
+struct CkksKernelFixture {
+  std::shared_ptr<const he::CkksContext> ctx;
+  Rng rng{7};
+  he::CkksSecretKey sk;
+  he::CkksPublicKey pk;
+  std::vector<double> values;
+
+  explicit CkksKernelFixture(size_t degree) {
+    he::CkksParams params;
+    params.poly_degree = degree;
+    ctx = he::CkksContext::Create(params).ValueOrDie();
+    sk = ctx->GenerateSecretKey(&rng);
+    pk = ctx->GeneratePublicKey(sk, &rng);
+    values.resize(ctx->slot_count());
+    Rng vals(3);
+    for (auto& v : values) v = vals.Uniform(-100.0, 100.0);
+  }
+};
+
+void BM_CkksEncrypt(benchmark::State& state) {
+  CkksKernelFixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ct = f.ctx->EncryptVector(f.pk, f.values, &f.rng);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.values.size()));
+}
+BENCHMARK(BM_CkksEncrypt)->Arg(4096);
+
+void BM_CkksDecrypt(benchmark::State& state) {
+  CkksKernelFixture f(static_cast<size_t>(state.range(0)));
+  auto ct = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
+  for (auto _ : state) {
+    auto values = f.ctx->DecryptVector(f.sk, ct, f.values.size());
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.values.size()));
+}
+BENCHMARK(BM_CkksDecrypt)->Arg(4096);
+
+void BM_CkksAdd(benchmark::State& state) {
+  CkksKernelFixture f(static_cast<size_t>(state.range(0)));
+  auto a = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
+  auto b = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctx->AddInPlaceCt(&a, b));
+  }
+}
+BENCHMARK(BM_CkksAdd)->Arg(4096);
+
+void BM_CkksRescale(benchmark::State& state) {
+  CkksKernelFixture f(static_cast<size_t>(state.range(0)));
+  auto ct = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
+  for (auto _ : state) {
+    auto dropped = f.ctx->Rescale(ct);
+    benchmark::DoNotOptimize(dropped);
+  }
+}
+BENCHMARK(BM_CkksRescale)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// Distance kernels + bounded top-k
+// ---------------------------------------------------------------------------
+
+struct DistanceFixture {
+  data::Dataset train;
+  data::Dataset test;
+  data::VerticalPartition partition;
+
+  DistanceFixture(size_t rows, size_t features, size_t parties) {
+    data::SyntheticConfig config;
+    config.num_samples = rows + 64;
+    config.num_features = features;
+    config.num_informative = features / 2;
+    config.num_redundant = features / 4;
+    config.seed = 9;
+    auto generated = data::GenerateClassification(config).ValueOrDie();
+    auto split =
+        data::SplitDataset(generated.data,
+                           static_cast<double>(rows) /
+                               static_cast<double>(config.num_samples),
+                           0.0, 2)
+            .ValueOrDie();
+    train = std::move(split.train);
+    test = std::move(split.test);
+    partition = data::RandomVerticalPartition(features, parties, 3).ValueOrDie();
+  }
+};
+
+void BM_KnnNeighbors(benchmark::State& state) {
+  DistanceFixture f(static_cast<size_t>(state.range(0)), 16, 4);
+  ml::KnnClassifier knn(10);
+  (void)knn.Fit(f.train, {});
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto neighbors = knn.Neighbors(f.test.Row(qi));
+    benchmark::DoNotOptimize(neighbors);
+    qi = (qi + 1) % f.test.num_samples();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.train.num_samples()));
+}
+BENCHMARK(BM_KnnNeighbors)->Arg(2000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_FedKnnClassify(benchmark::State& state) {
+  DistanceFixture f(static_cast<size_t>(state.range(0)), 16, 4);
+  auto backend = he::CreatePlainBackend();
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+  vfl::FederatedKnnOracle oracle(&f.train, &f.partition, backend.get(),
+                                 &network, &cost, &clock);
+  const std::vector<size_t> all = {0, 1, 2, 3};
+  for (auto _ : state) {
+    auto preds = oracle.ClassifyPredictions(f.test, all, 10, false);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.test.num_samples()));
+}
+BENCHMARK(BM_FedKnnClassify)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// The bounded top-k selection over a full distance vector, exactly as the
+// leader ranks decrypted aggregates: k smallest by (value, index).
+void BM_SmallestK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = 10;
+  Rng rng(23);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.Uniform(0.0, 100.0);
+  for (auto _ : state) {
+    auto idx = ml::SmallestK(values, k);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SmallestK)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// End-to-end encrypted-KNN query (BASE mode: encrypt-all, the paper's
+// dominant cost). Reported time covers Run() over `kQueries` queries; the
+// per-query latency is time / kQueries.
+// ---------------------------------------------------------------------------
+
+void BM_EncKnnQuery(benchmark::State& state) {
+  constexpr size_t kQueries = 4;
+  DistanceFixture f(static_cast<size_t>(state.range(0)), 16, 4);
+  he::CkksParams params;
+  params.poly_degree = 1024;
+  auto backend = he::CreateCkksBackend(params, 5).MoveValueUnsafe();
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+  vfl::FederatedKnnOracle oracle(&f.train, &f.partition, backend.get(),
+                                 &network, &cost, &clock);
+  vfl::FedKnnConfig config;
+  config.mode = vfl::KnnOracleMode::kBase;
+  config.k = 10;
+  config.num_queries = kQueries;
+  for (auto _ : state) {
+    auto result = oracle.Run(config, nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_EncKnnQuery)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vfps
+
+BENCHMARK_MAIN();

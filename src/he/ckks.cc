@@ -50,11 +50,17 @@ CkksPublicKey CkksContext::GeneratePublicKey(const CkksSecretKey& sk,
 CkksCiphertext CkksContext::Encrypt(const CkksPublicKey& pk,
                                     const RnsPoly& plaintext, double scale,
                                     Rng* rng) const {
-  RnsPoly u = SampleTernary(*rns_, rng);
+  // Per-thread scratch for the three masking polynomials: every component is
+  // overwritten by the samplers, and the Rng consumption is identical to the
+  // allocating SampleTernary/SampleGaussian, so reuse is invisible to both
+  // determinism and callers. Saves three n * num_primes allocations per
+  // encryption — the oracle's hottest allocation site.
+  thread_local RnsPoly u, e0, e1;
+  SampleTernaryInto(*rns_, rng, &u);
   ToNtt(*rns_, &u);
-  RnsPoly e0 = SampleGaussian(*rns_, rng, params_.noise_sigma);
+  SampleGaussianInto(*rns_, rng, &e0, params_.noise_sigma);
   ToNtt(*rns_, &e0);
-  RnsPoly e1 = SampleGaussian(*rns_, rng, params_.noise_sigma);
+  SampleGaussianInto(*rns_, rng, &e1, params_.noise_sigma);
   ToNtt(*rns_, &e1);
 
   CkksCiphertext ct;
@@ -260,28 +266,41 @@ Result<CkksCiphertext> CkksContext::Rescale(const CkksCiphertext& x) const {
   const uint64_t q_last = rns_->prime(last);
   CkksCiphertext out;
   out.scale = x.scale / static_cast<double>(q_last);
+  // Scratch for the coefficient-form copy (fully overwritten below).
+  thread_local RnsPoly coeff;
   for (const RnsPoly* src : {&x.c0, &x.c1}) {
-    RnsPoly coeff = *src;
+    ResizePoly(*rns_, &coeff);
+    for (size_t i = 0; i < src->num_primes(); ++i) {
+      coeff.residues[i].assign(src->residues[i].begin(),
+                               src->residues[i].end());
+    }
+    coeff.ntt_form = src->ntt_form;
     FromNtt(*rns_, &coeff);
     RnsPoly dropped;
     dropped.ntt_form = false;
     dropped.residues.resize(last);
+    const uint64_t q_last_half = q_last / 2;
     for (size_t i = 0; i < last; ++i) {
       const uint64_t q = rns_->prime(i);
-      const uint64_t q_last_inv = InvMod(q_last % q, q);
+      const Modulus& m = rns_->modulus(i);
+      // Cached at RnsContext::Create: (q_last mod q)^{-1} mod q + Shoup word.
+      const uint64_t q_last_inv = rns_->rescale_q_last_inv(i);
+      const uint64_t q_last_inv_shoup = rns_->rescale_q_last_inv_shoup(i);
       auto& dst = dropped.residues[i];
       dst.resize(rns_->n());
+      const uint64_t* lastr = coeff.residues[last].data();
+      const uint64_t* srci = coeff.residues[i].data();
       for (size_t c = 0; c < rns_->n(); ++c) {
         // Centered remainder of the dropped residue, reduced into q.
-        const uint64_t r = coeff.residues[last][c];
+        const uint64_t r = lastr[c];
         uint64_t r_mod_q;
-        if (r > q_last / 2) {
-          r_mod_q = NegateMod((q_last - r) % q, q);
+        if (r > q_last_half) {
+          r_mod_q = NegateMod(BarrettReduce64(q_last - r, m), q);
         } else {
-          r_mod_q = r % q;
+          r_mod_q = BarrettReduce64(r, m);
         }
-        const uint64_t t = SubMod(coeff.residues[i][c], r_mod_q, q);
-        dst[c] = MulMod(t, q_last_inv, q);
+        const uint64_t t = SubMod(srci[c], r_mod_q, q);
+        dst[c] = MulModShoup(t, q_last_inv, q_last_inv_shoup, q);
       }
     }
     ToNtt(*rns_, &dropped);

@@ -29,18 +29,10 @@ Result<CkksEncoder> CkksEncoder::Create(std::shared_ptr<const RnsContext> ctx) {
     const double angle = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n);
     enc.fft_roots_[k] = {std::cos(angle), std::sin(angle)};
   }
-  enc.bit_rev_.resize(n);
-  int log_n = 0;
-  while ((size_t{1} << log_n) < n) ++log_n;
-  for (size_t i = 0; i < n; ++i) {
-    size_t r = 0;
-    size_t x = i;
-    for (int b = 0; b < log_n; ++b) {
-      r = (r << 1) | (x & 1);
-      x >>= 1;
-    }
-    enc.bit_rev_[i] = r;
-  }
+  // The NTT tables already hold the bit-reversal permutation for this n;
+  // share it instead of recomputing (every RNS prime uses the same ring
+  // degree, so table 0 suffices).
+  enc.bit_rev_ = enc.ctx_->ntt(0).bit_rev();
   return enc;
 }
 
@@ -108,7 +100,14 @@ Result<std::vector<double>> CkksEncoder::Decode(const RnsPoly& poly,
   if (scale <= 0.0) {
     return Status::InvalidArgument("CkksEncoder: scale must be positive");
   }
-  RnsPoly coeff_form = poly;
+  // Per-thread scratch; fully overwritten from `poly` before use.
+  thread_local RnsPoly coeff_form;
+  coeff_form.residues.resize(poly.num_primes());
+  for (size_t i = 0; i < poly.num_primes(); ++i) {
+    coeff_form.residues[i].assign(poly.residues[i].begin(),
+                                  poly.residues[i].end());
+  }
+  coeff_form.ntt_form = poly.ntt_form;
   FromNtt(*ctx_, &coeff_form);
   std::vector<std::complex<double>> work(n);
   for (size_t k = 0; k < n; ++k) {

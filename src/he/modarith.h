@@ -8,7 +8,10 @@
 namespace vfps::he {
 
 /// 64-bit modular arithmetic primitives used by the NTT and the CKKS scheme.
-/// All moduli are < 2^62 so sums of two residues never overflow.
+/// All moduli are < 2^62; this gives two guarantees the fast paths rely on:
+/// sums of two residues never overflow, and lazy values in [0, 4q) fit in a
+/// uint64_t (4q < 2^64), which is what permits the Harvey-style deferred
+/// reductions in the NTT butterflies.
 
 inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t q) {
   uint64_t s = a + b;
@@ -24,6 +27,82 @@ inline uint64_t MulMod(uint64_t a, uint64_t b, uint64_t q) {
 }
 
 inline uint64_t NegateMod(uint64_t a, uint64_t q) { return a == 0 ? 0 : q - a; }
+
+/// High 64 bits of the 128-bit product a * b.
+inline uint64_t MulHi64(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>((static_cast<__uint128_t>(a) * b) >> 64);
+}
+
+/// \brief A modulus with its Barrett constant floor(2^128 / q), stored as two
+/// 64-bit words {lo, hi}. Lets hot loops reduce 128-bit products without a
+/// hardware division. Requires 1 < q < 2^62.
+struct Modulus {
+  uint64_t value = 0;
+  uint64_t const_ratio[2] = {0, 0};  // floor(2^128 / q): [0] = lo, [1] = hi
+
+  Modulus() = default;
+  explicit Modulus(uint64_t q) : value(q) {
+    const __uint128_t two_64 = static_cast<__uint128_t>(1) << 64;
+    const uint64_t hi = static_cast<uint64_t>(two_64 / q);
+    const uint64_t rem = static_cast<uint64_t>(two_64 % q);
+    const_ratio[1] = hi;
+    const_ratio[0] = static_cast<uint64_t>((static_cast<__uint128_t>(rem) << 64) / q);
+  }
+};
+
+/// \brief Barrett reduction of the 128-bit value (z_hi * 2^64 + z_lo) to
+/// [0, q). Estimates floor(z / q) as the top word of z * floor(2^128/q);
+/// the estimate is off by at most one, so a single conditional subtraction
+/// completes the reduction.
+inline uint64_t BarrettReduce128(uint64_t z_lo, uint64_t z_hi, const Modulus& m) {
+  const uint64_t r_lo = m.const_ratio[0];
+  const uint64_t r_hi = m.const_ratio[1];
+  const uint64_t carry = MulHi64(z_lo, r_lo);
+  const __uint128_t mid1 = static_cast<__uint128_t>(z_lo) * r_hi + carry;
+  const __uint128_t mid2 =
+      static_cast<__uint128_t>(z_hi) * r_lo + static_cast<uint64_t>(mid1);
+  const uint64_t q_est = z_hi * r_hi + static_cast<uint64_t>(mid1 >> 64) +
+                         static_cast<uint64_t>(mid2 >> 64);
+  const uint64_t r = z_lo - q_est * m.value;
+  return r >= m.value ? r - m.value : r;
+}
+
+/// Barrett reduction of a single 64-bit value to [0, q).
+inline uint64_t BarrettReduce64(uint64_t a, const Modulus& m) {
+  const uint64_t q_est = MulHi64(a, m.const_ratio[1]);
+  const uint64_t r = a - q_est * m.value;
+  return r >= m.value ? r - m.value : r;
+}
+
+/// Division-free modular multiplication via Barrett reduction.
+inline uint64_t MulMod(uint64_t a, uint64_t b, const Modulus& m) {
+  const __uint128_t z = static_cast<__uint128_t>(a) * b;
+  return BarrettReduce128(static_cast<uint64_t>(z),
+                          static_cast<uint64_t>(z >> 64), m);
+}
+
+/// \brief Shoup precomputation for multiplying by a fixed operand w < q:
+/// returns floor(w * 2^64 / q).
+inline uint64_t ShoupPrecompute(uint64_t w, uint64_t q) {
+  return static_cast<uint64_t>((static_cast<__uint128_t>(w) << 64) / q);
+}
+
+/// \brief Lazy Shoup multiplication: a * w mod q up to one multiple of q,
+/// i.e. the result lies in [0, 2q). Valid for ANY a < 2^64 (in particular
+/// lazy inputs in [0, 4q)) with w < q and q < 2^63. Two multiplies, no
+/// division — this is the NTT butterfly workhorse.
+inline uint64_t MulModShoupLazy(uint64_t a, uint64_t w, uint64_t w_shoup,
+                                uint64_t q) {
+  const uint64_t hi = MulHi64(a, w_shoup);
+  return a * w - hi * q;
+}
+
+/// Fully reduced Shoup multiplication: result in [0, q).
+inline uint64_t MulModShoup(uint64_t a, uint64_t w, uint64_t w_shoup,
+                            uint64_t q) {
+  const uint64_t r = MulModShoupLazy(a, w, w_shoup, q);
+  return r >= q ? r - q : r;
+}
 
 /// a^e mod q by binary exponentiation.
 uint64_t PowMod(uint64_t a, uint64_t e, uint64_t q);

@@ -12,15 +12,6 @@ int Log2Exact(size_t n) {
   while ((size_t{1} << log) < n) ++log;
   return (size_t{1} << log) == n ? log : -1;
 }
-
-size_t ReverseBits(size_t x, int bits) {
-  size_t r = 0;
-  for (int i = 0; i < bits; ++i) {
-    r = (r << 1) | (x & 1);
-    x >>= 1;
-  }
-  return r;
-}
 }  // namespace
 
 Result<NttTables> NttTables::Create(size_t n, uint64_t q) {
@@ -34,15 +25,34 @@ Result<NttTables> NttTables::Create(size_t n, uint64_t q) {
         StrFormat("NttTables: q = %llu is not NTT-friendly for n = %zu",
                   static_cast<unsigned long long>(q), n));
   }
+  if (q >= (uint64_t{1} << 62)) {
+    // The lazy butterflies keep values in [0, 4q); 4q must fit in 64 bits.
+    return Status::InvalidArgument(
+        StrFormat("NttTables: q = %llu must be < 2^62",
+                  static_cast<unsigned long long>(q)));
+  }
   t.n_ = n;
   t.log_n_ = log_n;
   t.q_ = q;
+  t.modulus_ = Modulus(q);
   VFPS_ASSIGN_OR_RETURN(t.psi_, FindPrimitiveRoot(2 * n, q));
   t.n_inv_ = InvMod(static_cast<uint64_t>(n), q);
+  t.n_inv_shoup_ = ShoupPrecompute(t.n_inv_, q);
+
+  // Bit-reversal permutation, built incrementally: rev(i) follows from
+  // rev(i >> 1) by shifting right and injecting i's low bit at the top.
+  t.bit_rev_.resize(n);
+  t.bit_rev_[0] = 0;
+  for (size_t i = 1; i < n; ++i) {
+    t.bit_rev_[i] =
+        (t.bit_rev_[i >> 1] >> 1) | ((i & 1) << (log_n - 1));
+  }
 
   const uint64_t psi_inv = InvMod(t.psi_, q);
   t.root_powers_.resize(n);
+  t.root_powers_shoup_.resize(n);
   t.inv_root_powers_.resize(n);
+  t.inv_root_powers_shoup_.resize(n);
   uint64_t power = 1;
   std::vector<uint64_t> powers(n), inv_powers(n);
   for (size_t i = 0; i < n; ++i) {
@@ -55,9 +65,11 @@ Result<NttTables> NttTables::Create(size_t n, uint64_t q) {
     power = MulMod(power, psi_inv, q);
   }
   for (size_t i = 0; i < n; ++i) {
-    const size_t rev = ReverseBits(i, log_n);
+    const size_t rev = t.bit_rev_[i];
     t.root_powers_[i] = powers[rev];
+    t.root_powers_shoup_[i] = ShoupPrecompute(powers[rev], q);
     t.inv_root_powers_[i] = inv_powers[rev];
+    t.inv_root_powers_shoup_[i] = ShoupPrecompute(inv_powers[rev], q);
   }
   return t;
 }
@@ -65,7 +77,16 @@ Result<NttTables> NttTables::Create(size_t n, uint64_t q) {
 void NttTables::Forward(uint64_t* a) const {
   // Cooley-Tukey butterflies with the psi powers folded in, so the result is
   // the negacyclic (X^n + 1) transform rather than the cyclic one.
+  //
+  // Harvey-style lazy reduction: between stages values live in [0, 4q)
+  // rather than [0, q). Each butterfly conditionally reduces u to [0, 2q),
+  // computes v = a[j+t] * w mod q lazily in [0, 2q) via the Shoup constant
+  // (valid for any a[j+t] < 2^64, so the [0, 4q) input needs no reduction),
+  // and writes u + v and u + 2q - v, both < 4q. q < 2^62 guarantees no
+  // overflow. The final pass fully reduces, so outputs are bit-identical to
+  // the exact per-butterfly implementation.
   const uint64_t q = q_;
+  const uint64_t two_q = 2 * q;
   size_t t = n_;
   for (size_t m = 1; m < n_; m <<= 1) {
     t >>= 1;
@@ -73,19 +94,31 @@ void NttTables::Forward(uint64_t* a) const {
       const size_t j1 = 2 * i * t;
       const size_t j2 = j1 + t;
       const uint64_t w = root_powers_[m + i];
+      const uint64_t ws = root_powers_shoup_[m + i];
       for (size_t j = j1; j < j2; ++j) {
-        const uint64_t u = a[j];
-        const uint64_t v = MulMod(a[j + t], w, q);
-        a[j] = AddMod(u, v, q);
-        a[j + t] = SubMod(u, v, q);
+        uint64_t u = a[j];
+        if (u >= two_q) u -= two_q;
+        const uint64_t v = MulModShoupLazy(a[j + t], w, ws, q);
+        a[j] = u + v;
+        a[j + t] = u + two_q - v;
       }
     }
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    uint64_t v = a[i];
+    if (v >= two_q) v -= two_q;
+    if (v >= q) v -= q;
+    a[i] = v;
   }
 }
 
 void NttTables::Inverse(uint64_t* a) const {
-  // Gentleman-Sande butterflies; the final pass multiplies by n^{-1}.
+  // Gentleman-Sande butterflies, lazy in [0, 2q): the sum u + v < 4q is
+  // conditionally reduced back below 2q, and the difference path feeds
+  // u + 2q - v (< 4q < 2^64) straight into the lazy Shoup multiply. The
+  // final pass multiplies by n^{-1} with full reduction to [0, q).
   const uint64_t q = q_;
+  const uint64_t two_q = 2 * q;
   size_t t = 1;
   for (size_t m = n_; m > 1; m >>= 1) {
     size_t j1 = 0;
@@ -93,17 +126,22 @@ void NttTables::Inverse(uint64_t* a) const {
     for (size_t i = 0; i < h; ++i) {
       const size_t j2 = j1 + t;
       const uint64_t w = inv_root_powers_[h + i];
+      const uint64_t ws = inv_root_powers_shoup_[h + i];
       for (size_t j = j1; j < j2; ++j) {
         const uint64_t u = a[j];
         const uint64_t v = a[j + t];
-        a[j] = AddMod(u, v, q);
-        a[j + t] = MulMod(SubMod(u, v, q), w, q);
+        uint64_t s = u + v;
+        if (s >= two_q) s -= two_q;
+        a[j] = s;
+        a[j + t] = MulModShoupLazy(u + two_q - v, w, ws, q);
       }
       j1 += 2 * t;
     }
     t <<= 1;
   }
-  for (size_t i = 0; i < n_; ++i) a[i] = MulMod(a[i], n_inv_, q);
+  for (size_t i = 0; i < n_; ++i) {
+    a[i] = MulModShoup(a[i], n_inv_, n_inv_shoup_, q);
+  }
 }
 
 }  // namespace vfps::he

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "he/modarith.h"
 
 namespace vfps::he {
 
@@ -23,10 +24,20 @@ class NttTables {
   uint64_t q() const { return q_; }
   uint64_t psi() const { return psi_; }
 
+  /// Barrett-ready modulus for division-free pointwise arithmetic mod q.
+  const Modulus& modulus() const { return modulus_; }
+
+  /// \brief Bit-reversal permutation over [0, n): bit_rev()[i] is i with its
+  /// log2(n) low bits reversed. Precomputed once at Create; shared by the
+  /// transforms here and by the CKKS encoder's FFT.
+  const std::vector<size_t>& bit_rev() const { return bit_rev_; }
+
   /// In-place forward negacyclic NTT (coefficient -> evaluation form).
+  /// Input residues must be < q; output residues are fully reduced to [0, q).
   void Forward(uint64_t* a) const;
 
   /// In-place inverse negacyclic NTT (evaluation -> coefficient form).
+  /// Input residues must be < q; output residues are fully reduced to [0, q).
   void Inverse(uint64_t* a) const;
 
   void Forward(std::vector<uint64_t>* a) const { Forward(a->data()); }
@@ -40,10 +51,18 @@ class NttTables {
   uint64_t q_ = 0;
   uint64_t psi_ = 0;
   uint64_t n_inv_ = 0;
+  uint64_t n_inv_shoup_ = 0;
+  Modulus modulus_;
   // Powers of psi in bit-reversed order (Cooley-Tukey layout), and likewise
-  // for psi^{-1} (Gentleman-Sande layout for the inverse).
+  // for psi^{-1} (Gentleman-Sande layout for the inverse). The *_shoup_
+  // companions hold floor(w * 2^64 / q) for each twiddle, enabling the
+  // division-free lazy butterflies (see docs/ARCHITECTURE.md, "Performance
+  // kernels").
   std::vector<uint64_t> root_powers_;
+  std::vector<uint64_t> root_powers_shoup_;
   std::vector<uint64_t> inv_root_powers_;
+  std::vector<uint64_t> inv_root_powers_shoup_;
+  std::vector<size_t> bit_rev_;
 };
 
 }  // namespace vfps::he

@@ -45,6 +45,17 @@ Result<std::shared_ptr<const RnsContext>> RnsContext::Create(
     ctx->crt_q0_inv_q1_ =
         InvMod(ctx->primes_[0] % ctx->primes_[1], ctx->primes_[1]);
   }
+  // Rescale drops the last prime; cache (q_last mod q_i)^{-1} for each
+  // retained prime so the hot path never calls InvMod.
+  if (ctx->primes_.size() >= 2) {
+    const uint64_t q_last = ctx->primes_.back();
+    for (size_t i = 0; i + 1 < ctx->primes_.size(); ++i) {
+      const uint64_t q = ctx->primes_[i];
+      const uint64_t inv = InvMod(q_last % q, q);
+      ctx->rescale_inv_.push_back(inv);
+      ctx->rescale_inv_shoup_.push_back(ShoupPrecompute(inv, q));
+    }
+  }
   return std::shared_ptr<const RnsContext>(ctx);
 }
 
@@ -53,6 +64,12 @@ RnsPoly ZeroPoly(const RnsContext& ctx) {
   p.residues.assign(ctx.num_primes(), std::vector<uint64_t>(ctx.n(), 0));
   p.ntt_form = false;
   return p;
+}
+
+void ResizePoly(const RnsContext& ctx, RnsPoly* p) {
+  p->residues.resize(ctx.num_primes());
+  for (auto& r : p->residues) r.resize(ctx.n());
+  p->ntt_form = false;
 }
 
 RnsPoly SampleUniform(const RnsContext& ctx, Rng* rng) {
@@ -68,33 +85,46 @@ RnsPoly SampleUniform(const RnsContext& ctx, Rng* rng) {
 }
 
 namespace {
-// Writes the same small signed value into every RNS component.
+// Writes the same small signed value into every RNS component. |v| is tiny
+// (ternary or a few sigmas of noise) and every prime exceeds 2^29, so the
+// Barrett fallback division never triggers in practice.
 void SetSmallSigned(const RnsContext& ctx, RnsPoly* p, size_t j, int64_t v) {
   for (size_t i = 0; i < ctx.num_primes(); ++i) {
     const uint64_t q = ctx.prime(i);
-    p->residues[i][j] =
-        v >= 0 ? static_cast<uint64_t>(v) % q
-               : q - (static_cast<uint64_t>(-v) % q);
+    uint64_t mag = static_cast<uint64_t>(v >= 0 ? v : -v);
+    if (mag >= q) mag = BarrettReduce64(mag, ctx.modulus(i));
+    p->residues[i][j] = (v >= 0 || mag == 0) ? mag : q - mag;
   }
 }
 }  // namespace
 
 RnsPoly SampleTernary(const RnsContext& ctx, Rng* rng) {
   RnsPoly p = ZeroPoly(ctx);
-  for (size_t j = 0; j < ctx.n(); ++j) {
-    const int64_t v = static_cast<int64_t>(rng->NextBounded(3)) - 1;
-    SetSmallSigned(ctx, &p, j, v);
-  }
+  SampleTernaryInto(ctx, rng, &p);
   return p;
 }
 
 RnsPoly SampleGaussian(const RnsContext& ctx, Rng* rng, double sigma) {
   RnsPoly p = ZeroPoly(ctx);
+  SampleGaussianInto(ctx, rng, &p, sigma);
+  return p;
+}
+
+void SampleTernaryInto(const RnsContext& ctx, Rng* rng, RnsPoly* out) {
+  ResizePoly(ctx, out);
+  for (size_t j = 0; j < ctx.n(); ++j) {
+    const int64_t v = static_cast<int64_t>(rng->NextBounded(3)) - 1;
+    SetSmallSigned(ctx, out, j, v);
+  }
+}
+
+void SampleGaussianInto(const RnsContext& ctx, Rng* rng, RnsPoly* out,
+                        double sigma) {
+  ResizePoly(ctx, out);
   for (size_t j = 0; j < ctx.n(); ++j) {
     const int64_t v = static_cast<int64_t>(std::llround(rng->Normal(0.0, sigma)));
-    SetSmallSigned(ctx, &p, j, v);
+    SetSmallSigned(ctx, out, j, v);
   }
-  return p;
 }
 
 void AddInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
@@ -126,19 +156,21 @@ void NegateInPlace(const RnsContext& ctx, RnsPoly* a) {
 
 void MulPointwiseInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
   for (size_t i = 0; i < std::min(a->num_primes(), b.num_primes()); ++i) {
-    const uint64_t q = ctx.prime(i);
+    const Modulus& m = ctx.modulus(i);
     uint64_t* pa = a->residues[i].data();
     const uint64_t* pb = b.residues[i].data();
-    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = MulMod(pa[j], pb[j], q);
+    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = MulMod(pa[j], pb[j], m);
   }
 }
 
 void MulScalarInPlace(const RnsContext& ctx, RnsPoly* a, uint64_t scalar) {
   for (size_t i = 0; i < a->num_primes(); ++i) {
     const uint64_t q = ctx.prime(i);
-    const uint64_t s = scalar % q;
+    const uint64_t s = BarrettReduce64(scalar, ctx.modulus(i));
+    const uint64_t s_shoup = ShoupPrecompute(s, q);
+    uint64_t* pa = a->residues[i].data();
     for (size_t j = 0; j < ctx.n(); ++j) {
-      a->residues[i][j] = MulMod(a->residues[i][j], s, q);
+      pa[j] = MulModShoup(pa[j], s, s_shoup, q);
     }
   }
 }
@@ -161,17 +193,15 @@ void FromNtt(const RnsContext& ctx, RnsPoly* a) {
 
 void SetCoeffFromInt128(const RnsContext& ctx, RnsPoly* poly, size_t idx,
                         __int128 value) {
-  (void)ctx;
+  const unsigned __int128 mag =
+      value >= 0 ? static_cast<unsigned __int128>(value)
+                 : static_cast<unsigned __int128>(-value);
+  const uint64_t lo = static_cast<uint64_t>(mag);
+  const uint64_t hi = static_cast<uint64_t>(mag >> 64);
   for (size_t i = 0; i < poly->num_primes(); ++i) {
-    const uint64_t q = ctx.prime(i);
-    if (value >= 0) {
-      poly->residues[i][idx] =
-          static_cast<uint64_t>(static_cast<unsigned __int128>(value) % q);
-    } else {
-      const uint64_t r =
-          static_cast<uint64_t>(static_cast<unsigned __int128>(-value) % q);
-      poly->residues[i][idx] = r == 0 ? 0 : q - r;
-    }
+    const uint64_t r = BarrettReduce128(lo, hi, ctx.modulus(i));
+    poly->residues[i][idx] =
+        (value >= 0 || r == 0) ? r : ctx.prime(i) - r;
   }
 }
 

@@ -30,6 +30,17 @@ class RnsContext {
   uint64_t prime(size_t i) const { return primes_[i]; }
   const NttTables& ntt(size_t i) const { return ntt_[i]; }
 
+  /// Barrett-ready modulus for prime i (division-free pointwise arithmetic).
+  const Modulus& modulus(size_t i) const { return ntt_[i].modulus(); }
+
+  /// \brief Rescale precompute: (q_last mod q_i)^{-1} mod q_i for each
+  /// retained prime i < num_primes() - 1, with its Shoup companion. Cached at
+  /// Create so CkksContext::Rescale does no per-call inversions.
+  uint64_t rescale_q_last_inv(size_t i) const { return rescale_inv_[i]; }
+  uint64_t rescale_q_last_inv_shoup(size_t i) const {
+    return rescale_inv_shoup_[i];
+  }
+
   /// Q as a long double (used only for headroom checks, never for arithmetic).
   long double modulus_approx() const { return q_approx_; }
 
@@ -43,6 +54,8 @@ class RnsContext {
   std::vector<NttTables> ntt_;
   long double q_approx_ = 0.0L;
   uint64_t crt_q0_inv_q1_ = 0;
+  std::vector<uint64_t> rescale_inv_;
+  std::vector<uint64_t> rescale_inv_shoup_;
 };
 
 /// \brief Ring element in RNS representation: one residue vector of length n
@@ -58,6 +71,12 @@ struct RnsPoly {
 /// Fresh zero polynomial (coefficient form).
 RnsPoly ZeroPoly(const RnsContext& ctx);
 
+/// \brief Resize `p` to the context's shape without zero-filling live data.
+/// Used by the *Into sampling variants to reuse scratch buffers: callers must
+/// treat the previous contents as garbage (every component is overwritten by
+/// the samplers below).
+void ResizePoly(const RnsContext& ctx, RnsPoly* p);
+
 /// Uniform element of R_Q (directly usable in either form; sampled per prime).
 RnsPoly SampleUniform(const RnsContext& ctx, Rng* rng);
 
@@ -66,6 +85,14 @@ RnsPoly SampleTernary(const RnsContext& ctx, Rng* rng);
 
 /// Centered discrete gaussian error (sigma ~ 3.2); coefficient form.
 RnsPoly SampleGaussian(const RnsContext& ctx, Rng* rng, double sigma = 3.2);
+
+/// \brief Allocation-free variants writing into an existing polynomial
+/// (resized to the context's shape; all components overwritten). Each
+/// consumes the Rng identically to its allocating counterpart, so swapping
+/// one for the other never perturbs a deterministic randomness stream.
+void SampleTernaryInto(const RnsContext& ctx, Rng* rng, RnsPoly* out);
+void SampleGaussianInto(const RnsContext& ctx, Rng* rng, RnsPoly* out,
+                        double sigma = 3.2);
 
 /// a += b (must be in the same form).
 void AddInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b);

@@ -1,0 +1,88 @@
+#ifndef VFPS_ML_KERNELS_H_
+#define VFPS_ML_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace vfps::ml {
+
+/// \brief A column subset of a dataset laid out for the distance kernels:
+/// rows contiguous (packed copy for a proper subset, zero-copy alias of the
+/// dataset's row-major storage when the subset is all columns in order), with
+/// per-row squared norms cached at construction.
+///
+/// Lifetime: a block NEVER owns the dataset. In the aliasing case it points
+/// straight into the dataset's feature storage, and in both cases it is only
+/// meaningful for that dataset's current contents — the source Dataset must
+/// outlive the block.
+class FeatureBlock {
+ public:
+  FeatureBlock() = default;
+
+  /// Block over `columns` of `data` (packed unless `columns` is exactly
+  /// 0..num_features-1, which aliases).
+  FeatureBlock(const data::Dataset& data, const std::vector<size_t>& columns);
+
+  /// Block over all columns (always aliases the dataset storage).
+  explicit FeatureBlock(const data::Dataset& data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool aliases_dataset() const { return packed_.empty() && data_ != nullptr; }
+
+  const double* row(size_t i) const { return data_ + i * cols_; }
+
+  /// Cached ||row_i||^2 over the block's columns.
+  double row_norm(size_t i) const { return norms_[i]; }
+
+  /// Extract this block's columns of a joint-feature-space row into
+  /// out[0..cols()).
+  void GatherInto(const double* joint_row, double* out) const;
+
+ private:
+  const double* data_ = nullptr;  // rows_ x cols_, contiguous
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> columns_;
+  std::vector<double> packed_;  // backing store when not aliasing
+  std::vector<double> norms_;
+};
+
+/// Sum of v[i]^2. Fixed 4-accumulator association (deterministic, and exact
+/// whenever the products are exactly representable, e.g. integer grids).
+double SquaredNorm(const double* v, size_t n);
+
+/// Dot product with the same fixed 4-accumulator association.
+double DotProduct(const double* a, const double* b, size_t n);
+
+/// \brief Norm-decomposed squared Euclidean distances from a query slice to
+/// block rows [begin, end): out[i - begin] = q_norm + ||row_i||^2 - 2 q.row_i
+/// with the row norms served from the block's cache. `query` must hold the
+/// block's columns (see FeatureBlock::GatherInto) and `q_norm` its squared
+/// norm. One multiply-add per element versus the subtract/multiply/add of the
+/// naive loop, on contiguous rows.
+///
+/// Numerics: identical to the naive sum-of-squared-differences for inputs
+/// whose products are exactly representable (integer grids); within a few
+/// ulps of ||q||^2 + ||x||^2 otherwise — callers comparing against other
+/// float pipelines should compare with a tolerance, not bitwise.
+void BlockSquaredDistances(const FeatureBlock& block, const double* query,
+                           double q_norm, size_t begin, size_t end,
+                           double* out);
+
+/// \brief Indices of the k smallest values, ascending, ties broken by lower
+/// index — exactly the order partial_sort over (value, index) pairs yields,
+/// in O(n log k) with a bounded max-heap instead of O(n log n) movement.
+/// +inf entries (excluded rows) lose every comparison.
+std::vector<uint64_t> SmallestK(const double* values, size_t n, size_t k);
+
+inline std::vector<uint64_t> SmallestK(const std::vector<double>& values,
+                                       size_t k) {
+  return SmallestK(values.data(), values.size(), k);
+}
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_KERNELS_H_

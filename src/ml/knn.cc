@@ -21,33 +21,26 @@ int MajorityVote(const std::vector<int>& labels, int num_classes) {
 Status KnnClassifier::Fit(const data::Dataset& train, const data::Dataset&) {
   VFPS_CHECK_ARG(train.num_samples() > 0, "KNN: empty training set");
   VFPS_CHECK_ARG(k_ >= 1, "KNN: k must be >= 1");
-  train_ = train;
+  train_ = &train;
+  block_ = FeatureBlock(train);
   return Status::OK();
 }
 
 std::vector<size_t> KnnClassifier::Neighbors(const double* row) const {
-  const size_t n = train_.num_samples();
-  const size_t f = train_.num_features();
-  std::vector<std::pair<double, size_t>> dist(n);
-  for (size_t i = 0; i < n; ++i) {
-    const double* trow = train_.Row(i);
-    double d = 0.0;
-    for (size_t j = 0; j < f; ++j) {
-      const double diff = row[j] - trow[j];
-      d += diff * diff;
-    }
-    dist[i] = {d, i};
-  }
-  const size_t k = std::min(k_, n);
-  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
-  std::vector<size_t> out(k);
-  for (size_t i = 0; i < k; ++i) out[i] = dist[i].second;
-  return out;
+  const size_t n = train_->num_samples();
+  const size_t f = train_->num_features();
+  // Scratch distance vector reused across queries on the same thread
+  // (Neighbors is called per query row; contents fully overwritten).
+  thread_local std::vector<double> dist;
+  dist.resize(n);
+  BlockSquaredDistances(block_, row, SquaredNorm(row, f), 0, n, dist.data());
+  const auto top = SmallestK(dist.data(), n, std::min(k_, n));
+  return std::vector<size_t>(top.begin(), top.end());
 }
 
 Result<std::vector<int>> KnnClassifier::Predict(const data::Dataset& test) const {
-  if (train_.num_samples() == 0) return Status::Internal("KNN: Predict before Fit");
-  if (test.num_features() != train_.num_features()) {
+  if (train_ == nullptr) return Status::Internal("KNN: Predict before Fit");
+  if (test.num_features() != train_->num_features()) {
     return Status::InvalidArgument("KNN: feature width mismatch");
   }
   std::vector<int> preds(test.num_samples());
@@ -55,8 +48,8 @@ Result<std::vector<int>> KnnClassifier::Predict(const data::Dataset& test) const
   for (size_t i = 0; i < test.num_samples(); ++i) {
     const auto neighbors = Neighbors(test.Row(i));
     neighbor_labels.clear();
-    for (size_t idx : neighbors) neighbor_labels.push_back(train_.Label(idx));
-    preds[i] = MajorityVote(neighbor_labels, train_.num_classes());
+    for (size_t idx : neighbors) neighbor_labels.push_back(train_->Label(idx));
+    preds[i] = MajorityVote(neighbor_labels, train_->num_classes());
   }
   return preds;
 }

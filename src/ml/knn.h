@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/kernels.h"
 
 namespace vfps::ml {
 
@@ -18,6 +19,10 @@ class KnnClassifier final : public Classifier {
   explicit KnnClassifier(size_t k) : k_(k) {}
 
   std::string name() const override { return "knn"; }
+
+  /// Holds a non-owning view of `train` (plus cached row norms): the training
+  /// dataset must outlive every Predict/Neighbors call. No feature data is
+  /// copied.
   Status Fit(const data::Dataset& train, const data::Dataset& valid) override;
   Result<std::vector<int>> Predict(const data::Dataset& test) const override;
 
@@ -29,7 +34,8 @@ class KnnClassifier final : public Classifier {
 
  private:
   size_t k_;
-  data::Dataset train_;
+  const data::Dataset* train_ = nullptr;  // non-owning; see Fit
+  FeatureBlock block_;  // aliases train_'s storage, caches row norms
 };
 
 /// Majority vote over neighbor labels; smallest class id wins ties.

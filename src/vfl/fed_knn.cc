@@ -30,20 +30,9 @@ constexpr uint64_t kHeStreamSalt = 0xC0FFEE5EEDD1CE5ULL;
 // stream (both are derived from the seed passed to EnableFaults).
 constexpr uint64_t kFaultStreamSalt = 0xFA117AB1E5A17ULL;
 
-// Indices of the k smallest values, ties broken by index. `values` may
-// contain +inf entries (excluded rows); those lose every comparison.
-std::vector<uint64_t> SmallestK(const std::vector<double>& values, size_t k) {
-  std::vector<uint64_t> idx(values.size());
-  for (uint64_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  k = std::min(k, idx.size());
-  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
-                    [&values](uint64_t a, uint64_t b) {
-                      if (values[a] != values[b]) return values[a] < values[b];
-                      return a < b;
-                    });
-  idx.resize(k);
-  return idx;
-}
+// Indices of the k smallest values, ties broken by index (bounded-heap
+// kernel; +inf entries for excluded rows lose every comparison).
+using ml::SmallestK;
 
 std::vector<uint8_t> EncodeIds(const std::vector<uint64_t>& ids) {
   BinaryWriter writer;
@@ -95,6 +84,13 @@ FederatedKnnOracle::FederatedKnnOracle(const data::Dataset* joint_train,
       clock_(clock),
       pool_(pool),
       obs_(obs) {
+  // Pack each participant's columns once (contiguous rows + cached norms);
+  // every distance below runs on these blocks instead of gathering columns
+  // from the joint row-major matrix per query.
+  party_blocks_.reserve(partition_->size());
+  for (size_t party = 0; party < partition_->size(); ++party) {
+    party_blocks_.emplace_back(*joint_, (*partition_)[party]);
+  }
   if (obs_ != nullptr) {
     c_queries_ = obs_->GetCounter("knn.queries");
     h_candidates_ = obs_->GetHistogram("knn.candidates");
@@ -104,21 +100,27 @@ FederatedKnnOracle::FederatedKnnOracle(const data::Dataset* joint_train,
 std::vector<double> FederatedKnnOracle::PartialDistances(
     size_t participant, const data::Dataset& source, size_t query_row,
     size_t exclude_row) const {
-  const auto& columns = (*partition_)[participant];
+  const ml::FeatureBlock& block = party_blocks_[participant];
   const size_t n = joint_->num_samples();
   const double* qrow = source.Row(query_row);
+  // Gather the query's slice of this party's columns once; per-thread
+  // scratch (fully overwritten each call).
+  thread_local std::vector<double> qslice;
+  qslice.resize(block.cols());
+  block.GatherInto(qrow, qslice.data());
+  const double q_norm = ml::SquaredNorm(qslice.data(), block.cols());
   const bool excluding = exclude_row < n;
   std::vector<double> out(excluding ? n - 1 : n);
-  size_t write = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (excluding && i == exclude_row) continue;
-    const double* trow = joint_->Row(i);
-    double d = 0.0;
-    for (size_t c : columns) {
-      const double diff = qrow[c] - trow[c];
-      d += diff * diff;
-    }
-    out[write++] = d;
+  if (!excluding) {
+    ml::BlockSquaredDistances(block, qslice.data(), q_norm, 0, n, out.data());
+  } else {
+    // Compressed output: the excluded row's slot is skipped by running the
+    // kernel on the two surrounding ranges (per-row values are identical to a
+    // full-range run; the kernel has no cross-row state).
+    ml::BlockSquaredDistances(block, qslice.data(), q_norm, 0, exclude_row,
+                              out.data());
+    ml::BlockSquaredDistances(block, qslice.data(), q_norm, exclude_row + 1, n,
+                              out.data() + exclude_row);
   }
   return out;
 }
@@ -442,21 +444,19 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   std::vector<std::vector<double>> scores(a);
   std::vector<double> compute_seconds(a);
   for (size_t ai = 0; ai < a; ++ai) {
-    scores[ai].assign(n, 0.0);
-    const auto& columns = (*partition_)[active[ai]];
-    const double* qrow = joint_->Row(query_row);
+    scores[ai].resize(n);
+    // Same kernel as the BASE path (PartialDistances without exclusion), so
+    // the per-(party, row) values agree exactly across oracle modes; only
+    // the pseudo-ID scatter differs.
+    const auto partial =
+        PartialDistances(active[ai], *joint_, query_row, n /*no exclusion*/);
     for (size_t i = 0; i < n; ++i) {
-      const double* trow = joint_->Row(i);
-      double d = 0.0;
-      for (size_t c : columns) {
-        const double diff = qrow[c] - trow[c];
-        d += diff * diff;
-      }
-      scores[ai][pseudo.ToPseudo(i)] = d;
+      scores[ai][pseudo.ToPseudo(i)] = partial[i];
     }
     scores[ai][query_pid] = std::numeric_limits<double>::infinity();
-    compute_seconds[ai] = cost_->DistanceSeconds(n, columns.size()) +
-                          cost_->SortSeconds(n);
+    compute_seconds[ai] =
+        cost_->DistanceSeconds(n, (*partition_)[active[ai]].size()) +
+        cost_->SortSeconds(n);
   }
   ChargeParallelCompute(env.clock, compute_seconds);
   span_dist.End();

@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "data/partitioner.h"
 #include "he/backend.h"
+#include "ml/kernels.h"
 #include "net/channel.h"
 #include "net/cost_model.h"
 #include "net/network.h"
@@ -230,6 +231,10 @@ class FederatedKnnOracle {
 
   const data::Dataset* joint_;
   const data::VerticalPartition* partition_;
+  /// Per-participant packed feature blocks over `joint_` (cached row norms;
+  /// built once at construction). The only per-oracle copy of feature data —
+  /// in total one extra copy of the training matrix, split across parties.
+  std::vector<ml::FeatureBlock> party_blocks_;
   he::HeBackend* backend_;
   net::SimNetwork* network_;
   const net::CostModel* cost_;
