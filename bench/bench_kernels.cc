@@ -279,12 +279,17 @@ BENCHMARK(BM_SmallestK)->Arg(16384)->Unit(benchmark::kMicrosecond);
 // per-query latency is time / kQueries.
 // ---------------------------------------------------------------------------
 
-void BM_EncKnnQuery(benchmark::State& state) {
-  constexpr size_t kQueries = 4;
+// Shared runner: BASE-mode Run() with a configurable CKKS packing mode and
+// query grouping. Reports ciphertext operations (encrypt + add + decrypt,
+// HeOpStats `*_ops`) and packed slots per query as user counters, so the
+// packed-vs-scalar and grouped-vs-ungrouped op reductions are visible in the
+// JSON artifact next to the wall-clock numbers.
+void RunEncKnnBench(benchmark::State& state, size_t queries,
+                    he::CkksPacking packing, size_t query_group) {
   DistanceFixture f(static_cast<size_t>(state.range(0)), 16, 4);
   he::CkksParams params;
   params.poly_degree = 1024;
-  auto backend = he::CreateCkksBackend(params, 5).MoveValueUnsafe();
+  auto backend = he::CreateCkksBackend(params, 5, packing).MoveValueUnsafe();
   net::SimNetwork network;
   net::CostModel cost;
   SimClock clock;
@@ -293,14 +298,57 @@ void BM_EncKnnQuery(benchmark::State& state) {
   vfl::FedKnnConfig config;
   config.mode = vfl::KnnOracleMode::kBase;
   config.k = 10;
-  config.num_queries = kQueries;
+  config.num_queries = queries;
+  config.query_group = query_group;
+  uint64_t ct_ops = 0;
+  uint64_t values = 0;
   for (auto _ : state) {
-    auto result = oracle.Run(config, nullptr);
+    vfl::FedKnnStats stats;
+    auto result = oracle.Run(config, &stats);
     benchmark::DoNotOptimize(result);
+    ct_ops = stats.he_ops.encrypt_ops + stats.he_ops.add_ops +
+             stats.he_ops.decrypt_ops;
+    values = stats.he_ops.values_encrypted;
   }
-  state.SetItemsProcessed(state.iterations() * kQueries);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(queries));
+  state.counters["ct_ops_per_query"] =
+      static_cast<double>(ct_ops) / static_cast<double>(queries);
+  state.counters["slots_per_query"] =
+      static_cast<double>(values) / static_cast<double>(queries);
+}
+
+void BM_EncKnnQuery(benchmark::State& state) {
+  RunEncKnnBench(state, /*queries=*/4, he::CkksPacking::kPacked,
+                 /*query_group=*/1);
 }
 BENCHMARK(BM_EncKnnQuery)->Arg(512)->Unit(benchmark::kMillisecond);
+
+// The scalar-era layout (one value per ciphertext): what every query paid
+// before slot packing. ct_ops_per_query here vs BM_EncKnnQuery's is the
+// headline reduction of the batched HE API (hundreds of ciphertext ops vs
+// single digits at these sizes).
+void BM_EncKnnQueryScalar(benchmark::State& state) {
+  RunEncKnnBench(state, /*queries=*/1, he::CkksPacking::kScalar,
+                 /*query_group=*/1);
+}
+BENCHMARK(BM_EncKnnQueryScalar)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Cross-query slot batching (FedKnnConfig::query_group = 0 auto-fits the
+// slot count): at 128 rows the candidate vectors (127 values) underfill the
+// 512 slots, so 4 queries share each packed aggregation round.
+void BM_EncKnnQueryGrouped(benchmark::State& state) {
+  RunEncKnnBench(state, /*queries=*/8, he::CkksPacking::kPacked,
+                 /*query_group=*/0);
+}
+BENCHMARK(BM_EncKnnQueryGrouped)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Ungrouped control at the grouped benchmark's size, so the grouped speedup
+// is an apples-to-apples wall-clock ratio in the same JSON artifact.
+void BM_EncKnnQueryUngrouped(benchmark::State& state) {
+  RunEncKnnBench(state, /*queries=*/8, he::CkksPacking::kPacked,
+                 /*query_group=*/1);
+}
+BENCHMARK(BM_EncKnnQueryUngrouped)->Arg(128)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace vfps

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,9 +43,14 @@ class BinaryWriter {
     AppendRaw(b.data(), b.size());
   }
 
-  void WriteDoubleVec(const std::vector<double>& v) {
+  void WriteDoubleVec(std::span<const double> v) {
     WriteU32(static_cast<uint32_t>(v.size()));
     AppendRaw(v.data(), v.size() * sizeof(double));
+  }
+  // std::span gains an initializer_list constructor only in C++26; keep
+  // brace-list call sites compiling under C++20.
+  void WriteDoubleVec(std::initializer_list<double> v) {
+    WriteDoubleVec(std::span<const double>(v.begin(), v.size()));
   }
 
   void WriteU64Vec(const std::vector<uint64_t>& v) {

@@ -28,7 +28,8 @@ namespace {
 Result<std::unique_ptr<he::HeBackend>> MakeBackend(const ExperimentConfig& config) {
   switch (config.backend) {
     case HeBackendKind::kCkks:
-      return he::CreateCkksBackend(config.seed);
+      return he::CreateCkksBackend(he::CkksParams{}, config.seed,
+                                   config.ckks_packing);
     case HeBackendKind::kPaillier:
       return he::CreatePaillierBackend(config.paillier_modulus_bits,
                                        /*fractional_bits=*/20, config.seed);

@@ -45,6 +45,10 @@ struct ExperimentConfig {
   /// HE-backend ablation drops to 512 to keep its (one ciphertext per value,
   /// that is the point) demonstration fast.
   size_t paillier_modulus_bits = 1024;
+  /// CKKS slot layout: kPacked (production, n/2 values per ciphertext) or
+  /// kScalar (one value per ciphertext — the ablation baseline that measures
+  /// what slot packing saves).
+  he::CkksPacking ckks_packing = he::CkksPacking::kPacked;
   vfl::FedKnnConfig knn;                 // oracle settings
   ml::ClassifierOptions classifier;      // downstream hyper-parameters
   net::CostModel cost;                   // simulated-deployment calibration

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/buffer.h"
 #include "common/macros.h"
@@ -40,26 +41,40 @@ Status MergeSlots(std::vector<BatchSlot>* slots, HeOpStats* stats) {
 }
 
 // ---------------------------------------------------------------------------
-// CKKS backend: values are chunked into slot_count()-sized slices, one
-// ciphertext per slice.
+// CKKS backend: values are chunked into chunk-slot-sized slices, one
+// ciphertext per slice (chunk_slots = slot_count() in packed mode, 1 in the
+// scalar ablation mode).
 // ---------------------------------------------------------------------------
+
+// Key material shared (immutably) by every Fork() session. A CKKS key pair
+// is three ring elements (~n * primes * 24 bytes); sharing makes Fork O(1)
+// instead of copying ~100 KB per query task.
+struct CkksKeyMaterial {
+  CkksSecretKey sk;
+  CkksPublicKey pk;
+};
+
 class CkksBackend final : public HeBackend {
  public:
-  CkksBackend(std::shared_ptr<const CkksContext> ctx, uint64_t seed)
-      : ctx_(std::move(ctx)), rng_(seed) {
-    sk_ = ctx_->GenerateSecretKey(&rng_);
-    pk_ = ctx_->GeneratePublicKey(sk_, &rng_);
+  CkksBackend(std::shared_ptr<const CkksContext> ctx, uint64_t seed,
+              size_t chunk_slots)
+      : ctx_(std::move(ctx)), rng_(seed), chunk_slots_(chunk_slots) {
+    auto keys = std::make_shared<CkksKeyMaterial>();
+    keys->sk = ctx_->GenerateSecretKey(&rng_);
+    keys->pk = ctx_->GeneratePublicKey(keys->sk, &rng_);
+    keys_ = std::move(keys);
   }
 
   // Fork constructor: share the context and keys, own randomness stream.
-  CkksBackend(std::shared_ptr<const CkksContext> ctx, CkksSecretKey sk,
-              CkksPublicKey pk, uint64_t stream_seed)
-      : ctx_(std::move(ctx)), rng_(stream_seed), sk_(std::move(sk)),
-        pk_(std::move(pk)) {}
+  CkksBackend(std::shared_ptr<const CkksContext> ctx,
+              std::shared_ptr<const CkksKeyMaterial> keys, size_t chunk_slots,
+              uint64_t stream_seed)
+      : ctx_(std::move(ctx)), rng_(stream_seed), keys_(std::move(keys)),
+        chunk_slots_(chunk_slots) {}
 
   std::string name() const override { return "ckks"; }
 
-  Result<EncryptedVector> DoEncrypt(const std::vector<double>& values) override {
+  Result<EncryptedVector> DoEncrypt(std::span<const double> values) override {
     return EncryptImpl(values, &rng_, &stats_);
   }
 
@@ -130,27 +145,31 @@ class CkksBackend final : public HeBackend {
 
   Result<std::unique_ptr<HeBackend>> DoFork(uint64_t stream_seed) const override {
     return std::unique_ptr<HeBackend>(
-        new CkksBackend(ctx_, sk_, pk_, stream_seed));
+        new CkksBackend(ctx_, keys_, chunk_slots_, stream_seed));
   }
 
   size_t CiphertextBytes(size_t count) const override {
-    const size_t slots = ctx_->slot_count();
-    const size_t chunks = count == 0 ? 0 : (count + slots - 1) / slots;
+    const size_t chunks =
+        count == 0 ? 0 : (count + chunk_slots_ - 1) / chunk_slots_;
     return sizeof(uint32_t) + chunks * ctx_->CiphertextByteSize();
   }
 
+  size_t SlotsPerCiphertext() const override { return chunk_slots_; }
+
  private:
-  Result<EncryptedVector> EncryptImpl(const std::vector<double>& values,
+  Result<EncryptedVector> EncryptImpl(std::span<const double> values,
                                       Rng* rng, HeOpStats* stats) const {
     BinaryWriter writer;
-    const size_t slots = ctx_->slot_count();
-    const size_t num_chunks = values.empty() ? 0 : (values.size() + slots - 1) / slots;
+    const size_t slots = chunk_slots_;
+    const size_t num_chunks =
+        values.empty() ? 0 : (values.size() + slots - 1) / slots;
     writer.WriteU32(static_cast<uint32_t>(num_chunks));
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t lo = c * slots;
-      const size_t hi = std::min(values.size(), lo + slots);
-      std::vector<double> chunk(values.begin() + lo, values.begin() + hi);
-      VFPS_ASSIGN_OR_RETURN(auto ct, ctx_->EncryptVector(pk_, chunk, rng));
+      const size_t len = std::min(values.size() - lo, slots);
+      // Sub-span, no copy; the encoder zero-masks the final ragged tail.
+      VFPS_ASSIGN_OR_RETURN(
+          auto ct, ctx_->EncryptVector(keys_->pk, values.subspan(lo, len), rng));
       ctx_->SerializeCiphertext(ct, &writer);
       ++stats->encrypt_ops;
     }
@@ -178,6 +197,7 @@ class CkksBackend final : public HeBackend {
         VFPS_RETURN_NOT_OK(ctx_->AddInPlaceCt(&acc[c], cts[c]));
         ++stats->add_ops;
       }
+      stats->values_added += count;
     }
     BinaryWriter writer;
     writer.WriteU32(static_cast<uint32_t>(acc.size()));
@@ -194,13 +214,15 @@ class CkksBackend final : public HeBackend {
     VFPS_RETURN_NOT_OK(ParseChunks(v, &cts));
     std::vector<double> out;
     out.reserve(v.count);
-    const size_t slots = ctx_->slot_count();
+    const size_t slots = chunk_slots_;
     for (size_t c = 0; c < cts.size(); ++c) {
       const size_t want = std::min(slots, v.count - out.size());
-      VFPS_ASSIGN_OR_RETURN(auto values, ctx_->DecryptVector(sk_, cts[c], want));
+      VFPS_ASSIGN_OR_RETURN(auto values,
+                            ctx_->DecryptVector(keys_->sk, cts[c], want));
       out.insert(out.end(), values.begin(), values.end());
       ++stats->decrypt_ops;
     }
+    stats->values_decrypted += out.size();
     return out;
   }
 
@@ -219,8 +241,9 @@ class CkksBackend final : public HeBackend {
 
   std::shared_ptr<const CkksContext> ctx_;
   Rng rng_;
-  CkksSecretKey sk_;
-  CkksPublicKey pk_;
+  std::shared_ptr<const CkksKeyMaterial> keys_;
+  // Values packed per ciphertext: slot_count() (packed) or 1 (scalar mode).
+  size_t chunk_slots_;
 };
 
 // ---------------------------------------------------------------------------
@@ -236,7 +259,7 @@ class PaillierBackend final : public HeBackend {
 
   std::string name() const override { return "paillier"; }
 
-  Result<EncryptedVector> DoEncrypt(const std::vector<double>& values) override {
+  Result<EncryptedVector> DoEncrypt(std::span<const double> values) override {
     return EncryptImpl(values, &rng_, &stats_);
   }
 
@@ -313,6 +336,10 @@ class PaillierBackend final : public HeBackend {
     return sizeof(uint32_t) + count * (sizeof(uint32_t) + ct_bytes_);
   }
 
+  // Paillier has no slot structure: the batch API is served by the loop
+  // adapter below, one ciphertext per value.
+  size_t SlotsPerCiphertext() const override { return 1; }
+
  private:
   // Fork constructor: share keys and encoding, own randomness stream.
   PaillierBackend(PaillierKeyPair keys, double frac_scale, size_t ct_bytes,
@@ -320,7 +347,7 @@ class PaillierBackend final : public HeBackend {
       : keys_(std::move(keys)), frac_scale_(frac_scale), rng_(stream_seed),
         ct_bytes_(ct_bytes) {}
 
-  Result<EncryptedVector> EncryptImpl(const std::vector<double>& values,
+  Result<EncryptedVector> EncryptImpl(std::span<const double> values,
                                       Rng* rng, HeOpStats* stats) const {
     BinaryWriter writer;
     writer.WriteU32(static_cast<uint32_t>(values.size()));
@@ -359,6 +386,7 @@ class PaillierBackend final : public HeBackend {
         VFPS_ASSIGN_OR_RETURN(acc[j], Paillier::Add(keys_.pub, acc[j], cts[j]));
         ++stats->add_ops;
       }
+      stats->values_added += count;
     }
     BinaryWriter writer;
     writer.WriteU32(static_cast<uint32_t>(acc.size()));
@@ -381,6 +409,7 @@ class PaillierBackend final : public HeBackend {
                     frac_scale_);
       ++stats->decrypt_ops;
     }
+    stats->values_decrypted += out.size();
     return out;
   }
 
@@ -418,7 +447,7 @@ class PlainBackend final : public HeBackend {
  public:
   std::string name() const override { return "plain"; }
 
-  Result<EncryptedVector> DoEncrypt(const std::vector<double>& values) override {
+  Result<EncryptedVector> DoEncrypt(std::span<const double> values) override {
     BinaryWriter writer;
     writer.WriteDoubleVec(values);
     stats_.encrypt_ops += values.empty() ? 0 : 1;
@@ -445,6 +474,7 @@ class PlainBackend final : public HeBackend {
       }
       for (size_t j = 0; j < acc.size(); ++j) acc[j] += vals[j];
       ++stats_.add_ops;
+      stats_.values_added += acc.size();
     }
     BinaryWriter writer;
     writer.WriteDoubleVec(acc);
@@ -457,6 +487,7 @@ class PlainBackend final : public HeBackend {
   Result<std::vector<double>> DoDecrypt(const EncryptedVector& v) override {
     BinaryReader reader(v.blob);
     ++stats_.decrypt_ops;
+    stats_.values_decrypted += v.count;
     return reader.ReadDoubleVec();
   }
 
@@ -469,6 +500,11 @@ class PlainBackend final : public HeBackend {
 
   size_t CiphertextBytes(size_t count) const override {
     return sizeof(uint32_t) + count * sizeof(double);
+  }
+
+  // A plain "ciphertext" is one serialized vector of any length.
+  size_t SlotsPerCiphertext() const override {
+    return std::numeric_limits<size_t>::max();
   }
 };
 
@@ -520,14 +556,19 @@ void HeBackend::set_metrics(obs::MetricsRegistry* registry) {
   obs_registry_ = registry;
   if (registry == nullptr) {
     c_encrypt_count_ = c_encrypt_values_ = c_encrypt_bytes_ = nullptr;
-    c_decrypt_count_ = c_add_count_ = nullptr;
+    c_decrypt_count_ = c_decrypt_values_ = nullptr;
+    c_add_count_ = c_add_values_ = nullptr;
     return;
   }
+  // The `.count` counters meter ciphertexts, the `.values` counters meter
+  // plaintext slots; their ratio is the realized packing density.
   c_encrypt_count_ = registry->GetCounter("he.encrypt.count");
   c_encrypt_values_ = registry->GetCounter("he.encrypt.values");
   c_encrypt_bytes_ = registry->GetCounter("he.encrypt.bytes");
   c_decrypt_count_ = registry->GetCounter("he.decrypt.count");
+  c_decrypt_values_ = registry->GetCounter("he.decrypt.values");
   c_add_count_ = registry->GetCounter("he.add.count");
+  c_add_values_ = registry->GetCounter("he.add.values");
 }
 
 void HeBackend::PublishDelta(const HeOpStats& before, uint64_t bytes_out) {
@@ -541,12 +582,18 @@ void HeBackend::PublishDelta(const HeOpStats& before, uint64_t bytes_out) {
   if (uint64_t d = stats_.decrypt_ops - before.decrypt_ops; d != 0) {
     c_decrypt_count_->Add(d);
   }
+  if (uint64_t d = stats_.values_decrypted - before.values_decrypted; d != 0) {
+    c_decrypt_values_->Add(d);
+  }
   if (uint64_t d = stats_.add_ops - before.add_ops; d != 0) {
     c_add_count_->Add(d);
   }
+  if (uint64_t d = stats_.values_added - before.values_added; d != 0) {
+    c_add_values_->Add(d);
+  }
 }
 
-Result<EncryptedVector> HeBackend::Encrypt(const std::vector<double>& values) {
+Result<EncryptedVector> HeBackend::Encrypt(std::span<const double> values) {
   const HeOpStats before = stats_;
   auto result = DoEncrypt(values);
   if (obs_registry_ != nullptr && result.ok()) {
@@ -605,9 +652,18 @@ Result<std::unique_ptr<HeBackend>> HeBackend::Fork(uint64_t stream_seed) const {
 }
 
 Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,
-                                                     uint64_t seed) {
+                                                     uint64_t seed,
+                                                     CkksPacking packing) {
   VFPS_ASSIGN_OR_RETURN(auto ctx, CkksContext::Create(params));
-  return std::unique_ptr<HeBackend>(new CkksBackend(std::move(ctx), seed));
+  const size_t chunk_slots =
+      packing == CkksPacking::kScalar ? 1 : ctx->slot_count();
+  return std::unique_ptr<HeBackend>(
+      new CkksBackend(std::move(ctx), seed, chunk_slots));
+}
+
+Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,
+                                                     uint64_t seed) {
+  return CreateCkksBackend(params, seed, CkksPacking::kPacked);
 }
 
 Result<std::unique_ptr<HeBackend>> CreateCkksBackend(uint64_t seed) {

@@ -2,7 +2,9 @@
 #define VFPS_HE_BACKEND_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,11 +33,19 @@ struct EncryptedVector {
 
 /// \brief Operation counters used by the cost model to convert HE work into
 /// simulated seconds.
+///
+/// Ciphertext operations (`*_ops`) and plaintext slots (`values_*`) are
+/// counted separately: for a packing backend (CKKS) one encrypt_op carries up
+/// to SlotsPerCiphertext() values, so `values_encrypted / encrypt_ops` is the
+/// realized packing density — the number the slot-batching optimization
+/// moves. For a scalar backend (Paillier) the two columns track 1:1.
 struct HeOpStats {
-  uint64_t encrypt_ops = 0;     // ciphertexts produced
-  uint64_t decrypt_ops = 0;     // ciphertexts opened
-  uint64_t add_ops = 0;         // homomorphic additions
-  uint64_t values_encrypted = 0;  // plaintext scalars encrypted
+  uint64_t encrypt_ops = 0;       // ciphertexts produced
+  uint64_t decrypt_ops = 0;       // ciphertexts opened
+  uint64_t add_ops = 0;           // ciphertext-level homomorphic additions
+  uint64_t values_encrypted = 0;  // plaintext scalars encrypted (slots)
+  uint64_t values_decrypted = 0;  // plaintext scalars recovered (slots)
+  uint64_t values_added = 0;      // slot-wise additions performed
 
   void Reset() { *this = HeOpStats{}; }
   void Merge(const HeOpStats& o) {
@@ -43,6 +53,8 @@ struct HeOpStats {
     decrypt_ops += o.decrypt_ops;
     add_ops += o.add_ops;
     values_encrypted += o.values_encrypted;
+    values_decrypted += o.values_decrypted;
+    values_added += o.values_added;
   }
 };
 
@@ -80,14 +92,33 @@ class HeBackend {
 
   virtual std::string name() const = 0;
 
-  /// Encrypt a vector of real values (public-key operation).
-  Result<EncryptedVector> Encrypt(const std::vector<double>& values);
+  /// \brief Encrypt a vector of real values (public-key operation).
+  ///
+  /// This is the batched entry point of the API: the backend packs as many
+  /// values as it can into each ciphertext (CKKS: SlotsPerCiphertext() slots
+  /// per ciphertext, chunked when `values.size()` exceeds it, with the ragged
+  /// tail of the last chunk zero-masked; Paillier/plain degenerate to one
+  /// value per ciphertext / one blob). Accepts any contiguous double range —
+  /// callers batching many logical vectors can encrypt one concatenated span
+  /// without copying.
+  Result<EncryptedVector> Encrypt(std::span<const double> values);
 
-  /// Homomorphic elementwise sum; all inputs must have equal count.
+  /// Brace-list convenience for tests and examples: Encrypt({1.0, 2.0}).
+  Result<EncryptedVector> Encrypt(std::initializer_list<double> values) {
+    return Encrypt(std::span<const double>(values.begin(), values.size()));
+  }
+
+  /// \brief Homomorphic slot-wise sum; all inputs must have equal count.
+  ///
+  /// Cost is per *ciphertext chunk*, not per value: summing P packed vectors
+  /// of `count` values performs (P-1) * ceil(count / SlotsPerCiphertext())
+  /// ciphertext additions (see HeOpStats::add_ops vs values_added).
   Result<EncryptedVector> Sum(
       const std::vector<const EncryptedVector*>& vectors);
 
-  /// Decrypt (secret-key operation; leader only).
+  /// \brief Decrypt a packed vector (secret-key operation; leader only).
+  /// One ciphertext opening per chunk; returns exactly `v.count` values (the
+  /// zero-masked tail slots of the final chunk are discarded).
   Result<std::vector<double>> Decrypt(const EncryptedVector& v);
 
   /// \brief Encrypt many vectors at once — out[i] = Enc(batch[i]).
@@ -124,6 +155,15 @@ class HeBackend {
   /// Wire size of an encrypted vector holding `count` values.
   virtual size_t CiphertextBytes(size_t count) const = 0;
 
+  /// \brief Plaintext values one ciphertext of this backend carries.
+  ///
+  /// CKKS: the encoder's slot count (n/2), or 1 in scalar packing mode;
+  /// Paillier: 1 (inherently scalar — the loop adapter packs nothing);
+  /// plain: SIZE_MAX (a "ciphertext" is the whole serialized vector).
+  /// Protocol layers use this to size slot-aligned batches (e.g. how many
+  /// queries' distance vectors fit one ciphertext group).
+  virtual size_t SlotsPerCiphertext() const = 0;
+
   /// Attach (or detach, with nullptr) the pool the *Batch operations use.
   /// Not thread-safe; set it before sharing the backend. Not inherited by
   /// Fork() sessions.
@@ -151,7 +191,7 @@ class HeBackend {
   /// Implementation hooks; the public wrappers above add metrics recording.
   /// Each hook updates stats_ itself (the wrapper publishes the delta).
   virtual Result<EncryptedVector> DoEncrypt(
-      const std::vector<double>& values) = 0;
+      std::span<const double> values) = 0;
   virtual Result<EncryptedVector> DoSum(
       const std::vector<const EncryptedVector*>& vectors) = 0;
   virtual Result<std::vector<double>> DoDecrypt(const EncryptedVector& v) = 0;
@@ -179,10 +219,24 @@ class HeBackend {
   obs::Counter* c_encrypt_values_ = nullptr;
   obs::Counter* c_encrypt_bytes_ = nullptr;
   obs::Counter* c_decrypt_count_ = nullptr;
+  obs::Counter* c_decrypt_values_ = nullptr;
   obs::Counter* c_add_count_ = nullptr;
+  obs::Counter* c_add_values_ = nullptr;
 };
 
+/// \brief How the CKKS backend maps values to ciphertext slots.
+///
+/// kPacked is the production mode: SlotsPerCiphertext() = n/2 values per
+/// ciphertext. kScalar forces one value per ciphertext — the layout the
+/// scalar-era protocol (and every non-packing scheme) pays — and exists for
+/// ablations and the batched-vs-scalar differential tests; both modes
+/// decrypt to the same values within CKKS tolerance.
+enum class CkksPacking { kPacked, kScalar };
+
 /// CKKS-based backend (what the paper uses via TenSEAL).
+Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,
+                                                     uint64_t seed,
+                                                     CkksPacking packing);
 Result<std::unique_ptr<HeBackend>> CreateCkksBackend(const CkksParams& params,
                                                      uint64_t seed);
 Result<std::unique_ptr<HeBackend>> CreateCkksBackend(uint64_t seed);

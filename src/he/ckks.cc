@@ -87,7 +87,7 @@ RnsPoly CkksContext::Decrypt(const CkksSecretKey& sk,
 }
 
 Result<CkksCiphertext> CkksContext::EncryptVector(
-    const CkksPublicKey& pk, const std::vector<double>& values,
+    const CkksPublicKey& pk, std::span<const double> values,
     Rng* rng) const {
   VFPS_ASSIGN_OR_RETURN(RnsPoly pt, encoder_->Encode(values, params_.scale));
   return Encrypt(pk, pt, params_.scale, rng);

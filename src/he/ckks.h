@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/buffer.h"
@@ -78,10 +79,20 @@ class CkksContext {
   /// Decrypt to the plaintext polynomial (NTT form); decode separately.
   RnsPoly Decrypt(const CkksSecretKey& sk, const CkksCiphertext& ct) const;
 
-  /// Encode + encrypt a vector of at most slot_count() doubles.
+  /// Encode + encrypt at most slot_count() doubles. Takes a span so batched
+  /// callers can encrypt slot-count()-sized windows of a longer vector
+  /// without copying; slots past `values.size()` encode as zero.
   Result<CkksCiphertext> EncryptVector(const CkksPublicKey& pk,
-                                       const std::vector<double>& values,
+                                       std::span<const double> values,
                                        Rng* rng) const;
+  /// Brace-list convenience (std::span lacks the initializer_list
+  /// constructor until C++26).
+  Result<CkksCiphertext> EncryptVector(const CkksPublicKey& pk,
+                                       std::initializer_list<double> values,
+                                       Rng* rng) const {
+    return EncryptVector(pk, std::span<const double>(values.begin(), values.size()),
+                         rng);
+  }
 
   /// Decrypt + decode `count` doubles.
   Result<std::vector<double>> DecryptVector(const CkksSecretKey& sk,

@@ -58,7 +58,7 @@ void CkksEncoder::Fft(std::vector<std::complex<double>>* a, int sign) const {
   }
 }
 
-Result<RnsPoly> CkksEncoder::Encode(const std::vector<double>& values,
+Result<RnsPoly> CkksEncoder::Encode(std::span<const double> values,
                                     double scale) const {
   const size_t n = ctx_->n();
   if (values.size() > slot_count()) {
@@ -69,7 +69,12 @@ Result<RnsPoly> CkksEncoder::Encode(const std::vector<double>& values,
   if (scale <= 0.0) {
     return Status::InvalidArgument("CkksEncoder: scale must be positive");
   }
-  std::vector<std::complex<double>> work(n, {0.0, 0.0});
+  // Per-thread scratch (the encrypt hot path encodes one chunk per
+  // ciphertext; reusing the FFT buffer removes an n-complex allocation per
+  // chunk). assign() overwrites every element, so state never leaks between
+  // calls — the zero fill IS the tail mask for partially-filled chunks.
+  thread_local std::vector<std::complex<double>> work;
+  work.assign(n, {0.0, 0.0});
   for (size_t j = 0; j < values.size(); ++j) work[j] = {values[j], 0.0};
   Fft(&work, -1);
   RnsPoly poly = ZeroPoly(*ctx_);
@@ -109,7 +114,10 @@ Result<std::vector<double>> CkksEncoder::Decode(const RnsPoly& poly,
   }
   coeff_form.ntt_form = poly.ntt_form;
   FromNtt(*ctx_, &coeff_form);
-  std::vector<std::complex<double>> work(n);
+  // Same reuse trick as Encode: every element is written below before the
+  // FFT reads it.
+  thread_local std::vector<std::complex<double>> work;
+  work.resize(n);
   for (size_t k = 0; k < n; ++k) {
     const double c = ComposeCoeffToDouble(*ctx_, coeff_form, k);
     work[k] = twist_[k] * c;

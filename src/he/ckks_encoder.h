@@ -3,6 +3,7 @@
 
 #include <complex>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -30,7 +31,10 @@ class CkksEncoder {
   /// \brief Encode at most slot_count() values with the given scale. The
   /// result is returned in NTT (evaluation) form, ready for pointwise ops.
   /// Fails if any rounded coefficient would overflow the 62-bit safety bound.
-  Result<RnsPoly> Encode(const std::vector<double>& values, double scale) const;
+  /// Values beyond `values.size()` implicitly encode as zero (the unused
+  /// slots of a partially-filled ciphertext are zero-masked by construction).
+  /// Accepts a span so batched callers can encode sub-ranges without copying.
+  Result<RnsPoly> Encode(std::span<const double> values, double scale) const;
 
   /// \brief Decode `count` values from a plaintext polynomial at the given
   /// scale. Accepts either form (transforms a copy if needed).

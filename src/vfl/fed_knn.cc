@@ -205,38 +205,58 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
                                  ? PseudoIdMap()
                                  : PseudoIdMap::Create(n, config.seed);
 
-  // Pre-derive one HE randomness stream per query, in query order, so the
-  // ciphertexts each task produces are independent of scheduling.
+  // Resolve BASE-mode cross-query slot batching (FedKnnConfig::query_group):
+  // group G consecutive queries into one task that shares a single encrypted
+  // aggregation round. G = 1 (the default, and always for Fagin/TA) keeps
+  // the one-task-per-query schedule bit-identical to previous releases;
+  // query_group = 0 auto-sizes the group so each party's packed vector fills
+  // the backend's ciphertext slots.
+  size_t group = 1;
+  if (config.mode == KnnOracleMode::kBase && !queries.empty()) {
+    group = config.query_group;
+    if (group == 0) {
+      const size_t count = n - 1;
+      const size_t slots_per_ct = backend_->SlotsPerCiphertext();
+      group = count == 0 ? 1 : std::max<size_t>(1, slots_per_ct / count);
+    }
+    group = std::min(std::max<size_t>(1, group), queries.size());
+  }
+  const size_t num_units = queries.empty() ? 0 : (queries.size() + group - 1) / group;
+
+  // Pre-derive one HE randomness stream per task unit (== per query when
+  // group is 1), in unit order, so the ciphertexts each task produces are
+  // independent of scheduling.
   Rng stream_rng(config.seed ^ kHeStreamSalt);
-  std::vector<uint64_t> stream_seeds(queries.size());
+  std::vector<uint64_t> stream_seeds(num_units);
   for (uint64_t& s : stream_seeds) s = stream_rng.Next();
 
-  // Same trick for fault streams: each query task's network gets its own
-  // seed, pre-derived serially from the plan seed, so the fault schedule is
+  // Same trick for fault streams: each task's network gets its own seed,
+  // pre-derived serially from the plan seed, so the fault schedule is
   // reproducible at any thread count.
   std::vector<uint64_t> fault_seeds;
   if (network_->faults_enabled()) {
     Rng fault_rng(network_->fault_seed() ^ kFaultStreamSalt);
-    fault_seeds.resize(queries.size());
+    fault_seeds.resize(num_units);
     for (uint64_t& s : fault_seeds) s = fault_rng.Next();
   }
 
-  // Per-query task state: every query runs its complete protocol against a
-  // task-local deployment (HE session, byte-metered network, clock), merged
-  // back below in deterministic query order.
+  // Per-task state: every unit (one query, or a grouped span of queries)
+  // runs its complete protocol against a task-local deployment (HE session,
+  // byte-metered network, clock), merged back below in deterministic query
+  // order.
   struct QuerySlot {
     Status status = Status::OK();
-    QueryNeighborhood hood;
+    std::vector<QueryNeighborhood> hoods;
     FedKnnStats stats;
     net::SimNetwork net;
     SimClock clock;
     std::unique_ptr<he::HeBackend> session;
   };
-  std::vector<QuerySlot> slots(queries.size());
+  std::vector<QuerySlot> slots(num_units);
 
-  const auto run_query = [&](size_t i) {
-    QuerySlot& slot = slots[i];
-    auto session = backend_->Fork(stream_seeds[i]);
+  const auto run_unit = [&](size_t u) {
+    QuerySlot& slot = slots[u];
+    auto session = backend_->Fork(stream_seeds[u]);
     if (!session.ok()) {
       slot.status = session.status();
       return;
@@ -244,28 +264,39 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     slot.session = session.MoveValueUnsafe();
     slot.net.set_metrics(obs_);
     if (!fault_seeds.empty()) {
-      slot.net.EnableFaults(*network_->fault_spec(), fault_seeds[i],
+      slot.net.EnableFaults(*network_->fault_spec(), fault_seeds[u],
                             &slot.clock);
     }
     net::ReliableChannel chan(&slot.net, &slot.clock);
     const QueryEnv env{slot.session.get(), &slot.net, &chan, &slot.clock,
                        &active, tracer};
+    const size_t lo = u * group;
+    const size_t hi = std::min(queries.size(), lo + group);
+    if (config.mode == KnnOracleMode::kBase && hi - lo > 1) {
+      auto hoods = RunBaseQueryGroup(env, queries, lo, hi, config.k, &slot.stats);
+      if (hoods.ok()) {
+        slot.hoods = hoods.MoveValueUnsafe();
+      } else {
+        slot.status = hoods.status();
+      }
+      return;
+    }
     Result<QueryNeighborhood> hood =
         config.mode == KnnOracleMode::kBase
-            ? RunBaseQuery(env, queries[i], config.k, &slot.stats)
-            : RunTopkQuery(env, pseudo, queries[i], config.k,
+            ? RunBaseQuery(env, queries[lo], config.k, &slot.stats)
+            : RunTopkQuery(env, pseudo, queries[lo], config.k,
                            config.fagin_batch, config.mode, &slot.stats);
     if (hood.ok()) {
-      slot.hood = hood.MoveValueUnsafe();
+      slot.hoods.push_back(hood.MoveValueUnsafe());
     } else {
       slot.status = hood.status();
     }
   };
 
   if (pool_ != nullptr && pool_->num_threads() > 1) {
-    pool_->ParallelFor(0, queries.size(), run_query);
+    pool_->ParallelFor(0, num_units, run_unit);
   } else {
-    for (size_t i = 0; i < queries.size(); ++i) run_query(i);
+    for (size_t u = 0; u < num_units; ++u) run_unit(u);
   }
 
   // Failed run: report the first error in query order without merging any
@@ -291,7 +322,9 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   std::vector<QueryNeighborhood> result;
   result.reserve(queries.size());
   for (QuerySlot& slot : slots) {
-    result.push_back(std::move(slot.hood));
+    for (QueryNeighborhood& hood : slot.hoods) {
+      result.push_back(std::move(hood));
+    }
     clock_->Merge(slot.clock);
     network_->MergeStatsFrom(slot.net);
     backend_->AbsorbStats(slot.session->stats());
@@ -313,6 +346,9 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     stats->he_ops.add_ops += he_after.add_ops - he_before.add_ops;
     stats->he_ops.values_encrypted +=
         he_after.values_encrypted - he_before.values_encrypted;
+    stats->he_ops.values_decrypted +=
+        he_after.values_decrypted - he_before.values_decrypted;
+    stats->he_ops.values_added += he_after.values_added - he_before.values_added;
   }
   return result;
 }
@@ -423,6 +459,146 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   if (h_candidates_ != nullptr) h_candidates_->Record(count);
   if (stats != nullptr) stats->candidates_encrypted += count;
   return hood;
+}
+
+Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
+    const QueryEnv& env, const std::vector<size_t>& queries, size_t lo,
+    size_t hi, size_t k, FedKnnStats* stats) const {
+  const size_t n = joint_->num_samples();
+  const size_t p = num_participants();
+  const std::vector<size_t>& active = *env.active;
+  const size_t a = active.size();
+  const size_t count = n - 1;  // candidates per query (query row excluded)
+  const size_t g = hi - lo;    // queries sharing this aggregation round
+  const size_t total = g * count;
+
+  // Phase 1 (active participants, parallel): each party computes the group's
+  // partial-distance vectors and lays them out in ONE slot-aligned packed
+  // vector — query q occupies [q*count, (q+1)*count). The layout is identical
+  // across parties, so slot-wise ciphertext addition aggregates candidate
+  // (q, i) against exactly candidate (q, i) everywhere; the final partial
+  // chunk's unused slots are zero-masked by the encoder and never decoded.
+  obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
+  std::vector<std::vector<std::vector<double>>> partials(g);
+  std::vector<std::vector<double>> packed(a);
+  for (size_t ai = 0; ai < a; ++ai) packed[ai].reserve(total);
+  std::vector<double> compute_seconds(a, 0.0);
+  for (size_t qi = 0; qi < g; ++qi) {
+    const size_t query_row = queries[lo + qi];
+    partials[qi].resize(a);
+    for (size_t ai = 0; ai < a; ++ai) {
+      partials[qi][ai] =
+          PartialDistances(active[ai], *joint_, query_row, query_row);
+      packed[ai].insert(packed[ai].end(), partials[qi][ai].begin(),
+                        partials[qi][ai].end());
+      compute_seconds[ai] +=
+          cost_->DistanceSeconds(count, (*partition_)[active[ai]].size());
+    }
+  }
+  ChargeParallelCompute(env.clock, compute_seconds);
+  span_dist.End();
+
+  // Phase 2: one packed encrypt per party for the whole group.
+  obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
+  VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(packed));
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                      net::kAggregationServer,
+                                      encrypted[ai].blob));
+  }
+  env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(total));
+  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(total), a);
+  span_enc.End();
+
+  // Phase 3 (aggregation server): slot-wise sum, forward to the leader.
+  obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
+  std::vector<he::EncryptedVector> received(a);
+  std::vector<const he::EncryptedVector*> ptrs(a);
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_ASSIGN_OR_RETURN(auto blob,
+                          env.chan->Recv(static_cast<int>(active[ai]),
+                                         net::kAggregationServer));
+    received[ai] = he::EncryptedVector{std::move(blob), total};
+    ptrs[ai] = &received[ai];
+  }
+  VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
+  env.clock->Advance(CostCategory::kHeEval, static_cast<double>(a - 1) *
+                                                cost_->HeAddSecondsFor(total));
+  VFPS_RETURN_NOT_OK(
+      env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
+  ChargeFanOut(env.clock, cost_->EncryptedWireBytes(total), 1);
+  span_agg.End();
+
+  // Phase 4 (leader): ONE decrypt for the group, then rank each query's
+  // slice of the aggregate vector.
+  obs::Span span_rank(env.tracer, "knn.decrypt_rank", env.clock);
+  VFPS_ASSIGN_OR_RETURN(auto blob,
+                        env.chan->Recv(net::kAggregationServer, kLeader));
+  VFPS_ASSIGN_OR_RETURN(
+      auto distances,
+      env.backend->Decrypt(he::EncryptedVector{std::move(blob), total}));
+  env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(total));
+  std::vector<QueryNeighborhood> hoods(g);
+  for (size_t qi = 0; qi < g; ++qi) {
+    const size_t query_row = queries[lo + qi];
+    env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(count));
+    const auto top = SmallestK(distances.data() + qi * count, count, k);
+    hoods[qi].query_row = query_row;
+    hoods[qi].neighbors.reserve(top.size());
+    for (uint64_t idx : top) {
+      hoods[qi].neighbors.push_back(CompressedToRow(idx, query_row));
+    }
+  }
+  span_rank.End();
+
+  // Phase 5: per-query d_T exchange, exactly as in the ungrouped protocol
+  // (plaintext scalars; nothing here benefits from batching).
+  obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
+  for (size_t qi = 0; qi < g; ++qi) {
+    QueryNeighborhood& hood = hoods[qi];
+    std::vector<uint64_t> top;
+    top.reserve(hood.neighbors.size());
+    const size_t query_row = queries[lo + qi];
+    for (uint64_t row : hood.neighbors) {
+      // Back to compressed candidate index for the partial-distance lookup.
+      top.push_back(row < query_row ? row : row - 1);
+    }
+    for (size_t party : active) {
+      if (party == 0) continue;
+      VFPS_RETURN_NOT_OK(
+          env.chan->Send(kLeader, static_cast<int>(party), EncodeIds(top)));
+    }
+    ChargeFanOut(env.clock, top.size() * sizeof(uint64_t), a - 1);
+    hood.per_party_dt.assign(p, 0.0);
+    for (size_t ai = 0; ai < a; ++ai) {
+      const size_t party = active[ai];
+      std::vector<uint64_t> ids = top;
+      if (party != 0) {
+        VFPS_ASSIGN_OR_RETURN(auto payload,
+                              env.chan->Recv(kLeader, static_cast<int>(party)));
+        VFPS_ASSIGN_OR_RETURN(ids, DecodeIds(payload));
+      }
+      double dt = 0.0;
+      for (uint64_t idx : ids) dt += partials[qi][ai][idx];
+      if (party == 0) {
+        hood.per_party_dt[0] = dt;
+      } else {
+        VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(party), kLeader,
+                                          EncodeScalar(dt)));
+        VFPS_ASSIGN_OR_RETURN(auto payload,
+                              env.chan->Recv(static_cast<int>(party), kLeader));
+        VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
+      }
+    }
+    ChargeFanIn(env.clock, sizeof(double), a - 1);
+  }
+  span_dt.End();
+
+  if (h_candidates_ != nullptr) {
+    for (size_t qi = 0; qi < g; ++qi) h_candidates_->Record(count);
+  }
+  if (stats != nullptr) stats->candidates_encrypted += total;
+  return hoods;
 }
 
 Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(

@@ -46,6 +46,19 @@ struct FedKnnConfig {
   size_t num_queries = 64;  // |Q|: training rows sampled as query samples
   size_t fagin_batch = 64;  // mini-batch rows streamed per participant round
   uint64_t seed = 42;       // shared consortium seed (queries, pseudo IDs)
+  /// BASE-mode cross-query slot batching: how many queries share one
+  /// encrypted aggregation round. Each participant concatenates the grouped
+  /// queries' partial-distance vectors (stride N-1, identical layout across
+  /// parties, ragged tail zero-masked by the encoder) into ONE packed
+  /// Encrypt; the server performs slot-wise sums on the group and the leader
+  /// issues one Decrypt per group. With G queries of N-1 candidates over
+  /// S slots this costs ceil(G*(N-1)/S) ciphertexts per party instead of
+  /// G*ceil((N-1)/S) — up to floor(S/(N-1))x fewer HE ops when candidate
+  /// vectors underfill the slots. 1 (default) keeps the one-query-per-round
+  /// protocol bit-identical to previous releases; 0 picks the largest group
+  /// that fits the backend's SlotsPerCiphertext(). Ignored by the Fagin/TA
+  /// modes (their candidate sets are query-specific).
+  size_t query_group = 1;
   /// Participants excluded from the protocol (crashed on a previous run and
   /// quarantined by the selector). The leader (0) can never be quarantined;
   /// at least two participants must remain active.
@@ -212,6 +225,14 @@ class FederatedKnnOracle {
   Result<QueryNeighborhood> RunBaseQuery(const QueryEnv& env,
                                          uint64_t query_row, size_t k,
                                          FedKnnStats* stats) const;
+  // Slot-batched BASE protocol over queries[lo, hi): one packed encrypt per
+  // party, one slot-wise aggregation, one decrypt for the whole group (see
+  // FedKnnConfig::query_group). Returns the hi-lo neighborhoods in query
+  // order. Equivalent to running RunBaseQuery per query up to the HE
+  // randomness schedule (plaintext-identical results; CKKS within tolerance).
+  Result<std::vector<QueryNeighborhood>> RunBaseQueryGroup(
+      const QueryEnv& env, const std::vector<size_t>& queries, size_t lo,
+      size_t hi, size_t k, FedKnnStats* stats) const;
   // Shared implementation of the Fagin and Threshold oracle modes (they
   // differ in the phase-1 merge algorithm and TA's per-round threshold
   // exchange). `pseudo` is the consortium-shared shuffle, built once per Run.

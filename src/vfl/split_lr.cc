@@ -239,6 +239,9 @@ Result<SplitLrProtocol::Outcome> SplitLrProtocol::Train(
   outcome.he_ops.add_ops = he_after.add_ops - he_before.add_ops;
   outcome.he_ops.values_encrypted =
       he_after.values_encrypted - he_before.values_encrypted;
+  outcome.he_ops.values_decrypted =
+      he_after.values_decrypted - he_before.values_decrypted;
+  outcome.he_ops.values_added = he_after.values_added - he_before.values_added;
 
   const size_t features = data::SelectedFeatureCount(*partition_, selected_);
   const double compute =

@@ -206,7 +206,9 @@ TEST_P(HeRoundTripFuzzTest, MetricsCountersMatchApiCalls) {
   EXPECT_EQ(reg.CounterValue("he.encrypt.count"), s.encrypt_ops);
   EXPECT_EQ(reg.CounterValue("he.encrypt.values"), s.values_encrypted);
   EXPECT_EQ(reg.CounterValue("he.decrypt.count"), s.decrypt_ops);
+  EXPECT_EQ(reg.CounterValue("he.decrypt.values"), s.values_decrypted);
   EXPECT_EQ(reg.CounterValue("he.add.count"), s.add_ops);
+  EXPECT_EQ(reg.CounterValue("he.add.values"), s.values_added);
   EXPECT_EQ(s.values_encrypted, 9u);  // 3 + 3 + (1 + 2 + 0)
   EXPECT_GE(s.encrypt_ops, 4u);       // >= one op per non-empty vector
   be->set_metrics(nullptr);  // the registry dies with this test

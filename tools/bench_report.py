@@ -116,6 +116,18 @@ def main():
         for rate_key in ("items_per_second", "bytes_per_second"):
             if rate_key in rep:
                 entry[rate_key] = rep[rate_key]
+        # Preserve user counters (state.counters[...], e.g. ct_ops_per_query)
+        # — google-benchmark flattens them into the per-run dict alongside its
+        # own fields, so take any numeric key that is not a standard field.
+        standard = {"real_time", "cpu_time", "iterations", "repetitions",
+                    "repetition_index", "threads", "family_index",
+                    "per_family_instance_index", "items_per_second",
+                    "bytes_per_second"}
+        user = {k: v for k, v in rep.items()
+                if k not in standard and isinstance(v, (int, float))
+                and not isinstance(v, bool)}
+        if user:
+            entry["counters"] = user
         base = baseline.get(name)
         if base and base.get("ns_per_op"):
             entry["baseline_ns"] = base["ns_per_op"]

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo docs.
+
+Validates every relative link and image target in the given markdown files
+(or files under given directories) against the working tree: the target file
+must exist, and a `#fragment` on a markdown target must match a heading
+anchor in that file (GitHub slug rules, simplified). External http(s)/mailto
+links are NOT fetched -- the checker must stay deterministic and run offline
+in CI.
+
+Usage: tools/check_markdown_links.py README.md docs/
+Exit code 0 when every link resolves, 1 otherwise (one line per broken link).
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(slugify(m.group(1)))
+    return anchors
+
+
+def links_in(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Strip inline code spans so example links are not validated.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(stripped):
+                yield lineno, m.group(1)
+
+
+def collect_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md")
+                )
+        else:
+            files.append(arg)
+    return sorted(set(files))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = 0
+    for md in collect_files(argv[1:]):
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            base = os.path.dirname(md)
+            resolved = os.path.normpath(os.path.join(base, path_part)) if path_part else md
+            if not os.path.exists(resolved):
+                print(f"{md}:{lineno}: broken link: {target}")
+                broken += 1
+                continue
+            if fragment and resolved.endswith(".md"):
+                if slugify(fragment) not in heading_anchors(resolved):
+                    print(f"{md}:{lineno}: missing anchor: {target}")
+                    broken += 1
+    if broken:
+        print(f"{broken} broken link(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,6 +5,10 @@
 //   vfps_cli run [--dataset=Bank] [--method=VFPS-SM] [--model=lr]
 //                [--participants=4] [--select=2] [--backend=plain]
 //                [--scale=0.5] [--k=10] [--queries=64] [--seed=42]
+//                [--query-group=1]
+//                                (BASE mode: queries per packed HE round;
+//                                 0 = auto-fit the backend's CKKS slots,
+//                                 1 = one query per round, as before)
 //                [--duplicates=0] [--partition=random|stratified]
 //                [--threads=1]   (0 = all cores; results are identical at
 //                                 any thread count, only wall time changes)
@@ -87,6 +91,9 @@ Result<core::ExperimentConfig> BuildConfig(
   config.knn.k = static_cast<size_t>(k);
   VFPS_ASSIGN_OR_RETURN(int64_t queries, ParseInt64(Get(flags, "queries", "64")));
   config.knn.num_queries = static_cast<size_t>(queries);
+  VFPS_ASSIGN_OR_RETURN(int64_t query_group,
+                        ParseInt64(Get(flags, "query-group", "1")));
+  config.knn.query_group = static_cast<size_t>(query_group);
   VFPS_ASSIGN_OR_RETURN(int64_t seed, ParseInt64(Get(flags, "seed", "42")));
   config.seed = static_cast<uint64_t>(seed);
   VFPS_ASSIGN_OR_RETURN(int64_t duplicates, ParseInt64(Get(flags, "duplicates", "0")));
