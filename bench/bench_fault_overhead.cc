@@ -115,6 +115,64 @@ BENCHMARK(BM_VfpsSmSelection)
     ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Incremental repair vs. clean-slate rerun after a single departure.
+//
+// arg0: 1 = repair (a warmed SelectionCache serves the three survivors'
+// score vectors and sub-rankings, so only the Fagin merge over the new
+// membership is redone); 0 = clean-slate (no cache: every survivor
+// recomputes distances, re-sorts, and re-streams). The PR-7 acceptance gate
+// is repair < 30% of clean-slate on this shape (FAGIN oracle, n = 2000
+// rows, 4 participants, |Q| = 16).
+void BM_SelectRepair(benchmark::State& state) {
+  data::SyntheticConfig config;
+  config.num_samples = 2000;
+  config.num_features = 12;
+  config.num_informative = 6;
+  config.num_redundant = 3;
+  config.seed = 31;
+  auto generated = data::GenerateClassification(config);
+  auto split = data::SplitDataset(generated->data, 0.8, 0.1, 5).MoveValueUnsafe();
+  data::StandardizeSplit(&split).Abort("standardize");
+  auto partition =
+      data::RandomVerticalPartition(config.num_features, 4, 9).MoveValueUnsafe();
+  auto backend = he::CreatePlainBackend();
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+
+  vfl::FederatedKnnOracle oracle(&split.train, &partition, backend.get(),
+                                 &network, &cost, &clock);
+  vfl::FedKnnConfig knn;
+  knn.mode = vfl::KnnOracleMode::kFagin;
+  knn.k = 6;
+  knn.num_queries = 16;
+  knn.seed = 11;
+
+  vfl::SelectionCache cache;
+  const bool repair = state.range(0) != 0;
+  if (repair) {
+    // Warm the cache with the pre-departure run, as the selector would have
+    // before the leave was detected.
+    oracle.set_cache(&cache);
+    auto warm = oracle.Run(knn, nullptr);
+    if (!warm.ok()) {
+      state.SkipWithError(warm.status().ToString().c_str());
+      return;
+    }
+  }
+
+  knn.quarantined = {3};  // participant 3 departed; 3 survivors remain
+  for (auto _ : state) {
+    auto rerun = oracle.Run(knn, nullptr);
+    if (!rerun.ok()) state.SkipWithError(rerun.status().ToString().c_str());
+    benchmark::DoNotOptimize(rerun);
+  }
+}
+BENCHMARK(BM_SelectRepair)
+    ->ArgNames({"repair"})
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace vfps
 

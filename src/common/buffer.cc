@@ -32,6 +32,15 @@ uint32_t Crc32(const uint8_t* data, size_t n) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+void Crc32Accumulator::Update(const uint8_t* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = state_;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  state_ = crc;
+}
+
 Result<uint8_t> BinaryReader::ReadU8() {
   VFPS_RETURN_NOT_OK(Require(1));
   return data_[pos_++];

@@ -19,6 +19,31 @@ inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
   return Crc32(bytes.data(), bytes.size());
 }
 
+/// \brief Streaming CRC-32 over a sequence of Update() calls, equivalent to
+/// Crc32() over the concatenated bytes. Used to digest per-participant data
+/// streams (e.g. a party's ranking contributions across all query units)
+/// without materializing them contiguously.
+class Crc32Accumulator {
+ public:
+  void Update(const uint8_t* data, size_t n);
+  void Update(const std::vector<uint8_t>& bytes) {
+    Update(bytes.data(), bytes.size());
+  }
+  void Update(std::span<const double> values) {
+    Update(reinterpret_cast<const uint8_t*>(values.data()),
+           values.size() * sizeof(double));
+  }
+  void Update(uint64_t v) {
+    Update(reinterpret_cast<const uint8_t*>(&v), sizeof(v));
+  }
+
+  /// The CRC-32 of everything fed so far (empty input yields 0, like zlib).
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
 /// \brief Growable byte buffer plus a little-endian binary writer.
 ///
 /// All wire messages in vfps::net are serialized through this writer so that

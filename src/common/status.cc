@@ -35,6 +35,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corrupt";
     case StatusCode::kPeerDead:
       return "Peer dead";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,9 +20,10 @@ enum class StatusCode : int {
   kCryptoError = 8,
   kProtocolError = 9,
   kCapacityError = 10,
-  kTimeout = 11,    // a retried exchange exhausted its attempts
-  kCorrupt = 12,    // payload failed its integrity check (CRC mismatch)
-  kPeerDead = 13,   // the counterpart of an exchange has crashed
+  kTimeout = 11,      // a retried exchange exhausted its attempts
+  kCorrupt = 12,      // payload failed its integrity check (CRC mismatch)
+  kPeerDead = 13,     // the counterpart of an exchange has crashed
+  kUnavailable = 14,  // too few live participants to run the protocol
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument", ...).
@@ -88,6 +89,9 @@ class Status {
   static Status PeerDead(std::string msg) {
     return Status(StatusCode::kPeerDead, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -107,6 +111,7 @@ class Status {
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
   bool IsCorrupt() const { return code() == StatusCode::kCorrupt; }
   bool IsPeerDead() const { return code() == StatusCode::kPeerDead; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// \brief "OK" or "<Code name>: <message>".
   std::string ToString() const;

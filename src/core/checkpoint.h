@@ -1,0 +1,81 @@
+#ifndef VFPS_CORE_CHECKPOINT_H_
+#define VFPS_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/greedy.h"
+#include "vfl/fed_knn.h"
+
+namespace vfps::core {
+
+/// \brief Serializable snapshot of a VFPS-SM selection run, written by
+/// `vfps_cli --checkpoint-out` and consumed by `--resume-from`.
+///
+/// Contents: the protocol fingerprint (everything that shapes the oracle's
+/// output — a resume against a differently-shaped run is rejected), the
+/// membership state at checkpoint time, the oracle's query neighborhoods with
+/// their per-party d_T aggregates, a CRC-32 digest of each party's d_T stream
+/// (cheap tamper/drift detection per participant), and the lazy-greedy scan
+/// state (GreedyCheckpoint) so a resumed selection continues the greedy scan
+/// from its checkpointed prefix instead of restarting it.
+///
+/// Wire format: the 8-byte magic "VFPSCKP1" followed by one CRC-framed body
+/// (common/buffer WriteCrcFramed) — any bit flip in the body fails the load
+/// with a Corrupt status instead of resuming from garbage.
+struct SelectionCheckpoint {
+  // --- Protocol fingerprint ---
+  uint64_t seed = 0;
+  int64_t mode = 0;  // static_cast of vfl::KnnOracleMode
+  uint64_t k = 0;
+  uint64_t num_queries = 0;
+  uint64_t fagin_batch = 0;
+  uint64_t query_group = 0;
+  uint64_t n_rows = 0;            // training rows
+  uint64_t num_participants = 0;  // P
+  uint64_t target = 0;            // selection target of the checkpointed run
+
+  // --- Membership at checkpoint time ---
+  std::vector<uint64_t> quarantined;
+  std::vector<uint64_t> absent;
+  std::vector<uint64_t> joined;
+  std::vector<uint64_t> healed;
+
+  // --- Oracle output over the final membership ---
+  std::vector<vfl::QueryNeighborhood> neighborhoods;
+  /// CRC-32 over participant p's d_T^p stream in query order (one digest per
+  /// participant, quarantined slots digest their zero placeholders).
+  std::vector<uint32_t> party_digests;
+
+  // --- Greedy scan state ---
+  GreedyCheckpoint greedy;
+  double value = 0.0;  // f(selected prefix)
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<SelectionCheckpoint> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+  Status SaveFile(const std::string& path) const;
+  static Result<SelectionCheckpoint> LoadFile(const std::string& path);
+
+  /// InvalidArgument (with the first mismatching field named) unless this
+  /// checkpoint's fingerprint matches the given run shape. `target` is
+  /// deliberately NOT part of the comparison: resuming with a different
+  /// target truncates or extends the greedy prefix.
+  Status CompatibleWith(uint64_t run_seed, int64_t run_mode, uint64_t run_k,
+                        uint64_t run_num_queries, uint64_t run_fagin_batch,
+                        uint64_t run_query_group, uint64_t run_n_rows,
+                        uint64_t run_num_participants) const;
+
+  /// The per-participant digests for a neighborhood set: digest p accumulates
+  /// p's d_T value of every query in query order.
+  static std::vector<uint32_t> ComputePartyDigests(
+      const std::vector<vfl::QueryNeighborhood>& neighborhoods,
+      size_t num_participants);
+};
+
+}  // namespace vfps::core
+
+#endif  // VFPS_CORE_CHECKPOINT_H_

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "core/checkpoint.h"
 #include "data/csv_loader.h"
 #include "data/presets.h"
 #include "data/scaler.h"
@@ -131,8 +132,21 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     ctx.utility_queries = config.utility_queries;
     ctx.shapley_exact_limit = config.shapley_exact_limit;
     ctx.shapley_mc_permutations = config.shapley_mc_permutations;
+    SelectionCheckpoint resume;
+    if (!config.resume_from.empty()) {
+      VFPS_ASSIGN_OR_RETURN(resume,
+                            SelectionCheckpoint::LoadFile(config.resume_from));
+      ctx.resume = &resume;
+    }
+    SelectionCheckpoint checkpoint;
+    if (!config.checkpoint_out.empty()) ctx.checkpoint = &checkpoint;
     VFPS_ASSIGN_OR_RETURN(auto selector, CreateSelector(config.method));
     VFPS_ASSIGN_OR_RETURN(result.selection, selector->Select(ctx, config.select));
+    // Only the VFPS-SM variants fill the checkpoint; an untouched one (other
+    // methods) is not worth writing.
+    if (ctx.checkpoint != nullptr && checkpoint.num_participants > 0) {
+      VFPS_RETURN_NOT_OK(checkpoint.SaveFile(config.checkpoint_out));
+    }
   }
   result.selection_sim_seconds = result.selection.sim_seconds;
   result.faults = network.fault_stats();

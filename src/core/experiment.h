@@ -82,6 +82,14 @@ struct ExperimentConfig {
   net::FaultSpec faults;
   uint64_t fault_seed = 0;  // CLI `--fault-seed`
 
+  /// Selection checkpointing (VFPS-SM variants only; see core/checkpoint.h).
+  /// `checkpoint_out`: after a successful selection, serialize its state to
+  /// this path. `resume_from`: load a prior checkpoint and continue from it —
+  /// the oracle phase is skipped and the greedy scan resumes. Empty (default)
+  /// disables both. CLI `--checkpoint-out` / `--resume-from`.
+  std::string checkpoint_out;
+  std::string resume_from;
+
   /// Optional metrics/tracing sink (CLI `--metrics-out` / `--trace-out`).
   /// When non-null, the deployment objects (HE backend, network, selector)
   /// publish their counters and spans here; run-level facts are added as

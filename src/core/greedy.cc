@@ -1,6 +1,7 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "common/macros.h"
@@ -35,10 +36,54 @@ GreedyResult GreedyMaximize(const KnnSubmodularFunction& f, size_t target) {
 }
 
 GreedyResult LazyGreedyMaximize(const KnnSubmodularFunction& f, size_t target) {
+  return LazyGreedyMaximize(f, target, nullptr, nullptr);
+}
+
+GreedyResult LazyGreedyMaximize(const KnnSubmodularFunction& f, size_t target,
+                                const GreedyCheckpoint* resume,
+                                GreedyCheckpoint* checkpoint_out) {
   GreedyResult result;
   const size_t p = f.ground_set_size();
   target = std::min(target, p);
-  KnnSubmodularFunction::Incremental state(&f);
+
+  // A checkpoint shaped for a different ground set cannot be trusted; fall
+  // back to a cold start (callers validate compatibility upstream).
+  if (resume != nullptr &&
+      (resume->best.size() != p || resume->bounds.size() != p ||
+       resume->bound_rounds.size() != p ||
+       resume->selected.size() != resume->gains.size() ||
+       resume->selected.size() > p)) {
+    resume = nullptr;
+  }
+
+  // Target inside the resumed prefix: the answer is the truncated prefix
+  // (greedy is prefix-monotone). Replay it to rebuild exact accumulators.
+  if (resume != nullptr && resume->selected.size() >= target) {
+    KnnSubmodularFunction::Incremental replay(&f);
+    result.selected.assign(resume->selected.begin(),
+                           resume->selected.begin() + target);
+    result.gains.assign(resume->gains.begin(), resume->gains.begin() + target);
+    for (size_t s : result.selected) replay.Add(s);
+    result.value = replay.value();
+    if (checkpoint_out != nullptr) {
+      checkpoint_out->selected = result.selected;
+      checkpoint_out->gains = result.gains;
+      checkpoint_out->best = replay.best();
+      checkpoint_out->value = replay.value();
+      // The resumed bounds were computed against the LONGER prefix, so they
+      // may undercut gains w.r.t. the truncated one — publish vacuous bounds
+      // that force re-evaluation instead.
+      checkpoint_out->bounds.assign(p, std::numeric_limits<double>::infinity());
+      checkpoint_out->bound_rounds.assign(p, 0);
+    }
+    return result;
+  }
+
+  KnnSubmodularFunction::Incremental state =
+      resume != nullptr
+          ? KnnSubmodularFunction::Incremental(&f, resume->best, resume->value)
+          : KnnSubmodularFunction::Incremental(&f);
+  std::vector<bool> chosen(p, false);
 
   // (stale upper bound, -index) max-heap; smaller index wins gain ties to
   // match plain greedy's tie-break.
@@ -52,15 +97,29 @@ GreedyResult LazyGreedyMaximize(const KnnSubmodularFunction& f, size_t target) {
     }
   };
   std::priority_queue<Entry> heap;
-  for (size_t candidate = 0; candidate < p; ++candidate) {
-    const double gain = state.GainOf(candidate);
-    ++result.evaluations;
-    // The state is untouched until the first pick, so these initial bounds
-    // are already exact for round 1.
-    heap.push({gain, candidate, 1});
+  if (resume != nullptr) {
+    // Reconstruct the heap exactly as it stood at the checkpointed pick
+    // boundary; the continued scan is then indistinguishable from the
+    // uninterrupted one.
+    result.selected = resume->selected;
+    result.gains = resume->gains;
+    for (size_t s : result.selected) chosen[s] = true;
+    for (size_t candidate = 0; candidate < p; ++candidate) {
+      if (chosen[candidate]) continue;
+      heap.push({resume->bounds[candidate], candidate,
+                 resume->bound_rounds[candidate]});
+    }
+  } else {
+    for (size_t candidate = 0; candidate < p; ++candidate) {
+      const double gain = state.GainOf(candidate);
+      ++result.evaluations;
+      // The state is untouched until the first pick, so these initial bounds
+      // are already exact for round 1.
+      heap.push({gain, candidate, 1});
+    }
   }
 
-  for (size_t round = 1; round <= target; ++round) {
+  for (size_t round = result.selected.size() + 1; round <= target; ++round) {
     for (;;) {
       Entry top = heap.top();
       heap.pop();
@@ -79,6 +138,21 @@ GreedyResult LazyGreedyMaximize(const KnnSubmodularFunction& f, size_t target) {
     }
   }
   result.value = state.value();
+
+  if (checkpoint_out != nullptr) {
+    checkpoint_out->selected = result.selected;
+    checkpoint_out->gains = result.gains;
+    checkpoint_out->best = state.best();
+    checkpoint_out->value = state.value();
+    checkpoint_out->bounds.assign(p, 0.0);
+    checkpoint_out->bound_rounds.assign(p, 0);
+    while (!heap.empty()) {
+      const Entry e = heap.top();
+      heap.pop();
+      checkpoint_out->bounds[e.index] = e.bound;
+      checkpoint_out->bound_rounds[e.index] = e.round_evaluated;
+    }
+  }
   return result;
 }
 

@@ -28,6 +28,28 @@ GreedyResult GreedyMaximize(const KnnSubmodularFunction& f, size_t target);
 /// far fewer evaluations; an ablation bench quantifies the savings.
 GreedyResult LazyGreedyMaximize(const KnnSubmodularFunction& f, size_t target);
 
+/// \brief Snapshot of a lazy-greedy scan at a pick boundary: the selected
+/// prefix, the incremental f(S) accumulators, and the CELF heap's stale
+/// bounds. Resuming from it reconstructs the exact heap state, so the
+/// continued scan picks the same elements the uninterrupted scan would.
+struct GreedyCheckpoint {
+  std::vector<size_t> selected;      // greedy prefix in pick order
+  std::vector<double> gains;         // marginal gain realized by each pick
+  std::vector<double> best;          // Incremental: max_{s in S} w(p, s) per p
+  std::vector<double> bounds;        // CELF stale bound per candidate
+  std::vector<size_t> bound_rounds;  // round each bound was last evaluated
+  double value = 0.0;                // f(prefix)
+};
+
+/// \brief Lazy greedy with checkpoint/resume. `resume` (nullable) continues a
+/// prior scan: a target inside the resumed prefix returns the truncated
+/// prefix; a larger target runs only the remaining rounds. `checkpoint_out`
+/// (nullable) receives the scan state at the final pick boundary. A resume
+/// whose vectors do not match the ground-set size is ignored (cold start).
+GreedyResult LazyGreedyMaximize(const KnnSubmodularFunction& f, size_t target,
+                                const GreedyCheckpoint* resume,
+                                GreedyCheckpoint* checkpoint_out);
+
 /// \brief Exhaustive optimum over all subsets of the target size; exponential
 /// in P, only for the approximation-quality ablation (P <= 20).
 Result<GreedyResult> ExhaustiveMaximize(const KnnSubmodularFunction& f,

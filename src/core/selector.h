@@ -21,6 +21,8 @@ class MetricsRegistry;
 
 namespace vfps::core {
 
+struct SelectionCheckpoint;  // core/checkpoint.h
+
 /// Participant-selection methods evaluated in the paper.
 enum class SelectionMethod {
   kAll,         // no selection: train with every participant
@@ -62,6 +64,16 @@ struct SelectionContext {
   vfl::FedKnnConfig knn;  // oracle settings (k, |Q|, Fagin batch, seed)
   uint64_t seed = 42;
 
+  /// Resume state (nullable; VFPS-SM variants only): a checkpoint previously
+  /// saved via `checkpoint`, validated against this run's fingerprint. On a
+  /// match the oracle phase is skipped entirely and the greedy scan continues
+  /// from the checkpointed prefix; on a mismatch Select() fails typed.
+  const SelectionCheckpoint* resume = nullptr;
+  /// When non-null (VFPS-SM variants only), Select() fills it with the
+  /// completed run's state — membership, neighborhoods, per-party digests,
+  /// and the greedy scan at its final pick boundary — for --checkpoint-out.
+  SelectionCheckpoint* checkpoint = nullptr;
+
   /// Validation rows used as the utility-evaluation set by SHAPLEY / VF-MINE.
   size_t utility_queries = 32;
   /// SHAPLEY enumerates all 2^P coalitions up to this P; beyond it, Shapley
@@ -85,6 +97,10 @@ struct SelectionOutcome {
   /// degradation (ascending ids). Empty in a healthy run. Quarantined
   /// participants are never in `selected` and keep a 0.0 score.
   std::vector<size_t> quarantined;
+  /// Participants whose join= rule never fired during the run (ascending
+  /// ids): they were not part of the consortium for any completed oracle
+  /// pass, are never in `selected`, and keep a 0.0 score.
+  std::vector<size_t> absent;
 };
 
 /// \brief Interface implemented by every selection method.

@@ -34,9 +34,17 @@ class KnnSubmodularFunction {
   class Incremental {
    public:
     explicit Incremental(const KnnSubmodularFunction* f);
+    /// Rebuild from checkpointed accumulators (see core::GreedyCheckpoint):
+    /// `best` is max_{s in S} w(p, s) per ground element for some prefix S,
+    /// `value` is f(S).
+    Incremental(const KnnSubmodularFunction* f, std::vector<double> best,
+                double value)
+        : f_(f), best_(std::move(best)), value_(value) {}
     double value() const { return value_; }
     double GainOf(size_t candidate) const;
     void Add(size_t candidate);
+    /// The per-element accumulators (for checkpointing).
+    const std::vector<double>& best() const { return best_; }
 
    private:
     const KnnSubmodularFunction* f_;

@@ -22,14 +22,25 @@ namespace vfps::core {
 /// instance must be driven from one thread at a time (it caches
 /// last_similarity()).
 ///
-/// Graceful degradation: when the network has a fault plan and a participant
-/// crashes mid-oracle (PeerDead), Select() quarantines the dead participants,
-/// reruns the oracle over the survivors, builds the survivor-sized similarity
-/// matrix, and completes the greedy pass — reporting the exclusion in
-/// SelectionOutcome::quarantined. Only participants (ids >= 1) can be
-/// quarantined; a dead leader or server still fails the run. After a degraded
-/// run, last_similarity() is indexed by survivor position, not participant
-/// id.
+/// Churn tolerance: when the network has a fault plan, Select() runs a
+/// membership loop instead of a single oracle pass. A participant that
+/// crashes or leaves (PeerDead) is quarantined and the oracle repaired over
+/// the survivors; a join= participant starts absent and is spliced in when a
+/// run crosses its threshold; a heal= participant is un-quarantined the same
+/// way. Repairs are incremental: a vfl::SelectionCache carries every
+/// surviving party's contributions across reruns, so only the membership
+/// delta recomputes (select.repair.* metrics quantify this). Exclusions are
+/// reported in SelectionOutcome::quarantined / ::absent. Only participants
+/// (ids >= 1) can churn; a dead leader or server still fails the run. After
+/// a degraded run, last_similarity() is indexed by survivor position, not
+/// participant id.
+///
+/// Checkpoint/resume: SelectionContext::checkpoint captures the finished
+/// run's state (membership, neighborhoods, per-party digests, greedy scan);
+/// SelectionContext::resume restores it — the oracle phase is skipped and
+/// the greedy scan continues from the checkpointed prefix (identical
+/// selection to an uninterrupted run; a different target truncates or
+/// extends the prefix).
 class VfpsSmSelector final : public ParticipantSelector {
  public:
   /// \param mode kFagin for VFPS-SM, kBase for the VFPS-SM-BASE ablation

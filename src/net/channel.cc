@@ -9,10 +9,18 @@ namespace vfps::net {
 
 ReliableChannel::ReliableChannel(SimNetwork* net, SimClock* clock,
                                  RetryPolicy policy)
-    : net_(net), clock_(clock), policy_(policy) {
+    : net_(net),
+      clock_(clock),
+      policy_(policy),
+      // Jitter draws come from (policy seed, network fault seed): per-task
+      // channels wrap task-local networks with pre-derived fault seeds, so
+      // the jitter schedule is reproducible at any thread count.
+      jitter_rng_(policy.jitter_seed ^
+                  (net->fault_seed() * 0x9E3779B97F4A7C15ULL)) {
   if (obs::MetricsRegistry* registry = net_->metrics(); registry != nullptr) {
     c_retries_ = registry->GetCounter("net.chan.retries");
     c_discards_ = registry->GetCounter("net.chan.discards");
+    c_exhausted_ = registry->GetCounter("net.chan.exhausted");
   }
 }
 
@@ -84,17 +92,28 @@ Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
     }
     // Simulated timeout, then ask the sender to retransmit. The resend goes
     // back through the fault plan, so it can be lost or corrupted again.
-    clock_->Advance(CostCategory::kNetwork, wait);
+    double charged = wait;
+    if (policy_.jitter_factor > 0.0) {
+      charged *= 1.0 + policy_.jitter_factor * jitter_rng_.NextDouble();
+    }
+    clock_->Advance(CostCategory::kNetwork, charged);
     wait *= policy_.backoff_factor;
     if (c_retries_ != nullptr) c_retries_->Add(1);
     VFPS_RETURN_NOT_OK(
         net_->Send(from, to, Frame(want, pending->second.payload)));
   }
-  return Status::Timeout(StrFormat(
+  // The retry budget is gone and no crash rule fired: something is silently
+  // eating this link (a long partition, or pathological loss). Report the
+  // likely-unreachable endpoint as a suspect so the selection layer can
+  // quarantine it — never the leader or a server, whose loss is structural.
+  const NodeId suspect = from >= 1 ? from : to;
+  if (suspect >= 1) net_->SuspectDead(suspect);
+  if (c_exhausted_ != nullptr) c_exhausted_->Add(1);
+  return Status::PeerDead(StrFormat(
       "ReliableChannel: gave up on link %s -> %s after %zu attempts "
-      "(seq %u never arrived intact)",
+      "(seq %u never arrived intact); suspecting %s unreachable",
       NodeName(from).c_str(), NodeName(to).c_str(), policy_.max_attempts,
-      want));
+      want, suspect >= 1 ? NodeName(suspect).c_str() : "nobody"));
 }
 
 }  // namespace vfps::net

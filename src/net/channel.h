@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -13,10 +14,18 @@
 namespace vfps::net {
 
 /// \brief Retransmission policy of ReliableChannel.
+///
+/// With `jitter_factor > 0` each backoff wait is stretched by a seeded
+/// uniform draw in [0, jitter_factor] — the standard decorrelation trick so
+/// that lockstep peers retrying the same congested link don't resend in
+/// synchronized waves. The default of 0 keeps the backoff schedule exact
+/// (wait, wait*b, wait*b^2, ...), which existing clock assertions rely on.
 struct RetryPolicy {
   size_t max_attempts = 6;        // delivery attempts per message
   double timeout_seconds = 0.05;  // simulated wait before the first resend
   double backoff_factor = 2.0;    // exponential backoff multiplier
+  double jitter_factor = 0.0;     // extra wait fraction, uniform [0, this]
+  uint64_t jitter_seed = 0;       // seed of the jitter stream
 };
 
 /// \brief Lockstep reliable exchange over a (possibly fault-injected)
@@ -41,7 +50,11 @@ struct RetryPolicy {
 ///   - an empty link charges an exponentially backed-off timeout to the
 ///     simulated clock and triggers a retransmission;
 ///   - a crashed peer (either endpoint) yields PeerDead;
-///   - once max_attempts is exhausted the exchange fails with Timeout.
+///   - once max_attempts is exhausted the exchange fails with PeerDead (the
+///     attempt count is in the message) and the likely-unreachable endpoint
+///     is reported to the network via SimNetwork::SuspectDead, so the
+///     selection layer can quarantine it like a crash — this is how long
+///     partitions surface.
 ///
 /// Retransmissions re-enter the fault plan (a resend can be dropped or
 /// corrupted again), so the number of rounds a schedule needs is itself
@@ -63,9 +76,10 @@ class ReliableChannel {
   Status Send(NodeId from, NodeId to, std::vector<uint8_t> payload);
 
   /// Deliver the next in-order payload on (from -> to), retrying through
-  /// injected faults. Errors: PeerDead (a link endpoint crashed), Timeout
-  /// (attempts exhausted), ProtocolError (nothing was ever sent — a protocol
-  /// mismatch, matching raw SimNetwork semantics).
+  /// injected faults. Errors: PeerDead (a link endpoint crashed, or the
+  /// retry budget was exhausted and the suspect endpoint was reported dead),
+  /// ProtocolError (nothing was ever sent — a protocol mismatch, matching
+  /// raw SimNetwork semantics).
   Result<std::vector<uint8_t>> Recv(NodeId from, NodeId to);
 
   const RetryPolicy& policy() const { return policy_; }
@@ -83,8 +97,10 @@ class ReliableChannel {
   SimNetwork* net_;
   SimClock* clock_;
   RetryPolicy policy_;
+  Rng jitter_rng_;
   obs::Counter* c_retries_ = nullptr;
   obs::Counter* c_discards_ = nullptr;
+  obs::Counter* c_exhausted_ = nullptr;
   std::map<LinkKey, uint32_t> next_send_seq_;
   std::map<LinkKey, uint32_t> next_recv_seq_;
   std::map<LinkKey, Pending> pending_;

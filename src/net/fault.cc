@@ -22,7 +22,48 @@ Status FaultSpec::Validate() const {
         "fault-spec: delay probability set but delay seconds is 0 "
         "(use delay=PROB:SECONDS)");
   }
+  // Churn rules name participants only: the leader (node 0) and the servers
+  // (negative ids) are structural — their departure is not repairable.
+  for (const LeaveRule& rule : leaves) {
+    if (rule.node < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "fault-spec: leave= names node %lld; only participants (>= 1) "
+          "can churn", static_cast<long long>(rule.node)));
+    }
+  }
+  for (const JoinRule& rule : joins) {
+    if (rule.node < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "fault-spec: join= names node %lld; only participants (>= 1) "
+          "can churn", static_cast<long long>(rule.node)));
+    }
+  }
+  for (const HealRule& rule : heals) {
+    if (rule.node < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "fault-spec: heal= names node %lld; only participants (>= 1) "
+          "can churn", static_cast<long long>(rule.node)));
+    }
+  }
+  for (const PartitionRule& rule : partitions) {
+    if (rule.node < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "fault-spec: part= names node %lld; only participants (>= 1) "
+          "can be partitioned", static_cast<long long>(rule.node)));
+    }
+    if (rule.drop_count < 1) {
+      return Status::InvalidArgument("fault-spec: part COUNT must be >= 1");
+    }
+  }
   return Status::OK();
+}
+
+std::vector<NodeId> FaultSpec::InitialAbsentees() const {
+  std::vector<NodeId> absent;
+  for (const JoinRule& rule : joins) absent.push_back(rule.node);
+  std::sort(absent.begin(), absent.end());
+  absent.erase(std::unique(absent.begin(), absent.end()), absent.end());
+  return absent;
 }
 
 namespace {
@@ -101,6 +142,33 @@ Result<FaultSpec> ParseFaultSpec(const std::string& text) {
       }
       rule.drop_count = static_cast<uint64_t>(count);
       spec.stalls.push_back(rule);
+    } else if (key == "leave") {
+      LeaveRule rule;
+      VFPS_RETURN_NOT_OK(ParseNodeAt(value, &rule.node, &rule.after_sends));
+      spec.leaves.push_back(rule);
+    } else if (key == "join") {
+      JoinRule rule;
+      VFPS_RETURN_NOT_OK(ParseNodeAt(value, &rule.node, &rule.after_sends));
+      spec.joins.push_back(rule);
+    } else if (key == "heal") {
+      HealRule rule;
+      VFPS_RETURN_NOT_OK(ParseNodeAt(value, &rule.node, &rule.after_sends));
+      spec.heals.push_back(rule);
+    } else if (key == "part") {
+      const auto plus = value.find('+');
+      if (plus == std::string_view::npos) {
+        return Status::InvalidArgument(
+            "fault-spec: part needs NODE@AFTER+COUNT, e.g. part=3@10+20");
+      }
+      PartitionRule rule;
+      VFPS_RETURN_NOT_OK(
+          ParseNodeAt(value.substr(0, plus), &rule.node, &rule.after_sends));
+      VFPS_ASSIGN_OR_RETURN(int64_t count, ParseInt64(value.substr(plus + 1)));
+      if (count < 1) {
+        return Status::InvalidArgument("fault-spec: part COUNT must be >= 1");
+      }
+      rule.drop_count = static_cast<uint64_t>(count);
+      spec.partitions.push_back(rule);
     } else {
       return Status::InvalidArgument(
           StrFormat("fault-spec: unknown key '%.*s'",
@@ -112,18 +180,31 @@ Result<FaultSpec> ParseFaultSpec(const std::string& text) {
 }
 
 FaultInjector::Delivery FaultInjector::OnSend(NodeId from, NodeId to) {
+  // The stream-total is the stream's clock: it ticks on every send attempt,
+  // even swallowed ones, so join/heal/partition windows keep advancing while
+  // a node is down. The Bernoulli stream below is untouched by this counter.
+  ++total_sends_;
   Delivery d;
-  if (NodeDead(from)) {
+  if (NodeDead(from) || NodeAbsent(from)) {
     d.sender_dead = true;
-    return d;  // dead nodes emit nothing; the fault stream does not advance
+    return d;  // dead nodes emit nothing; the Bernoulli stream does not advance
   }
   const uint64_t send_index = ++sends_by_node_[from];  // 1-based
-  (void)to;
 
   // A stalled sender's message is metered (it left the NIC) but lost.
   for (const StallRule& rule : spec_.stalls) {
     if (rule.node == from && send_index >= rule.after_sends &&
         send_index < rule.after_sends + rule.drop_count) {
+      d.dropped = true;
+    }
+  }
+  // A partitioned node's traffic is metered but lost in both directions
+  // while the stream-total is inside the window (1-based, so the send that
+  // moved the total to `after_sends` is the first one lost).
+  for (const PartitionRule& rule : spec_.partitions) {
+    if ((rule.node == from || rule.node == to) &&
+        total_sends_ >= rule.after_sends &&
+        total_sends_ < rule.after_sends + rule.drop_count) {
       d.dropped = true;
     }
   }
@@ -145,24 +226,85 @@ FaultInjector::Delivery FaultInjector::OnSend(NodeId from, NodeId to) {
   return d;
 }
 
-bool FaultInjector::NodeDead(NodeId node) const {
-  for (const CrashRule& rule : spec_.crashes) {
-    if (rule.node != node) continue;
-    auto it = sends_by_node_.find(node);
-    const uint64_t sent = it == sends_by_node_.end() ? 0 : it->second;
-    if (sent >= rule.after_sends) return true;
+bool FaultInjector::NodeHealed(NodeId node) const {
+  if (pre_healed_.count(node) != 0) return true;
+  for (const HealRule& rule : spec_.heals) {
+    if (rule.node == node && total_sends_ >= rule.after_sends) return true;
   }
   return false;
 }
+
+bool FaultInjector::NodeDead(NodeId node) const {
+  auto it = sends_by_node_.find(node);
+  const uint64_t sent = it == sends_by_node_.end() ? 0 : it->second;
+  bool down = false;
+  for (const CrashRule& rule : spec_.crashes) {
+    if (rule.node == node && sent >= rule.after_sends) down = true;
+  }
+  for (const LeaveRule& rule : spec_.leaves) {
+    if (rule.node == node && sent >= rule.after_sends) down = true;
+  }
+  return down && !NodeHealed(node);
+}
+
+bool FaultInjector::NodeAbsent(NodeId node) const {
+  if (pre_joined_.count(node) != 0) return false;
+  bool has_join = false;
+  for (const JoinRule& rule : spec_.joins) {
+    if (rule.node != node) continue;
+    has_join = true;
+    if (total_sends_ >= rule.after_sends) return false;  // joined
+  }
+  return has_join;
+}
+
+namespace {
+void SortUnique(std::vector<NodeId>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+}  // namespace
 
 std::vector<NodeId> FaultInjector::DeadNodes() const {
   std::vector<NodeId> dead;
   for (const CrashRule& rule : spec_.crashes) {
     if (NodeDead(rule.node)) dead.push_back(rule.node);
   }
-  std::sort(dead.begin(), dead.end());
-  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  for (const LeaveRule& rule : spec_.leaves) {
+    if (NodeDead(rule.node)) dead.push_back(rule.node);
+  }
+  SortUnique(&dead);
   return dead;
+}
+
+std::vector<NodeId> FaultInjector::DepartedNodes() const {
+  std::vector<NodeId> departed;
+  for (const LeaveRule& rule : spec_.leaves) {
+    if (NodeHealed(rule.node)) continue;
+    auto it = sends_by_node_.find(rule.node);
+    const uint64_t sent = it == sends_by_node_.end() ? 0 : it->second;
+    if (sent >= rule.after_sends) departed.push_back(rule.node);
+  }
+  SortUnique(&departed);
+  return departed;
+}
+
+std::vector<NodeId> FaultInjector::JoinedNodes() const {
+  std::vector<NodeId> joined;
+  for (const JoinRule& rule : spec_.joins) {
+    if (!NodeAbsent(rule.node)) joined.push_back(rule.node);
+  }
+  SortUnique(&joined);
+  return joined;
+}
+
+std::vector<NodeId> FaultInjector::HealedNodes() const {
+  std::vector<NodeId> healed;
+  for (const HealRule& rule : spec_.heals) {
+    if (total_sends_ >= rule.after_sends) healed.push_back(rule.node);
+  }
+  SortUnique(&healed);
+  return healed;
 }
 
 }  // namespace vfps::net

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/string_util.h"
@@ -79,9 +80,9 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
       c_delay_ns_->Add(static_cast<uint64_t>(std::llround(fate.extra_delay * 1e9)));
     }
   }
-  if (injector_->NodeDead(to)) {
+  if (injector_->NodeDead(to) || injector_->NodeAbsent(to)) {
     // Connection refused: the sender pays for the transmission but the dead
-    // receiver consumes nothing.
+    // (or not-yet-joined) receiver consumes nothing.
     fault_stats_.swallowed_dead += 1;
     if (c_swallowed_dead_ != nullptr) c_swallowed_dead_->Add(1);
     return Status::OK();
@@ -175,11 +176,52 @@ const FaultSpec* SimNetwork::fault_spec() const {
 }
 
 bool SimNetwork::NodeDead(NodeId node) const {
+  if (std::binary_search(suspects_.begin(), suspects_.end(), node)) return true;
   return injector_ != nullptr && injector_->NodeDead(node);
 }
 
 std::vector<NodeId> SimNetwork::DeadNodes() const {
-  return injector_ == nullptr ? std::vector<NodeId>{} : injector_->DeadNodes();
+  std::vector<NodeId> dead =
+      injector_ == nullptr ? std::vector<NodeId>{} : injector_->DeadNodes();
+  dead.insert(dead.end(), suspects_.begin(), suspects_.end());
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  return dead;
+}
+
+std::vector<NodeId> SimNetwork::DepartedNodes() const {
+  return injector_ == nullptr ? std::vector<NodeId>{}
+                              : injector_->DepartedNodes();
+}
+
+std::vector<NodeId> SimNetwork::JoinedNodes() const {
+  return injector_ == nullptr ? std::vector<NodeId>{}
+                              : injector_->JoinedNodes();
+}
+
+std::vector<NodeId> SimNetwork::HealedNodes() const {
+  return injector_ == nullptr ? std::vector<NodeId>{}
+                              : injector_->HealedNodes();
+}
+
+bool SimNetwork::NodeAbsent(NodeId node) const {
+  return injector_ != nullptr && injector_->NodeAbsent(node);
+}
+
+void SimNetwork::SuspectDead(NodeId node) {
+  auto it = std::lower_bound(suspects_.begin(), suspects_.end(), node);
+  if (it == suspects_.end() || *it != node) suspects_.insert(it, node);
+}
+
+void SimNetwork::MarkHealed(NodeId node) {
+  if (injector_ != nullptr) injector_->MarkHealed(node);
+  // A healed suspect is no longer a suspect.
+  auto it = std::lower_bound(suspects_.begin(), suspects_.end(), node);
+  if (it != suspects_.end() && *it == node) suspects_.erase(it);
+}
+
+void SimNetwork::MarkJoined(NodeId node) {
+  if (injector_ != nullptr) injector_->MarkJoined(node);
 }
 
 }  // namespace vfps::net

@@ -144,11 +144,36 @@ class SimNetwork {
   const FaultSpec* fault_spec() const;
   uint64_t fault_seed() const { return fault_seed_; }
 
-  /// True if `node` crossed a CrashRule threshold on this network's stream.
+  /// True if `node` crossed a crash/leave threshold on this network's
+  /// stream, or was marked suspect by the retry layer.
   bool NodeDead(NodeId node) const;
 
-  /// All crashed nodes on this network's stream, ascending.
+  /// All dead nodes on this network's stream (crashed, departed, or
+  /// suspected after retry exhaustion), ascending.
   std::vector<NodeId> DeadNodes() const;
+
+  /// Dead nodes that departed via a leave= rule, ascending.
+  std::vector<NodeId> DepartedNodes() const;
+
+  /// Join-rule nodes whose threshold this stream crossed, ascending.
+  std::vector<NodeId> JoinedNodes() const;
+
+  /// Heal-rule nodes whose threshold this stream crossed, ascending.
+  std::vector<NodeId> HealedNodes() const;
+
+  /// True while `node` has an unreached join= threshold on this stream.
+  bool NodeAbsent(NodeId node) const;
+
+  /// Declare `node` unreachable: ReliableChannel calls this when its retry
+  /// budget is exhausted on a link, so the selection layer can quarantine
+  /// the suspect endpoint even though no crash rule fired (e.g. a long
+  /// partition). Suspects are reported by NodeDead()/DeadNodes().
+  void SuspectDead(NodeId node);
+
+  /// Forwarded to the attached injector (no-ops without one): pre-apply a
+  /// heal/join decided on an earlier fault stream.
+  void MarkHealed(NodeId node);
+  void MarkJoined(NodeId node);
 
   /// Faults that fired on this network (plus everything merged into it).
   const FaultStats& fault_stats() const { return fault_stats_; }
@@ -175,6 +200,7 @@ class SimNetwork {
   std::unique_ptr<FaultInjector> injector_;
   SimClock* fault_clock_ = nullptr;  // borrowed; set with the injector
   uint64_t fault_seed_ = 0;
+  std::vector<NodeId> suspects_;  // sorted unique; see SuspectDead()
 
   obs::MetricsRegistry* obs_registry_ = nullptr;  // borrowed
   obs::Counter* c_messages_ = nullptr;

@@ -19,16 +19,40 @@ Result<RankedListSet> RankedListSet::Build(
   set.scores_ = std::move(scores_per_party);
   set.order_.resize(set.scores_.size());
   for (size_t p = 0; p < set.scores_.size(); ++p) {
-    auto& order = set.order_[p];
-    order.resize(n);
-    std::iota(order.begin(), order.end(), 0);
-    const auto& scores = set.scores_[p];
-    // Ascending score; ties broken by id for determinism.
-    std::sort(order.begin(), order.end(), [&scores](uint64_t a, uint64_t b) {
-      if (scores[a] != scores[b]) return scores[a] < scores[b];
-      return a < b;
-    });
+    set.order_[p] = SortedOrder(set.scores_[p]);
   }
+  return set;
+}
+
+std::vector<uint64_t> RankedListSet::SortedOrder(
+    const std::vector<double>& scores) {
+  std::vector<uint64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Ascending score; ties broken by id for determinism.
+  std::sort(order.begin(), order.end(), [&scores](uint64_t a, uint64_t b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+Result<RankedListSet> RankedListSet::BuildPresorted(
+    std::vector<std::vector<double>> scores_per_party,
+    std::vector<std::vector<uint64_t>> orders_per_party) {
+  VFPS_CHECK_ARG(!scores_per_party.empty(), "RankedListSet: need >= 1 party");
+  VFPS_CHECK_ARG(scores_per_party.size() == orders_per_party.size(),
+                 "RankedListSet: scores/orders party-count mismatch");
+  const size_t n = scores_per_party[0].size();
+  VFPS_CHECK_ARG(n > 0, "RankedListSet: empty score lists");
+  for (size_t p = 0; p < scores_per_party.size(); ++p) {
+    VFPS_CHECK_ARG(scores_per_party[p].size() == n,
+                   "RankedListSet: size mismatch across parties");
+    VFPS_CHECK_ARG(orders_per_party[p].size() == n,
+                   "RankedListSet: order/scores size mismatch");
+  }
+  RankedListSet set;
+  set.scores_ = std::move(scores_per_party);
+  set.order_ = std::move(orders_per_party);
   return set;
 }
 

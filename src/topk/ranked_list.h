@@ -22,6 +22,19 @@ class RankedListSet {
   static Result<RankedListSet> Build(
       std::vector<std::vector<double>> scores_per_party);
 
+  /// Build from score vectors whose sort orders are already known (e.g.
+  /// cached sub-rankings surviving a membership change) — skips the
+  /// O(n log n) per-party sort that dominates Build(). Each order must be
+  /// the permutation SortedOrder(scores) would produce; only sizes are
+  /// validated.
+  static Result<RankedListSet> BuildPresorted(
+      std::vector<std::vector<double>> scores_per_party,
+      std::vector<std::vector<uint64_t>> orders_per_party);
+
+  /// The ranking Build() materializes for one party: item ids sorted
+  /// ascending by score, ties broken by id.
+  static std::vector<uint64_t> SortedOrder(const std::vector<double>& scores);
+
   size_t num_parties() const { return scores_.size(); }
   size_t num_items() const { return scores_.empty() ? 0 : scores_[0].size(); }
 

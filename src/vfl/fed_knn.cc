@@ -156,21 +156,53 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   VFPS_CHECK_ARG(config.num_queries >= 1, "fed-knn: need >= 1 query");
   VFPS_CHECK_ARG(config.fagin_batch >= 1, "fed-knn: fagin batch must be >= 1");
 
-  // Survivor view: everybody minus the quarantined participants. With no
-  // quarantine the list is 0..P-1 and every code path below is the pristine
-  // protocol.
+  // Survivor view: everybody minus the quarantined and not-yet-joined
+  // participants. With no exclusions the list is 0..P-1 and every code path
+  // below is the pristine protocol.
   std::vector<size_t> active;
   active.reserve(p);
   for (size_t party = 0; party < p; ++party) {
-    if (std::find(config.quarantined.begin(), config.quarantined.end(),
-                  party) == config.quarantined.end()) {
-      active.push_back(party);
-    }
+    const bool quarantined =
+        std::find(config.quarantined.begin(), config.quarantined.end(),
+                  party) != config.quarantined.end();
+    const bool absent = std::find(config.absent.begin(), config.absent.end(),
+                                  party) != config.absent.end();
+    if (!quarantined && !absent) active.push_back(party);
   }
   VFPS_CHECK_ARG(!active.empty() && active.front() == 0,
                  "fed-knn: the leader (participant 0) cannot be quarantined");
+  if (!config.quarantined.empty() && active.size() < 3) {
+    // A 2-party consortium (leader + one survivor) runs the protocol but the
+    // similarity matrix it feeds degenerates — the selection carries no
+    // signal. Surface a typed error instead of silently computing noise.
+    return Status::Unavailable(StrFormat(
+        "fed-knn: churn left only %zu active participant(s) of %zu after "
+        "quarantining %zu; a meaningful selection needs >= 3 survivors",
+        active.size(), p, config.quarantined.size()));
+  }
   VFPS_CHECK_ARG(active.size() >= 2,
-                 "fed-knn: quarantine left fewer than 2 active participants");
+                 "fed-knn: fewer than 2 active participants");
+
+  // One retry policy for every channel of this run (the main broadcast and
+  // each query task's lockstep exchanges).
+  net::RetryPolicy retry;
+  if (config.net_retries > 0) retry.max_attempts = config.net_retries;
+  retry.jitter_factor = config.net_jitter;
+  retry.jitter_seed = config.seed;
+
+  // Membership decisions from earlier runs are pushed down to every fault
+  // stream: healed nodes must not re-fire their crash/leave rules (each
+  // stream's counters restart from zero), and admitted joiners must not be
+  // absent again.
+  const auto apply_membership_marks = [&config](net::SimNetwork* net) {
+    for (size_t node : config.healed) {
+      net->MarkHealed(static_cast<net::NodeId>(node));
+    }
+    for (size_t node : config.joined) {
+      net->MarkJoined(static_cast<net::NodeId>(node));
+    }
+  };
+  apply_membership_marks(network_);
 
   const net::TrafficStats traffic_before = network_->total();
   const he::HeOpStats he_before = backend_->stats();
@@ -183,7 +215,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   Rng rng(config.seed);
   const size_t num_queries = std::min(config.num_queries, n);
   std::vector<size_t> queries = rng.SampleWithoutReplacement(n, num_queries);
-  net::ReliableChannel main_chan(network_, clock_);
+  net::ReliableChannel main_chan(network_, clock_, retry);
   for (size_t party : active) {
     if (party == 0) continue;
     std::vector<uint64_t> ids(queries.begin(), queries.end());
@@ -193,7 +225,12 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
       sent = main_chan.Recv(kLeader, static_cast<int>(party)).status();
     }
     if (!sent.ok()) {
-      if (stats != nullptr) stats->dead_nodes = network_->DeadNodes();
+      if (stats != nullptr) {
+        stats->dead_nodes = network_->DeadNodes();
+        stats->departed_nodes = network_->DepartedNodes();
+        stats->joined_nodes = network_->JoinedNodes();
+        stats->healed_nodes = network_->HealedNodes();
+      }
       return sent;
     }
   }
@@ -223,6 +260,23 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   }
   const size_t num_units = queries.empty() ? 0 : (queries.size() + group - 1) / group;
 
+  // Bind (or re-validate) the contribution cache against this run's protocol
+  // shape. A key mismatch — different seed, mode, k, query count, batching or
+  // dataset size — clears the cache, so stale contributions can never leak
+  // into a differently-shaped run.
+  if (cache_ != nullptr) {
+    SelectionCache::Key key;
+    key.seed = config.seed;
+    key.mode = static_cast<int>(config.mode);
+    key.k = config.k;
+    key.num_queries = num_queries;
+    key.fagin_batch = config.fagin_batch;
+    key.group = group;
+    key.n_rows = n;
+    key.num_units = num_units;
+    cache_->Rekey(key);
+  }
+
   // Pre-derive one HE randomness stream per task unit (== per query when
   // group is 1), in unit order, so the ciphertexts each task produces are
   // independent of scheduling.
@@ -251,6 +305,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     net::SimNetwork net;
     SimClock clock;
     std::unique_ptr<he::HeBackend> session;
+    CachedUnit produced;  // contributions staged for the repair cache
   };
   std::vector<QuerySlot> slots(num_units);
 
@@ -267,9 +322,12 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
       slot.net.EnableFaults(*network_->fault_spec(), fault_seeds[u],
                             &slot.clock);
     }
-    net::ReliableChannel chan(&slot.net, &slot.clock);
+    apply_membership_marks(&slot.net);
+    net::ReliableChannel chan(&slot.net, &slot.clock, retry);
     const QueryEnv env{slot.session.get(), &slot.net, &chan, &slot.clock,
-                       &active, tracer};
+                       &active, tracer,
+                       cache_ == nullptr ? nullptr : cache_->unit(u),
+                       cache_ == nullptr ? nullptr : &slot.produced};
     const size_t lo = u * group;
     const size_t hi = std::min(queries.size(), lo + group);
     if (config.mode == KnnOracleMode::kBase && hi - lo > 1) {
@@ -299,12 +357,41 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     for (size_t u = 0; u < num_units; ++u) run_unit(u);
   }
 
+  // Every slot absorbs whatever contributions it staged into the repair
+  // cache — on success AND on failure. All units execute regardless of which
+  // one fails, and each unit is internally deterministic, so the salvaged
+  // cache contents are independent of the thread count.
+  const auto absorb_cache = [&] {
+    if (cache_ == nullptr) return;
+    for (size_t u = 0; u < slots.size(); ++u) {
+      cache_->Absorb(u, std::move(slots[u].produced));
+    }
+  };
+
+  // Churn bookkeeping is unioned over every fault stream (each task-local
+  // network watches its copy of the schedule unfold independently).
+  const auto poll_churn = [&](FedKnnStats* out) {
+    if (out == nullptr) return;
+    std::set<net::NodeId> departed, joined, healed;
+    const auto take = [&](const net::SimNetwork& net) {
+      for (net::NodeId d : net.DepartedNodes()) departed.insert(d);
+      for (net::NodeId d : net.JoinedNodes()) joined.insert(d);
+      for (net::NodeId d : net.HealedNodes()) healed.insert(d);
+    };
+    take(*network_);
+    for (const QuerySlot& s : slots) take(s.net);
+    out->departed_nodes.assign(departed.begin(), departed.end());
+    out->joined_nodes.assign(joined.begin(), joined.end());
+    out->healed_nodes.assign(healed.begin(), healed.end());
+  };
+
   // Failed run: report the first error in query order without merging any
-  // task-local state, so a quarantine-and-rerun starts from a clean slate.
-  // Dead nodes are unioned over every fault stream (each task-local network
-  // watches the crash unfold independently).
+  // task-local protocol state, so a quarantine-and-rerun starts from a clean
+  // slate — except for the contribution cache, which keeps the surviving
+  // parties' work for incremental repair.
   for (const QuerySlot& slot : slots) {
     if (slot.status.ok()) continue;
+    absorb_cache();
     if (stats != nullptr) {
       std::set<net::NodeId> dead;
       for (net::NodeId d : network_->DeadNodes()) dead.insert(d);
@@ -312,6 +399,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
         for (net::NodeId d : s.net.DeadNodes()) dead.insert(d);
       }
       stats->dead_nodes.assign(dead.begin(), dead.end());
+      poll_churn(stats);
     }
     return slot.status;
   }
@@ -331,11 +419,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     if (stats != nullptr) {
       stats->candidates_encrypted += slot.stats.candidates_encrypted;
       stats->fagin_depth += slot.stats.fagin_depth;
+      stats->reused_contributions += slot.stats.reused_contributions;
     }
   }
+  absorb_cache();
 
   if (c_queries_ != nullptr) c_queries_->Add(queries.size());
   if (stats != nullptr) {
+    poll_churn(stats);
     stats->queries += queries.size();
     net::TrafficStats after = network_->total();
     stats->traffic.messages += after.messages - traffic_before.messages;
@@ -362,40 +453,85 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   const size_t a = active.size();  // == p with no quarantine
   const size_t count = n - 1;      // the query row itself is excluded
 
+  // Repair-cache lookup: a party's contribution is reusable only when its
+  // staged values cover this unit's full candidate range and the server still
+  // holds its ciphertext.
+  const auto cached_for = [&](size_t party) -> const PartyUnitState* {
+    if (env.cached == nullptr) return nullptr;
+    const auto it = env.cached->parties.find(party);
+    if (it == env.cached->parties.end()) return nullptr;
+    const PartyUnitState& st = it->second;
+    return (st.has_cipher && st.values.size() == count) ? &st : nullptr;
+  };
+
   // Phase 1 (active participants, parallel): local partial distances +
-  // encryption. Everything below indexes by position in `active`.
+  // encryption. Everything below indexes by position in `active`. Parties
+  // with a cached contribution skip both compute and upload — on repair only
+  // the membership delta pays.
   obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
   std::vector<std::vector<double>> partials(a);
-  std::vector<double> compute_seconds(a);
+  std::vector<const PartyUnitState*> hits(a, nullptr);
+  std::vector<double> compute_seconds;
+  compute_seconds.reserve(a);
+  size_t fresh = 0;
   for (size_t ai = 0; ai < a; ++ai) {
+    if (const PartyUnitState* st = cached_for(active[ai])) {
+      hits[ai] = st;
+      partials[ai] = st->values;  // still needed for the d_T exchange
+      if (stats != nullptr) ++stats->reused_contributions;
+      continue;
+    }
     partials[ai] = PartialDistances(active[ai], *joint_, query_row, query_row);
-    compute_seconds[ai] =
-        cost_->DistanceSeconds(count, (*partition_)[active[ai]].size());
+    compute_seconds.push_back(
+        cost_->DistanceSeconds(count, (*partition_)[active[ai]].size()));
+    ++fresh;
   }
-  ChargeParallelCompute(env.clock, compute_seconds);
+  if (fresh > 0) ChargeParallelCompute(env.clock, compute_seconds);
   span_dist.End();
 
   obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
-  VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(partials));
-  for (size_t ai = 0; ai < a; ++ai) {
-    VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
-                                      net::kAggregationServer,
-                                      encrypted[ai].blob));
+  std::vector<he::EncryptedVector> encrypted;
+  if (fresh > 0) {
+    std::vector<std::vector<double>> fresh_values;
+    fresh_values.reserve(fresh);
+    for (size_t ai = 0; ai < a; ++ai) {
+      if (hits[ai] == nullptr) fresh_values.push_back(partials[ai]);
+    }
+    VFPS_ASSIGN_OR_RETURN(encrypted, env.backend->EncryptBatch(fresh_values));
+    size_t fi = 0;
+    for (size_t ai = 0; ai < a; ++ai) {
+      if (hits[ai] != nullptr) continue;
+      VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                        net::kAggregationServer,
+                                        encrypted[fi++].blob));
+    }
+    env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
+    ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), fresh);
   }
-  env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
-  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), a);
   span_enc.End();
 
-  // Phase 2 (aggregation server): homomorphic sum, forward to the leader.
+  // Phase 2 (aggregation server): homomorphic sum over the cached ciphertexts
+  // it already holds plus the fresh uploads, in ascending active order so a
+  // repair sums bit-identically to a clean run; forward to the leader.
   obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
   std::vector<he::EncryptedVector> received(a);
   std::vector<const he::EncryptedVector*> ptrs(a);
   for (size_t ai = 0; ai < a; ++ai) {
+    if (hits[ai] != nullptr) {
+      ptrs[ai] = &hits[ai]->cipher;
+      continue;
+    }
     VFPS_ASSIGN_OR_RETURN(auto blob,
                           env.chan->Recv(static_cast<int>(active[ai]),
                                          net::kAggregationServer));
     received[ai] = he::EncryptedVector{std::move(blob), count};
     ptrs[ai] = &received[ai];
+    if (env.fresh != nullptr) {
+      PartyUnitState& st = env.fresh->parties[active[ai]];
+      st.values = partials[ai];
+      st.cipher = received[ai];
+      st.has_cipher = true;
+    }
   }
   VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
   env.clock->Advance(CostCategory::kHeEval,
@@ -479,47 +615,84 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
   // (q, i) against exactly candidate (q, i) everywhere; the final partial
   // chunk's unused slots are zero-masked by the encoder and never decoded.
   obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
-  std::vector<std::vector<std::vector<double>>> partials(g);
+  const auto cached_for = [&](size_t party) -> const PartyUnitState* {
+    if (env.cached == nullptr) return nullptr;
+    const auto it = env.cached->parties.find(party);
+    if (it == env.cached->parties.end()) return nullptr;
+    const PartyUnitState& st = it->second;
+    return (st.has_cipher && st.values.size() == total) ? &st : nullptr;
+  };
   std::vector<std::vector<double>> packed(a);
-  for (size_t ai = 0; ai < a; ++ai) packed[ai].reserve(total);
-  std::vector<double> compute_seconds(a, 0.0);
-  for (size_t qi = 0; qi < g; ++qi) {
-    const size_t query_row = queries[lo + qi];
-    partials[qi].resize(a);
-    for (size_t ai = 0; ai < a; ++ai) {
-      partials[qi][ai] =
-          PartialDistances(active[ai], *joint_, query_row, query_row);
-      packed[ai].insert(packed[ai].end(), partials[qi][ai].begin(),
-                        partials[qi][ai].end());
-      compute_seconds[ai] +=
-          cost_->DistanceSeconds(count, (*partition_)[active[ai]].size());
+  std::vector<const PartyUnitState*> hits(a, nullptr);
+  std::vector<double> compute_seconds;
+  compute_seconds.reserve(a);
+  size_t fresh = 0;
+  for (size_t ai = 0; ai < a; ++ai) {
+    if (const PartyUnitState* st = cached_for(active[ai])) {
+      hits[ai] = st;
+      packed[ai] = st->values;  // still needed for the d_T exchange
+      if (stats != nullptr) ++stats->reused_contributions;
+      continue;
     }
+    packed[ai].reserve(total);
+    double seconds = 0.0;
+    for (size_t qi = 0; qi < g; ++qi) {
+      const size_t query_row = queries[lo + qi];
+      const auto partial =
+          PartialDistances(active[ai], *joint_, query_row, query_row);
+      packed[ai].insert(packed[ai].end(), partial.begin(), partial.end());
+      seconds += cost_->DistanceSeconds(count, (*partition_)[active[ai]].size());
+    }
+    compute_seconds.push_back(seconds);
+    ++fresh;
   }
-  ChargeParallelCompute(env.clock, compute_seconds);
+  if (fresh > 0) ChargeParallelCompute(env.clock, compute_seconds);
   span_dist.End();
 
-  // Phase 2: one packed encrypt per party for the whole group.
+  // Phase 2: one packed encrypt per fresh party for the whole group; cached
+  // parties' packed ciphertexts are already at the server.
   obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
-  VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(packed));
-  for (size_t ai = 0; ai < a; ++ai) {
-    VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
-                                      net::kAggregationServer,
-                                      encrypted[ai].blob));
+  std::vector<he::EncryptedVector> encrypted;
+  if (fresh > 0) {
+    std::vector<std::vector<double>> fresh_values;
+    fresh_values.reserve(fresh);
+    for (size_t ai = 0; ai < a; ++ai) {
+      if (hits[ai] == nullptr) fresh_values.push_back(packed[ai]);
+    }
+    VFPS_ASSIGN_OR_RETURN(encrypted, env.backend->EncryptBatch(fresh_values));
+    size_t fi = 0;
+    for (size_t ai = 0; ai < a; ++ai) {
+      if (hits[ai] != nullptr) continue;
+      VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                        net::kAggregationServer,
+                                        encrypted[fi++].blob));
+    }
+    env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(total));
+    ChargeFanIn(env.clock, cost_->EncryptedWireBytes(total), fresh);
   }
-  env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(total));
-  ChargeFanIn(env.clock, cost_->EncryptedWireBytes(total), a);
   span_enc.End();
 
-  // Phase 3 (aggregation server): slot-wise sum, forward to the leader.
+  // Phase 3 (aggregation server): slot-wise sum over cached + fresh
+  // ciphertexts in ascending active order, forward to the leader.
   obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
   std::vector<he::EncryptedVector> received(a);
   std::vector<const he::EncryptedVector*> ptrs(a);
   for (size_t ai = 0; ai < a; ++ai) {
+    if (hits[ai] != nullptr) {
+      ptrs[ai] = &hits[ai]->cipher;
+      continue;
+    }
     VFPS_ASSIGN_OR_RETURN(auto blob,
                           env.chan->Recv(static_cast<int>(active[ai]),
                                          net::kAggregationServer));
     received[ai] = he::EncryptedVector{std::move(blob), total};
     ptrs[ai] = &received[ai];
+    if (env.fresh != nullptr) {
+      PartyUnitState& st = env.fresh->parties[active[ai]];
+      st.values = packed[ai];
+      st.cipher = received[ai];
+      st.has_cipher = true;
+    }
   }
   VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
   env.clock->Advance(CostCategory::kHeEval, static_cast<double>(a - 1) *
@@ -579,7 +752,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
         VFPS_ASSIGN_OR_RETURN(ids, DecodeIds(payload));
       }
       double dt = 0.0;
-      for (uint64_t idx : ids) dt += partials[qi][ai][idx];
+      for (uint64_t idx : ids) dt += packed[ai][qi * count + idx];
       if (party == 0) {
         hood.per_party_dt[0] = dt;
       } else {
@@ -617,9 +790,29 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   // space, sorted ascending to form sub-rankings. Indexed by position in
   // `active`.
   obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
+  const auto cached_for = [&](size_t party) -> const PartyUnitState* {
+    if (env.cached == nullptr) return nullptr;
+    const auto it = env.cached->parties.find(party);
+    if (it == env.cached->parties.end()) return nullptr;
+    const PartyUnitState& st = it->second;
+    return (st.values.size() == n && st.order.size() == n) ? &st : nullptr;
+  };
   std::vector<std::vector<double>> scores(a);
-  std::vector<double> compute_seconds(a);
+  std::vector<std::vector<uint64_t>> orders(a);
+  // Rows of a party's sub-ranking the server already received in a prior run
+  // of this unit — streaming below skips them.
+  std::vector<size_t> prior_depth(a, 0);
+  std::vector<double> compute_seconds;
+  compute_seconds.reserve(a);
+  size_t fresh = 0;
   for (size_t ai = 0; ai < a; ++ai) {
+    if (const PartyUnitState* st = cached_for(active[ai])) {
+      scores[ai] = st->values;
+      orders[ai] = st->order;
+      prior_depth[ai] = st->streamed_depth;
+      if (stats != nullptr) ++stats->reused_contributions;
+      continue;
+    }
     scores[ai].resize(n);
     // Same kernel as the BASE path (PartialDistances without exclusion), so
     // the per-(party, row) values agree exactly across oracle modes; only
@@ -630,15 +823,25 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
       scores[ai][pseudo.ToPseudo(i)] = partial[i];
     }
     scores[ai][query_pid] = std::numeric_limits<double>::infinity();
-    compute_seconds[ai] =
+    orders[ai] = topk::RankedListSet::SortedOrder(scores[ai]);
+    compute_seconds.push_back(
         cost_->DistanceSeconds(n, (*partition_)[active[ai]].size()) +
-        cost_->SortSeconds(n);
+        cost_->SortSeconds(n));
+    ++fresh;
+    if (env.fresh != nullptr) {
+      // Stage the sub-ranking immediately so a later-phase failure still
+      // salvages this party's work (streamed_depth catches up below).
+      PartyUnitState& st = env.fresh->parties[active[ai]];
+      st.values = scores[ai];
+      st.order = orders[ai];
+    }
   }
-  ChargeParallelCompute(env.clock, compute_seconds);
+  if (fresh > 0) ChargeParallelCompute(env.clock, compute_seconds);
   span_dist.End();
 
   obs::Span span_merge(env.tracer, "knn.topk_merge", env.clock);
-  VFPS_ASSIGN_OR_RETURN(auto lists, topk::RankedListSet::Build(scores));
+  VFPS_ASSIGN_OR_RETURN(auto lists,
+                        topk::RankedListSet::BuildPresorted(scores, orders));
   topk::TopkResult merge;
   if (mode == KnnOracleMode::kThreshold) {
     VFPS_ASSIGN_OR_RETURN(merge, topk::ThresholdTopk(lists, k, obs_));
@@ -654,18 +857,34 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   const size_t depth = fagin.depth;
   for (size_t start = 0; start < depth; start += batch) {
     const size_t end = std::min(depth, start + batch);
+    size_t senders = 0;
     for (size_t ai = 0; ai < a; ++ai) {
+      // Parties whose cached sub-ranking already streamed past this round
+      // stay silent; a party partially covered sends only the missing tail.
+      if (prior_depth[ai] >= end) continue;
+      const size_t from = std::max(start, prior_depth[ai]);
       std::vector<uint64_t> chunk;
-      chunk.reserve(end - start);
-      for (size_t r = start; r < end; ++r) chunk.push_back(lists.IdAtRank(ai, r));
+      chunk.reserve(end - from);
+      for (size_t r = from; r < end; ++r) chunk.push_back(lists.IdAtRank(ai, r));
       VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
                                         net::kAggregationServer,
                                         EncodeIds(chunk)));
       VFPS_RETURN_NOT_OK(env.chan->Recv(static_cast<int>(active[ai]),
                                         net::kAggregationServer)
                              .status());
+      ++senders;
     }
-    ChargeFanIn(env.clock, (end - start) * sizeof(uint64_t), a);
+    if (senders > 0) {
+      ChargeFanIn(env.clock, (end - start) * sizeof(uint64_t), senders);
+    }
+  }
+  if (env.fresh != nullptr) {
+    for (size_t ai = 0; ai < a; ++ai) {
+      if (prior_depth[ai] >= depth) continue;
+      // Fresh parties already have a staged entry; for cached parties that
+      // streamed deeper this creates a depth-only entry the cache merges.
+      env.fresh->parties[active[ai]].streamed_depth = depth;
+    }
   }
   env.clock->Advance(CostCategory::kCompute,
                      static_cast<double>(fagin.sorted_accesses) * cost_->compare_seconds);

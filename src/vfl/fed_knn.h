@@ -15,6 +15,7 @@
 #include "net/cost_model.h"
 #include "net/network.h"
 #include "vfl/pseudo_id.h"
+#include "vfl/selection_cache.h"
 
 namespace vfps::obs {
 class Counter;
@@ -63,6 +64,25 @@ struct FedKnnConfig {
   /// quarantined by the selector). The leader (0) can never be quarantined;
   /// at least two participants must remain active.
   std::vector<size_t> quarantined;
+  /// Participants not yet part of the consortium (they have a pending join=
+  /// rule); excluded exactly like quarantined, but reported as absent rather
+  /// than dead. The selector admits them when a run observes their join
+  /// threshold (FedKnnStats::joined_nodes) and moves them to `joined`.
+  std::vector<size_t> absent;
+  /// Join-rule participants already admitted on an earlier run: Run() calls
+  /// MarkJoined on every fault stream so they are never absent again.
+  std::vector<size_t> joined;
+  /// Participants healed on an earlier run: Run() calls MarkHealed on every
+  /// fault stream so their crash/leave rules (whose per-stream counters
+  /// restart from zero) cannot re-fire and oscillate them back into
+  /// quarantine.
+  std::vector<size_t> healed;
+  /// Reliable-channel retry budget; 0 keeps RetryPolicy's default. Exposed
+  /// as --net-retries on the CLI.
+  size_t net_retries = 0;
+  /// Reliable-channel backoff jitter factor in [0, 1]; 0 (default) keeps the
+  /// exact exponential schedule. Exposed as --net-jitter on the CLI.
+  double net_jitter = 0.0;
 };
 
 /// \brief What the leader learns about one query sample.
@@ -86,6 +106,18 @@ struct FedKnnStats {
   /// success. Participant ids are >= 1 (the leader is 0); negative ids are
   /// the servers (net::kAggregationServer / net::kKeyServer).
   std::vector<net::NodeId> dead_nodes;
+  /// Subset of dead_nodes that left via a leave= rule (graceful churn, not a
+  /// crash). Filled on success and failure alike.
+  std::vector<net::NodeId> departed_nodes;
+  /// Join-rule nodes whose threshold some fault stream crossed during the
+  /// run — candidates for the selector to splice in. Success and failure.
+  std::vector<net::NodeId> joined_nodes;
+  /// Heal-rule nodes whose threshold some fault stream crossed — candidates
+  /// for the selector to un-quarantine. Success and failure.
+  std::vector<net::NodeId> healed_nodes;
+  /// Party-unit contributions served from the selection cache instead of
+  /// being recomputed/re-encrypted (0 on a cold run).
+  uint64_t reused_contributions = 0;
 
   double AvgCandidatesPerQuery() const {
     return queries == 0 ? 0.0
@@ -131,6 +163,22 @@ struct FedKnnStats {
 /// the dead participants (FedKnnConfig::quarantined) and rerun over the
 /// survivors.
 ///
+/// Incremental repair: with a SelectionCache attached (set_cache), every
+/// unit records each active party's contribution (partial-distance vectors,
+/// sub-rankings, server-held ciphertexts) into the cache — on success AND on
+/// failure (whatever completed before the fault is salvaged; contents are
+/// thread-count-invariant because every unit runs to its own end and is
+/// internally deterministic). A later Run() with a changed membership but
+/// the same protocol shape reuses cached contributions: surviving parties
+/// skip distance work, encryption, ciphertext uploads, and already-streamed
+/// ranking rows; only newcomers compute from scratch, and only the
+/// membership-dependent aggregation (sums, merges, candidate exchange) is
+/// redone. On the exact (plain) HE path, a repaired run's outputs are
+/// bit-identical to a clean run over the same membership; on CKKS the
+/// cached ciphertexts carry their original encryption randomness, so
+/// results match within the backend's noise tolerance. Simulated-clock
+/// charges reflect the work actually done, so repair is visibly cheaper.
+///
 /// Thread-safety: one FederatedKnnOracle must only be driven from one thread
 /// at a time (Run/ClassifyAccuracy/ClassifyPredictions are not reentrant);
 /// the oracle parallelizes internally. The referenced Dataset, partition,
@@ -158,6 +206,12 @@ class FederatedKnnOracle {
                      obs::MetricsRegistry* obs = nullptr);
 
   size_t num_participants() const { return partition_->size(); }
+
+  /// Attach (or detach, with nullptr) a participant-keyed contribution
+  /// cache: subsequent Run()s record per-party state into it and reuse
+  /// matching entries, enabling cheap repair after membership changes (see
+  /// the class comment). Borrowed; must outlive the oracle's Run() calls.
+  void set_cache(SelectionCache* cache) { cache_ = cache; }
 
   /// \brief Run the selection-phase protocol: sample |Q| query rows, find
   /// each query's k nearest neighbors over the full consortium, and return
@@ -207,6 +261,11 @@ class FederatedKnnOracle {
     SimClock* clock;
     const std::vector<size_t>* active;
     obs::Tracer* tracer;  // nullptr unless tracing is enabled
+    /// Prior contributions for this unit (read-only; nullptr = cold) and the
+    /// task-local staging area fresh contributions are recorded into
+    /// (nullptr = caching disabled). See SelectionCache.
+    const CachedUnit* cached = nullptr;
+    CachedUnit* fresh = nullptr;
   };
 
   // Partial squared distances from participant `p`'s slice of `query_row`
@@ -262,6 +321,7 @@ class FederatedKnnOracle {
   SimClock* clock_;
   ThreadPool* pool_;
   obs::MetricsRegistry* obs_;
+  SelectionCache* cache_ = nullptr;          // borrowed; see set_cache()
   obs::Counter* c_queries_ = nullptr;        // knn.queries
   obs::Histogram* h_candidates_ = nullptr;   // knn.candidates per query
 };

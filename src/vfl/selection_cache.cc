@@ -1,0 +1,40 @@
+#include "vfl/selection_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vfps::vfl {
+
+void SelectionCache::Rekey(const Key& key) {
+  if (bound_ && key == key_) return;
+  key_ = key;
+  bound_ = true;
+  units_.assign(key.num_units, CachedUnit{});
+}
+
+void SelectionCache::Absorb(size_t u, CachedUnit&& produced) {
+  if (u >= units_.size()) return;
+  CachedUnit& unit = units_[u];
+  for (auto& [party, state] : produced.parties) {
+    PartyUnitState& dst = unit.parties[party];
+    if (!state.values.empty()) {
+      dst = std::move(state);
+    } else {
+      dst.streamed_depth = std::max(dst.streamed_depth, state.streamed_depth);
+    }
+  }
+}
+
+void SelectionCache::Clear() {
+  bound_ = false;
+  key_ = Key{};
+  units_.clear();
+}
+
+size_t SelectionCache::CachedContributions() const {
+  size_t n = 0;
+  for (const CachedUnit& unit : units_) n += unit.parties.size();
+  return n;
+}
+
+}  // namespace vfps::vfl

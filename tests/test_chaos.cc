@@ -10,6 +10,12 @@
 //   3. A participant crash mid-oracle degrades gracefully: the dead
 //      participant is quarantined, selection completes over the survivors,
 //      and the event is reported in SelectionOutcome::quarantined.
+//   4. Churn converges: a participant that stalls out (leave=) and later
+//      heals (heal=) is quarantined, repaired around, then spliced back in —
+//      and the final output matches the fault-free run bit for bit.
+//
+// Deeper churn-rule units and the repair-equals-rerun differential live in
+// test_churn.cc.
 
 #include <gtest/gtest.h>
 
@@ -23,6 +29,7 @@
 #include "net/channel.h"
 #include "net/fault.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "vfl/fed_knn.h"
 
 namespace vfps {
@@ -268,7 +275,7 @@ TEST(ReliableChannelTest, StallAbsorbedWithinRetryBudget) {
       << "retransmissions must charge simulated timeout seconds";
 }
 
-TEST(ReliableChannelTest, ExhaustedRetriesReturnTimeout) {
+TEST(ReliableChannelTest, ExhaustedRetriesReturnPeerDead) {
   net::FaultSpec spec;
   spec.drop_prob = 1.0;  // nothing ever arrives
   net::SimNetwork network;
@@ -281,9 +288,42 @@ TEST(ReliableChannelTest, ExhaustedRetriesReturnTimeout) {
   ASSERT_TRUE(chan.Send(0, 1, {1, 2, 3}).ok());
   auto got = chan.Recv(0, 1);
   ASSERT_FALSE(got.ok());
-  EXPECT_TRUE(got.status().IsTimeout()) << got.status().ToString();
-  // Exponential backoff: 0.5 + 1.0 + 2.0 simulated seconds of waiting.
+  // An exhausted budget is a liveness verdict, not a soft timeout: the
+  // non-leader endpoint is reported as a suspect so the selection layer can
+  // quarantine it.
+  EXPECT_TRUE(got.status().IsPeerDead()) << got.status().ToString();
+  EXPECT_NE(got.status().ToString().find("3 attempts"), std::string::npos)
+      << got.status().ToString();
+  EXPECT_TRUE(network.NodeDead(1)) << "the suspect must be marked dead";
+  // Exponential backoff: 0.5 + 1.0 + 2.0 simulated seconds of waiting (the
+  // default policy has no jitter, so the schedule is exact).
   EXPECT_DOUBLE_EQ(clock.TotalFor(CostCategory::kNetwork), 3.5);
+}
+
+TEST(ReliableChannelTest, JitterChargesMoreButStaysDeterministic) {
+  net::FaultSpec spec;
+  spec.drop_prob = 1.0;
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.timeout_seconds = 0.5;
+  policy.jitter_factor = 0.25;
+  policy.jitter_seed = 99;
+  auto run = [&]() {
+    net::SimNetwork network;
+    SimClock clock;
+    network.EnableFaults(spec, 1, &clock);
+    net::ReliableChannel chan(&network, &clock, policy);
+    chan.Send(0, 1, {1}).Abort("send");
+    auto got = chan.Recv(0, 1);
+    EXPECT_TRUE(!got.ok() && got.status().IsPeerDead());
+    return clock.TotalFor(CostCategory::kNetwork);
+  };
+  const double first = run();
+  // Jittered waits are strictly longer than the base schedule but bounded by
+  // the factor, and the seeded draw sequence makes them reproducible.
+  EXPECT_GT(first, 3.5);
+  EXPECT_LE(first, 3.5 * 1.25);
+  EXPECT_DOUBLE_EQ(run(), first);
 }
 
 TEST(ReliableChannelTest, DeadPeerYieldsPeerDead) {
@@ -348,8 +388,16 @@ struct ChaosOutcome {
   net::FaultStats faults;
 };
 
+struct RunOptions {
+  vfl::KnnOracleMode mode = vfl::KnnOracleMode::kFagin;
+  size_t query_group = 1;   // kBase only: queries packed per ciphertext
+  size_t net_retries = 0;   // 0 = the default RetryPolicy budget
+};
+
 Result<ChaosOutcome> RunSelection(const net::FaultSpec* spec,
-                                  uint64_t fault_seed, size_t threads) {
+                                  uint64_t fault_seed, size_t threads,
+                                  obs::MetricsRegistry* obs = nullptr,
+                                  const RunOptions& options = RunOptions{}) {
   Deployment d = Deployment::Make();
   if (spec != nullptr) d.network.EnableFaults(*spec, fault_seed, &d.clock);
   std::unique_ptr<ThreadPool> pool;
@@ -362,10 +410,13 @@ Result<ChaosOutcome> RunSelection(const net::FaultSpec* spec,
   ctx.cost = &d.cost;
   ctx.clock = &d.clock;
   ctx.pool = pool.get();
+  ctx.obs = obs;
   ctx.knn.k = 6;
   ctx.knn.num_queries = 16;
+  ctx.knn.query_group = options.query_group;
+  ctx.knn.net_retries = options.net_retries;
   ctx.seed = 11;
-  core::VfpsSmSelector selector(vfl::KnnOracleMode::kFagin);
+  core::VfpsSmSelector selector(options.mode);
   auto outcome = selector.Select(ctx, 2);
   if (!outcome.ok()) return outcome.status();
   return ChaosOutcome{outcome.MoveValueUnsafe(), d.network.fault_stats()};
@@ -458,6 +509,85 @@ TEST(ChaosSelectionTest, ParticipantCrashDegradesGracefully) {
   EXPECT_EQ(first->selection.selected, again->selection.selected);
   EXPECT_EQ(first->selection.scores, again->selection.scores);
   EXPECT_EQ(first->selection.quarantined, again->selection.quarantined);
+}
+
+TEST(ChaosSelectionTest, StalledThenHealedNodeRejoinsBitIdentical) {
+  // Participant 3 goes silent for a long window (its sends 2..9 are lost —
+  // deeper than the default retry budget absorbs) and then recovers. With a
+  // raised --net-retries budget the ARQ bridges the whole outage, so the node
+  // rejoins in-run: no quarantine, no repair pass, and the selection output
+  // is bit-identical to the fault-free run at every thread count.
+  auto spec = net::ParseFaultSpec("stall=3@2+8");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  RunOptions options;
+  options.net_retries = 12;
+
+  auto clean = RunSelection(nullptr, 0, 1);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  for (size_t threads : kThreadCounts) {
+    obs::MetricsRegistry obs;
+    auto healed = RunSelection(&*spec, 5, threads, &obs, options);
+    ASSERT_TRUE(healed.ok())
+        << "threads=" << threads << ": " << healed.status().ToString();
+    EXPECT_EQ(healed->selection.selected, clean->selection.selected)
+        << "threads=" << threads;
+    EXPECT_EQ(healed->selection.scores, clean->selection.scores)
+        << "threads=" << threads;
+    EXPECT_TRUE(healed->selection.quarantined.empty())
+        << "threads=" << threads << ": the stall must be absorbed in-run";
+    EXPECT_EQ(obs.GetCounter("select.repair.rounds")->Value(), 0u)
+        << "threads=" << threads << ": an absorbed stall needs no repair";
+  }
+
+  // Sanity: the same outage without the raised budget is NOT absorbable —
+  // the retry layer exhausts, suspects the straggler, and the selector falls
+  // back to quarantine-and-repair. This is what the raised budget buys.
+  RunOptions default_budget;
+  auto degraded = RunSelection(&*spec, 5, 1, nullptr, default_budget);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->selection.quarantined, std::vector<size_t>{3});
+}
+
+TEST(ChaosSelectionTest, LeftThenHealedNodeIsSplicedBack) {
+  // Participant 3 departs almost immediately (leave=) and gets quarantined;
+  // during the repair pass the stream total crosses the heal= threshold, so
+  // the selector un-quarantines it and splices it back in. The final output
+  // must be bit-identical to the fault-free run at every thread count, and
+  // the repair metrics must show the leave and the heal.
+  //
+  // kBase with query_group packs 16 queries into one long-lived fault stream,
+  // giving the heal threshold a wide window: far past the point where the
+  // retry layer could absorb the departure in-run, well before the stream
+  // ends.
+  auto spec = net::ParseFaultSpec("leave=3@2,heal=3@30");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  RunOptions options;
+  options.mode = vfl::KnnOracleMode::kBase;
+  options.query_group = 16;
+
+  auto clean = RunSelection(nullptr, 0, 1, nullptr, options);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  for (size_t threads : kThreadCounts) {
+    obs::MetricsRegistry obs;
+    auto healed = RunSelection(&*spec, 5, threads, &obs, options);
+    ASSERT_TRUE(healed.ok())
+        << "threads=" << threads << ": " << healed.status().ToString();
+    EXPECT_EQ(healed->selection.selected, clean->selection.selected)
+        << "threads=" << threads;
+    EXPECT_EQ(healed->selection.scores, clean->selection.scores)
+        << "threads=" << threads;
+    EXPECT_TRUE(healed->selection.quarantined.empty())
+        << "threads=" << threads << ": the healed participant must be back";
+    // Two membership changes -> at least two repair reruns (leave, then heal).
+    EXPECT_GE(obs.GetCounter("select.repair.rounds")->Value(), 2u)
+        << "threads=" << threads;
+    EXPECT_EQ(obs.GetCounter("select.repair.leaves")->Value(), 1u)
+        << "threads=" << threads;
+    EXPECT_EQ(obs.GetCounter("select.repair.heals")->Value(), 1u)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ChaosSelectionTest, ZeroProbabilitySpecLeavesOutputIdentical) {

@@ -12,13 +12,24 @@
 //                [--duplicates=0] [--partition=random|stratified]
 //                [--threads=1]   (0 = all cores; results are identical at
 //                                 any thread count, only wall time changes)
-//                [--fault-spec=drop=0.05,delay=0.1:0.01,crash=2@40]
+//                [--fault-spec=drop=0.05,leave=3@40,join=2@80,heal=3@200]
 //                [--fault-seed=7]
 //                                (seeded network-fault plan; see net/fault.h
-//                                 for the mini-language. Absorbable faults
-//                                 leave results identical; a participant
-//                                 crash quarantines it and selection
-//                                 completes over the survivors)
+//                                 for the mini-language, including the churn
+//                                 rules leave=/join=/heal=/part=. Absorbable
+//                                 faults leave results identical; a crash or
+//                                 leave quarantines the participant and the
+//                                 selection is repaired incrementally over
+//                                 the survivors; joins/heals are spliced in)
+//                [--net-retries=6] [--net-jitter=0.25]
+//                                (reliable-channel retry budget and backoff
+//                                 jitter factor; defaults 0 keep the built-in
+//                                 policy and the exact exponential schedule)
+//                [--checkpoint-out=sel.ckpt] [--resume-from=sel.ckpt]
+//                                (serialize the selection state — membership,
+//                                 neighborhoods, greedy prefix — after the
+//                                 run / resume a prior run, skipping its
+//                                 oracle phase; VFPS-SM methods only)
 //                [--metrics-out=metrics.json]
 //                                (write the run's internal counters — HE ops,
 //                                 wire bytes, Fagin depth, greedy evaluations
@@ -108,6 +119,19 @@ Result<core::ExperimentConfig> BuildConfig(
   VFPS_ASSIGN_OR_RETURN(int64_t fault_seed,
                         ParseInt64(Get(flags, "fault-seed", "0")));
   config.fault_seed = static_cast<uint64_t>(fault_seed);
+  VFPS_ASSIGN_OR_RETURN(int64_t net_retries,
+                        ParseInt64(Get(flags, "net-retries", "0")));
+  if (net_retries < 0 || net_retries > 64) {
+    return Status::InvalidArgument("--net-retries must be in [0, 64]");
+  }
+  config.knn.net_retries = static_cast<size_t>(net_retries);
+  VFPS_ASSIGN_OR_RETURN(config.knn.net_jitter,
+                        ParseDouble(Get(flags, "net-jitter", "0")));
+  if (config.knn.net_jitter < 0.0 || config.knn.net_jitter > 1.0) {
+    return Status::InvalidArgument("--net-jitter must be in [0, 1]");
+  }
+  config.checkpoint_out = Get(flags, "checkpoint-out", "");
+  config.resume_from = Get(flags, "resume-from", "");
 
   const std::string backend = Get(flags, "backend", "plain");
   if (backend == "plain") {
@@ -165,6 +189,13 @@ int CmdRun(const std::map<std::string, std::string>& flags) {
   }
   auto result = core::RunExperiment(*config);
   result.status().Abort("experiment");
+  if (!config->resume_from.empty()) {
+    std::printf("resumed selection from %s\n", config->resume_from.c_str());
+  }
+  if (!config->checkpoint_out.empty()) {
+    std::printf("selection checkpoint written to %s\n",
+                config->checkpoint_out.c_str());
+  }
   if (!metrics_out.empty()) {
     registry.WriteJsonFile(metrics_out).Abort("metrics-out");
     std::printf("metrics written to %s\n", metrics_out.c_str());
@@ -213,6 +244,16 @@ int CmdRun(const std::map<std::string, std::string>& flags) {
         "degraded: participant(s) {%s} crashed mid-protocol and were "
         "quarantined; selection completed over the survivors\n",
         quarantined.c_str());
+  }
+  if (!result->selection.absent.empty()) {
+    std::string absent;
+    for (size_t p : result->selection.absent) {
+      absent += (absent.empty() ? "" : ",") + std::to_string(p);
+    }
+    std::printf(
+        "absent: participant(s) {%s} never joined (join= threshold not "
+        "reached); selection completed without them\n",
+        absent.c_str());
   }
   return 0;
 }
