@@ -21,6 +21,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "vfl/fed_knn.h"
 
 namespace vfps {
 namespace {
@@ -109,6 +110,60 @@ void BM_VfpsSmSelection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VfpsSmSelection)
+    ->ArgNames({"obs"})
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// The CI overhead gate's workload: the encrypted-KNN query from
+// bench_kernels' BM_EncKnnQuery (CKKS packed, 512 rows, 4 queries), with the
+// full labeled-metrics + trace-propagation instrumentation toggled by arg0
+// (0 = none, 1 = labeled metrics, 2 = metrics + tracing). The acceptance
+// bar: obs:0 within noise of the pre-obs baseline, obs:1 < 5% over obs:0.
+// Unlike the plain-backend selection above, real ciphertext work dominates
+// here, so this measures the instrumentation against the paper's actual
+// cost profile rather than against a metering-bound toy.
+void BM_EncKnnQueryObs(benchmark::State& state) {
+  data::SyntheticConfig config;
+  config.num_samples = 512 + 64;
+  config.num_features = 16;
+  config.num_informative = 8;
+  config.num_redundant = 4;
+  config.seed = 9;
+  auto generated = data::GenerateClassification(config).ValueOrDie();
+  auto split = data::SplitDataset(generated.data, 512.0 / 576.0, 0.0, 2)
+                   .MoveValueUnsafe();
+  auto partition = data::RandomVerticalPartition(16, 4, 3).MoveValueUnsafe();
+  he::CkksParams params;
+  params.poly_degree = 1024;
+  auto backend =
+      he::CreateCkksBackend(params, 5, he::CkksPacking::kPacked)
+          .MoveValueUnsafe();
+  net::SimNetwork network;
+  net::CostModel cost;
+  SimClock clock;
+  obs::MetricsRegistry registry;
+  if (state.range(0) >= 2) registry.EnableTracing();
+  obs::MetricsRegistry* obs = state.range(0) != 0 ? &registry : nullptr;
+  if (obs != nullptr) {
+    backend->set_metrics(obs);
+    network.set_metrics(obs);
+  }
+  vfl::FederatedKnnOracle oracle(&split.train, &partition, backend.get(),
+                                 &network, &cost, &clock, /*pool=*/nullptr,
+                                 obs);
+  vfl::FedKnnConfig knn;
+  knn.mode = vfl::KnnOracleMode::kBase;
+  knn.k = 10;
+  knn.num_queries = 4;
+  knn.query_group = 1;
+  for (auto _ : state) {
+    auto result = oracle.Run(knn, nullptr);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_EncKnnQueryObs)
     ->ArgNames({"obs"})
     ->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);

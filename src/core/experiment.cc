@@ -91,6 +91,11 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   VFPS_ASSIGN_OR_RETURN(auto backend, MakeBackend(config));
   net::SimNetwork network;
   SimClock clock;
+  // Label the HE op counters with the backend kind (he.encrypt_ops{backend=
+  // ckks} etc.), so a run's ciphertext-op totals attribute to the scheme
+  // that produced them. Must precede set_metrics — labels apply when the
+  // counter handles are resolved.
+  backend->set_metric_labels({{"backend", HeBackendKindName(config.backend)}});
   backend->set_metrics(config.obs);
   network.set_metrics(config.obs);
   obs::Tracer* const tracer =
@@ -171,6 +176,9 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     config.obs->SetGauge("experiment.wall_seconds", result.wall_seconds);
     config.obs->SetGauge("experiment.consortium_size",
                          static_cast<double>(result.consortium_size));
+    config.obs->SetGauge(
+        "experiment.threads",
+        static_cast<double>(pool != nullptr ? pool->num_threads() : 1));
   }
   return result;
 }

@@ -1,10 +1,12 @@
 #include "core/vfps_sm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/checkpoint.h"
 #include "net/fault.h"
@@ -39,6 +41,7 @@ std::vector<size_t> ToSizes(const std::vector<uint64_t>& v) {
 Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
                                                 size_t target) {
   VFPS_RETURN_NOT_OK(ValidateContext(ctx, target));
+  Stopwatch job_watch;
   const double clock_before = ctx.clock->Total();
   const size_t p = ctx.partition->size();
   const size_t n = ctx.split->train.num_samples();
@@ -126,11 +129,17 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
           const auto id = static_cast<size_t>(d);
           if (Contains(knn.quarantined, id)) continue;
           SortedInsert(&knn.quarantined, id);
-          if (std::find(departed.begin(), departed.end(), d) !=
-              departed.end()) {
+          const bool left = std::find(departed.begin(), departed.end(), d) !=
+                            departed.end();
+          if (left) {
             ++repair_leaves;
           } else {
             ++repair_crashes;
+          }
+          if (tracer != nullptr) {
+            tracer->Instant("select.churn.quarantine",
+                            {{"party", StrFormat("%zu", id)},
+                             {"cause", left ? "leave" : "crash"}});
           }
           membership_changed = true;
         }
@@ -153,6 +162,10 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
               knn.absent.end());
           SortedInsert(&knn.joined, id);
           ++repair_joins;
+          if (tracer != nullptr) {
+            tracer->Instant("select.churn.join",
+                            {{"party", StrFormat("%zu", id)}});
+          }
           membership_changed = true;
         }
         for (net::NodeId h : outcome.knn_stats.healed_nodes) {
@@ -163,6 +176,10 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
                                 knn.quarantined.end());
           SortedInsert(&knn.healed, id);
           ++repair_heals;
+          if (tracer != nullptr) {
+            tracer->Instant("select.churn.heal",
+                            {{"party", StrFormat("%zu", id)}});
+          }
           membership_changed = true;
         }
         if (!membership_changed) break;  // converged
@@ -309,6 +326,17 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
   }
 
   outcome.sim_seconds = ctx.clock->Total() - clock_before;
+  if (ctx.obs != nullptr) {
+    // Per-selection-job latency for the SLO surface. Simulated time is a
+    // deterministic function of the protocol (thread-count-invariant
+    // percentiles); wall time is real elapsed time.
+    ctx.obs->GetHistogram("select.job.sim_ns")
+        ->Record(static_cast<uint64_t>(
+            std::llround(outcome.sim_seconds * 1e9)));
+    ctx.obs->GetHistogram("select.job.wall_ns")
+        ->Record(static_cast<uint64_t>(
+            std::llround(job_watch.ElapsedSeconds() * 1e9)));
+  }
   return outcome;
 }
 

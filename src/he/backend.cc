@@ -561,14 +561,21 @@ void HeBackend::set_metrics(obs::MetricsRegistry* registry) {
     return;
   }
   // The `.count` counters meter ciphertexts, the `.values` counters meter
-  // plaintext slots; their ratio is the realized packing density.
-  c_encrypt_count_ = registry->GetCounter("he.encrypt.count");
-  c_encrypt_values_ = registry->GetCounter("he.encrypt.values");
-  c_encrypt_bytes_ = registry->GetCounter("he.encrypt.bytes");
-  c_decrypt_count_ = registry->GetCounter("he.decrypt.count");
-  c_decrypt_values_ = registry->GetCounter("he.decrypt.values");
-  c_add_count_ = registry->GetCounter("he.add.count");
-  c_add_values_ = registry->GetCounter("he.add.values");
+  // plaintext slots; their ratio is the realized packing density. With
+  // metric labels set (see set_metric_labels) the series carry the label
+  // suffix, e.g. `he.encrypt.count{backend=ckks}`.
+  const auto get = [&](const char* name) {
+    return metric_labels_.empty()
+               ? registry->GetCounter(name)
+               : registry->GetLabeledCounter(name, metric_labels_);
+  };
+  c_encrypt_count_ = get("he.encrypt.count");
+  c_encrypt_values_ = get("he.encrypt.values");
+  c_encrypt_bytes_ = get("he.encrypt.bytes");
+  c_decrypt_count_ = get("he.decrypt.count");
+  c_decrypt_values_ = get("he.decrypt.values");
+  c_add_count_ = get("he.add.count");
+  c_add_values_ = get("he.add.values");
 }
 
 void HeBackend::PublishDelta(const HeOpStats& before, uint64_t bytes_out) {
@@ -647,6 +654,7 @@ Result<std::vector<std::vector<double>>> HeBackend::DecryptBatch(
 
 Result<std::unique_ptr<HeBackend>> HeBackend::Fork(uint64_t stream_seed) const {
   VFPS_ASSIGN_OR_RETURN(auto fork, DoFork(stream_seed));
+  fork->set_metric_labels(metric_labels_);
   if (obs_registry_ != nullptr) fork->set_metrics(obs_registry_);
   return fork;
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -177,6 +178,17 @@ class HeBackend {
   void set_metrics(obs::MetricsRegistry* registry);
   obs::MetricsRegistry* metrics() const { return obs_registry_; }
 
+  /// Label set applied to the `he.*` counter series resolved by the *next*
+  /// set_metrics() call (e.g. {{"backend", "ckks"}} yields
+  /// `he.encrypt.count{backend=ckks}`). Empty (the default) keeps the
+  /// classic unlabeled names, which the HE unit/fuzz tests pin down. Set it
+  /// before set_metrics; inherited by Fork() sessions, so forked recording
+  /// stays attributed to the same backend dimension.
+  void set_metric_labels(
+      std::vector<std::pair<std::string, std::string>> labels) {
+    metric_labels_ = std::move(labels);
+  }
+
   const HeOpStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
@@ -215,6 +227,7 @@ class HeBackend {
   void PublishDelta(const HeOpStats& before, uint64_t bytes_out);
 
   obs::MetricsRegistry* obs_registry_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> metric_labels_;
   obs::Counter* c_encrypt_count_ = nullptr;
   obs::Counter* c_encrypt_values_ = nullptr;
   obs::Counter* c_encrypt_bytes_ = nullptr;

@@ -18,6 +18,7 @@ ReliableChannel::ReliableChannel(SimNetwork* net, SimClock* clock,
       jitter_rng_(policy.jitter_seed ^
                   (net->fault_seed() * 0x9E3779B97F4A7C15ULL)) {
   if (obs::MetricsRegistry* registry = net_->metrics(); registry != nullptr) {
+    tracer_ = registry->tracer();
     c_retries_ = registry->GetCounter("net.chan.retries");
     c_discards_ = registry->GetCounter("net.chan.discards");
     c_exhausted_ = registry->GetCounter("net.chan.exhausted");
@@ -52,6 +53,14 @@ Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
   const LinkKey key{from, to};
   const uint32_t want = next_recv_seq_[key];
   double wait = policy_.timeout_seconds;
+  const auto discard_instant = [&](const char* reason) {
+    if (c_discards_ != nullptr) c_discards_->Add(1);
+    if (tracer_ != nullptr) {
+      tracer_->Instant("net.chan.discard", {{"from", NodeName(from)},
+                                            {"to", NodeName(to)},
+                                            {"reason", reason}});
+    }
+  };
   for (size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     // Drain whatever is on the link; a good frame may sit behind stale
     // duplicates or corrupted copies.
@@ -61,16 +70,16 @@ Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
       BinaryReader reader(*recv);
       auto seq = reader.ReadU32();
       if (!seq.ok()) {  // mangled beyond parsing; discard
-        if (c_discards_ != nullptr) c_discards_->Add(1);
+        discard_instant("unparseable");
         continue;
       }
       if (*seq < want) {  // stale duplicate of a delivered seq
-        if (c_discards_ != nullptr) c_discards_->Add(1);
+        discard_instant("stale_duplicate");
         continue;
       }
       auto payload = reader.ReadCrcFramed();
       if (!payload.ok() || *seq > want) {  // corrupt; discard
-        if (c_discards_ != nullptr) c_discards_->Add(1);
+        discard_instant("corrupt");
         continue;
       }
       next_recv_seq_[key] = want + 1;
@@ -99,6 +108,13 @@ Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
     clock_->Advance(CostCategory::kNetwork, charged);
     wait *= policy_.backoff_factor;
     if (c_retries_ != nullptr) c_retries_->Add(1);
+    if (tracer_ != nullptr) {
+      tracer_->Instant("net.chan.retry",
+                       {{"from", NodeName(from)},
+                        {"to", NodeName(to)},
+                        {"seq", StrFormat("%u", want)},
+                        {"attempt", StrFormat("%zu", attempt + 1)}});
+    }
     VFPS_RETURN_NOT_OK(
         net_->Send(from, to, Frame(want, pending->second.payload)));
   }
@@ -109,6 +125,13 @@ Result<std::vector<uint8_t>> ReliableChannel::Recv(NodeId from, NodeId to) {
   const NodeId suspect = from >= 1 ? from : to;
   if (suspect >= 1) net_->SuspectDead(suspect);
   if (c_exhausted_ != nullptr) c_exhausted_->Add(1);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(
+        "net.chan.exhausted",
+        {{"from", NodeName(from)},
+         {"to", NodeName(to)},
+         {"suspect", suspect >= 1 ? NodeName(suspect) : "none"}});
+  }
   return Status::PeerDead(StrFormat(
       "ReliableChannel: gave up on link %s -> %s after %zu attempts "
       "(seq %u never arrived intact); suspecting %s unreachable",

@@ -67,7 +67,10 @@ class ReliableChannel {
   /// Both pointers are borrowed and must outlive the channel. If a metrics
   /// registry is attached to `net` (attach it *before* constructing the
   /// channel), retransmissions and discarded frames are published as
-  /// `net.chan.retries` / `net.chan.discards`.
+  /// `net.chan.retries` / `net.chan.discards`; with tracing enabled each
+  /// retry/discard/exhaustion additionally records a zero-duration trace
+  /// instant (net.chan.*) parented under the receiver's open span, so ARQ
+  /// activity stays attached to the causal tree of the query it served.
   ReliableChannel(SimNetwork* net, SimClock* clock, RetryPolicy policy = {});
 
   /// Transmit `payload` on (from -> to). With faults enabled the frame is
@@ -98,6 +101,7 @@ class ReliableChannel {
   SimClock* clock_;
   RetryPolicy policy_;
   Rng jitter_rng_;
+  obs::Tracer* tracer_ = nullptr;  // borrowed via the network's registry
   obs::Counter* c_retries_ = nullptr;
   obs::Counter* c_discards_ = nullptr;
   obs::Counter* c_exhausted_ = nullptr;

@@ -23,12 +23,17 @@ SimNetwork& SimNetwork::operator=(SimNetwork&&) noexcept = default;
 
 void SimNetwork::set_metrics(obs::MetricsRegistry* registry) {
   obs_registry_ = registry;
+  party_counters_.clear();
   if (registry == nullptr) {
+    tracer_ = nullptr;
     c_messages_ = c_bytes_ = nullptr;
     c_dropped_ = c_duplicated_ = c_corrupted_ = nullptr;
     c_delayed_ = c_delay_ns_ = c_swallowed_dead_ = nullptr;
     return;
   }
+  // Cached so Send can stamp envelopes without touching the registry.
+  // EnableTracing() must therefore precede set_metrics (the CLI does this).
+  tracer_ = registry->tracer();
   c_messages_ = registry->GetCounter("net.messages");
   c_bytes_ = registry->GetCounter("net.bytes_sent");
   c_dropped_ = registry->GetCounter("net.faults.dropped");
@@ -48,7 +53,34 @@ void SimNetwork::Meter(const LinkKey& key, size_t bytes) {
   if (c_messages_ != nullptr) {
     c_messages_->Add(1);
     c_bytes_->Add(bytes);
+    MeterParty(key, bytes);
   }
+}
+
+void SimNetwork::MeterParty(const LinkKey& key, size_t bytes) {
+  // Attribute each link to its participant endpoint; server<->server links
+  // (none exist today) would attribute to the leader, party 0.
+  const NodeId party =
+      key.first >= 1 ? key.first : (key.second >= 1 ? key.second : 0);
+  auto it = party_counters_.find(party);
+  if (it == party_counters_.end()) {
+    const obs::MetricLabels labels{{"party", StrFormat("%d", party)}};
+    it = party_counters_
+             .emplace(party,
+                      std::make_pair(obs_registry_->GetLabeledCounter(
+                                         "net.party.messages", labels),
+                                     obs_registry_->GetLabeledCounter(
+                                         "net.party.bytes", labels)))
+             .first;
+  }
+  it->second.first->Add(1);
+  it->second.second->Add(bytes);
+}
+
+void SimNetwork::FaultInstant(const char* name, const LinkKey& key) {
+  if (tracer_ == nullptr) return;
+  tracer_->Instant(name, {{"from", NodeName(key.first)},
+                          {"to", NodeName(key.second)}});
 }
 
 Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
@@ -56,9 +88,12 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
     return Status::InvalidArgument("SimNetwork: self-send is not a message");
   }
   const LinkKey key{from, to};
+  // Side-band causal metadata: the sender's open span, if any. Never metered.
+  const obs::TraceContext ctx =
+      tracer_ != nullptr ? obs::Tracer::Current() : obs::TraceContext{};
   if (injector_ == nullptr) {
     Meter(key, payload.size());
-    queues_[key].push_back(std::move(payload));
+    queues_[key].push_back(Envelope{std::move(payload), ctx});
     return Status::OK();
   }
 
@@ -67,6 +102,7 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
     // A crashed node emits nothing: no bytes on the wire, nothing metered.
     fault_stats_.swallowed_dead += 1;
     if (c_swallowed_dead_ != nullptr) c_swallowed_dead_->Add(1);
+    FaultInstant("net.fault.sender_dead", key);
     return Status::OK();
   }
   // The payload left the sender; it is metered even if it is then lost.
@@ -79,17 +115,20 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
       c_delayed_->Add(1);
       c_delay_ns_->Add(static_cast<uint64_t>(std::llround(fate.extra_delay * 1e9)));
     }
+    FaultInstant("net.fault.delayed", key);
   }
   if (injector_->NodeDead(to) || injector_->NodeAbsent(to)) {
     // Connection refused: the sender pays for the transmission but the dead
     // (or not-yet-joined) receiver consumes nothing.
     fault_stats_.swallowed_dead += 1;
     if (c_swallowed_dead_ != nullptr) c_swallowed_dead_->Add(1);
+    FaultInstant("net.fault.receiver_dead", key);
     return Status::OK();
   }
   if (fate.dropped) {
     fault_stats_.dropped += 1;
     if (c_dropped_ != nullptr) c_dropped_->Add(1);
+    FaultInstant("net.fault.dropped", key);
     return Status::OK();
   }
   if (fate.corrupt && !payload.empty()) {
@@ -97,14 +136,16 @@ Status SimNetwork::Send(NodeId from, NodeId to, std::vector<uint8_t> payload) {
     payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
     fault_stats_.corrupted += 1;
     if (c_corrupted_ != nullptr) c_corrupted_->Add(1);
+    FaultInstant("net.fault.corrupted", key);
   }
   if (fate.duplicate) {
     fault_stats_.duplicated += 1;
     if (c_duplicated_ != nullptr) c_duplicated_->Add(1);
+    FaultInstant("net.fault.duplicated", key);
     Meter(key, payload.size());  // the duplicate also crossed the wire
-    queues_[key].push_back(payload);
+    queues_[key].push_back(Envelope{payload, ctx});
   }
-  queues_[key].push_back(std::move(payload));
+  queues_[key].push_back(Envelope{std::move(payload), ctx});
   return Status::OK();
 }
 
@@ -120,9 +161,10 @@ Result<std::vector<uint8_t>> SimNetwork::Recv(NodeId from, NodeId to) {
         NodeName(from).c_str(), NodeName(to).c_str(),
         static_cast<unsigned long long>(ever_sent), PendingCount()));
   }
-  std::vector<uint8_t> payload = std::move(it->second.front());
+  Envelope env = std::move(it->second.front());
   it->second.pop_front();
-  return payload;
+  last_recv_context_ = env.ctx;
+  return std::move(env.payload);
 }
 
 size_t SimNetwork::PendingCount() const {

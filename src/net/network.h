@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace vfps::obs {
 class Counter;
@@ -101,6 +102,15 @@ class SimNetwork {
   SimNetwork& operator=(SimNetwork&&) noexcept;
 
   /// Enqueue a payload on the (from -> to) link.
+  ///
+  /// When a Tracer is attached (via set_metrics on a registry with tracing
+  /// enabled) the sender's current obs::TraceContext is stamped on the
+  /// envelope as side-band metadata — it rides alongside the payload, is NOT
+  /// part of the metered bytes (so byte metering and the simulated cost
+  /// model stay bit-identical to an untraced run), and is surfaced to the
+  /// receiver via last_recv_context(). Injected fault fates additionally
+  /// record zero-duration trace instants (net.fault.*) parented under the
+  /// sender's open span.
   Status Send(NodeId from, NodeId to, std::vector<uint8_t> payload);
 
   /// Dequeue the oldest payload on the (from -> to) link; ProtocolError if
@@ -108,6 +118,13 @@ class SimNetwork {
   /// of the expected message was lost to injected faults). The message names
   /// both endpoints and reports the link's delivery counters.
   Result<std::vector<uint8_t>> Recv(NodeId from, NodeId to);
+
+  /// Trace context stamped by the sender of the payload most recently
+  /// returned by a successful Recv() (zero when the sender had no open span
+  /// or tracing is disabled). A duplicate delivery carries the same context
+  /// as the original, so the receive side can attach protocol events to the
+  /// causal branch that actually produced the bytes.
+  obs::TraceContext last_recv_context() const { return last_recv_context_; }
 
   /// Number of undelivered payloads across all links.
   size_t PendingCount() const;
@@ -191,9 +208,20 @@ class SimNetwork {
  private:
   using LinkKey = std::pair<NodeId, NodeId>;
 
-  void Meter(const LinkKey& key, size_t bytes);
+  /// A queued message: the metered payload plus unmetered trace metadata.
+  struct Envelope {
+    std::vector<uint8_t> payload;
+    obs::TraceContext ctx;
+  };
 
-  std::map<LinkKey, std::deque<std::vector<uint8_t>>> queues_;
+  void Meter(const LinkKey& key, size_t bytes);
+  /// Labeled per-party counters for the link, lazily resolved. The "party"
+  /// of a link is its participant endpoint (the server side of every link is
+  /// shared infrastructure); leader-to-server links attribute to party 0.
+  void MeterParty(const LinkKey& key, size_t bytes);
+  void FaultInstant(const char* name, const LinkKey& key);
+
+  std::map<LinkKey, std::deque<Envelope>> queues_;
   std::map<LinkKey, TrafficStats> stats_;
   TrafficStats total_;
   FaultStats fault_stats_;
@@ -203,6 +231,8 @@ class SimNetwork {
   std::vector<NodeId> suspects_;  // sorted unique; see SuspectDead()
 
   obs::MetricsRegistry* obs_registry_ = nullptr;  // borrowed
+  obs::Tracer* tracer_ = nullptr;                 // borrowed via the registry
+  obs::TraceContext last_recv_context_;
   obs::Counter* c_messages_ = nullptr;
   obs::Counter* c_bytes_ = nullptr;
   obs::Counter* c_dropped_ = nullptr;
@@ -211,6 +241,8 @@ class SimNetwork {
   obs::Counter* c_delayed_ = nullptr;
   obs::Counter* c_delay_ns_ = nullptr;
   obs::Counter* c_swallowed_dead_ = nullptr;
+  /// party -> (net.party.messages{party=N}, net.party.bytes{party=N}).
+  std::map<NodeId, std::pair<obs::Counter*, obs::Counter*>> party_counters_;
 };
 
 }  // namespace vfps::net

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/string_util.h"
@@ -19,8 +20,51 @@ size_t ShardIndex() {
 
 }  // namespace internal
 
+std::string EncodeLabels(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out.push_back('=');
+    out += value;
+  }
+  out.push_back('}');
+  return out;
+}
+
 Histogram::Histogram(std::vector<uint64_t> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::LogValue(uint64_t value) {
+  ValueShard& shard = value_shards_[internal::ShardIndex()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.values.size() < kValueLogShardCap) shard.values.push_back(value);
+}
+
+Histogram::Summary Histogram::Percentiles() const {
+  std::vector<uint64_t> merged;
+  for (const ValueShard& shard : value_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.insert(merged.end(), shard.values.begin(), shard.values.end());
+  }
+  Summary s;
+  if (merged.empty()) return s;
+  std::sort(merged.begin(), merged.end());
+  const size_t n = merged.size();
+  // Nearest-rank: p-th percentile is element ceil(p/100 * n), 1-indexed.
+  auto rank = [n](uint64_t p) { return (p * n + 99) / 100 - 1; };
+  s.p50 = merged[rank(50)];
+  s.p95 = merged[rank(95)];
+  s.p99 = merged[rank(99)];
+  s.max = merged.back();
+  return s;
+}
 
 std::vector<uint64_t> ExponentialBuckets(uint64_t start, uint64_t factor,
                                          size_t count) {
@@ -62,6 +106,55 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+Counter* MetricsRegistry::GetLabeledCounter(const std::string& name,
+                                            const MetricLabels& labels) {
+  std::string series = EncodeLabels(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(series);
+  if (it != counters_.end()) return it->second.get();
+  if (!labels.empty()) {
+    size_t& created = label_series_[name];
+    if (created >= kMaxLabelSeriesPerName) {
+      series = name + "{overflow=true}";
+      auto& overflow = counters_[series];
+      if (overflow == nullptr) overflow = std::make_unique<Counter>();
+      return overflow.get();
+    }
+    ++created;
+  }
+  auto& slot = counters_[series];
+  slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetLabeledHistogram(const std::string& name,
+                                                const MetricLabels& labels,
+                                                std::vector<uint64_t> bounds) {
+  std::string series = EncodeLabels(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(series);
+  if (it != histograms_.end()) return it->second.get();
+  if (!labels.empty()) {
+    size_t& created = label_series_[name];
+    if (created >= kMaxLabelSeriesPerName) {
+      series = name + "{overflow=true}";
+      auto& overflow = histograms_[series];
+      if (overflow == nullptr) {
+        if (bounds.empty()) bounds = ExponentialBuckets(1, 4, 12);
+        overflow = std::make_unique<Histogram>(std::move(bounds));
+      }
+      return overflow.get();
+    }
+    ++created;
+  }
+  auto& slot = histograms_[series];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = ExponentialBuckets(1, 4, 12);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
   GetGauge(name)->Set(value);
 }
@@ -70,6 +163,22 @@ uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->Value();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const MetricLabels& labels) const {
+  return CounterValue(EncodeLabels(name, labels));
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterEntries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    entries.emplace_back(name, counter->Value());
+  }
+  return entries;
 }
 
 void MetricsRegistry::EnableTracing() {
@@ -98,7 +207,7 @@ void AppendJsonString(const std::string& s, std::string* out) {
 
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n  \"schema_version\": 2,\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     out += first ? "\n    " : ",\n    ";
@@ -123,9 +232,16 @@ std::string MetricsRegistry::ToJson() const {
     out += first ? "\n    " : ",\n    ";
     first = false;
     AppendJsonString(name, &out);
-    out += StrFormat(": {\"count\": %llu, \"sum\": %llu, \"buckets\": [",
-                     static_cast<unsigned long long>(hist->Count()),
-                     static_cast<unsigned long long>(hist->Sum()));
+    const Histogram::Summary summary = hist->Percentiles();
+    out += StrFormat(
+        ": {\"count\": %llu, \"sum\": %llu, \"p50\": %llu, \"p95\": %llu, "
+        "\"p99\": %llu, \"max\": %llu, \"buckets\": [",
+        static_cast<unsigned long long>(hist->Count()),
+        static_cast<unsigned long long>(hist->Sum()),
+        static_cast<unsigned long long>(summary.p50),
+        static_cast<unsigned long long>(summary.p95),
+        static_cast<unsigned long long>(summary.p99),
+        static_cast<unsigned long long>(summary.max));
     const auto& bounds = hist->bounds();
     for (size_t b = 0; b <= bounds.size(); ++b) {
       if (b > 0) out += ", ";

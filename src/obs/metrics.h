@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +16,25 @@
 namespace vfps::obs {
 
 class Tracer;
+
+/// Label set for a dimensioned metric: key/value pairs like
+/// {{"party", "3"}, {"phase", "aggregate"}}. Keys and values must match
+/// [A-Za-z0-9_.:-]+ (no braces, commas, '=' or quotes — they are embedded
+/// verbatim in the flat series name). Order does not matter; encoding sorts
+/// by key.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical flat series name: `name{k1=v1,k2=v2}` with keys sorted
+/// lexicographically, so {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}}
+/// address the same series. Empty labels return `name` unchanged.
+std::string EncodeLabels(const std::string& name, const MetricLabels& labels);
+
+/// Per-base-name cap on distinct label series. The label dimensions used in
+/// this codebase are all naturally bounded (party index, phase name, algo,
+/// cache hit/miss); the cap is a backstop against an unbounded label sneaking
+/// in, not a tuning knob. Past the cap, new series collapse into
+/// `name{overflow=true}` so totals are still conserved.
+inline constexpr size_t kMaxLabelSeriesPerName = 64;
 
 /// Number of per-thread shards a Counter stripes its value across. A power of
 /// two so the shard index is a cheap mask.
@@ -94,6 +114,17 @@ class Gauge {
 /// count, and sum are Counters, so the same shard-merge determinism contract
 /// applies: totals are identical at any thread count for a thread-count-
 /// invariant event set.
+///
+/// Beyond the buckets, every recorded value is also appended to a per-shard
+/// log (mutex per shard, bounded at kValueLogShardCap entries per shard) so
+/// Percentiles() can report *exact* p50/p95/p99/max from the merged multiset.
+/// Because the merge sorts the union of all shard logs, the summary depends
+/// only on the multiset of recorded values, preserving the thread-count-
+/// invariance contract while all shards stay under their cap. Instrumented
+/// sites record at per-query / per-selection-job granularity (thousands of
+/// values, not millions), so the caps are never the binding constraint in
+/// practice; a saturated shard keeps counting in the buckets but stops
+/// extending the exact log.
 class Histogram {
  public:
   explicit Histogram(std::vector<uint64_t> bounds);
@@ -106,6 +137,7 @@ class Histogram {
     buckets_[b].Add(1);
     count_.Add(1);
     sum_.Add(value);
+    LogValue(value);
   }
 
   uint64_t Count() const { return count_.Value(); }
@@ -114,11 +146,34 @@ class Histogram {
   /// Count in bucket `i`; i == bounds().size() is the +inf bucket.
   uint64_t BucketCount(size_t i) const { return buckets_[i].Value(); }
 
+  /// Exact summary over the logged values (nearest-rank percentiles).
+  /// All-zero when nothing was recorded.
+  struct Summary {
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+  };
+  Summary Percentiles() const;
+
+  /// Per-shard cap on the exact-value log (the bucket counters are never
+  /// capped). 16 shards x 65536 values covers every workload this pipeline
+  /// records at histogram granularity.
+  static constexpr size_t kValueLogShardCap = 65536;
+
  private:
+  void LogValue(uint64_t value);
+
+  struct alignas(64) ValueShard {
+    mutable std::mutex mu;
+    std::vector<uint64_t> values;
+  };
+
   std::vector<uint64_t> bounds_;
   std::vector<Counter> buckets_;  // bounds_.size() + 1 (last = +inf)
   Counter count_;
   Counter sum_;
+  std::array<ValueShard, kCounterShards> value_shards_;
 };
 
 /// Bucket edges `start, start*factor, ...` (count edges), for Histogram.
@@ -156,18 +211,40 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<uint64_t> bounds = {});
 
+  /// Labeled (dimensioned) variants: find-or-create the series
+  /// `name{k=v,...}` (see EncodeLabels). Distinct series per base name are
+  /// capped at kMaxLabelSeriesPerName; past the cap the returned handle is
+  /// the shared `name{overflow=true}` series, so totals stay conserved and a
+  /// runaway label cannot blow up the registry. The returned handle obeys
+  /// the same shard-merge determinism contract as the unlabeled metrics.
+  Counter* GetLabeledCounter(const std::string& name,
+                             const MetricLabels& labels);
+  Histogram* GetLabeledHistogram(const std::string& name,
+                                 const MetricLabels& labels,
+                                 std::vector<uint64_t> bounds = {});
+
   void SetGauge(const std::string& name, double value);
 
   /// Current merged value of a counter, 0 if it was never created.
   uint64_t CounterValue(const std::string& name) const;
+  uint64_t CounterValue(const std::string& name,
+                        const MetricLabels& labels) const;
+
+  /// Every counter series (labeled and unlabeled) with its merged value, in
+  /// lexicographic name order. This is the surface the thread-determinism
+  /// tests compare across --threads values: the full multiset of series
+  /// names AND totals must be bit-identical.
+  std::vector<std::pair<std::string, uint64_t>> CounterEntries() const;
 
   /// Attach a span collector; tracer() stays nullptr (and every OBS_SPAN is a
   /// no-op) until this is called.
   void EnableTracing();
   Tracer* tracer() const { return tracer_.get(); }
 
-  /// Deterministic JSON snapshot: {"counters": {...}, "gauges": {...},
-  /// "histograms": {...}}, keys in lexicographic order.
+  /// Deterministic JSON snapshot (schema_version 2): {"schema_version": 2,
+  /// "counters": {...}, "gauges": {...}, "histograms": {...}}, keys in
+  /// lexicographic order; each histogram carries exact p50/p95/p99/max next
+  /// to its buckets.
   std::string ToJson() const;
   Status WriteJsonFile(const std::string& path) const;
 
@@ -176,6 +253,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Distinct label series created per base name (cardinality-cap state).
+  std::map<std::string, size_t> label_series_;
   std::unique_ptr<Tracer> tracer_;
 };
 

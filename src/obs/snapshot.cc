@@ -1,0 +1,61 @@
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <utility>
+
+namespace vfps::obs {
+
+PeriodicSnapshotWriter::PeriodicSnapshotWriter(MetricsRegistry* registry,
+                                               std::string path,
+                                               double interval_seconds)
+    : registry_(registry),
+      path_(std::move(path)),
+      interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 1.0) {}
+
+PeriodicSnapshotWriter::~PeriodicSnapshotWriter() { Stop(); }
+
+void PeriodicSnapshotWriter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread(&PeriodicSnapshotWriter::Run, this);
+}
+
+void PeriodicSnapshotWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  WriteOnce();  // Final snapshot so the file reflects the end state.
+}
+
+void PeriodicSnapshotWriter::Run() {
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    WriteOnce();
+    lock.lock();
+  }
+}
+
+void PeriodicSnapshotWriter::WriteOnce() {
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  registry_->SetGauge("obs.snapshot.count",
+                      static_cast<double>(snapshots_written()));
+  // Best-effort: a transient write failure on one tick must not kill the run.
+  (void)registry_->WriteJsonFile(path_);
+}
+
+}  // namespace vfps::obs

@@ -1,0 +1,61 @@
+#ifndef VFPS_OBS_SNAPSHOT_H_
+#define VFPS_OBS_SNAPSHOT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace vfps::obs {
+
+/// \brief Background thread that writes a MetricsRegistry JSON snapshot to a
+/// file every `interval_seconds`, for watching long runs from outside the
+/// process (`vfps_cli run --metrics-interval=N`).
+///
+/// Each tick overwrites `path` with the current registry ToJson() — the same
+/// schema_version-2 document the final `--metrics-out` write produces, so
+/// tooling reads one format. The tick count is exported as the gauge
+/// `obs.snapshot.count` (a gauge, not a counter, so the wall-clock-dependent
+/// tick count never perturbs counter-determinism comparisons across runs).
+///
+/// Start() spawns the thread; Stop() (or the destructor) joins it after one
+/// final write, so the file always reflects the end state. The registry must
+/// outlive the writer.
+class PeriodicSnapshotWriter {
+ public:
+  PeriodicSnapshotWriter(MetricsRegistry* registry, std::string path,
+                         double interval_seconds);
+  ~PeriodicSnapshotWriter();
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  void Start();
+  /// Idempotent; writes one final snapshot before returning.
+  void Stop();
+
+  uint64_t snapshots_written() const {
+    return snapshots_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  void WriteOnce();
+
+  MetricsRegistry* registry_;
+  std::string path_;
+  double interval_seconds_;
+  std::atomic<uint64_t> snapshots_written_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace vfps::obs
+
+#endif  // VFPS_OBS_SNAPSHOT_H_

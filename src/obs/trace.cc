@@ -23,6 +23,36 @@ uint64_t SteadyNowNs() {
 // thread records to at most one tracer at a time in this codebase.
 thread_local uint32_t t_span_depth = 0;
 
+// Per-thread current causal context; saved/restored by Span and TraceScope.
+thread_local TraceContext t_current_context;
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
 }  // namespace
 
 Tracer::Tracer() : origin_ns_(SteadyNowNs()) {}
@@ -34,10 +64,33 @@ void Tracer::Record(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+void Tracer::Instant(
+    const char* name,
+    std::vector<std::pair<std::string, std::string>> annotations) {
+  const TraceContext parent = Current();
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = NowNs();
+  event.instant = true;
+  event.span_id = NextId();
+  event.parent_span_id = parent.span_id;
+  // A free-floating instant (no enclosing span) starts its own degenerate
+  // trace so every event still belongs to exactly one tree.
+  event.trace_id = parent.valid() ? parent.trace_id : event.span_id;
+  event.thread = ThreadOrdinal();
+  event.depth = t_span_depth;
+  event.annotations = std::move(annotations);
+  Record(std::move(event));
+}
+
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
 }
+
+TraceContext Tracer::Current() { return t_current_context; }
+
+void Tracer::SetCurrent(const TraceContext& ctx) { t_current_context = ctx; }
 
 uint32_t Tracer::ThreadOrdinal() {
   static std::atomic<uint32_t> next_thread{0};
@@ -52,20 +105,53 @@ std::string Tracer::ToJson() const {
             [](const TraceEvent& a, const TraceEvent& b) {
               if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
               if (a.thread != b.thread) return a.thread < b.thread;
-              return a.name < b.name;
+              if (a.name != b.name) return a.name < b.name;
+              return a.span_id < b.span_id;
             });
-  std::string out = "{\"traceEvents\": [";
+  std::string out = "{\"schema_version\": 2, \"traceEvents\": [";
   bool first = true;
   for (const TraceEvent& e : events) {
     out += first ? "\n" : ",\n";
     first = false;
+    out += "{\"name\": ";
+    AppendJsonString(&out, e.name);
+    if (e.instant) {
+      out += StrFormat(
+          ", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": %u, "
+          "\"ts\": %.3f",
+          e.thread, static_cast<double>(e.start_ns) / 1e3);
+    } else {
+      out += StrFormat(
+          ", \"ph\": \"X\", \"pid\": 0, \"tid\": %u, \"ts\": %.3f, "
+          "\"dur\": %.3f",
+          e.thread, static_cast<double>(e.start_ns) / 1e3,
+          static_cast<double>(e.dur_ns) / 1e3);
+    }
     out += StrFormat(
-        "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": %u, "
-        "\"ts\": %.3f, \"dur\": %.3f, \"args\": {\"sim_start_s\": %.9f, "
-        "\"sim_dur_s\": %.9f, \"depth\": %u}}",
-        e.name.c_str(), e.thread, static_cast<double>(e.start_ns) / 1e3,
-        static_cast<double>(e.dur_ns) / 1e3, e.sim_start_seconds,
+        ", \"args\": {\"trace_id\": %llu, \"span_id\": %llu, "
+        "\"parent_span_id\": %llu, \"sim_start_s\": %.9f, "
+        "\"sim_dur_s\": %.9f, \"depth\": %u",
+        static_cast<unsigned long long>(e.trace_id),
+        static_cast<unsigned long long>(e.span_id),
+        static_cast<unsigned long long>(e.parent_span_id), e.sim_start_seconds,
         e.sim_dur_seconds, e.depth);
+    if (!e.node.empty()) {
+      out += ", \"node\": ";
+      AppendJsonString(&out, e.node);
+    }
+    if (!e.annotations.empty()) {
+      out += ", \"annotations\": {";
+      bool first_ann = true;
+      for (const auto& [key, value] : e.annotations) {
+        if (!first_ann) out += ", ";
+        first_ann = false;
+        AppendJsonString(&out, key);
+        out += ": ";
+        AppendJsonString(&out, value);
+      }
+      out += "}";
+    }
+    out += "}}";
   }
   out += first ? "]}\n" : "\n]}\n";
   return out;
@@ -91,6 +177,10 @@ Span::Span(Tracer* tracer, const char* name, const SimClock* clock)
   start_ns_ = tracer_->NowNs();
   sim_start_seconds_ = clock_ != nullptr ? clock_->Total() : 0.0;
   depth_ = t_span_depth++;
+  saved_ = Tracer::Current();
+  context_.span_id = tracer_->NextId();
+  context_.trace_id = saved_.valid() ? saved_.trace_id : context_.span_id;
+  Tracer::SetCurrent(context_);
 }
 
 void Span::End() {
@@ -98,6 +188,7 @@ void Span::End() {
   Tracer* tracer = tracer_;
   tracer_ = nullptr;  // Idempotence: a second End() (or the dtor) is a no-op.
   --t_span_depth;
+  Tracer::SetCurrent(saved_);
   TraceEvent event;
   event.name = name_;
   event.start_ns = start_ns_;
@@ -108,7 +199,34 @@ void Span::End() {
   }
   event.thread = Tracer::ThreadOrdinal();
   event.depth = depth_;
+  event.trace_id = context_.trace_id;
+  event.span_id = context_.span_id;
+  event.parent_span_id = saved_.span_id;
+  event.node = std::move(node_);
+  event.annotations = std::move(annotations_);
   tracer->Record(std::move(event));
+}
+
+void Span::SetNode(const std::string& node) {
+  if (tracer_ == nullptr) return;
+  node_ = node;
+}
+
+void Span::Annotate(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  annotations_.emplace_back(key, value);
+}
+
+TraceScope::TraceScope(Tracer* tracer, const TraceContext& ctx)
+    : active_(tracer != nullptr) {
+  if (!active_) return;
+  saved_ = Tracer::Current();
+  Tracer::SetCurrent(ctx);
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) return;
+  Tracer::SetCurrent(saved_);
 }
 
 }  // namespace vfps::obs

@@ -2,8 +2,10 @@
 #define VFPS_OBS_TRACE_H_
 
 #include <cstdint>
+#include <atomic>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -15,9 +17,23 @@ class SimClock;
 
 namespace vfps::obs {
 
-/// One completed span. Wall times are nanoseconds relative to the Tracer's
-/// construction; sim times are simulated seconds (0 when the span had no
-/// SimClock attached).
+/// \brief Causal identity of the currently open span.
+///
+/// `trace_id` names the tree (a root span's trace_id is its own span_id);
+/// `span_id` names the node. A zero context means "no span open". The context
+/// is carried across threads by TraceScope and across simulated network hops
+/// as side-band metadata on SimNetwork envelopes, so one selection run yields
+/// one causally connected tree spanning server and party nodes.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return span_id != 0; }
+};
+
+/// One completed span (or instant annotation). Wall times are nanoseconds
+/// relative to the Tracer's construction; sim times are simulated seconds
+/// (0 when the span had no SimClock attached).
 struct TraceEvent {
   std::string name;
   uint64_t start_ns = 0;
@@ -26,6 +42,14 @@ struct TraceEvent {
   double sim_dur_seconds = 0.0;
   uint32_t thread = 0;  ///< Stable per-thread ordinal (first-use order).
   uint32_t depth = 0;   ///< Nesting depth within the recording thread.
+  uint64_t trace_id = 0;        ///< Tree identity (root's own span_id).
+  uint64_t span_id = 0;         ///< Unique per event within the Tracer.
+  uint64_t parent_span_id = 0;  ///< 0 for roots.
+  bool instant = false;         ///< Zero-duration annotation (chrome ph "i").
+  std::string node;             ///< Logical node, e.g. "participant-3".
+  /// Free-form key/value annotations (retry counts, fault fates, churn
+  /// events). Emitted in insertion order.
+  std::vector<std::pair<std::string, std::string>> annotations;
 };
 
 /// \brief Collector for scoped spans.
@@ -34,6 +58,12 @@ struct TraceEvent {
 /// a handful of spans per query (phase granularity, not per-element), so the
 /// lock is off any hot loop. Export is chrome://tracing "trace event" JSON so
 /// the output loads directly in Perfetto.
+///
+/// Causality: every Span allocates a span_id from this Tracer and parents
+/// itself under the calling thread's current TraceContext (see Current()).
+/// Fan-out code adopts the parent context on worker threads via TraceScope;
+/// the simulated network stamps the sender's context on each envelope so the
+/// receive side can attach protocol events to the right branch.
 class Tracer {
  public:
   Tracer();
@@ -45,20 +75,45 @@ class Tracer {
 
   void Record(TraceEvent event);
 
+  /// Record a zero-duration annotated event (chrome "i" phase) parented to
+  /// the calling thread's current context. Used for retries, injected fault
+  /// fates, and churn events — things with no duration of their own that
+  /// must stay attached to the causal tree instead of vanishing into
+  /// counters.
+  void Instant(const char* name,
+               std::vector<std::pair<std::string, std::string>> annotations =
+                   {});
+
   std::vector<TraceEvent> Snapshot() const;
 
-  /// Chrome trace-event JSON: {"traceEvents": [{"name": ..., "ph": "X",
-  /// "ts": us, "dur": us, "pid": 0, "tid": thread, "args": {...}}, ...]}.
-  /// Events are emitted sorted by (start_ns, thread, name) so the output is
-  /// stable for a deterministic workload.
+  /// Chrome trace-event JSON (schema_version 2): {"schema_version": 2,
+  /// "traceEvents": [{"name": ..., "ph": "X"|"i", "ts": us, "dur": us,
+  /// "pid": 0, "tid": thread, "args": {"trace_id": ..., "span_id": ...,
+  /// "parent_span_id": ..., "sim_start_s": ..., "sim_dur_s": ...,
+  /// "depth": ...}}, ...]}. Events are emitted sorted by (start_ns, thread,
+  /// name, span_id) with deterministic key order so the output is stable for
+  /// a deterministic workload.
   std::string ToJson() const;
   Status WriteJsonFile(const std::string& path) const;
+
+  /// Next unique span/trace id (never 0).
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// The calling thread's current span context (zero if no span is open).
+  /// Thread-local, not per-Tracer: a thread records to at most one tracer at
+  /// a time in this codebase.
+  static TraceContext Current();
 
   /// Stable ordinal of the calling thread (assigned on first use).
   static uint32_t ThreadOrdinal();
 
  private:
+  friend class Span;
+  friend class TraceScope;
+  static void SetCurrent(const TraceContext& ctx);
+
   uint64_t origin_ns_;
+  std::atomic<uint64_t> next_id_{1};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
@@ -70,6 +125,10 @@ class Tracer {
 /// If a SimClock is attached the span also records the simulated time that
 /// elapsed while it was open — fed_knn phases charge costs to the per-task
 /// clock, so the span shows both wall time and simulated protocol time.
+///
+/// The span parents itself under Tracer::Current() at construction and
+/// installs its own context for the duration of the scope, so nested spans
+/// (even ones opened by callees that never saw this object) link correctly.
 class Span {
  public:
   Span(Tracer* tracer, const char* name, const SimClock* clock = nullptr);
@@ -80,6 +139,16 @@ class Span {
   /// Record the span now instead of at scope exit. Idempotent.
   void End();
 
+  /// This span's causal identity (zero when the tracer is null).
+  TraceContext context() const { return context_; }
+
+  /// Label the logical node ("agg-server", "participant-3", ...) this span
+  /// executed on. No-op on a null tracer.
+  void SetNode(const std::string& node);
+
+  /// Attach a key/value annotation. No-op on a null tracer.
+  void Annotate(const std::string& key, const std::string& value);
+
  private:
   Tracer* tracer_;
   const char* name_;
@@ -87,6 +156,28 @@ class Span {
   uint64_t start_ns_ = 0;
   double sim_start_seconds_ = 0.0;
   uint32_t depth_ = 0;
+  TraceContext context_;
+  TraceContext saved_;
+  std::string node_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+/// \brief RAII adoption of a TraceContext on the current thread.
+///
+/// Fan-out code captures Tracer::Current() on the submitting thread and
+/// constructs a TraceScope inside the pool task, so spans opened on the
+/// worker thread parent under the submitting span instead of starting
+/// orphan roots. Null tracer → no-op.
+class TraceScope {
+ public:
+  TraceScope(Tracer* tracer, const TraceContext& ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_;
+  TraceContext saved_;
 };
 
 /// Open a scoped span for the rest of the enclosing block. `tracer` may be

@@ -9,6 +9,7 @@
 #include "common/buffer.h"
 #include "common/macros.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "ml/knn.h"
 #include "obs/metrics.h"
@@ -94,7 +95,49 @@ FederatedKnnOracle::FederatedKnnOracle(const data::Dataset* joint_train,
   if (obs_ != nullptr) {
     c_queries_ = obs_->GetCounter("knn.queries");
     h_candidates_ = obs_->GetHistogram("knn.candidates");
+    // Every labeled dimension is bounded and known up front, so resolve all
+    // series here — query tasks never touch the registry mutex.
+    for (KnnOracleMode mode : {KnnOracleMode::kBase, KnnOracleMode::kFagin,
+                               KnnOracleMode::kThreshold}) {
+      c_queries_mode_[static_cast<int>(mode)] = obs_->GetLabeledCounter(
+          "knn.queries.by_algo", {{"algo", KnnOracleModeName(mode)}});
+    }
+    c_cache_hit_ =
+        obs_->GetLabeledCounter("knn.cache.lookups", {{"cache", "hit"}});
+    c_cache_miss_ =
+        obs_->GetLabeledCounter("knn.cache.lookups", {{"cache", "miss"}});
+    const auto phase = [this](const char* name) {
+      return obs_->GetLabeledCounter("knn.phase.sim_ns", {{"phase", name}});
+    };
+    c_phase_dist_ = phase("partial_distance");
+    c_phase_encrypt_ = phase("encrypt");
+    c_phase_agg_ = phase("aggregate");
+    c_phase_rank_ = phase("decrypt_rank");
+    c_phase_dt_ = phase("dt_exchange");
+    c_phase_merge_ = phase("topk_merge");
+    c_phase_stream_ = phase("stream_rankings");
+    c_party_enc_values_.resize(partition_->size(), nullptr);
+    for (size_t party = 0; party < partition_->size(); ++party) {
+      c_party_enc_values_[party] = obs_->GetLabeledCounter(
+          "knn.party.encrypted_values",
+          {{"party", StrFormat("%zu", party)}});
+    }
+    h_unit_sim_ns_ = obs_->GetHistogram("knn.query.sim_ns");
+    h_unit_wall_ns_ = obs_->GetHistogram("knn.query.wall_ns");
   }
+}
+
+FederatedKnnOracle::PhaseTimer::PhaseTimer(obs::Counter* counter,
+                                           const SimClock* clock)
+    : counter_(counter),
+      clock_(clock),
+      start_seconds_(counter != nullptr ? clock->Total() : 0.0) {}
+
+void FederatedKnnOracle::PhaseTimer::End() {
+  if (counter_ == nullptr) return;
+  counter_->Add(static_cast<uint64_t>(
+      std::llround((clock_->Total() - start_seconds_) * 1e9)));
+  counter_ = nullptr;
 }
 
 std::vector<double> FederatedKnnOracle::PartialDistances(
@@ -207,6 +250,10 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   const net::TrafficStats traffic_before = network_->total();
   const he::HeOpStats he_before = backend_->stats();
   obs::Tracer* const tracer = obs_ == nullptr ? nullptr : obs_->tracer();
+  // Causal anchor for the fan-out below: each query task re-adopts the
+  // caller's span context on its worker thread, so every per-unit trace tree
+  // hangs off the selection span that requested it.
+  const obs::TraceContext parent_ctx = obs::Tracer::Current();
 
   // The leader samples the query set and shares the row ids (plain indices of
   // shared training samples; no feature values cross the wire here). The
@@ -305,11 +352,12 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     net::SimNetwork net;
     SimClock clock;
     std::unique_ptr<he::HeBackend> session;
-    CachedUnit produced;  // contributions staged for the repair cache
+    CachedUnit produced;      // contributions staged for the repair cache
+    double wall_seconds = 0;  // real time this unit's task spent
   };
   std::vector<QuerySlot> slots(num_units);
 
-  const auto run_unit = [&](size_t u) {
+  const auto run_unit_body = [&](size_t u) {
     QuerySlot& slot = slots[u];
     auto session = backend_->Fork(stream_seeds[u]);
     if (!session.ok()) {
@@ -349,6 +397,26 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     } else {
       slot.status = hood.status();
     }
+  };
+
+  // One root span ("knn.query") per unit: the task adopts the caller's trace
+  // context, so at any thread count the whole protocol tree of a unit —
+  // phases, per-party work, retries, fault instants — is a single connected
+  // subtree of the selection that requested it.
+  const auto run_unit = [&](size_t u) {
+    QuerySlot& slot = slots[u];
+    Stopwatch unit_watch;
+    {
+      obs::TraceScope trace_scope(tracer, parent_ctx);
+      obs::Span unit_span(tracer, "knn.query", &slot.clock);
+      if (tracer != nullptr) {  // skip the StrFormat work when disabled
+        unit_span.Annotate("unit", StrFormat("%zu", u));
+        unit_span.Annotate("algo", KnnOracleModeName(config.mode));
+        unit_span.Annotate("query_row", StrFormat("%zu", queries[u * group]));
+      }
+      run_unit_body(u);
+    }
+    slot.wall_seconds = unit_watch.ElapsedSeconds();
   };
 
   if (pool_ != nullptr && pool_->num_threads() > 1) {
@@ -413,6 +481,16 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     for (QueryNeighborhood& hood : slot.hoods) {
       result.push_back(std::move(hood));
     }
+    if (h_unit_sim_ns_ != nullptr) {
+      // Recorded serially in unit order. The sim-clock latency is a
+      // deterministic function of the protocol, so the knn.query.sim_ns
+      // histogram (and its percentiles) is thread-count-invariant; wall time
+      // is real elapsed time and naturally varies.
+      h_unit_sim_ns_->Record(static_cast<uint64_t>(
+          std::llround(slot.clock.Total() * 1e9)));
+      h_unit_wall_ns_->Record(static_cast<uint64_t>(
+          std::llround(slot.wall_seconds * 1e9)));
+    }
     clock_->Merge(slot.clock);
     network_->MergeStatsFrom(slot.net);
     backend_->AbsorbStats(slot.session->stats());
@@ -424,7 +502,10 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   }
   absorb_cache();
 
-  if (c_queries_ != nullptr) c_queries_->Add(queries.size());
+  if (c_queries_ != nullptr) {
+    c_queries_->Add(queries.size());
+    c_queries_mode_[static_cast<int>(config.mode)]->Add(queries.size());
+  }
   if (stats != nullptr) {
     poll_churn(stats);
     stats->queries += queries.size();
@@ -469,6 +550,8 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   // with a cached contribution skip both compute and upload — on repair only
   // the membership delta pays.
   obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
+  span_dist.SetNode("parties");
+  PhaseTimer phase_dist(c_phase_dist_, env.clock);
   std::vector<std::vector<double>> partials(a);
   std::vector<const PartyUnitState*> hits(a, nullptr);
   std::vector<double> compute_seconds;
@@ -479,17 +562,26 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
       hits[ai] = st;
       partials[ai] = st->values;  // still needed for the d_T exchange
       if (stats != nullptr) ++stats->reused_contributions;
+      if (c_cache_hit_ != nullptr) c_cache_hit_->Add(1);
       continue;
     }
+    if (env.cached != nullptr && c_cache_miss_ != nullptr) {
+      c_cache_miss_->Add(1);
+    }
+    obs::Span party_span(env.tracer, "knn.party.compute", env.clock);
+    party_span.SetNode(net::NodeName(static_cast<int>(active[ai])));
     partials[ai] = PartialDistances(active[ai], *joint_, query_row, query_row);
     compute_seconds.push_back(
         cost_->DistanceSeconds(count, (*partition_)[active[ai]].size()));
     ++fresh;
   }
   if (fresh > 0) ChargeParallelCompute(env.clock, compute_seconds);
+  phase_dist.End();
   span_dist.End();
 
   obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
+  span_enc.SetNode("parties");
+  PhaseTimer phase_enc(c_phase_encrypt_, env.clock);
   std::vector<he::EncryptedVector> encrypted;
   if (fresh > 0) {
     std::vector<std::vector<double>> fresh_values;
@@ -501,6 +593,9 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
     size_t fi = 0;
     for (size_t ai = 0; ai < a; ++ai) {
       if (hits[ai] != nullptr) continue;
+      if (!c_party_enc_values_.empty()) {
+        c_party_enc_values_[active[ai]]->Add(count);
+      }
       VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
                                         net::kAggregationServer,
                                         encrypted[fi++].blob));
@@ -508,12 +603,15 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
     env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
     ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), fresh);
   }
+  phase_enc.End();
   span_enc.End();
 
   // Phase 2 (aggregation server): homomorphic sum over the cached ciphertexts
   // it already holds plus the fresh uploads, in ascending active order so a
   // repair sums bit-identically to a clean run; forward to the leader.
   obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
+  span_agg.SetNode("agg-server");
+  PhaseTimer phase_agg(c_phase_agg_, env.clock);
   std::vector<he::EncryptedVector> received(a);
   std::vector<const he::EncryptedVector*> ptrs(a);
   for (size_t ai = 0; ai < a; ++ai) {
@@ -539,10 +637,13 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   VFPS_RETURN_NOT_OK(
       env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
   ChargeFanOut(env.clock, cost_->EncryptedWireBytes(count), 1);
+  phase_agg.End();
   span_agg.End();
 
   // Phase 3 (leader): decrypt, rank, pick the k nearest.
   obs::Span span_rank(env.tracer, "knn.decrypt_rank", env.clock);
+  span_rank.SetNode("leader");
+  PhaseTimer phase_rank(c_phase_rank_, env.clock);
   VFPS_ASSIGN_OR_RETURN(auto blob, env.chan->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
       auto distances,
@@ -550,6 +651,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
   env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(count));
   env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(count));
   const auto top = SmallestK(distances, k);
+  phase_rank.End();
   span_rank.End();
 
   QueryNeighborhood hood;
@@ -561,6 +663,8 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
 
   // Phase 4: leader broadcasts T; every active participant returns d_T^p.
   obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
+  span_dt.SetNode("leader");
+  PhaseTimer phase_dt(c_phase_dt_, env.clock);
   // Quarantined slots keep d_T^p = 0 (the caller drops them anyway).
   for (size_t party : active) {
     if (party == 0) continue;
@@ -590,6 +694,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuery(
     }
   }
   ChargeFanIn(env.clock, sizeof(double), a - 1);
+  phase_dt.End();
   span_dt.End();
 
   if (h_candidates_ != nullptr) h_candidates_->Record(count);
@@ -615,6 +720,8 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
   // (q, i) against exactly candidate (q, i) everywhere; the final partial
   // chunk's unused slots are zero-masked by the encoder and never decoded.
   obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
+  span_dist.SetNode("parties");
+  PhaseTimer phase_dist(c_phase_dist_, env.clock);
   const auto cached_for = [&](size_t party) -> const PartyUnitState* {
     if (env.cached == nullptr) return nullptr;
     const auto it = env.cached->parties.find(party);
@@ -632,8 +739,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
       hits[ai] = st;
       packed[ai] = st->values;  // still needed for the d_T exchange
       if (stats != nullptr) ++stats->reused_contributions;
+      if (c_cache_hit_ != nullptr) c_cache_hit_->Add(1);
       continue;
     }
+    if (env.cached != nullptr && c_cache_miss_ != nullptr) {
+      c_cache_miss_->Add(1);
+    }
+    obs::Span party_span(env.tracer, "knn.party.compute", env.clock);
+    party_span.SetNode(net::NodeName(static_cast<int>(active[ai])));
     packed[ai].reserve(total);
     double seconds = 0.0;
     for (size_t qi = 0; qi < g; ++qi) {
@@ -647,11 +760,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
     ++fresh;
   }
   if (fresh > 0) ChargeParallelCompute(env.clock, compute_seconds);
+  phase_dist.End();
   span_dist.End();
 
   // Phase 2: one packed encrypt per fresh party for the whole group; cached
   // parties' packed ciphertexts are already at the server.
   obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
+  span_enc.SetNode("parties");
+  PhaseTimer phase_enc(c_phase_encrypt_, env.clock);
   std::vector<he::EncryptedVector> encrypted;
   if (fresh > 0) {
     std::vector<std::vector<double>> fresh_values;
@@ -663,6 +779,9 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
     size_t fi = 0;
     for (size_t ai = 0; ai < a; ++ai) {
       if (hits[ai] != nullptr) continue;
+      if (!c_party_enc_values_.empty()) {
+        c_party_enc_values_[active[ai]]->Add(total);
+      }
       VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
                                         net::kAggregationServer,
                                         encrypted[fi++].blob));
@@ -670,11 +789,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
     env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(total));
     ChargeFanIn(env.clock, cost_->EncryptedWireBytes(total), fresh);
   }
+  phase_enc.End();
   span_enc.End();
 
   // Phase 3 (aggregation server): slot-wise sum over cached + fresh
   // ciphertexts in ascending active order, forward to the leader.
   obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
+  span_agg.SetNode("agg-server");
+  PhaseTimer phase_agg(c_phase_agg_, env.clock);
   std::vector<he::EncryptedVector> received(a);
   std::vector<const he::EncryptedVector*> ptrs(a);
   for (size_t ai = 0; ai < a; ++ai) {
@@ -700,11 +822,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
   VFPS_RETURN_NOT_OK(
       env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
   ChargeFanOut(env.clock, cost_->EncryptedWireBytes(total), 1);
+  phase_agg.End();
   span_agg.End();
 
   // Phase 4 (leader): ONE decrypt for the group, then rank each query's
   // slice of the aggregate vector.
   obs::Span span_rank(env.tracer, "knn.decrypt_rank", env.clock);
+  span_rank.SetNode("leader");
+  PhaseTimer phase_rank(c_phase_rank_, env.clock);
   VFPS_ASSIGN_OR_RETURN(auto blob,
                         env.chan->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
@@ -722,11 +847,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
       hoods[qi].neighbors.push_back(CompressedToRow(idx, query_row));
     }
   }
+  phase_rank.End();
   span_rank.End();
 
   // Phase 5: per-query d_T exchange, exactly as in the ungrouped protocol
   // (plaintext scalars; nothing here benefits from batching).
   obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
+  span_dt.SetNode("leader");
+  PhaseTimer phase_dt(c_phase_dt_, env.clock);
   for (size_t qi = 0; qi < g; ++qi) {
     QueryNeighborhood& hood = hoods[qi];
     std::vector<uint64_t> top;
@@ -765,6 +893,7 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::RunBaseQueryGroup(
     }
     ChargeFanIn(env.clock, sizeof(double), a - 1);
   }
+  phase_dt.End();
   span_dt.End();
 
   if (h_candidates_ != nullptr) {
@@ -790,6 +919,8 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   // space, sorted ascending to form sub-rankings. Indexed by position in
   // `active`.
   obs::Span span_dist(env.tracer, "knn.partial_distance", env.clock);
+  span_dist.SetNode("parties");
+  PhaseTimer phase_dist(c_phase_dist_, env.clock);
   const auto cached_for = [&](size_t party) -> const PartyUnitState* {
     if (env.cached == nullptr) return nullptr;
     const auto it = env.cached->parties.find(party);
@@ -811,8 +942,14 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
       orders[ai] = st->order;
       prior_depth[ai] = st->streamed_depth;
       if (stats != nullptr) ++stats->reused_contributions;
+      if (c_cache_hit_ != nullptr) c_cache_hit_->Add(1);
       continue;
     }
+    if (env.cached != nullptr && c_cache_miss_ != nullptr) {
+      c_cache_miss_->Add(1);
+    }
+    obs::Span party_span(env.tracer, "knn.party.compute", env.clock);
+    party_span.SetNode(net::NodeName(static_cast<int>(active[ai])));
     scores[ai].resize(n);
     // Same kernel as the BASE path (PartialDistances without exclusion), so
     // the per-(party, row) values agree exactly across oracle modes; only
@@ -837,9 +974,12 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
     }
   }
   if (fresh > 0) ChargeParallelCompute(env.clock, compute_seconds);
+  phase_dist.End();
   span_dist.End();
 
   obs::Span span_merge(env.tracer, "knn.topk_merge", env.clock);
+  span_merge.SetNode("agg-server");
+  PhaseTimer phase_merge(c_phase_merge_, env.clock);
   VFPS_ASSIGN_OR_RETURN(auto lists,
                         topk::RankedListSet::BuildPresorted(scores, orders));
   topk::TopkResult merge;
@@ -849,11 +989,14 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
     VFPS_ASSIGN_OR_RETURN(merge, topk::FaginTopk(lists, k, batch, obs_));
   }
   const topk::TopkResult& fagin = merge;
+  phase_merge.End();
   span_merge.End();
 
   // Steps 3-4: mini-batch streaming of the sub-rankings to the server. The
   // phase-1 depth of the merge algorithm determines how many rounds happen.
   obs::Span span_stream(env.tracer, "knn.stream_rankings", env.clock);
+  span_stream.SetNode("parties");
+  PhaseTimer phase_stream(c_phase_stream_, env.clock);
   const size_t depth = fagin.depth;
   for (size_t start = 0; start < depth; start += batch) {
     const size_t end = std::min(depth, start + batch);
@@ -906,6 +1049,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
                      2));
   }
 
+  phase_stream.End();
   span_stream.End();
 
   // Candidate set: everything seen during phase 1 (minus the query itself).
@@ -919,6 +1063,8 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   // batch (the batched-HE fast path; identical ciphertexts at any thread
   // count, see HeBackend::EncryptBatch).
   obs::Span span_enc(env.tracer, "he.encrypt", env.clock);
+  span_enc.SetNode("parties");
+  PhaseTimer phase_enc(c_phase_encrypt_, env.clock);
   for (size_t party : active) {
     VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer,
                                       static_cast<int>(party),
@@ -938,16 +1084,22 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(party_values));
   std::vector<const he::EncryptedVector*> ptrs(a);
   for (size_t ai = 0; ai < a; ++ai) {
+    if (!c_party_enc_values_.empty()) {
+      c_party_enc_values_[active[ai]]->Add(c);
+    }
     VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
                                       net::kAggregationServer,
                                       encrypted[ai].blob));
   }
   env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(c));
   ChargeFanIn(env.clock, cost_->EncryptedWireBytes(c), a);
+  phase_enc.End();
   span_enc.End();
 
   // Step 6: homomorphic aggregation, forwarded to the leader.
   obs::Span span_agg(env.tracer, "knn.aggregate", env.clock);
+  span_agg.SetNode("agg-server");
+  PhaseTimer phase_agg(c_phase_agg_, env.clock);
   for (size_t ai = 0; ai < a; ++ai) {
     VFPS_ASSIGN_OR_RETURN(auto blob,
                           env.chan->Recv(static_cast<int>(active[ai]),
@@ -960,10 +1112,13 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
                      static_cast<double>(a - 1) * cost_->HeAddSecondsFor(c));
   VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
   ChargeFanOut(env.clock, cost_->EncryptedWireBytes(c), 1);
+  phase_agg.End();
   span_agg.End();
 
   // Step 7 (leader): decrypt candidate aggregates, take the k nearest.
   obs::Span span_rank(env.tracer, "knn.decrypt_rank", env.clock);
+  span_rank.SetNode("leader");
+  PhaseTimer phase_rank(c_phase_rank_, env.clock);
   VFPS_ASSIGN_OR_RETURN(auto blob, env.chan->Recv(net::kAggregationServer, kLeader));
   VFPS_ASSIGN_OR_RETURN(
       auto agg_distances,
@@ -971,6 +1126,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(c));
   env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(c));
   const auto top_local = SmallestK(agg_distances, k);
+  phase_rank.End();
   span_rank.End();
   std::vector<uint64_t> neighbor_pids;
   neighbor_pids.reserve(top_local.size());
@@ -983,6 +1139,8 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   // Step 8: leader broadcasts the neighbor set; active participants return
   // d_T^p (quarantined slots keep 0).
   obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
+  span_dt.SetNode("leader");
+  PhaseTimer phase_dt(c_phase_dt_, env.clock);
   for (size_t party : active) {
     if (party == 0) continue;
     VFPS_RETURN_NOT_OK(env.chan->Send(kLeader, static_cast<int>(party),
@@ -1011,6 +1169,7 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
     }
   }
   ChargeFanIn(env.clock, sizeof(double), a - 1);
+  phase_dt.End();
   span_dt.End();
 
   if (h_candidates_ != nullptr) h_candidates_->Record(c);

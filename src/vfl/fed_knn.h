@@ -309,6 +309,24 @@ class FederatedKnnOracle {
   void ChargeFanOut(SimClock* clock, uint64_t bytes_per_link,
                     size_t links) const;
 
+  /// Charge one protocol phase's simulated time to its labeled counter
+  /// (`knn.phase.sim_ns{phase=...}`). Durations are deterministic simulated
+  /// seconds rounded to integer ns, so the labeled totals stay bit-identical
+  /// at any thread count.
+  class PhaseTimer {
+   public:
+    PhaseTimer(obs::Counter* counter, const SimClock* clock);
+    ~PhaseTimer() { End(); }
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+    void End();
+
+   private:
+    obs::Counter* counter_;
+    const SimClock* clock_;
+    double start_seconds_ = 0.0;
+  };
+
   const data::Dataset* joint_;
   const data::VerticalPartition* partition_;
   /// Per-participant packed feature blocks over `joint_` (cached row norms;
@@ -324,6 +342,23 @@ class FederatedKnnOracle {
   SelectionCache* cache_ = nullptr;          // borrowed; see set_cache()
   obs::Counter* c_queries_ = nullptr;        // knn.queries
   obs::Histogram* h_candidates_ = nullptr;   // knn.candidates per query
+  /// Labeled dimensions (all bounded: 3 modes, 7 phases, P parties, 2 cache
+  /// outcomes), resolved once at construction so hot paths never touch the
+  /// registry mutex.
+  obs::Counter* c_queries_mode_[3] = {nullptr, nullptr, nullptr};
+  obs::Counter* c_cache_hit_ = nullptr;   // knn.cache.lookups{cache=hit}
+  obs::Counter* c_cache_miss_ = nullptr;  // knn.cache.lookups{cache=miss}
+  obs::Counter* c_phase_dist_ = nullptr;      // {phase=partial_distance}
+  obs::Counter* c_phase_encrypt_ = nullptr;   // {phase=encrypt}
+  obs::Counter* c_phase_agg_ = nullptr;       // {phase=aggregate}
+  obs::Counter* c_phase_rank_ = nullptr;      // {phase=decrypt_rank}
+  obs::Counter* c_phase_dt_ = nullptr;        // {phase=dt_exchange}
+  obs::Counter* c_phase_merge_ = nullptr;     // {phase=topk_merge}
+  obs::Counter* c_phase_stream_ = nullptr;    // {phase=stream_rankings}
+  /// knn.party.encrypted_values{party=N}, indexed by participant.
+  std::vector<obs::Counter*> c_party_enc_values_;
+  obs::Histogram* h_unit_sim_ns_ = nullptr;   // knn.query.sim_ns
+  obs::Histogram* h_unit_wall_ns_ = nullptr;  // knn.query.wall_ns
 };
 
 }  // namespace vfps::vfl

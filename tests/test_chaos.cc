@@ -20,9 +20,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "core/vfps_sm.h"
 #include "data/scaler.h"
 #include "data/synthetic.h"
@@ -587,6 +591,57 @@ TEST(ChaosSelectionTest, LeftThenHealedNodeIsSplicedBack) {
         << "threads=" << threads;
     EXPECT_EQ(obs.GetCounter("select.repair.heals")->Value(), 1u)
         << "threads=" << threads;
+  }
+}
+
+TEST(ChaosSelectionTest, TracedChaosIsThreadCountInvariantAndWellParented) {
+  // Tracing is an observer, not a participant: with spans and labeled
+  // counters recording through a faulted run, (1) every counter total —
+  // plain and labeled — is bit-identical at 1, 2, and 8 threads, and (2) the
+  // trace is well-formed at every thread count: unique span ids, every
+  // parent resolves, and each churn/fault instant belongs to a live trace.
+  auto spec = net::ParseFaultSpec(
+      "drop=0.05,dup=0.02,corrupt=0.03,delay=0.1:0.01");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  std::vector<std::pair<std::string, uint64_t>> baseline;
+  for (size_t threads : kThreadCounts) {
+    obs::MetricsRegistry obs;
+    obs.EnableTracing();
+    auto outcome = RunSelection(&*spec, 1234, threads, &obs);
+    ASSERT_TRUE(outcome.ok())
+        << "threads=" << threads << ": " << outcome.status().ToString();
+
+    auto counters = obs.CounterEntries();
+    if (baseline.empty()) {
+      baseline = std::move(counters);
+      // The labeled dimensions of interest actually recorded something.
+      EXPECT_GT(obs.CounterValue("knn.queries.by_algo", {{"algo", "fagin"}}),
+                0u);
+      EXPECT_GT(obs.CounterValue("knn.phase.sim_ns",
+                                 {{"phase", "partial_distance"}}),
+                0u);
+    } else {
+      EXPECT_EQ(counters, baseline)
+          << "threads=" << threads
+          << ": traced counter totals must not depend on thread count";
+    }
+
+    const auto events = obs.tracer()->Snapshot();
+    ASSERT_FALSE(events.empty()) << "threads=" << threads;
+    std::set<uint64_t> ids;
+    for (const auto& e : events) {
+      EXPECT_NE(e.span_id, 0u) << e.name;
+      EXPECT_NE(e.trace_id, 0u) << e.name;
+      EXPECT_TRUE(ids.insert(e.span_id).second)
+          << "threads=" << threads << ": duplicate span id on " << e.name;
+    }
+    for (const auto& e : events) {
+      if (e.parent_span_id != 0) {
+        EXPECT_TRUE(ids.count(e.parent_span_id))
+            << "threads=" << threads << ": " << e.name << " is orphaned";
+      }
+    }
   }
 }
 

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/sim_clock.h"
+#include "common/string_util.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 namespace vfps::obs {
@@ -81,6 +84,112 @@ TEST(HistogramTest, BucketsAreThreadCountInvariant) {
   }
   EXPECT_EQ(shapes[0], shapes[1]);
   EXPECT_EQ(shapes[0], shapes[2]);
+}
+
+TEST(HistogramTest, ExactPercentilesNearestRank) {
+  Histogram h({});
+  // 1..100: nearest-rank percentiles are exactly the percentile index.
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  const auto s = h.Percentiles();
+  EXPECT_EQ(s.p50, 50u);
+  EXPECT_EQ(s.p95, 95u);
+  EXPECT_EQ(s.p99, 99u);
+  EXPECT_EQ(s.max, 100u);
+}
+
+TEST(HistogramTest, PercentilesOfSmallAndEmptySets) {
+  Histogram empty({});
+  const auto zero = empty.Percentiles();
+  EXPECT_EQ(zero.p50, 0u);
+  EXPECT_EQ(zero.max, 0u);
+
+  Histogram one({});
+  one.Record(42);
+  const auto s = one.Percentiles();
+  EXPECT_EQ(s.p50, 42u);
+  EXPECT_EQ(s.p95, 42u);
+  EXPECT_EQ(s.p99, 42u);
+  EXPECT_EQ(s.max, 42u);
+}
+
+TEST(HistogramTest, PercentilesAreThreadCountInvariant) {
+  // Same fixed workload at 1/2/8 threads: the merged value log is sorted, so
+  // exact percentiles depend only on the multiset of recorded values.
+  std::vector<std::vector<uint64_t>> summaries;
+  for (size_t threads : {1u, 2u, 8u}) {
+    Histogram h({});
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&h, t, threads] {
+        for (size_t i = t; i < 5000; i += threads) h.Record((i * 37) % 1000);
+      });
+    }
+    for (auto& w : workers) w.join();
+    const auto s = h.Percentiles();
+    summaries.push_back({s.p50, s.p95, s.p99, s.max});
+  }
+  EXPECT_EQ(summaries[0], summaries[1]);
+  EXPECT_EQ(summaries[0], summaries[2]);
+}
+
+TEST(LabelsTest, EncodeSortsKeysAndPassesThroughEmpty) {
+  EXPECT_EQ(EncodeLabels("knn.phase", {}), "knn.phase");
+  EXPECT_EQ(EncodeLabels("knn.phase", {{"phase", "agg"}}),
+            "knn.phase{phase=agg}");
+  EXPECT_EQ(
+      EncodeLabels("m", {{"party", "3"}, {"cache", "hit"}}),
+      "m{cache=hit,party=3}");
+  // Label order never matters: both orders address the same series.
+  EXPECT_EQ(EncodeLabels("m", {{"a", "1"}, {"b", "2"}}),
+            EncodeLabels("m", {{"b", "2"}, {"a", "1"}}));
+}
+
+TEST(LabelsTest, LabeledCountersAreDistinctSeriesWithStableHandles) {
+  MetricsRegistry reg;
+  Counter* hit = reg.GetLabeledCounter("cache.lookups", {{"cache", "hit"}});
+  Counter* miss = reg.GetLabeledCounter("cache.lookups", {{"cache", "miss"}});
+  EXPECT_NE(hit, miss);
+  EXPECT_EQ(hit, reg.GetLabeledCounter("cache.lookups", {{"cache", "hit"}}));
+  hit->Add(3);
+  miss->Add(1);
+  EXPECT_EQ(reg.CounterValue("cache.lookups", {{"cache", "hit"}}), 3u);
+  EXPECT_EQ(reg.CounterValue("cache.lookups", {{"cache", "miss"}}), 1u);
+  // The base name alone is a different (never-created) series.
+  EXPECT_EQ(reg.CounterValue("cache.lookups"), 0u);
+}
+
+TEST(LabelsTest, CardinalityOverflowCollapsesButConservesTotals) {
+  MetricsRegistry reg;
+  // Create one series past the cap; every over-cap series shares the
+  // overflow sink, so the sum over all series equals the number of Adds.
+  const size_t kOver = kMaxLabelSeriesPerName + 8;
+  for (size_t i = 0; i < kOver; ++i) {
+    reg.GetLabeledCounter("runaway", {{"id", StrFormat("%zu", i)}})->Add(1);
+  }
+  uint64_t total = 0;
+  size_t series = 0;
+  for (const auto& [name, value] : reg.CounterEntries()) {
+    total += value;
+    ++series;
+  }
+  EXPECT_EQ(total, kOver);
+  EXPECT_EQ(series, kMaxLabelSeriesPerName + 1);  // cap + overflow sink
+  EXPECT_EQ(reg.CounterValue("runaway", {{"overflow", "true"}}), 8u);
+  // Re-requesting an existing series still returns it, even past the cap.
+  reg.GetLabeledCounter("runaway", {{"id", "0"}})->Add(1);
+  EXPECT_EQ(reg.CounterValue("runaway", {{"id", "0"}}), 2u);
+}
+
+TEST(LabelsTest, CounterEntriesAreSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.plain")->Add(2);
+  reg.GetLabeledCounter("a.labeled", {{"k", "v"}})->Add(5);
+  const auto entries = reg.CounterEntries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "a.labeled{k=v}");
+  EXPECT_EQ(entries[0].second, 5u);
+  EXPECT_EQ(entries[1].first, "b.plain");
+  EXPECT_EQ(entries[1].second, 2u);
 }
 
 TEST(ExponentialBucketsTest, GeometricEdges) {
@@ -195,6 +304,184 @@ TEST(SpanTest, ManualEndIsIdempotent) {
   span.End();
   span.End();  // second End() and the destructor must not re-record
   EXPECT_EQ(tracer.Snapshot().size(), 1u);
+}
+
+TEST(SpanTest, NodeAndAnnotationsSurviveToJson) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "phase");
+    span.SetNode("agg-server");
+    span.Annotate("unit", "7");
+    span.Annotate("algo", "fagin");
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].node, "agg-server");
+  ASSERT_EQ(events[0].annotations.size(), 2u);
+  EXPECT_EQ(events[0].annotations[0].first, "unit");
+  EXPECT_EQ(events[0].annotations[1].second, "fagin");
+
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"node\": \"agg-server\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"7\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+}
+
+TEST(TraceContextTest, RootAndChildParentage) {
+  Tracer tracer;
+  EXPECT_FALSE(Tracer::Current().valid());
+  uint64_t root_id = 0, child_id = 0;
+  {
+    Span root(&tracer, "root");
+    root_id = root.context().span_id;
+    EXPECT_EQ(root.context().trace_id, root_id)
+        << "a root span names its own trace";
+    EXPECT_EQ(Tracer::Current().span_id, root_id);
+    {
+      Span child(&tracer, "child");
+      child_id = child.context().span_id;
+      EXPECT_EQ(child.context().trace_id, root_id);
+      EXPECT_EQ(Tracer::Current().span_id, child_id);
+    }
+    EXPECT_EQ(Tracer::Current().span_id, root_id) << "scope must restore";
+  }
+  EXPECT_FALSE(Tracer::Current().valid());
+
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);  // child first (recorded at End)
+  EXPECT_EQ(events[0].span_id, child_id);
+  EXPECT_EQ(events[0].parent_span_id, root_id);
+  EXPECT_EQ(events[0].trace_id, root_id);
+  EXPECT_EQ(events[1].span_id, root_id);
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+}
+
+TEST(TraceContextTest, TraceScopeAdoptsContextAcrossThreads) {
+  Tracer tracer;
+  Span root(&tracer, "submit");
+  const TraceContext ctx = Tracer::Current();
+  uint64_t worker_parent = 0, worker_trace = 0;
+  std::thread worker([&] {
+    EXPECT_FALSE(Tracer::Current().valid()) << "fresh thread, no context";
+    {
+      TraceScope scope(&tracer, ctx);
+      Span task(&tracer, "task");
+      worker_parent = ctx.span_id;
+      worker_trace = task.context().trace_id;
+      EXPECT_EQ(Tracer::Current().span_id, task.context().span_id);
+    }
+    EXPECT_FALSE(Tracer::Current().valid()) << "scope exit restores nothing";
+  });
+  worker.join();
+  root.End();
+  EXPECT_EQ(worker_trace, root.context().trace_id)
+      << "worker spans join the submitting trace";
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "task");
+  EXPECT_EQ(events[0].parent_span_id, worker_parent);
+}
+
+TEST(TraceContextTest, NullTracerTraceScopeIsNoop) {
+  TraceContext ctx;
+  ctx.trace_id = ctx.span_id = 123;
+  TraceScope scope(nullptr, ctx);
+  EXPECT_FALSE(Tracer::Current().valid());
+}
+
+TEST(TracerTest, InstantParentsUnderCurrentSpan) {
+  Tracer tracer;
+  uint64_t root_id = 0;
+  {
+    Span root(&tracer, "root");
+    root_id = root.context().span_id;
+    tracer.Instant("net.fault.dropped", {{"from", "leader"}, {"to", "p1"}});
+  }
+  tracer.Instant("free.floating");
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent* dropped = nullptr;
+  const TraceEvent* floating = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "net.fault.dropped") dropped = &e;
+    if (e.name == "free.floating") floating = &e;
+  }
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_TRUE(dropped->instant);
+  EXPECT_EQ(dropped->parent_span_id, root_id);
+  EXPECT_EQ(dropped->trace_id, root_id);
+  ASSERT_EQ(dropped->annotations.size(), 2u);
+  ASSERT_NE(floating, nullptr);
+  EXPECT_EQ(floating->parent_span_id, 0u)
+      << "an instant outside any span starts its own degenerate trace";
+
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(RegistryTest, MetricsJsonGoldenShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("plain.count")->Add(4);
+  reg.GetLabeledCounter("dim.count", {{"party", "1"}})->Add(2);
+  Histogram* h = reg.GetHistogram("lat", {10, 100});
+  h->Record(7);
+  h->Record(70);
+  h->Record(700);
+  const std::string json = reg.ToJson();
+  // schema_version leads the document.
+  EXPECT_EQ(json.rfind("{\n  \"schema_version\": 2", 0), 0u) << json;
+  // Labeled series are flat keys in the counters section.
+  EXPECT_NE(json.find("\"dim.count{party=1}\": 2"), std::string::npos);
+  // Histogram JSON carries exact percentile summaries ahead of the buckets,
+  // in fixed key order.
+  const size_t hist = json.find("\"lat\"");
+  ASSERT_NE(hist, std::string::npos);
+  EXPECT_LT(json.find("\"count\": 3", hist), json.find("\"p50\": 70", hist));
+  EXPECT_LT(json.find("\"p50\": 70", hist), json.find("\"p95\": 700", hist));
+  EXPECT_LT(json.find("\"p95\": 700", hist), json.find("\"p99\": 700", hist));
+  EXPECT_LT(json.find("\"p99\": 700", hist), json.find("\"max\": 700", hist));
+  EXPECT_LT(json.find("\"max\": 700", hist), json.find("\"buckets\"", hist));
+  // Deterministic: a second snapshot is byte-identical.
+  EXPECT_EQ(json, reg.ToJson());
+}
+
+TEST(SnapshotWriterTest, WritesFinalSnapshotAndTickGauge) {
+  MetricsRegistry reg;
+  reg.GetCounter("work.items")->Add(9);
+  const std::string path = ::testing::TempDir() + "/obs_snapshot_test.json";
+  {
+    PeriodicSnapshotWriter writer(&reg, path, 0.01);
+    writer.Start();
+    // Spin until at least one periodic tick lands, then stop.
+    while (writer.snapshots_written() == 0) {
+      std::this_thread::yield();
+    }
+  }  // destructor stops and writes the final snapshot
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 14, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"work.items\": 9"), std::string::npos);
+  EXPECT_NE(content.find("\"obs.snapshot.count\""), std::string::npos);
+  // The tick count is a gauge, not a counter: wall-clock-dependent tick
+  // counts must never show up in counter-determinism comparisons.
+  EXPECT_TRUE(reg.CounterEntries().size() == 1)
+      << "only work.items may be a counter";
+}
+
+TEST(SnapshotWriterTest, StopWithoutStartIsNoop) {
+  MetricsRegistry reg;
+  const std::string path = ::testing::TempDir() + "/obs_snapshot_never.json";
+  std::remove(path.c_str());
+  {
+    PeriodicSnapshotWriter writer(&reg, path, 0.01);
+    writer.Stop();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "no Start() -> no file";
+  if (f != nullptr) std::fclose(f);
 }
 
 }  // namespace

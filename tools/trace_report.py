@@ -1,0 +1,510 @@
+#!/usr/bin/env python3
+"""Trace/metrics analysis toolchain for vfps_cli observability artifacts.
+
+Consumes the two files a run emits:
+
+  * ``--trace-out``   -> chrome://tracing JSON, schema_version 2: causally
+    linked spans (trace_id / span_id / parent_span_id in ``args``) plus
+    zero-duration instants (retries, fault fates, churn events).
+  * ``--metrics-out`` -> metrics JSON, schema_version 2: flat counters
+    (labeled series are ``name{k=v,...}`` keys), gauges, and histograms
+    with exact p50/p95/p99/max summaries.
+
+Subcommands:
+
+  check     Structural validation, designed as a CI gate: schema versions,
+            unique span ids, every parent resolves (balanced spans), every
+            knn.query span hangs off one fan-out parent, a non-empty
+            critical path per query, histogram bucket counts that sum to
+            the recorded count, and (when both artifacts are given) the
+            per-phase sim-time breakdown reconciling with the measured
+            selection job time within --phase-gap (default 5%).
+  report    Human-readable cost attribution: per-phase and per-party
+            breakdown (simulated and wall), ciphertext-op counts from the
+            labeled he.* counters, latency summaries, and the critical
+            path of the slowest queries.
+  diff      Compare two metrics files. --expect-identical-counters exits
+            nonzero on ANY counter difference (the thread-count
+            determinism gate: counters must be bit-identical across
+            --threads 1/2/8); otherwise prints relative deltas.
+  collapsed Collapsed-stack output (one ``a;b;c value`` line per stack,
+            self wall-time microseconds) for flamegraph.pl / speedscope.
+
+Offline and dependency-free (stdlib only) so it can run in CI. Exit code 0
+on success; check/diff exit 1 with one line per violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+
+SCHEMA_VERSION = 2
+LABELED_RE = re.compile(r"^([^{]+)\{(.*)\}$")
+
+
+# ---------------------------------------------------------------------------
+# Loading
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_schema(doc, path, errors):
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        errors.append(
+            f"{path}: schema_version is {version!r}, want {SCHEMA_VERSION}"
+        )
+
+
+def split_series(key):
+    """'name{k=v,k2=v2}' -> (name, {k: v}); plain names -> (name, {})."""
+    m = LABELED_RE.match(key)
+    if not m:
+        return key, {}
+    labels = {}
+    for part in m.group(2).split(","):
+        if "=" in part:
+            k, v = part.split("=", 1)
+            labels[k] = v
+    return m.group(1), labels
+
+
+class Trace:
+    """Parsed trace: spans/instants indexed by span id, children adjacency."""
+
+    def __init__(self, doc):
+        self.events = doc.get("traceEvents", [])
+        self.spans = {}  # span_id -> event (ph == "X" only)
+        self.instants = []
+        self.children = defaultdict(list)  # parent span_id -> [span_id]
+        for e in self.events:
+            args = e.get("args", {})
+            sid = args.get("span_id", 0)
+            if e.get("ph") == "X":
+                self.spans[sid] = e
+            else:
+                self.instants.append(e)
+            parent = args.get("parent_span_id", 0)
+            if e.get("ph") == "X":
+                self.children[parent].append(sid)
+
+    @staticmethod
+    def ids(event):
+        args = event.get("args", {})
+        return (
+            args.get("trace_id", 0),
+            args.get("span_id", 0),
+            args.get("parent_span_id", 0),
+        )
+
+    def named(self, name):
+        return [e for e in self.spans.values() if e["name"] == name]
+
+    def self_us(self, span_id):
+        """Wall self-time: own duration minus direct children's durations."""
+        own = self.spans[span_id].get("dur", 0.0)
+        child_total = sum(
+            self.spans[c].get("dur", 0.0) for c in self.children[span_id]
+        )
+        return max(0.0, own - child_total)
+
+    def stack(self, span_id):
+        """Ancestor chain root..self as a list of names."""
+        names = []
+        seen = set()
+        sid = span_id
+        while sid and sid in self.spans and sid not in seen:
+            seen.add(sid)
+            names.append(self.spans[sid]["name"])
+            sid = self.spans[sid]["args"].get("parent_span_id", 0)
+        return list(reversed(names))
+
+    def critical_path(self, span_id):
+        """Greedy longest-wall-time descent: the chain of spans a query's
+        latency actually sits on."""
+        path = []
+        sid = span_id
+        while sid in self.spans:
+            path.append(self.spans[sid])
+            kids = self.children.get(sid, [])
+            if not kids:
+                break
+            sid = max(kids, key=lambda c: self.spans[c].get("dur", 0.0))
+        return path
+
+
+# ---------------------------------------------------------------------------
+# check
+
+
+def run_check(args):
+    errors = []
+    trace_doc = load_json(args.trace)
+    check_schema(trace_doc, args.trace, errors)
+    trace = Trace(trace_doc)
+
+    if not trace.events:
+        errors.append(f"{args.trace}: empty traceEvents")
+
+    # Balanced spans: unique ids, every nonzero parent resolves to a
+    # recorded span, trace ids nonzero.
+    seen_ids = set()
+    for e in trace.events:
+        trace_id, span_id, _ = Trace.ids(e)
+        if span_id == 0:
+            errors.append(f"{e['name']}: zero span_id")
+        elif span_id in seen_ids:
+            errors.append(f"{e['name']}: duplicate span_id {span_id}")
+        seen_ids.add(span_id)
+        if trace_id == 0:
+            errors.append(f"{e['name']}: zero trace_id")
+    for e in trace.events:
+        _, _, parent = Trace.ids(e)
+        if parent and parent not in trace.spans:
+            errors.append(
+                f"{e['name']}: orphaned — parent span {parent} never recorded"
+            )
+
+    # One causally connected tree per query: every knn.query span must have
+    # a parent, they must all share it, and each must have a non-empty
+    # critical path.
+    queries = trace.named("knn.query")
+    parents = set()
+    for q in queries:
+        _, span_id, parent = Trace.ids(q)
+        if parent == 0:
+            errors.append(f"knn.query span {span_id}: orphan root")
+        parents.add(parent)
+        path = trace.critical_path(span_id)
+        if not path:
+            errors.append(f"knn.query span {span_id}: empty critical path")
+    if queries and len(parents) != 1:
+        errors.append(
+            f"knn.query spans have {len(parents)} distinct parents, want 1"
+        )
+
+    metrics = None
+    if args.metrics:
+        metrics = load_json(args.metrics)
+        check_schema(metrics, args.metrics, errors)
+        for name, hist in metrics.get("histograms", {}).items():
+            bucket_total = sum(b["count"] for b in hist.get("buckets", []))
+            if bucket_total != hist.get("count"):
+                errors.append(
+                    f"histogram {name}: bucket counts sum to {bucket_total}, "
+                    f"recorded count is {hist.get('count')}"
+                )
+            summary = hist.get("count", 0)
+            if summary and hist.get("max", 0) < hist.get("p99", 0):
+                errors.append(f"histogram {name}: max below p99")
+
+        # Attribution gate: the per-phase sim-time counters must reconcile
+        # with the measured per-job selection time. Only comparable when the
+        # phase counters exist (i.e. the KNN oracle actually ran).
+        counters = metrics.get("counters", {})
+        phase_total = sum(
+            v
+            for k, v in counters.items()
+            if split_series(k)[0] == "knn.phase.sim_ns"
+        )
+        job = metrics.get("histograms", {}).get("select.job.sim_ns")
+        if phase_total and job and job.get("sum"):
+            gap = abs(phase_total - job["sum"]) / job["sum"]
+            if gap > args.phase_gap:
+                errors.append(
+                    f"per-phase sim breakdown off by {gap:.1%} from "
+                    f"select.job.sim_ns (allowed {args.phase_gap:.0%})"
+                )
+
+    for line in errors:
+        print(f"CHECK FAIL: {line}", file=sys.stderr)
+    if errors:
+        return 1
+    n_span = len(trace.spans)
+    n_inst = len(trace.instants)
+    print(
+        f"OK: {n_span} spans, {n_inst} instants, {len(queries)} queries, "
+        f"schema v{SCHEMA_VERSION}"
+        + (", metrics reconciled" if metrics else "")
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# report
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f} us"
+    return f"{ns:.0f} ns"
+
+
+def print_table(title, rows, headers):
+    print(f"\n== {title}")
+    if not rows:
+        print("  (none)")
+        return
+    widths = [
+        max(len(str(r[i])) for r in rows + [headers])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"  {line}")
+    for r in rows:
+        print(
+            "  "
+            + "  ".join(str(r[i]).ljust(widths[i]) for i in range(len(r)))
+        )
+
+
+def run_report(args):
+    trace = Trace(load_json(args.trace))
+    metrics = load_json(args.metrics) if args.metrics else {}
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+
+    # Per-phase: simulated ns from the labeled counters, wall us aggregated
+    # over same-named spans.
+    phase_sim = {}
+    for key, value in counters.items():
+        name, labels = split_series(key)
+        if name == "knn.phase.sim_ns":
+            phase_sim[labels.get("phase", "?")] = value
+    span_wall = defaultdict(float)
+    span_count = defaultdict(int)
+    for e in trace.spans.values():
+        span_wall[e["name"]] += e.get("dur", 0.0)
+        span_count[e["name"]] += 1
+    total_sim = sum(phase_sim.values()) or 1
+
+    def phase_span(phase):
+        # Phases map to same-named knn.* spans, except encrypt whose span
+        # comes from the HE layer.
+        return "he.encrypt" if phase == "encrypt" else f"knn.{phase}"
+
+    rows = [
+        (
+            phase,
+            fmt_ns(sim),
+            f"{100.0 * sim / total_sim:.1f}%",
+            fmt_ns(span_wall.get(phase_span(phase), 0.0) * 1e3),
+            span_count.get(phase_span(phase), 0),
+        )
+        for phase, sim in sorted(
+            phase_sim.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    print_table(
+        "Per-phase breakdown",
+        rows,
+        ("phase", "sim", "sim%", "wall", "spans"),
+    )
+
+    # Per-party: labeled traffic + encrypted-value counters, and wall time
+    # of party-labeled compute spans (args.node).
+    party = defaultdict(dict)
+    for key, value in counters.items():
+        name, labels = split_series(key)
+        if "party" in labels:
+            party[labels["party"]][name] = value
+    node_wall = defaultdict(float)
+    for e in trace.spans.values():
+        node = e.get("args", {}).get("node")
+        if node:
+            node_wall[node] += e.get("dur", 0.0)
+    rows = [
+        (
+            p,
+            stats.get("net.party.messages", 0),
+            stats.get("net.party.bytes", 0),
+            stats.get("knn.party.encrypted_values", 0),
+            fmt_ns(node_wall.get(f"participant-{p}", 0.0) * 1e3),
+        )
+        for p, stats in sorted(party.items(), key=lambda kv: kv[0])
+    ]
+    print_table(
+        "Per-party breakdown",
+        rows,
+        ("party", "messages", "bytes", "enc_values", "compute_wall"),
+    )
+
+    # Ciphertext ops from the labeled he.* counters.
+    rows = [
+        (key, value)
+        for key, value in sorted(counters.items())
+        if split_series(key)[0].startswith("he.")
+    ]
+    print_table("Ciphertext ops", rows, ("counter", "value"))
+
+    # Latency summaries.
+    rows = []
+    for name in sorted(histograms):
+        if not name.endswith((".sim_ns", ".wall_ns", "_ns")):
+            continue
+        h = histograms[name]
+        rows.append(
+            (
+                name,
+                h.get("count", 0),
+                fmt_ns(h.get("p50", 0)),
+                fmt_ns(h.get("p95", 0)),
+                fmt_ns(h.get("p99", 0)),
+                fmt_ns(h.get("max", 0)),
+            )
+        )
+    print_table(
+        "Latency summaries", rows, ("histogram", "n", "p50", "p95", "p99", "max")
+    )
+
+    # Critical path of the slowest queries (wall time).
+    queries = sorted(
+        trace.named("knn.query"), key=lambda e: -e.get("dur", 0.0)
+    )
+    print(f"\n== Critical paths (slowest {min(args.top, len(queries))} queries)")
+    for q in queries[: args.top]:
+        _, span_id, _ = Trace.ids(q)
+        notes = q.get("args", {}).get("annotations", {})
+        path = trace.critical_path(span_id)
+        chain = " > ".join(
+            f"{s['name']}({fmt_ns(s.get('dur', 0.0) * 1e3)})" for s in path
+        )
+        print(
+            f"  query unit={notes.get('unit', '?')} "
+            f"wall={fmt_ns(q.get('dur', 0.0) * 1e3)}: {chain}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# diff
+
+
+def run_diff(args):
+    a = load_json(args.a)
+    b = load_json(args.b)
+    ca = a.get("counters", {})
+    cb = b.get("counters", {})
+    names = sorted(set(ca) | set(cb))
+    mismatches = []
+    for name in names:
+        va, vb = ca.get(name), cb.get(name)
+        if va != vb:
+            mismatches.append((name, va, vb))
+    if args.expect_identical_counters:
+        for name, va, vb in mismatches:
+            print(f"DIFF FAIL: {name}: {va} != {vb}", file=sys.stderr)
+        if mismatches:
+            return 1
+        print(f"OK: {len(names)} counter series bit-identical")
+        return 0
+    if not mismatches:
+        print(f"counters: all {len(names)} series identical")
+    else:
+        print_table(
+            "Counter deltas",
+            [
+                (
+                    name,
+                    va,
+                    vb,
+                    "n/a"
+                    if not va or vb is None or va is None
+                    else f"{100.0 * (vb - va) / va:+.1f}%",
+                )
+                for name, va, vb in mismatches
+            ],
+            ("counter", "a", "b", "delta"),
+        )
+    # Histograms: compare the exact summaries.
+    ha = a.get("histograms", {})
+    hb = b.get("histograms", {})
+    rows = []
+    for name in sorted(set(ha) | set(hb)):
+        sa, sb = ha.get(name, {}), hb.get(name, {})
+        for stat in ("count", "p50", "p95", "p99", "max"):
+            if sa.get(stat) != sb.get(stat):
+                rows.append((name, stat, sa.get(stat), sb.get(stat)))
+    if rows:
+        print_table("Histogram deltas", rows, ("histogram", "stat", "a", "b"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# collapsed
+
+
+def run_collapsed(args):
+    trace = Trace(load_json(args.trace))
+    stacks = defaultdict(float)
+    for span_id in trace.spans:
+        stacks[";".join(trace.stack(span_id))] += trace.self_us(span_id)
+    out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        for stack, self_us in sorted(stacks.items()):
+            # flamegraph.pl wants integer sample counts; microseconds work.
+            out.write(f"{stack} {max(1, round(self_us))}\n")
+    finally:
+        if args.output:
+            out.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="CI gate: validate artifact structure")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--metrics", default=None)
+    p.add_argument(
+        "--phase-gap",
+        type=float,
+        default=0.05,
+        help="allowed relative gap between per-phase sim breakdown and the "
+        "measured selection job time (default 0.05)",
+    )
+    p.set_defaults(func=run_check)
+
+    p = sub.add_parser("report", help="per-party/per-phase cost attribution")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--metrics", default=None)
+    p.add_argument("--top", type=int, default=5, help="critical paths shown")
+    p.set_defaults(func=run_report)
+
+    p = sub.add_parser("diff", help="compare two metrics files")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument(
+        "--expect-identical-counters",
+        action="store_true",
+        help="exit nonzero on any counter difference (determinism gate)",
+    )
+    p.set_defaults(func=run_diff)
+
+    p = sub.add_parser("collapsed", help="collapsed-stack flamegraph output")
+    p.add_argument("--trace", required=True)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=run_collapsed)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `collapsed | head`
+        sys.exit(0)

@@ -36,8 +36,14 @@
 //                                 — as deterministic JSON; identical at any
 //                                 --threads value)
 //                [--trace-out=trace.json]
-//                                (write per-phase spans as chrome://tracing
-//                                 JSON, loadable in Perfetto)
+//                                (write causally linked spans as
+//                                 chrome://tracing JSON, loadable in Perfetto
+//                                 and by tools/trace_report.py)
+//                [--metrics-interval=0.5]
+//                                (with --metrics-out: additionally overwrite
+//                                 the metrics file with a live snapshot every
+//                                 N seconds while the run is in flight; the
+//                                 final write still happens at exit)
 //       Run one experiment grid cell and print the outcome.
 //   vfps_cli sweep --dataset=Bank [--model=lr] [...]
 //       Run every selection method on one configuration side by side.
@@ -52,6 +58,7 @@
 #include "core/experiment.h"
 #include "data/presets.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 namespace {
@@ -182,12 +189,25 @@ int CmdRun(const std::map<std::string, std::string>& flags) {
   config.status().Abort("config");
   const std::string metrics_out = Get(flags, "metrics-out", "");
   const std::string trace_out = Get(flags, "trace-out", "");
+  auto interval = ParseDouble(Get(flags, "metrics-interval", "0"));
+  interval.status().Abort("metrics-interval");
+  if (*interval < 0.0) {
+    Status::InvalidArgument("--metrics-interval must be >= 0")
+        .Abort("metrics-interval");
+  }
+  if (*interval > 0.0 && metrics_out.empty()) {
+    Status::InvalidArgument("--metrics-interval requires --metrics-out")
+        .Abort("metrics-interval");
+  }
   obs::MetricsRegistry registry;
   if (!metrics_out.empty() || !trace_out.empty()) {
     if (!trace_out.empty()) registry.EnableTracing();
     config->obs = &registry;
   }
+  obs::PeriodicSnapshotWriter snapshots(&registry, metrics_out, *interval);
+  if (*interval > 0.0) snapshots.Start();
   auto result = core::RunExperiment(*config);
+  snapshots.Stop();
   result.status().Abort("experiment");
   if (!config->resume_from.empty()) {
     std::printf("resumed selection from %s\n", config->resume_from.c_str());
