@@ -9,8 +9,17 @@
 // the plaintext distance kernels behind KnnClassifier / FederatedKnnOracle,
 // the bounded top-k selection, and one end-to-end encrypted-KNN query.
 
+// Per-ISA rows: the ISA-sensitive benchmarks also register pinned variants
+// named `<bench>/isa:<scalar|avx2|avx512>` (only for ISAs the host supports),
+// and every dispatched ISA-sensitive row carries an `isa` counter with the
+// numeric simd::Isa it actually ran on. tools/bench_report.py uses both: the
+// pinned rows yield within-run `speedup_vs_scalar_isa`, and the counter stops
+// the regression gate from comparing a row against a baseline measured on a
+// different ISA (see docs/KERNELS.md).
+
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -22,10 +31,16 @@
 #include "he/ntt.h"
 #include "ml/kernels.h"
 #include "ml/knn.h"
+#include "simd/simd.h"
 #include "vfl/fed_knn.h"
 
 namespace vfps {
 namespace {
+
+// Tags an ISA-sensitive benchmark's row with the backend it dispatched to.
+void SetIsaCounter(benchmark::State& state) {
+  state.counters["isa"] = static_cast<double>(simd::ActiveIsa());
+}
 
 // ---------------------------------------------------------------------------
 // Modular arithmetic
@@ -95,8 +110,7 @@ BENCHMARK(BM_MulModShoup);
 // Negacyclic NTT
 // ---------------------------------------------------------------------------
 
-void BM_NttForward(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
+void NttForwardBody(benchmark::State& state, size_t n) {
   auto prime = he::GeneratePrime(54, 2 * n);
   auto tables = he::NttTables::Create(n, *prime);
   Rng rng(1);
@@ -109,11 +123,15 @@ void BM_NttForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
   state.SetBytesProcessed(state.iterations() *
                           static_cast<int64_t>(n * sizeof(uint64_t)));
+  SetIsaCounter(state);
+}
+
+void BM_NttForward(benchmark::State& state) {
+  NttForwardBody(state, static_cast<size_t>(state.range(0)));
 }
 BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096);
 
-void BM_NttInverse(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
+void NttInverseBody(benchmark::State& state, size_t n) {
   auto prime = he::GeneratePrime(54, 2 * n);
   auto tables = he::NttTables::Create(n, *prime);
   Rng rng(2);
@@ -126,6 +144,11 @@ void BM_NttInverse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
   state.SetBytesProcessed(state.iterations() *
                           static_cast<int64_t>(n * sizeof(uint64_t)));
+  SetIsaCounter(state);
+}
+
+void BM_NttInverse(benchmark::State& state) {
+  NttInverseBody(state, static_cast<size_t>(state.range(0)));
 }
 BENCHMARK(BM_NttInverse)->Arg(1024)->Arg(4096);
 
@@ -185,13 +208,18 @@ void BM_CkksAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_CkksAdd)->Arg(4096);
 
-void BM_CkksRescale(benchmark::State& state) {
-  CkksKernelFixture f(static_cast<size_t>(state.range(0)));
+void CkksRescaleBody(benchmark::State& state, size_t degree) {
+  CkksKernelFixture f(degree);
   auto ct = f.ctx->EncryptVector(f.pk, f.values, &f.rng).ValueOrDie();
   for (auto _ : state) {
     auto dropped = f.ctx->Rescale(ct);
     benchmark::DoNotOptimize(dropped);
   }
+  SetIsaCounter(state);
+}
+
+void BM_CkksRescale(benchmark::State& state) {
+  CkksRescaleBody(state, static_cast<size_t>(state.range(0)));
 }
 BENCHMARK(BM_CkksRescale)->Arg(4096);
 
@@ -256,6 +284,63 @@ void BM_FedKnnClassify(benchmark::State& state) {
                           static_cast<int64_t>(f.test.num_samples()));
 }
 BENCHMARK(BM_FedKnnClassify)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// The dispatched fixed-association dot kernel in isolation (the inner loop
+// of every plaintext distance computation).
+void DotProductBody(benchmark::State& state, size_t n) {
+  Rng rng(27);
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.Uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.Uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    double dot = ml::DotProduct(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(dot);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  SetIsaCounter(state);
+}
+
+void BM_DotProduct(benchmark::State& state) {
+  DotProductBody(state, static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_DotProduct)->Arg(1024);
+
+// The norm-decomposed block distance kernel over a cached FeatureBlock — the
+// unit of work KnnClassifier/FederatedKnnOracle repeat per query. 64 features
+// keeps the per-row dot in the vector body rather than the ragged tail.
+void BlockSquaredDistancesBody(benchmark::State& state, size_t rows) {
+  constexpr size_t kFeatures = 64;
+  data::Dataset data(rows, kFeatures, 2);
+  Rng rng(29);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < kFeatures; ++j) {
+      data.Set(i, j, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  const ml::FeatureBlock block(data);
+  std::vector<double> query(kFeatures);
+  for (auto& v : query) v = rng.Uniform(-1.0, 1.0);
+  const double q_norm = ml::SquaredNorm(query.data(), kFeatures);
+  std::vector<double> out(rows);
+  for (auto _ : state) {
+    ml::BlockSquaredDistances(block, query.data(), q_norm, 0, rows,
+                              out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(rows * kFeatures * sizeof(double)));
+  SetIsaCounter(state);
+}
+
+void BM_BlockSquaredDistances(benchmark::State& state) {
+  BlockSquaredDistancesBody(state, static_cast<size_t>(state.range(0)));
+}
+// 256 rows (128 KiB block) stays cache-resident and exposes the kernel's
+// compute speed; 2000 rows (1 MiB) spills toward L3 and is bandwidth-bound,
+// which is the regime the selector actually runs in for large parties.
+BENCHMARK(BM_BlockSquaredDistances)->Arg(256)->Arg(2000);
 
 // The bounded top-k selection over a full distance vector, exactly as the
 // leader ranks decrypted aggregates: k smallest by (value, index).
@@ -350,7 +435,65 @@ void BM_EncKnnQueryUngrouped(benchmark::State& state) {
 }
 BENCHMARK(BM_EncKnnQueryUngrouped)->Arg(128)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Per-ISA pinned variants (scalar vs SIMD rows in one run)
+// ---------------------------------------------------------------------------
+
+// Wraps a bench body so the whole run executes with dispatch pinned to `isa`
+// (restored afterwards). Only registered for ISAs the host supports, so every
+// emitted row is a real measurement, never a silent fallback.
+template <typename Body>
+auto PinnedTo(simd::Isa isa, Body body) {
+  return [isa, body](benchmark::State& state) {
+    const simd::Isa prev = simd::ActiveIsa();
+    simd::SetActiveIsa(isa);
+    body(state);
+    simd::SetActiveIsa(prev);
+  };
+}
+
+void RegisterIsaPinnedVariants() {
+  const simd::Isa widest = simd::DetectCpuIsa();
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (isa > widest) continue;
+    const std::string tag = std::string("/isa:") + simd::IsaName(isa);
+    benchmark::RegisterBenchmark(
+        ("BM_NttForward/4096" + tag).c_str(),
+        PinnedTo(isa, [](benchmark::State& s) { NttForwardBody(s, 4096); }));
+    benchmark::RegisterBenchmark(
+        ("BM_NttInverse/4096" + tag).c_str(),
+        PinnedTo(isa, [](benchmark::State& s) { NttInverseBody(s, 4096); }));
+    benchmark::RegisterBenchmark(
+        ("BM_CkksRescale/4096" + tag).c_str(),
+        PinnedTo(isa, [](benchmark::State& s) { CkksRescaleBody(s, 4096); }));
+    benchmark::RegisterBenchmark(
+        ("BM_DotProduct/1024" + tag).c_str(),
+        PinnedTo(isa, [](benchmark::State& s) { DotProductBody(s, 1024); }));
+    // 256-row (cache-resident) size: the 2000-row block is bandwidth-bound,
+    // so the scalar-vs-SIMD ratio there measures the memory system, not the
+    // kernels.
+    benchmark::RegisterBenchmark(
+        ("BM_BlockSquaredDistances/256" + tag).c_str(),
+        PinnedTo(isa, [](benchmark::State& s) {
+          BlockSquaredDistancesBody(s, 256);
+        }));
+    benchmark::RegisterBenchmark(
+        ("BM_BlockSquaredDistances/2000" + tag).c_str(),
+        PinnedTo(isa, [](benchmark::State& s) {
+          BlockSquaredDistancesBody(s, 2000);
+        }));
+  }
+}
+
 }  // namespace
 }  // namespace vfps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  vfps::RegisterIsaPinnedVariants();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "data/scaler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 
 namespace vfps::core {
 
@@ -179,6 +180,15 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     config.obs->SetGauge(
         "experiment.threads",
         static_cast<double>(pool != nullptr ? pool->num_threads() : 1));
+    // Kernel ISA provenance lives in the runner layer, NOT in the selector:
+    // the forced-scalar-vs-SIMD bit-identity check compares the selector's
+    // merged counters across runs, and an isa label inside the selector
+    // would make those legitimately differ.
+    const simd::Isa isa = simd::ActiveIsa();
+    config.obs->SetGauge("kernel.isa", static_cast<double>(isa));
+    config.obs
+        ->GetLabeledCounter("kernel.isa.selected", {{"isa", simd::IsaName(isa)}})
+        ->Add();
   }
   return result;
 }

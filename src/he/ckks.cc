@@ -3,6 +3,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "he/modarith.h"
+#include "he/poly_simd.h"
 
 namespace vfps::he {
 
@@ -279,29 +280,16 @@ Result<CkksCiphertext> CkksContext::Rescale(const CkksCiphertext& x) const {
     RnsPoly dropped;
     dropped.ntt_form = false;
     dropped.residues.resize(last);
-    const uint64_t q_last_half = q_last / 2;
     for (size_t i = 0; i < last; ++i) {
-      const uint64_t q = rns_->prime(i);
-      const Modulus& m = rns_->modulus(i);
-      // Cached at RnsContext::Create: (q_last mod q)^{-1} mod q + Shoup word.
-      const uint64_t q_last_inv = rns_->rescale_q_last_inv(i);
-      const uint64_t q_last_inv_shoup = rns_->rescale_q_last_inv_shoup(i);
       auto& dst = dropped.residues[i];
       dst.resize(rns_->n());
-      const uint64_t* lastr = coeff.residues[last].data();
-      const uint64_t* srci = coeff.residues[i].data();
-      for (size_t c = 0; c < rns_->n(); ++c) {
-        // Centered remainder of the dropped residue, reduced into q.
-        const uint64_t r = lastr[c];
-        uint64_t r_mod_q;
-        if (r > q_last_half) {
-          r_mod_q = NegateMod(BarrettReduce64(q_last - r, m), q);
-        } else {
-          r_mod_q = BarrettReduce64(r, m);
-        }
-        const uint64_t t = SubMod(srci[c], r_mod_q, q);
-        dst[c] = MulModShoup(t, q_last_inv, q_last_inv_shoup, q);
-      }
+      // Centered remainder of the dropped residue, reduced into q and folded
+      // with the cached (q_last mod q)^{-1}; dispatched to the widest SIMD
+      // backend and bit-identical to the scalar loop (see poly_simd.h).
+      detail::RescaleRoundVec(dst.data(), coeff.residues[i].data(),
+                              coeff.residues[last].data(), rns_->n(), q_last,
+                              rns_->modulus(i), rns_->rescale_q_last_inv(i),
+                              rns_->rescale_q_last_inv_shoup(i));
     }
     ToNtt(*rns_, &dropped);
     if (src == &x.c0) {

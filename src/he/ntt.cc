@@ -3,6 +3,7 @@
 
 #include "common/string_util.h"
 #include "he/modarith.h"
+#include "simd/simd.h"
 
 namespace vfps::he {
 
@@ -75,6 +76,34 @@ Result<NttTables> NttTables::Create(size_t n, uint64_t q) {
 }
 
 void NttTables::Forward(uint64_t* a) const {
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      ForwardAvx512(a);
+      return;
+    case simd::Isa::kAvx2:
+      ForwardAvx2(a);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+  ForwardScalar(a);
+}
+
+void NttTables::Inverse(uint64_t* a) const {
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      InverseAvx512(a);
+      return;
+    case simd::Isa::kAvx2:
+      InverseAvx2(a);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+  InverseScalar(a);
+}
+
+void NttTables::ForwardScalar(uint64_t* a) const {
   // Cooley-Tukey butterflies with the psi powers folded in, so the result is
   // the negacyclic (X^n + 1) transform rather than the cyclic one.
   //
@@ -112,7 +141,7 @@ void NttTables::Forward(uint64_t* a) const {
   }
 }
 
-void NttTables::Inverse(uint64_t* a) const {
+void NttTables::InverseScalar(uint64_t* a) const {
   // Gentleman-Sande butterflies, lazy in [0, 2q): the sum u + v < 4q is
   // conditionally reduced back below 2q, and the difference path feeds
   // u + 2q - v (< 4q < 2^64) straight into the lazy Shoup multiply. The

@@ -32,19 +32,40 @@ class NttTables {
   /// transforms here and by the CKKS encoder's FFT.
   const std::vector<size_t>& bit_rev() const { return bit_rev_; }
 
-  /// In-place forward negacyclic NTT (coefficient -> evaluation form).
-  /// Input residues must be < q; output residues are fully reduced to [0, q).
+  /// \brief In-place forward negacyclic NTT (coefficient -> evaluation
+  /// form), dispatched to the widest backend simd::ActiveIsa() allows.
+  /// Input residues must be < q; output residues are fully reduced to
+  /// [0, q). Every backend is bit-identical to ForwardScalar: between
+  /// butterfly stages values stay lazy in [0, 4q) and the final pass reduces
+  /// (see docs/KERNELS.md).
   void Forward(uint64_t* a) const;
 
-  /// In-place inverse negacyclic NTT (evaluation -> coefficient form).
-  /// Input residues must be < q; output residues are fully reduced to [0, q).
+  /// \brief In-place inverse negacyclic NTT (evaluation -> coefficient
+  /// form), dispatched like Forward. Input residues must be < q; stages stay
+  /// lazy in [0, 2q); outputs are fully reduced to [0, q) and bit-identical
+  /// to InverseScalar.
   void Inverse(uint64_t* a) const;
+
+  /// Always-built scalar reference for Forward (the differential-test
+  /// oracle; also the portable fallback the dispatcher selects when no
+  /// vector backend applies).
+  void ForwardScalar(uint64_t* a) const;
+
+  /// Always-built scalar reference for Inverse.
+  void InverseScalar(uint64_t* a) const;
 
   void Forward(std::vector<uint64_t>* a) const { Forward(a->data()); }
   void Inverse(std::vector<uint64_t>* a) const { Inverse(a->data()); }
 
  private:
   NttTables() = default;
+
+  // Vector backends (ntt_simd.cc). On non-x86 builds they fall back to the
+  // scalar reference; the dispatcher never selects them there anyway.
+  void ForwardAvx2(uint64_t* a) const;
+  void InverseAvx2(uint64_t* a) const;
+  void ForwardAvx512(uint64_t* a) const;
+  void InverseAvx512(uint64_t* a) const;
 
   size_t n_ = 0;
   int log_n_ = 0;

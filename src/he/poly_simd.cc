@@ -1,0 +1,433 @@
+// Dispatched residue-vector kernels (see poly_simd.h for the contract).
+//
+// Layout of this file: scalar references first (the oracle the differential
+// test compares against), then the AVX2 and AVX-512 backends composed from
+// the exact helpers in simd_math.h, then the thin ActiveIsa() dispatchers.
+// Every backend performs the same unsigned 64-bit operations in the same
+// order as its scalar reference, so results are bit-identical.
+
+#include "he/poly_simd.h"
+
+#include "he/simd_math.h"
+#include "simd/simd.h"
+
+namespace vfps::he::detail {
+
+// ---------------------------------------------------------------------------
+// Scalar references
+// ---------------------------------------------------------------------------
+
+void AddModScalar(uint64_t* a, const uint64_t* b, size_t n, uint64_t q) {
+  for (size_t j = 0; j < n; ++j) a[j] = AddMod(a[j], b[j], q);
+}
+
+void SubModScalar(uint64_t* a, const uint64_t* b, size_t n, uint64_t q) {
+  for (size_t j = 0; j < n; ++j) a[j] = SubMod(a[j], b[j], q);
+}
+
+void NegateModScalar(uint64_t* a, size_t n, uint64_t q) {
+  for (size_t j = 0; j < n; ++j) a[j] = NegateMod(a[j], q);
+}
+
+void MulModBarrettScalar(uint64_t* a, const uint64_t* b, size_t n,
+                         const Modulus& m) {
+  for (size_t j = 0; j < n; ++j) a[j] = MulMod(a[j], b[j], m);
+}
+
+void MulModShoupScalar(uint64_t* a, size_t n, uint64_t w, uint64_t w_shoup,
+                       uint64_t q) {
+  for (size_t j = 0; j < n; ++j) a[j] = MulModShoup(a[j], w, w_shoup, q);
+}
+
+void RescaleRoundScalar(uint64_t* dst, const uint64_t* src,
+                        const uint64_t* last, size_t n, uint64_t q_last,
+                        const Modulus& m, uint64_t q_last_inv,
+                        uint64_t q_last_inv_shoup) {
+  const uint64_t q = m.value;
+  const uint64_t q_last_half = q_last / 2;
+  for (size_t c = 0; c < n; ++c) {
+    const uint64_t r = last[c];
+    uint64_t r_mod_q;
+    if (r > q_last_half) {
+      r_mod_q = NegateMod(BarrettReduce64(q_last - r, m), q);
+    } else {
+      r_mod_q = BarrettReduce64(r, m);
+    }
+    const uint64_t t = SubMod(src[c], r_mod_q, q);
+    dst[c] = MulModShoup(t, q_last_inv, q_last_inv_shoup, q);
+  }
+}
+
+#ifdef VFPS_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 backends
+// ---------------------------------------------------------------------------
+
+namespace {
+
+VFPS_TARGET_AVX2 void AddModAvx2(uint64_t* a, const uint64_t* b, size_t n,
+                                 uint64_t q) {
+  const __m256i vq = _mm256_set1_epi64x(static_cast<int64_t>(q));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + j));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + j),
+                        Avx2CSub(_mm256_add_epi64(va, vb), vq));
+  }
+  for (; j < n; ++j) a[j] = AddMod(a[j], b[j], q);
+}
+
+VFPS_TARGET_AVX2 void SubModAvx2(uint64_t* a, const uint64_t* b, size_t n,
+                                 uint64_t q) {
+  const __m256i vq = _mm256_set1_epi64x(static_cast<int64_t>(q));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + j));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i d = _mm256_sub_epi64(va, vb);
+    const __m256i lt = Avx2CmpLtU64(va, vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + j),
+                        _mm256_add_epi64(d, _mm256_and_si256(lt, vq)));
+  }
+  for (; j < n; ++j) a[j] = SubMod(a[j], b[j], q);
+}
+
+VFPS_TARGET_AVX2 void NegateModAvx2(uint64_t* a, size_t n, uint64_t q) {
+  const __m256i vq = _mm256_set1_epi64x(static_cast<int64_t>(q));
+  const __m256i zero = _mm256_setzero_si256();
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + j));
+    const __m256i is_zero = _mm256_cmpeq_epi64(va, zero);
+    const __m256i neg = _mm256_sub_epi64(vq, va);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + j),
+                        _mm256_andnot_si256(is_zero, neg));
+  }
+  for (; j < n; ++j) a[j] = NegateMod(a[j], q);
+}
+
+// Lane-wise BarrettReduce128 of the product a * b — the same carry chain as
+// the scalar version: carry words are recovered with unsigned compares
+// (sum < addend) and folded in as 0/1 by subtracting the all-ones mask.
+VFPS_TARGET_AVX2 void MulModBarrettAvx2(uint64_t* a, const uint64_t* b,
+                                        size_t n, const Modulus& m) {
+  const __m256i vq = _mm256_set1_epi64x(static_cast<int64_t>(m.value));
+  const __m256i r_lo =
+      _mm256_set1_epi64x(static_cast<int64_t>(m.const_ratio[0]));
+  const __m256i r_hi =
+      _mm256_set1_epi64x(static_cast<int64_t>(m.const_ratio[1]));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + j));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i z_lo = Avx2MulLo64(va, vb);
+    const __m256i z_hi = Avx2MulHi64(va, vb);
+    const __m256i carry = Avx2MulHi64(z_lo, r_lo);
+    const __m256i m1_lo = _mm256_add_epi64(Avx2MulLo64(z_lo, r_hi), carry);
+    __m256i m1_hi = Avx2MulHi64(z_lo, r_hi);
+    m1_hi = _mm256_sub_epi64(m1_hi, Avx2CmpLtU64(m1_lo, carry));
+    const __m256i m2_lo = _mm256_add_epi64(Avx2MulLo64(z_hi, r_lo), m1_lo);
+    __m256i m2_hi = Avx2MulHi64(z_hi, r_lo);
+    m2_hi = _mm256_sub_epi64(m2_hi, Avx2CmpLtU64(m2_lo, m1_lo));
+    const __m256i q_est = _mm256_add_epi64(
+        _mm256_add_epi64(Avx2MulLo64(z_hi, r_hi), m1_hi), m2_hi);
+    const __m256i r = _mm256_sub_epi64(z_lo, Avx2MulLo64(q_est, vq));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + j), Avx2CSub(r, vq));
+  }
+  for (; j < n; ++j) a[j] = MulMod(a[j], b[j], m);
+}
+
+VFPS_TARGET_AVX2 void MulModShoupAvx2(uint64_t* a, size_t n, uint64_t w,
+                                      uint64_t w_shoup, uint64_t q) {
+  const __m256i vq = _mm256_set1_epi64x(static_cast<int64_t>(q));
+  const __m256i vw = _mm256_set1_epi64x(static_cast<int64_t>(w));
+  const __m256i vws = _mm256_set1_epi64x(static_cast<int64_t>(w_shoup));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + j));
+    const __m256i lazy = Avx2MulModShoupLazy(va, vw, vws, vq);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + j), Avx2CSub(lazy, vq));
+  }
+  for (; j < n; ++j) a[j] = MulModShoup(a[j], w, w_shoup, q);
+}
+
+VFPS_TARGET_AVX2 void RescaleRoundAvx2(uint64_t* dst, const uint64_t* src,
+                                       const uint64_t* last, size_t n,
+                                       uint64_t q_last, const Modulus& m,
+                                       uint64_t q_last_inv,
+                                       uint64_t q_last_inv_shoup) {
+  const uint64_t q = m.value;
+  const __m256i vq = _mm256_set1_epi64x(static_cast<int64_t>(q));
+  const __m256i v_qlast = _mm256_set1_epi64x(static_cast<int64_t>(q_last));
+  const __m256i v_half = _mm256_set1_epi64x(static_cast<int64_t>(q_last / 2));
+  const __m256i ratio_hi =
+      _mm256_set1_epi64x(static_cast<int64_t>(m.const_ratio[1]));
+  const __m256i v_inv = _mm256_set1_epi64x(static_cast<int64_t>(q_last_inv));
+  const __m256i v_invs =
+      _mm256_set1_epi64x(static_cast<int64_t>(q_last_inv_shoup));
+  const __m256i zero = _mm256_setzero_si256();
+  size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    const __m256i vr =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(last + c));
+    // Centered remainder: reduce r (small half) or q_last - r (big half).
+    const __m256i big = Avx2CmpLtU64(v_half, vr);
+    const __m256i sel =
+        _mm256_blendv_epi8(vr, _mm256_sub_epi64(v_qlast, vr), big);
+    const __m256i red = Avx2BarrettReduce64(sel, ratio_hi, vq);
+    const __m256i is_zero = _mm256_cmpeq_epi64(red, zero);
+    const __m256i neg =
+        _mm256_andnot_si256(is_zero, _mm256_sub_epi64(vq, red));
+    const __m256i r_mod_q = _mm256_blendv_epi8(red, neg, big);
+    const __m256i vsrc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + c));
+    const __m256i d = _mm256_sub_epi64(vsrc, r_mod_q);
+    const __m256i lt = Avx2CmpLtU64(vsrc, r_mod_q);
+    const __m256i t = _mm256_add_epi64(d, _mm256_and_si256(lt, vq));
+    const __m256i lazy = Avx2MulModShoupLazy(t, v_inv, v_invs, vq);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + c),
+                        Avx2CSub(lazy, vq));
+  }
+  if (c < n) {
+    RescaleRoundScalar(dst + c, src + c, last + c, n - c, q_last, m,
+                       q_last_inv, q_last_inv_shoup);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 backends
+// ---------------------------------------------------------------------------
+
+VFPS_TARGET_AVX512 void AddModAvx512(uint64_t* a, const uint64_t* b, size_t n,
+                                     uint64_t q) {
+  const __m512i vq = _mm512_set1_epi64(static_cast<int64_t>(q));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i va = _mm512_loadu_si512(a + j);
+    const __m512i vb = _mm512_loadu_si512(b + j);
+    _mm512_storeu_si512(a + j, Avx512CSub(_mm512_add_epi64(va, vb), vq));
+  }
+  for (; j < n; ++j) a[j] = AddMod(a[j], b[j], q);
+}
+
+VFPS_TARGET_AVX512 void SubModAvx512(uint64_t* a, const uint64_t* b, size_t n,
+                                     uint64_t q) {
+  const __m512i vq = _mm512_set1_epi64(static_cast<int64_t>(q));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i va = _mm512_loadu_si512(a + j);
+    const __m512i vb = _mm512_loadu_si512(b + j);
+    const __m512i d = _mm512_sub_epi64(va, vb);
+    const __mmask8 lt = _mm512_cmplt_epu64_mask(va, vb);
+    _mm512_storeu_si512(a + j, _mm512_mask_add_epi64(d, lt, d, vq));
+  }
+  for (; j < n; ++j) a[j] = SubMod(a[j], b[j], q);
+}
+
+VFPS_TARGET_AVX512 void NegateModAvx512(uint64_t* a, size_t n, uint64_t q) {
+  const __m512i vq = _mm512_set1_epi64(static_cast<int64_t>(q));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i va = _mm512_loadu_si512(a + j);
+    const __mmask8 nz = _mm512_test_epi64_mask(va, va);
+    _mm512_storeu_si512(a + j, _mm512_maskz_sub_epi64(nz, vq, va));
+  }
+  for (; j < n; ++j) a[j] = NegateMod(a[j], q);
+}
+
+VFPS_TARGET_AVX512 void MulModBarrettAvx512(uint64_t* a, const uint64_t* b,
+                                            size_t n, const Modulus& m) {
+  const __m512i vq = _mm512_set1_epi64(static_cast<int64_t>(m.value));
+  const __m512i r_lo = _mm512_set1_epi64(static_cast<int64_t>(m.const_ratio[0]));
+  const __m512i r_hi = _mm512_set1_epi64(static_cast<int64_t>(m.const_ratio[1]));
+  const __m512i one = _mm512_set1_epi64(1);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i va = _mm512_loadu_si512(a + j);
+    const __m512i vb = _mm512_loadu_si512(b + j);
+    const __m512i z_lo = Avx512MulLo64(va, vb);
+    const __m512i z_hi = Avx512MulHi64(va, vb);
+    const __m512i carry = Avx512MulHi64(z_lo, r_lo);
+    const __m512i m1_lo = _mm512_add_epi64(Avx512MulLo64(z_lo, r_hi), carry);
+    __m512i m1_hi = Avx512MulHi64(z_lo, r_hi);
+    m1_hi = _mm512_mask_add_epi64(m1_hi, _mm512_cmplt_epu64_mask(m1_lo, carry),
+                                  m1_hi, one);
+    const __m512i m2_lo = _mm512_add_epi64(Avx512MulLo64(z_hi, r_lo), m1_lo);
+    __m512i m2_hi = Avx512MulHi64(z_hi, r_lo);
+    m2_hi = _mm512_mask_add_epi64(m2_hi, _mm512_cmplt_epu64_mask(m2_lo, m1_lo),
+                                  m2_hi, one);
+    const __m512i q_est = _mm512_add_epi64(
+        _mm512_add_epi64(Avx512MulLo64(z_hi, r_hi), m1_hi), m2_hi);
+    const __m512i r = _mm512_sub_epi64(z_lo, Avx512MulLo64(q_est, vq));
+    _mm512_storeu_si512(a + j, Avx512CSub(r, vq));
+  }
+  for (; j < n; ++j) a[j] = MulMod(a[j], b[j], m);
+}
+
+VFPS_TARGET_AVX512 void MulModShoupAvx512(uint64_t* a, size_t n, uint64_t w,
+                                          uint64_t w_shoup, uint64_t q) {
+  const __m512i vq = _mm512_set1_epi64(static_cast<int64_t>(q));
+  const __m512i vw = _mm512_set1_epi64(static_cast<int64_t>(w));
+  const __m512i vws = _mm512_set1_epi64(static_cast<int64_t>(w_shoup));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i va = _mm512_loadu_si512(a + j);
+    const __m512i lazy = Avx512MulModShoupLazy(va, vw, vws, vq);
+    _mm512_storeu_si512(a + j, Avx512CSub(lazy, vq));
+  }
+  for (; j < n; ++j) a[j] = MulModShoup(a[j], w, w_shoup, q);
+}
+
+VFPS_TARGET_AVX512 void RescaleRoundAvx512(uint64_t* dst, const uint64_t* src,
+                                           const uint64_t* last, size_t n,
+                                           uint64_t q_last, const Modulus& m,
+                                           uint64_t q_last_inv,
+                                           uint64_t q_last_inv_shoup) {
+  const uint64_t q = m.value;
+  const __m512i vq = _mm512_set1_epi64(static_cast<int64_t>(q));
+  const __m512i v_qlast = _mm512_set1_epi64(static_cast<int64_t>(q_last));
+  const __m512i v_half = _mm512_set1_epi64(static_cast<int64_t>(q_last / 2));
+  const __m512i ratio_hi =
+      _mm512_set1_epi64(static_cast<int64_t>(m.const_ratio[1]));
+  const __m512i v_inv = _mm512_set1_epi64(static_cast<int64_t>(q_last_inv));
+  const __m512i v_invs =
+      _mm512_set1_epi64(static_cast<int64_t>(q_last_inv_shoup));
+  size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m512i vr = _mm512_loadu_si512(last + c);
+    const __mmask8 big = _mm512_cmplt_epu64_mask(v_half, vr);
+    const __m512i sel = _mm512_mask_sub_epi64(vr, big, v_qlast, vr);
+    const __m512i red = Avx512BarrettReduce64(sel, ratio_hi, vq);
+    const __mmask8 nz = _mm512_test_epi64_mask(red, red);
+    const __m512i neg = _mm512_maskz_sub_epi64(nz, vq, red);
+    const __m512i r_mod_q = _mm512_mask_mov_epi64(red, big, neg);
+    const __m512i vsrc = _mm512_loadu_si512(src + c);
+    const __m512i d = _mm512_sub_epi64(vsrc, r_mod_q);
+    const __mmask8 lt = _mm512_cmplt_epu64_mask(vsrc, r_mod_q);
+    const __m512i t = _mm512_mask_add_epi64(d, lt, d, vq);
+    const __m512i lazy = Avx512MulModShoupLazy(t, v_inv, v_invs, vq);
+    _mm512_storeu_si512(dst + c, Avx512CSub(lazy, vq));
+  }
+  if (c < n) {
+    RescaleRoundScalar(dst + c, src + c, last + c, n - c, q_last, m,
+                       q_last_inv, q_last_inv_shoup);
+  }
+}
+
+}  // namespace
+
+#endif  // VFPS_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatchers
+// ---------------------------------------------------------------------------
+
+void AddModVec(uint64_t* a, const uint64_t* b, size_t n, uint64_t q) {
+#ifdef VFPS_SIMD_X86
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      AddModAvx512(a, b, n, q);
+      return;
+    case simd::Isa::kAvx2:
+      AddModAvx2(a, b, n, q);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+#endif
+  AddModScalar(a, b, n, q);
+}
+
+void SubModVec(uint64_t* a, const uint64_t* b, size_t n, uint64_t q) {
+#ifdef VFPS_SIMD_X86
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      SubModAvx512(a, b, n, q);
+      return;
+    case simd::Isa::kAvx2:
+      SubModAvx2(a, b, n, q);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+#endif
+  SubModScalar(a, b, n, q);
+}
+
+void NegateModVec(uint64_t* a, size_t n, uint64_t q) {
+#ifdef VFPS_SIMD_X86
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      NegateModAvx512(a, n, q);
+      return;
+    case simd::Isa::kAvx2:
+      NegateModAvx2(a, n, q);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+#endif
+  NegateModScalar(a, n, q);
+}
+
+void MulModBarrettVec(uint64_t* a, const uint64_t* b, size_t n,
+                      const Modulus& m) {
+#ifdef VFPS_SIMD_X86
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      MulModBarrettAvx512(a, b, n, m);
+      return;
+    case simd::Isa::kAvx2:
+      MulModBarrettAvx2(a, b, n, m);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+#endif
+  MulModBarrettScalar(a, b, n, m);
+}
+
+void MulModShoupVec(uint64_t* a, size_t n, uint64_t w, uint64_t w_shoup,
+                    uint64_t q) {
+#ifdef VFPS_SIMD_X86
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      MulModShoupAvx512(a, n, w, w_shoup, q);
+      return;
+    case simd::Isa::kAvx2:
+      MulModShoupAvx2(a, n, w, w_shoup, q);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+#endif
+  MulModShoupScalar(a, n, w, w_shoup, q);
+}
+
+void RescaleRoundVec(uint64_t* dst, const uint64_t* src, const uint64_t* last,
+                     size_t n, uint64_t q_last, const Modulus& m,
+                     uint64_t q_last_inv, uint64_t q_last_inv_shoup) {
+#ifdef VFPS_SIMD_X86
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kAvx512:
+      RescaleRoundAvx512(dst, src, last, n, q_last, m, q_last_inv,
+                         q_last_inv_shoup);
+      return;
+    case simd::Isa::kAvx2:
+      RescaleRoundAvx2(dst, src, last, n, q_last, m, q_last_inv,
+                       q_last_inv_shoup);
+      return;
+    case simd::Isa::kScalar:
+      break;
+  }
+#endif
+  RescaleRoundScalar(dst, src, last, n, q_last, m, q_last_inv,
+                     q_last_inv_shoup);
+}
+
+}  // namespace vfps::he::detail

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "he/modarith.h"
+#include "he/poly_simd.h"
 
 namespace vfps::he {
 
@@ -129,37 +130,28 @@ void SampleGaussianInto(const RnsContext& ctx, Rng* rng, RnsPoly* out,
 
 void AddInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
   for (size_t i = 0; i < std::min(a->num_primes(), b.num_primes()); ++i) {
-    const uint64_t q = ctx.prime(i);
-    uint64_t* pa = a->residues[i].data();
-    const uint64_t* pb = b.residues[i].data();
-    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = AddMod(pa[j], pb[j], q);
+    detail::AddModVec(a->residues[i].data(), b.residues[i].data(), ctx.n(),
+                      ctx.prime(i));
   }
 }
 
 void SubInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
   for (size_t i = 0; i < std::min(a->num_primes(), b.num_primes()); ++i) {
-    const uint64_t q = ctx.prime(i);
-    uint64_t* pa = a->residues[i].data();
-    const uint64_t* pb = b.residues[i].data();
-    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = SubMod(pa[j], pb[j], q);
+    detail::SubModVec(a->residues[i].data(), b.residues[i].data(), ctx.n(),
+                      ctx.prime(i));
   }
 }
 
 void NegateInPlace(const RnsContext& ctx, RnsPoly* a) {
   for (size_t i = 0; i < a->num_primes(); ++i) {
-    const uint64_t q = ctx.prime(i);
-    for (size_t j = 0; j < ctx.n(); ++j) {
-      a->residues[i][j] = NegateMod(a->residues[i][j], q);
-    }
+    detail::NegateModVec(a->residues[i].data(), ctx.n(), ctx.prime(i));
   }
 }
 
 void MulPointwiseInPlace(const RnsContext& ctx, RnsPoly* a, const RnsPoly& b) {
   for (size_t i = 0; i < std::min(a->num_primes(), b.num_primes()); ++i) {
-    const Modulus& m = ctx.modulus(i);
-    uint64_t* pa = a->residues[i].data();
-    const uint64_t* pb = b.residues[i].data();
-    for (size_t j = 0; j < ctx.n(); ++j) pa[j] = MulMod(pa[j], pb[j], m);
+    detail::MulModBarrettVec(a->residues[i].data(), b.residues[i].data(),
+                             ctx.n(), ctx.modulus(i));
   }
 }
 
@@ -168,10 +160,7 @@ void MulScalarInPlace(const RnsContext& ctx, RnsPoly* a, uint64_t scalar) {
     const uint64_t q = ctx.prime(i);
     const uint64_t s = BarrettReduce64(scalar, ctx.modulus(i));
     const uint64_t s_shoup = ShoupPrecompute(s, q);
-    uint64_t* pa = a->residues[i].data();
-    for (size_t j = 0; j < ctx.n(); ++j) {
-      pa[j] = MulModShoup(pa[j], s, s_shoup, q);
-    }
+    detail::MulModShoupVec(a->residues[i].data(), ctx.n(), s, s_shoup, q);
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "ml/kernels_simd.h"
+#include "simd/simd.h"
+
 namespace vfps::ml {
 
 namespace {
@@ -45,7 +48,7 @@ void FeatureBlock::GatherInto(const double* joint_row, double* out) const {
   for (size_t j = 0; j < cols_; ++j) out[j] = joint_row[columns_[j]];
 }
 
-double SquaredNorm(const double* v, size_t n) {
+double SquaredNormScalar(const double* v, size_t n) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   size_t j = 0;
   for (; j + 4 <= n; j += 4) {
@@ -59,7 +62,7 @@ double SquaredNorm(const double* v, size_t n) {
   return acc;
 }
 
-double DotProduct(const double* a, const double* b, size_t n) {
+double DotProductScalar(const double* a, const double* b, size_t n) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   size_t j = 0;
   for (; j + 4 <= n; j += 4) {
@@ -73,9 +76,34 @@ double DotProduct(const double* a, const double* b, size_t n) {
   return acc;
 }
 
-void BlockSquaredDistances(const FeatureBlock& block, const double* query,
-                           double q_norm, size_t begin, size_t end,
-                           double* out) {
+double SquaredNorm(const double* v, size_t n) {
+#ifdef VFPS_SIMD_X86
+  // The 4-wide path serves AVX-512 too: an 8-wide accumulator would change
+  // the association and break scalar-vs-SIMD bit-identity (kernels_simd.h).
+  if (simd::ActiveIsa() != simd::Isa::kScalar) {
+    return detail::SquaredNormAvx2(v, n);
+  }
+#endif
+  return SquaredNormScalar(v, n);
+}
+
+double DotProduct(const double* a, const double* b, size_t n) {
+#ifdef VFPS_SIMD_X86
+  if (simd::ActiveIsa() != simd::Isa::kScalar) {
+    return detail::DotProductAvx2(a, b, n);
+  }
+#endif
+  return DotProductScalar(a, b, n);
+}
+
+namespace {
+
+// Shared body for the dispatched and scalar-reference distance kernels; the
+// per-row dot is the only part that differs.
+template <typename DotFn>
+void BlockSquaredDistancesImpl(const FeatureBlock& block, const double* query,
+                               double q_norm, size_t begin, size_t end,
+                               double* out, DotFn&& dot_fn) {
   const size_t f = block.cols();
   // Row tiles keep the written span and the norm cache line-resident; the
   // per-row dot uses the fixed-association kernel above, so every row's value
@@ -84,10 +112,41 @@ void BlockSquaredDistances(const FeatureBlock& block, const double* query,
   for (size_t t = begin; t < end; t += kTile) {
     const size_t stop = std::min(end, t + kTile);
     for (size_t i = t; i < stop; ++i) {
-      const double dot = DotProduct(query, block.row(i), f);
+      const double dot = dot_fn(query, block.row(i), f);
       out[i - begin] = q_norm + block.row_norm(i) - 2.0 * dot;
     }
   }
+}
+
+}  // namespace
+
+void BlockSquaredDistances(const FeatureBlock& block, const double* query,
+                           double q_norm, size_t begin, size_t end,
+                           double* out) {
+#ifdef VFPS_SIMD_X86
+  if (simd::ActiveIsa() != simd::Isa::kScalar) {
+    // One batched-dot call covers the whole range (rows in groups of 4 with
+    // independent accumulator chains and shared query loads); each row's dot
+    // — and therefore each output distance — stays bit-identical to the
+    // scalar path, so the batching is invisible to callers and to
+    // [begin, end) splits. `out` doubles as the dots scratch.
+    const size_t f = block.cols();
+    detail::BlockDotsAvx2(query, block.row(begin), f, end - begin, f, out);
+    for (size_t i = begin; i < end; ++i) {
+      out[i - begin] = q_norm + block.row_norm(i) - 2.0 * out[i - begin];
+    }
+    return;
+  }
+#endif
+  BlockSquaredDistancesImpl(block, query, q_norm, begin, end, out,
+                            DotProductScalar);
+}
+
+void BlockSquaredDistancesScalar(const FeatureBlock& block,
+                                 const double* query, double q_norm,
+                                 size_t begin, size_t end, double* out) {
+  BlockSquaredDistancesImpl(block, query, q_norm, begin, end, out,
+                            DotProductScalar);
 }
 
 std::vector<uint64_t> SmallestK(const double* values, size_t n, size_t k) {

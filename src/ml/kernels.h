@@ -50,12 +50,27 @@ class FeatureBlock {
   std::vector<double> norms_;
 };
 
-/// Sum of v[i]^2. Fixed 4-accumulator association (deterministic, and exact
-/// whenever the products are exactly representable, e.g. integer grids).
+/// \brief Sum of v[i]^2 with a fixed 4-accumulator association: lane l sums
+/// indices j ≡ l (mod 4), lanes combine as (l0+l1)+(l2+l3), then the tail
+/// (n mod 4 elements) folds in sequentially. Deterministic, and exact
+/// whenever the products are exactly representable (e.g. integer grids).
+///
+/// Dispatched to the widest backend simd::ActiveIsa() allows. Every backend
+/// keeps the exact association above with separate multiply and add (no FMA),
+/// so SIMD and scalar results are BIT-IDENTICAL for every input, including
+/// denormals and ±DBL_MAX (see docs/KERNELS.md). `v` needs no alignment
+/// (unaligned loads); n may be any value including 0 and < 4.
 double SquaredNorm(const double* v, size_t n);
+/// Always-built portable reference for SquaredNorm (differential-test
+/// oracle); bit-identical to the dispatched version by construction.
+double SquaredNormScalar(const double* v, size_t n);
 
-/// Dot product with the same fixed 4-accumulator association.
+/// \brief Dot product with the same fixed 4-accumulator association and
+/// bit-identity contract as SquaredNorm. `a` and `b` need no alignment and
+/// may have arbitrary (even mutually unaligned) row strides in the caller.
 double DotProduct(const double* a, const double* b, size_t n);
+/// Always-built portable reference for DotProduct.
+double DotProductScalar(const double* a, const double* b, size_t n);
 
 /// \brief Norm-decomposed squared Euclidean distances from a query slice to
 /// block rows [begin, end): out[i - begin] = q_norm + ||row_i||^2 - 2 q.row_i
@@ -64,18 +79,30 @@ double DotProduct(const double* a, const double* b, size_t n);
 /// norm. One multiply-add per element versus the subtract/multiply/add of the
 /// naive loop, on contiguous rows.
 ///
-/// Numerics: identical to the naive sum-of-squared-differences for inputs
-/// whose products are exactly representable (integer grids); within a few
-/// ulps of ||q||^2 + ||x||^2 otherwise — callers comparing against other
-/// float pipelines should compare with a tolerance, not bitwise.
+/// Numerics contract (see docs/KERNELS.md): the dispatched SIMD and scalar
+/// paths are bit-identical to each other (the per-row dot is the
+/// fixed-association DotProduct above). Against OTHER formulations — e.g. the
+/// naive sum of squared differences — results agree exactly on integer grids
+/// and to 1e-9 relative tolerance for well-scaled doubles; callers comparing
+/// across pipelines must use a tolerance, not bitwise equality.
 void BlockSquaredDistances(const FeatureBlock& block, const double* query,
                            double q_norm, size_t begin, size_t end,
                            double* out);
+/// Always-built portable reference for BlockSquaredDistances.
+void BlockSquaredDistancesScalar(const FeatureBlock& block,
+                                 const double* query, double q_norm,
+                                 size_t begin, size_t end, double* out);
 
 /// \brief Indices of the k smallest values, ascending, ties broken by lower
 /// index — exactly the order partial_sort over (value, index) pairs yields,
 /// in O(n log k) with a bounded max-heap instead of O(n log n) movement.
-/// +inf entries (excluded rows) lose every comparison.
+///
+/// Preconditions: `values` needs no alignment; NaNs are NOT supported (the
+/// comparator assumes a total order); +inf entries (excluded rows) lose every
+/// comparison and are returned only when fewer than k finite values exist.
+/// k ≥ n is clamped to n (all indices, sorted). Scalar on every ISA — the
+/// heap is branch-serial, so it is the same code under VFPS_FORCE_SCALAR and
+/// never enters the differential contract.
 std::vector<uint64_t> SmallestK(const double* values, size_t n, size_t k);
 
 inline std::vector<uint64_t> SmallestK(const std::vector<double>& values,

@@ -1,0 +1,93 @@
+// AVX2 backends for the ml kernels (see kernels_simd.h for the bit-identity
+// contract). This TU is built with -ffp-contract=off (ml/CMakeLists.txt) so
+// the compiler cannot fuse the explicit multiply/add pairs below into FMAs
+// even under -march=native; the scalar reference TU is pinned the same way.
+
+#include "ml/kernels_simd.h"
+
+#ifdef VFPS_SIMD_X86
+
+#include <immintrin.h>
+
+namespace vfps::ml::detail {
+
+#define VFPS_ML_TARGET_AVX2 __attribute__((target("avx2")))
+
+VFPS_ML_TARGET_AVX2 double SquaredNormAvx2(const double* v, size_t n) {
+  // Vector lane l is exactly scalar accumulator a_l: same products, same
+  // addition order per lane.
+  __m256d acc = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d x = _mm256_loadu_pd(v + j);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(x, x));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double out = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; j < n; ++j) out += v[j] * v[j];
+  return out;
+}
+
+VFPS_ML_TARGET_AVX2 double DotProductAvx2(const double* a, const double* b,
+                                          size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d x = _mm256_loadu_pd(a + j);
+    const __m256d y = _mm256_loadu_pd(b + j);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(x, y));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double out = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; j < n; ++j) out += a[j] * b[j];
+  return out;
+}
+
+VFPS_ML_TARGET_AVX2 void BlockDotsAvx2(const double* q, const double* rows,
+                                       size_t stride, size_t nrows, size_t n,
+                                       double* out) {
+  // Four accumulator chains, one per row: each chain is exactly the
+  // single-row kernel above, so out[r] is bit-identical to
+  // DotProductScalar(q, rows + r*stride). The interleave only adds
+  // instruction-level parallelism (4 independent vaddpd chains instead of 1)
+  // and shares each query load across 4 rows.
+  size_t r = 0;
+  for (; r + 4 <= nrows; r += 4) {
+    const double* r0 = rows + r * stride;
+    const double* r1 = r0 + stride;
+    const double* r2 = r1 + stride;
+    const double* r3 = r2 + stride;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const __m256d x = _mm256_loadu_pd(q + j);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(x, _mm256_loadu_pd(r0 + j)));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(x, _mm256_loadu_pd(r1 + j)));
+      acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(x, _mm256_loadu_pd(r2 + j)));
+      acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(x, _mm256_loadu_pd(r3 + j)));
+    }
+    const __m256d accs[4] = {acc0, acc1, acc2, acc3};
+    const double* const ptrs[4] = {r0, r1, r2, r3};
+    for (int g = 0; g < 4; ++g) {
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, accs[g]);
+      double o = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+      for (size_t t = j; t < n; ++t) o += q[t] * ptrs[g][t];
+      out[r + g] = o;
+    }
+  }
+  for (; r < nrows; ++r) {
+    out[r] = DotProductAvx2(q, rows + r * stride, n);
+  }
+}
+
+#undef VFPS_ML_TARGET_AVX2
+
+}  // namespace vfps::ml::detail
+
+#endif  // VFPS_SIMD_X86

@@ -1,0 +1,48 @@
+#ifndef VFPS_ML_KERNELS_SIMD_H_
+#define VFPS_ML_KERNELS_SIMD_H_
+
+/// \file
+/// \brief Internal vector backends for the ml distance/dot kernels.
+///
+/// The doubles contract is stricter than "close": these backends reproduce
+/// the scalar 4-accumulator kernels BIT-IDENTICALLY. Lane l of the 4-wide
+/// vector accumulator holds exactly the scalar accumulator a_l (indices
+/// j ≡ l mod 4), multiplies and adds stay separate instructions (no FMA —
+/// contraction would change rounding), and the horizontal combine replays the
+/// scalar (l0+l1)+(l2+l3) order. For this reason there is no 8-wide AVX-512
+/// double path: it would change the association, and the ~memory-bound
+/// kernels gain little from the extra width. AVX-512 builds reuse the 4-wide
+/// path. Compiled in every build (per-function target attributes); callers
+/// must only invoke them when simd::ActiveIsa() >= kAvx2.
+
+#include <cstddef>
+
+#include "simd/simd.h"
+
+#ifdef VFPS_SIMD_X86
+
+namespace vfps::ml::detail {
+
+/// 4-wide SquaredNorm, bit-identical to SquaredNormScalar.
+double SquaredNormAvx2(const double* v, size_t n);
+
+/// 4-wide DotProduct, bit-identical to DotProductScalar.
+double DotProductAvx2(const double* a, const double* b, size_t n);
+
+/// Dot products of a shared query against `nrows` contiguous rows
+/// (`rows + r * stride`): out[r] == DotProductScalar(q, rows + r*stride, n)
+/// bit-for-bit. A single bit-identical dot is latency-bound (one 4-wide
+/// accumulator chain, and the compiler auto-vectorizes the scalar reference
+/// into the same shape), so the block-distance speedup comes from here
+/// instead: rows are processed four at a time with four independent
+/// accumulator chains that hide the FP-add latency and share each query
+/// load, without touching any row's summation order. One call covers the
+/// whole block range so the per-group call cost is paid once.
+void BlockDotsAvx2(const double* q, const double* rows, size_t stride,
+                   size_t nrows, size_t n, double* out);
+
+}  // namespace vfps::ml::detail
+
+#endif  // VFPS_SIMD_X86
+
+#endif  // VFPS_ML_KERNELS_SIMD_H_

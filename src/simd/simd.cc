@@ -1,0 +1,64 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace vfps::simd {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+Isa DetectCpuIsa() {
+#ifdef VFPS_SIMD_X86
+  // AVX-512 kernels use 64-bit low multiplies (_mm512_mullo_epi64), which is
+  // DQ, on top of the F baseline for loads/compares/min_epu64.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return Isa::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+  return Isa::kScalar;
+}
+
+Isa ResolveIsa() {
+  const char* force = std::getenv("VFPS_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return Isa::kScalar;
+  }
+  return DetectCpuIsa();
+}
+
+namespace {
+// -1 = not yet resolved. Lazy init is idempotent (ResolveIsa is a pure
+// function of env + CPUID at startup), so a racing first call is benign.
+std::atomic<int> g_active_isa{-1};
+}  // namespace
+
+Isa ActiveIsa() {
+  int v = g_active_isa.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(ResolveIsa());
+    g_active_isa.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<Isa>(v);
+}
+
+Isa SetActiveIsa(Isa isa) {
+  const Isa cap = DetectCpuIsa();
+  if (static_cast<int>(isa) > static_cast<int>(cap)) isa = cap;
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+}  // namespace vfps::simd

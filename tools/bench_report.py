@@ -66,6 +66,15 @@ def to_ns(value, unit):
     return value * scale.get(unit, 1.0)
 
 
+ISA_NAMES = {0: "scalar", 1: "avx2", 2: "avx512"}
+
+
+def entry_isa(entry):
+    """Numeric simd::Isa a row ran on (the `isa` user counter), or None."""
+    isa = entry.get("counters", {}).get("isa")
+    return int(isa) if isinstance(isa, (int, float)) else None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("raw", help="google-benchmark JSON output")
@@ -132,7 +141,28 @@ def main():
         if base and base.get("ns_per_op"):
             entry["baseline_ns"] = base["ns_per_op"]
             entry["speedup_vs_baseline"] = base["ns_per_op"] / entry["ns_per_op"]
+            # ISA provenance: a dispatched row measured on a different ISA
+            # than its baseline row (host difference, forced-scalar run) is
+            # not a like-for-like comparison — record the mismatch so the
+            # regression gate can refuse to judge it instead of silently
+            # mixing baselines.
+            base_isa = entry_isa(base)
+            now_isa = entry_isa(entry)
+            if base_isa is not None and now_isa is not None \
+                    and base_isa != now_isa:
+                entry["baseline_isa"] = ISA_NAMES.get(base_isa, str(base_isa))
         kernels[name] = entry
+
+    # Within-run scalar-vs-SIMD speedups: every pinned row `X/isa:Y` gets the
+    # ratio against its `X/isa:scalar` sibling from the SAME run — immune to
+    # host drift by construction (same binary, same machine, same session).
+    for name, entry in kernels.items():
+        if "/isa:" not in name or name.endswith("/isa:scalar"):
+            continue
+        sibling = kernels.get(name.rsplit("/isa:", 1)[0] + "/isa:scalar")
+        if sibling and sibling.get("ns_per_op"):
+            entry["speedup_vs_scalar_isa"] = (
+                sibling["ns_per_op"] / entry["ns_per_op"])
 
     def gate_stat(entry):
         if args.gate_estimator == "median":
@@ -167,6 +197,15 @@ def main():
                 continue
             base_ns = base_stat(name)
             if not base_ns:
+                continue
+            if "baseline_isa" in entry:
+                # Measured on a different ISA than the baseline row (see
+                # above): slower-than-baseline here means "this host/override
+                # runs a different backend", not "the code regressed".
+                print(f"[bench_report] note: {name} ran on "
+                      f"{ISA_NAMES.get(entry_isa(entry))} but its baseline "
+                      f"was {entry['baseline_isa']}; not gated",
+                      file=sys.stderr)
                 continue
             now_ns = gate_stat(entry)
             raw_ratio = now_ns / base_ns

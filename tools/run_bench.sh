@@ -6,7 +6,7 @@
 #
 # Usage: tools/run_bench.sh [options]
 #   --quick            5 short repetitions (CI smoke; min-of-R absorbs noise)
-#   --out=FILE         output JSON (default: BENCH_pr6.json in repo root)
+#   --out=FILE         output JSON (default: BENCH_pr9.json in repo root)
 #   --baseline=FILE    prior BENCH_*.json to compute speedups against
 #                      (default: bench/BASELINE_seed.json)
 #   --check=PCT        exit nonzero if any kernel regresses > PCT% vs baseline
@@ -17,7 +17,7 @@ set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-bench"
-OUT="$ROOT/BENCH_pr6.json"
+OUT="$ROOT/BENCH_pr9.json"
 BASELINE="$ROOT/bench/BASELINE_seed.json"
 CHECK=""
 NATIVE=OFF
