@@ -3,11 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include "core/similarity.h"
 #include "data/scaler.h"
 #include "data/synthetic.h"
 #include "ml/knn.h"
 #include "vfl/fed_knn.h"
+#include "vfl/sharded_knn.h"
 
 namespace vfps {
 namespace {
@@ -73,6 +76,58 @@ void BM_FedKnnFagin(benchmark::State& state) {
   RunOracle(state, vfl::KnnOracleMode::kFagin);
 }
 BENCHMARK(BM_FedKnnFagin)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Encrypted-oracle query throughput under row sharding. shards=1 is the
+// pristine single-heap path; higher counts pay the per-shard rounds plus the
+// hierarchical merge.
+void BM_ShardedFedKnnQuery(benchmark::State& state) {
+  KnnFixture f(10000);
+  vfl::FederatedKnnOracle oracle(&f.train, &f.partition, f.backend.get(),
+                                 &f.network, &f.cost, &f.clock);
+  vfl::FedKnnConfig config;
+  config.mode = vfl::KnnOracleMode::kBase;
+  config.k = 10;
+  config.num_queries = 8;
+  config.shards = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = oracle.Run(config, nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ShardedFedKnnQuery)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Out-of-core engine: rows stream through shard-sized blocks, so resident
+// feature memory is O(shard), not O(N). mem_bytes reports the process peak
+// RSS after the run — a high-water mark, comparable only within one process.
+void BM_ShardedKnnQuery(benchmark::State& state) {
+  data::SyntheticConfig data_config;
+  data_config.num_samples = static_cast<size_t>(state.range(0));
+  data_config.num_features = 16;
+  data_config.num_informative = 8;
+  data_config.num_redundant = 4;
+  data_config.seed = 9;
+  auto partition = data::RandomVerticalPartition(16, 4, 3).ValueOrDie();
+  vfl::ShardedKnnConfig config;
+  config.shards = static_cast<size_t>(state.range(1));
+  config.k = 10;
+  config.num_queries = 8;
+  for (auto _ : state) {
+    auto result = vfl::RunShardedKnn(data_config, partition, config);
+    benchmark::DoNotOptimize(result);
+  }
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    state.counters["mem_bytes"] = benchmark::Counter(
+        static_cast<double>(ru.ru_maxrss) * 1024.0);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ShardedKnnQuery)
+    ->Args({100000, 1})
+    ->Args({100000, 8})
+    ->Args({1000000, 64})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BuildSimilarity(benchmark::State& state) {
   const size_t parties = static_cast<size_t>(state.range(0));

@@ -3,9 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "common/random.h"
 #include "topk/fagin.h"
 #include "topk/naive.h"
+#include "topk/shard_merge.h"
 #include "topk/threshold.h"
 
 namespace vfps::topk {
@@ -66,6 +70,32 @@ void BM_Naive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Naive)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ShardMerge(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t k = 10;
+  Rng rng(7);
+  std::vector<ShardTopk> inputs(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    std::vector<std::pair<double, uint64_t>> entries(k);
+    for (size_t i = 0; i < k; ++i) {
+      entries[i] = {rng.NextDouble(), s * k + i};
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [v, id] : entries) {
+      inputs[s].values.push_back(v);
+      inputs[s].ids.push_back(id);
+    }
+  }
+  for (auto _ : state) {
+    auto copy = inputs;
+    auto merged = HierarchicalTopkMerge(std::move(copy), k);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(shards * k));
+}
+BENCHMARK(BM_ShardMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_FaginVaryingParties(benchmark::State& state) {
   auto lists = RankedListSet::Build(

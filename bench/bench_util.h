@@ -5,6 +5,9 @@
 // parsing (--key=value), monospace table rendering, and the canonical
 // experiment-grid defaults used across benches.
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -15,6 +18,29 @@
 #include "core/experiment.h"
 
 namespace vfps::bench {
+
+/// Peak resident set size of this process in bytes (Linux ru_maxrss is in
+/// KiB). This is a high-water mark: it never decreases, so out-of-core
+/// benches must be measured in a fresh process per configuration.
+inline size_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;
+}
+
+/// Current resident set size in bytes (from /proc/self/statm), or 0 where
+/// the proc filesystem is unavailable.
+inline size_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  return static_cast<size_t>(resident) *
+         static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
 
 /// Parse "--key=value" style flags; anything else aborts with usage.
 class Flags {

@@ -1,0 +1,88 @@
+// shard_scale — out-of-core sharded-KNN memory harness.
+//
+//   shard_scale --rows=5000000 --shards=64 [--queries=16] [--k=10]
+//               [--features=16] [--parties=4] [--seed=42]
+//               [--prefilter=0] [--max-rss-mb=0]
+//
+// Runs one sharded KNN pass over the streaming synthetic generator and prints
+// a vfps-bench-v1-compatible JSON record with the peak RSS. Because ru_maxrss
+// is a process-lifetime high-water mark, comparing shard counts requires one
+// process per configuration — that is exactly how the CI job and run_bench.sh
+// invoke this binary.
+//
+// --max-rss-mb > 0 turns the run into an assertion: exit 1 if the peak RSS
+// exceeds the ceiling. CI uses this to pin the flat-per-shard guarantee.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "data/partitioner.h"
+#include "data/synthetic.h"
+#include "vfl/sharded_knn.h"
+
+int main(int argc, char** argv) {
+  using namespace vfps;  // NOLINT(build/namespaces)
+  bench::Flags flags(argc, argv);
+
+  data::SyntheticConfig data_config;
+  data_config.num_samples = static_cast<size_t>(flags.GetInt("rows", 1000000));
+  data_config.num_features = static_cast<size_t>(flags.GetInt("features", 16));
+  data_config.num_informative = data_config.num_features / 2;
+  data_config.num_redundant = data_config.num_features / 4;
+  data_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  const size_t parties = static_cast<size_t>(flags.GetInt("parties", 4));
+  auto partition_or =
+      data::RandomVerticalPartition(data_config.num_features, parties, 3);
+  bench::RunOrDie("partition", partition_or.status());
+
+  vfl::ShardedKnnConfig config;
+  config.shards = static_cast<size_t>(flags.GetInt("shards", 1));
+  config.k = static_cast<size_t>(flags.GetInt("k", 10));
+  config.num_queries = static_cast<size_t>(flags.GetInt("queries", 16));
+  config.seed = data_config.seed;
+  config.prefilter_clusters =
+      static_cast<size_t>(flags.GetInt("prefilter", 0));
+
+  Stopwatch watch;
+  auto out_or = vfl::RunShardedKnn(data_config, *partition_or, config);
+  bench::RunOrDie("sharded knn", out_or.status());
+  const double wall = watch.ElapsedSeconds();
+  const vfl::ShardedKnnOutput& out = *out_or;
+
+  const size_t peak = bench::PeakRssBytes();
+  // Order-insensitive digest of the neighbor ids so two runs (e.g. different
+  // shard counts in the invariance check) can be compared from the JSON alone.
+  uint64_t digest = 0;
+  for (const auto& ids : out.neighbors) {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t id : ids) {
+      h ^= id + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    digest ^= h;
+  }
+
+  std::printf(
+      "{\"schema\": \"vfps-bench-v1\", \"name\": \"shard_scale\", "
+      "\"rows\": %zu, \"shards\": %zu, \"queries\": %zu, \"k\": %zu, "
+      "\"prefilter\": %zu, \"max_shard_rows\": %zu, "
+      "\"candidates_scored\": %zu, \"merges\": %zu, "
+      "\"wall_seconds\": %.3f, \"mem_bytes\": %zu, "
+      "\"neighbor_digest\": %llu}\n",
+      data_config.num_samples, config.shards, config.num_queries, config.k,
+      config.prefilter_clusters, out.max_shard_rows, out.candidates_scored,
+      out.merge_stats.merges, wall, peak,
+      static_cast<unsigned long long>(digest));
+
+  const int64_t max_rss_mb = flags.GetInt("max-rss-mb", 0);
+  if (max_rss_mb > 0 &&
+      peak > static_cast<size_t>(max_rss_mb) * 1024 * 1024) {
+    std::fprintf(stderr,
+                 "shard_scale: peak RSS %zu MiB exceeds ceiling %lld MiB\n",
+                 peak / (1024 * 1024), static_cast<long long>(max_rss_mb));
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/random.h"
 
 #include <cmath>
+#include <unordered_map>
 
 namespace vfps {
 
@@ -87,15 +88,26 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   if (k > n) k = n;
-  // Partial Fisher-Yates: only the first k positions are materialized.
-  std::vector<size_t> pool(n);
-  for (size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates over a *virtual* pool: position p holds the value p
+  // unless an earlier swap displaced it, and only displaced positions are
+  // stored. Same NextBounded draw sequence and same outputs as the dense
+  // version, but O(k) memory instead of O(n) — the out-of-core engine samples
+  // a handful of query rows from row spaces of 5M+, where a dense pool would
+  // be a 40 MB transient that dwarfs the per-shard working set.
+  std::unordered_map<size_t, size_t> displaced;
+  const auto value_at = [&](size_t pos) {
+    const auto it = displaced.find(pos);
+    return it == displaced.end() ? pos : it->second;
+  };
   std::vector<size_t> out;
   out.reserve(k);
   for (size_t i = 0; i < k; ++i) {
     size_t j = i + static_cast<size_t>(NextBounded(n - i));
-    std::swap(pool[i], pool[j]);
-    out.push_back(pool[i]);
+    const size_t vi = value_at(i);
+    const size_t vj = value_at(j);
+    displaced[i] = vj;
+    displaced[j] = vi;
+    out.push_back(vj);
   }
   return out;
 }

@@ -11,7 +11,10 @@ namespace vfps::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'V', 'F', 'P', 'S', 'C', 'K', 'P', '1'};
+// '2' since the shard-layout fingerprint fields joined the body: the field
+// reads below are sequential, so a format change MUST bump the magic —
+// pre-sharding files then fail with a clear bad-magic error up front.
+constexpr char kMagic[8] = {'V', 'F', 'P', 'S', 'C', 'K', 'P', '2'};
 
 void WriteU64Sizes(BinaryWriter* w, const std::vector<size_t>& v) {
   w->WriteU32(static_cast<uint32_t>(v.size()));
@@ -62,6 +65,8 @@ std::vector<uint8_t> SelectionCheckpoint::Serialize() const {
   body.WriteU64(query_group);
   body.WriteU64(n_rows);
   body.WriteU64(num_participants);
+  body.WriteU64(shards);
+  body.WriteU64(prefilter_clusters);
   body.WriteU64(target);
 
   body.WriteU64Vec(quarantined);
@@ -96,7 +101,7 @@ Result<SelectionCheckpoint> SelectionCheckpoint::Deserialize(
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument(
-        "checkpoint: bad magic (not a VFPSCKP1 file)");
+        "checkpoint: bad magic (not a VFPSCKP2 file)");
   }
   BinaryReader framed(bytes.data() + sizeof(kMagic),
                       bytes.size() - sizeof(kMagic));
@@ -112,6 +117,8 @@ Result<SelectionCheckpoint> SelectionCheckpoint::Deserialize(
   VFPS_ASSIGN_OR_RETURN(ckp.query_group, r.ReadU64());
   VFPS_ASSIGN_OR_RETURN(ckp.n_rows, r.ReadU64());
   VFPS_ASSIGN_OR_RETURN(ckp.num_participants, r.ReadU64());
+  VFPS_ASSIGN_OR_RETURN(ckp.shards, r.ReadU64());
+  VFPS_ASSIGN_OR_RETURN(ckp.prefilter_clusters, r.ReadU64());
   VFPS_ASSIGN_OR_RETURN(ckp.target, r.ReadU64());
 
   VFPS_ASSIGN_OR_RETURN(ckp.quarantined, r.ReadU64Vec());
@@ -187,7 +194,8 @@ Status SelectionCheckpoint::CompatibleWith(
     uint64_t run_seed, int64_t run_mode, uint64_t run_k,
     uint64_t run_num_queries, uint64_t run_fagin_batch,
     uint64_t run_query_group, uint64_t run_n_rows,
-    uint64_t run_num_participants) const {
+    uint64_t run_num_participants, uint64_t run_shards,
+    uint64_t run_prefilter_clusters) const {
   const auto mismatch = [](const char* field, uint64_t have, uint64_t want) {
     return Status::InvalidArgument(StrFormat(
         "checkpoint: %s mismatch (checkpoint %llu vs run %llu)", field,
@@ -213,6 +221,11 @@ Status SelectionCheckpoint::CompatibleWith(
   if (num_participants != run_num_participants) {
     return mismatch("num_participants", num_participants,
                     run_num_participants);
+  }
+  if (shards != run_shards) return mismatch("shards", shards, run_shards);
+  if (prefilter_clusters != run_prefilter_clusters) {
+    return mismatch("prefilter_clusters", prefilter_clusters,
+                    run_prefilter_clusters);
   }
   return Status::OK();
 }

@@ -22,7 +22,7 @@ namespace vfps::core {
 /// state (GreedyCheckpoint) so a resumed selection continues the greedy scan
 /// from its checkpointed prefix instead of restarting it.
 ///
-/// Wire format: the 8-byte magic "VFPSCKP1" followed by one CRC-framed body
+/// Wire format: the 8-byte magic "VFPSCKP2" followed by one CRC-framed body
 /// (common/buffer WriteCrcFramed) — any bit flip in the body fails the load
 /// with a Corrupt status instead of resuming from garbage.
 struct SelectionCheckpoint {
@@ -35,7 +35,16 @@ struct SelectionCheckpoint {
   uint64_t query_group = 0;
   uint64_t n_rows = 0;            // training rows
   uint64_t num_participants = 0;  // P
-  uint64_t target = 0;            // selection target of the checkpointed run
+  /// Shard layout of the oracle run (FedKnnConfig::shards /
+  /// prefilter_clusters). Part of the fingerprint: a resume under a
+  /// different shard count or pre-filter setting is rejected, because the
+  /// pre-filter changes the neighborhoods and per-shard stats/costs differ.
+  /// Adding these fields bumped the wire magic to VFPSCKP2, so pre-sharding
+  /// checkpoint files fail with a clear bad-magic error instead of
+  /// misparsing.
+  uint64_t shards = 1;
+  uint64_t prefilter_clusters = 0;
+  uint64_t target = 0;  // selection target of the checkpointed run
 
   // --- Membership at checkpoint time ---
   std::vector<uint64_t> quarantined;
@@ -67,7 +76,8 @@ struct SelectionCheckpoint {
   Status CompatibleWith(uint64_t run_seed, int64_t run_mode, uint64_t run_k,
                         uint64_t run_num_queries, uint64_t run_fagin_batch,
                         uint64_t run_query_group, uint64_t run_n_rows,
-                        uint64_t run_num_participants) const;
+                        uint64_t run_num_participants, uint64_t run_shards,
+                        uint64_t run_prefilter_clusters) const;
 
   /// The per-participant digests for a neighborhood set: digest p accumulates
   /// p's d_T value of every query in query order.

@@ -63,7 +63,8 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
     const SelectionCheckpoint& ckp = *ctx.resume;
     VFPS_RETURN_NOT_OK(ckp.CompatibleWith(
         ctx.seed, static_cast<int64_t>(mode_), knn.k, knn.num_queries,
-        knn.fagin_batch, knn.query_group, n, p));
+        knn.fagin_batch, knn.query_group, n, p, knn.shards,
+        knn.prefilter_clusters));
     // Re-derive the per-party digests from the stored d_T streams; a frame
     // that decoded but drifted from its own digests is rejected.
     const std::vector<uint32_t> digests =
@@ -311,6 +312,8 @@ Result<SelectionOutcome> VfpsSmSelector::Select(const SelectionContext& ctx,
     ckp.query_group = knn.query_group;
     ckp.n_rows = n;
     ckp.num_participants = p;
+    ckp.shards = knn.shards;
+    ckp.prefilter_clusters = knn.prefilter_clusters;
     ckp.target = target;
     ckp.quarantined = ToU64(outcome.quarantined);
     ckp.absent = ToU64(outcome.absent);

@@ -151,4 +151,28 @@ size_t SelectedFeatureCount(const VerticalPartition& partition,
   return total;
 }
 
+Result<std::vector<RowShard>> MakeRowShards(size_t rows, size_t shards) {
+  VFPS_CHECK_ARG(shards >= 1, "row-shards: need >= 1 shard");
+  std::vector<RowShard> plan;
+  plan.reserve(shards);
+  const size_t base = rows / shards;
+  const size_t extra = rows % shards;  // first `extra` shards get base + 1
+  size_t begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t size = base + (s < extra ? 1 : 0);
+    plan.push_back(RowShard{begin, begin + size});
+    begin += size;
+  }
+  return plan;
+}
+
+size_t ShardOfRow(size_t row, size_t rows, size_t shards) {
+  const size_t base = rows / shards;
+  const size_t extra = rows % shards;
+  // The first `extra` shards span base + 1 rows each.
+  const size_t fat_span = extra * (base + 1);
+  if (row < fat_span) return row / (base + 1);
+  return extra + (row - fat_span) / base;
+}
+
 }  // namespace vfps::data

@@ -63,6 +63,29 @@ Result<Dataset> ConcatViews(const Dataset& joint,
 size_t SelectedFeatureCount(const VerticalPartition& partition,
                             const std::vector<size_t>& selected);
 
+/// \brief One row shard: the contiguous instance range [begin, end) a
+/// simulated storage node of a party holds. The row-shard axis is orthogonal
+/// to the vertical (feature) split above — every party's FeatureBlock is cut
+/// into the SAME row ranges, so shard s of every party covers the same
+/// instances and per-shard aggregation stays slot-aligned.
+struct RowShard {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t rows() const { return end - begin; }
+  bool contains(size_t row) const { return row >= begin && row < end; }
+};
+
+/// \brief Near-equal contiguous row shards: the first (rows % shards) shards
+/// hold one extra row. Deterministic (no seed — contiguity is what makes the
+/// range-splittable distance kernels reusable per shard). shards > rows
+/// yields trailing empty shards, which the top-k merge treats as identity.
+Result<std::vector<RowShard>> MakeRowShards(size_t rows, size_t shards);
+
+/// The shard index holding `row` under MakeRowShards(rows, shards) — O(1)
+/// arithmetic, no plan lookup.
+size_t ShardOfRow(size_t row, size_t rows, size_t shards);
+
 }  // namespace vfps::data
 
 #endif  // VFPS_DATA_PARTITIONER_H_

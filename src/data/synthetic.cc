@@ -6,7 +6,9 @@
 
 namespace vfps::data {
 
-Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config) {
+namespace {
+
+Status ValidateConfig(const SyntheticConfig& config) {
   VFPS_CHECK_ARG(config.num_samples > 0, "synthetic: num_samples must be > 0");
   VFPS_CHECK_ARG(config.num_features > 0, "synthetic: num_features must be > 0");
   VFPS_CHECK_ARG(config.num_classes >= 2, "synthetic: need >= 2 classes");
@@ -23,17 +25,28 @@ Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config) {
         config.class_priors.size() == static_cast<size_t>(config.num_classes),
         "synthetic: class_priors size mismatch");
   }
+  VFPS_CHECK_ARG(config.feature_noise_min > 0.0 &&
+                     config.feature_noise_max >= config.feature_noise_min,
+                 "synthetic: bad feature noise range");
+  return Status::OK();
+}
 
-  Rng rng(config.seed);
-  const size_t n_inf = config.num_informative;
-  const size_t n_red = config.num_redundant;
-  const size_t n_noise = config.num_features - n_inf - n_red;
-  const size_t latent_dim =
-      config.latent_dim > 0 ? std::min(config.latent_dim, n_inf)
-                            : std::max<size_t>(3, std::min<size_t>(8, n_inf / 2));
-  const size_t segments =
-      config.num_segments > 0 ? config.num_segments
-                              : std::max<size_t>(4, config.num_samples / 600);
+// Draw the frozen model parameters from `rng`. The draw ORDER here is part of
+// the reproducibility contract: GenerateClassification continues sampling
+// rows from the same rng, so any reordering would silently change every
+// dataset ever generated.
+detail::SyntheticModel BuildModel(const SyntheticConfig& config, Rng* rng) {
+  detail::SyntheticModel m;
+  m.n_inf = config.num_informative;
+  m.n_red = config.num_redundant;
+  m.n_noise = config.num_features - m.n_inf - m.n_red;
+  m.latent_dim =
+      config.latent_dim > 0
+          ? std::min(config.latent_dim, m.n_inf)
+          : std::max<size_t>(3, std::min<size_t>(8, m.n_inf / 2));
+  m.segments = config.num_segments > 0
+                   ? config.num_segments
+                   : std::max<size_t>(4, config.num_samples / 600);
 
   // Class centers in latent space, scaled so the expected pairwise distance
   // matches centroid_distance (random directions: E[D^2] = 2 L sep^2). The
@@ -43,44 +56,46 @@ Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config) {
   const double noise_scale =
       std::sqrt(1.0 + 0.5 * config.segment_spread * config.segment_spread);
   const double sep = config.centroid_distance * noise_scale /
-                     std::sqrt(2.0 * static_cast<double>(latent_dim));
-  std::vector<std::vector<double>> class_centers(
-      config.num_classes, std::vector<double>(latent_dim));
-  for (auto& center : class_centers) {
-    for (double& v : center) v = sep * rng.Normal();
+                     std::sqrt(2.0 * static_cast<double>(m.latent_dim));
+  m.class_centers.assign(config.num_classes,
+                         std::vector<double>(m.latent_dim));
+  for (auto& center : m.class_centers) {
+    for (double& v : center) v = sep * rng->Normal();
   }
   if (config.num_classes == 2) {
     // Normalize the realized centroid distance exactly (random draws have
     // high variance at low latent dimension, which would make the preset
     // difficulty wobble across seeds).
     double dist2 = 0.0;
-    for (size_t d = 0; d < latent_dim; ++d) {
-      const double diff = class_centers[1][d] - class_centers[0][d];
+    for (size_t d = 0; d < m.latent_dim; ++d) {
+      const double diff = m.class_centers[1][d] - m.class_centers[0][d];
       dist2 += diff * diff;
     }
     const double target = config.centroid_distance * noise_scale;
     const double ratio = dist2 > 0 ? target / std::sqrt(dist2) : 1.0;
-    for (size_t d = 0; d < latent_dim; ++d) {
-      const double mid = 0.5 * (class_centers[0][d] + class_centers[1][d]);
-      class_centers[0][d] = mid + (class_centers[0][d] - mid) * ratio;
-      class_centers[1][d] = mid + (class_centers[1][d] - mid) * ratio;
+    for (size_t d = 0; d < m.latent_dim; ++d) {
+      const double mid = 0.5 * (m.class_centers[0][d] + m.class_centers[1][d]);
+      m.class_centers[0][d] = mid + (m.class_centers[0][d] - mid) * ratio;
+      m.class_centers[1][d] = mid + (m.class_centers[1][d] - mid) * ratio;
     }
   }
 
   // Segment centroids in latent space, each with a tilted class prior (for
   // binary tasks) so that row geometry carries label information.
-  std::vector<std::vector<double>> segment_centers(
-      segments, std::vector<double>(latent_dim));
-  std::vector<double> segment_class1_prior(segments);
+  m.segment_centers.assign(m.segments, std::vector<double>(m.latent_dim));
+  m.segment_class1_prior.resize(m.segments);
   const double base_prior1 =
       config.class_priors.empty() ? 0.5 : config.class_priors[1];
-  for (size_t g = 0; g < segments; ++g) {
-    for (double& v : segment_centers[g]) v = config.segment_spread * rng.Normal();
+  for (size_t g = 0; g < m.segments; ++g) {
+    for (double& v : m.segment_centers[g]) {
+      v = config.segment_spread * rng->Normal();
+    }
     const double tilt =
         config.num_classes == 2
-            ? rng.Uniform(-config.segment_label_tilt, config.segment_label_tilt)
+            ? rng->Uniform(-config.segment_label_tilt, config.segment_label_tilt)
             : 0.0;
-    segment_class1_prior[g] = std::min(0.95, std::max(0.05, base_prior1 + tilt));
+    m.segment_class1_prior[g] =
+        std::min(0.95, std::max(0.05, base_prior1 + tilt));
   }
 
   // Sparse unit projection per informative feature: each feature observes
@@ -90,19 +105,15 @@ Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config) {
   // whose features cover latent dimensions nobody else observes contributes
   // genuinely new information. Every latent dimension is guaranteed at least
   // one observing feature (round-robin base assignment).
-  VFPS_CHECK_ARG(config.feature_noise_min > 0.0 &&
-                     config.feature_noise_max >= config.feature_noise_min,
-                 "synthetic: bad feature noise range");
-  std::vector<std::vector<double>> projections(n_inf,
-                                               std::vector<double>(latent_dim, 0.0));
-  std::vector<double> feature_noise(n_inf);
-  for (size_t j = 0; j < n_inf; ++j) {
-    auto& proj = projections[j];
+  m.projections.assign(m.n_inf, std::vector<double>(m.latent_dim, 0.0));
+  m.feature_noise.resize(m.n_inf);
+  for (size_t j = 0; j < m.n_inf; ++j) {
+    auto& proj = m.projections[j];
     // Primary dim round-robin + one extra random dim, random signs/weights.
-    const size_t d0 = j % latent_dim;
-    const size_t d1 = rng.NextBounded(latent_dim);
-    proj[d0] = rng.Normal();
-    proj[d1] += 0.6 * rng.Normal();
+    const size_t d0 = j % m.latent_dim;
+    const size_t d1 = rng->NextBounded(m.latent_dim);
+    proj[d0] = rng->Normal();
+    proj[d1] += 0.6 * rng->Normal();
     double norm = 0.0;
     for (double v : proj) norm += v * v;
     norm = std::sqrt(norm);
@@ -113,15 +124,15 @@ Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config) {
     }
     const double log_lo = std::log(config.feature_noise_min);
     const double log_hi = std::log(config.feature_noise_max);
-    feature_noise[j] = std::exp(rng.Uniform(log_lo, log_hi));
+    m.feature_noise[j] = std::exp(rng->Uniform(log_lo, log_hi));
   }
 
   // Fixed unit mixing weights for the redundant features.
-  std::vector<std::vector<double>> mix(n_red, std::vector<double>(n_inf));
-  for (auto& row : mix) {
+  m.mix.assign(m.n_red, std::vector<double>(m.n_inf));
+  for (auto& row : m.mix) {
     double norm = 0.0;
     for (double& w : row) {
-      w = rng.Normal();
+      w = rng->Normal();
       norm += w * w;
     }
     norm = std::sqrt(norm);
@@ -131,63 +142,126 @@ Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config) {
   }
 
   // Cumulative class priors for sampling.
-  std::vector<double> cumulative(config.num_classes);
+  m.cumulative.resize(config.num_classes);
   {
     double total = 0.0;
     for (int c = 0; c < config.num_classes; ++c) {
       total += config.class_priors.empty() ? 1.0 : config.class_priors[c];
-      cumulative[c] = total;
+      m.cumulative[c] = total;
     }
-    for (double& v : cumulative) v /= total;
+    for (double& v : m.cumulative) v /= total;
   }
+  return m;
+}
+
+std::vector<FeatureKind> ModelKinds(const detail::SyntheticModel& m) {
+  std::vector<FeatureKind> kinds;
+  kinds.reserve(m.n_inf + m.n_red + m.n_noise);
+  for (size_t j = 0; j < m.n_inf; ++j) kinds.push_back(FeatureKind::kInformative);
+  for (size_t j = 0; j < m.n_red; ++j) kinds.push_back(FeatureKind::kRedundant);
+  for (size_t j = 0; j < m.n_noise; ++j) kinds.push_back(FeatureKind::kNoise);
+  return kinds;
+}
+
+// Sample one row from the frozen model: segment, class, latent z, features,
+// label noise — in exactly this draw order (shared by the sequential
+// generator and the per-row streams). `z` and `x_inf` are caller scratch.
+int DrawRow(const SyntheticConfig& config, const detail::SyntheticModel& m,
+            Rng* rng, double* row, std::vector<double>* z,
+            std::vector<double>* x_inf) {
+  // Draw segment, then class from the segment's (possibly tilted) prior.
+  const size_t seg_id = rng->NextBounded(m.segments);
+  const auto& segment = m.segment_centers[seg_id];
+  int y = 0;
+  if (config.num_classes == 2) {
+    y = rng->Bernoulli(m.segment_class1_prior[seg_id]) ? 1 : 0;
+  } else {
+    const double u = rng->NextDouble();
+    while (y + 1 < config.num_classes && u > m.cumulative[y]) ++y;
+  }
+
+  // Latent vector: class offset + segment + unit label-relevant noise.
+  for (size_t d = 0; d < m.latent_dim; ++d) {
+    (*z)[d] = m.class_centers[y][d] + segment[d] + rng->Normal();
+  }
+
+  for (size_t j = 0; j < m.n_inf; ++j) {
+    double v = 0.0;
+    for (size_t d = 0; d < m.latent_dim; ++d) v += m.projections[j][d] * (*z)[d];
+    (*x_inf)[j] = v + m.feature_noise[j] * rng->Normal();
+    row[j] = (*x_inf)[j];
+  }
+  for (size_t j = 0; j < m.n_red; ++j) {
+    double v = 0.0;
+    for (size_t k = 0; k < m.n_inf; ++k) v += m.mix[j][k] * (*x_inf)[k];
+    row[m.n_inf + j] = v + config.redundant_noise * rng->Normal();
+  }
+  const double intensity = config.intensity_factor * rng->Normal();
+  for (size_t j = 0; j < m.n_noise; ++j) {
+    row[m.n_inf + m.n_red + j] = rng->Normal() + intensity;
+  }
+
+  if (config.label_noise > 0.0 && rng->Bernoulli(config.label_noise)) {
+    y = static_cast<int>(rng->NextBounded(config.num_classes));
+  }
+  return y;
+}
+
+// Salt + finalizer for the per-row RNG streams (SplitMix64-style avalanche):
+// adjacent row indices must land on statistically independent streams.
+constexpr uint64_t kRowStreamSalt = 0x5EEDF10A7B0A75ULL;
+
+uint64_t RowStreamSeed(uint64_t seed, uint64_t row) {
+  uint64_t x = seed ^ kRowStreamSalt ^ (row * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config) {
+  VFPS_RETURN_NOT_OK(ValidateConfig(config));
+  Rng rng(config.seed);
+  const detail::SyntheticModel m = BuildModel(config, &rng);
 
   SyntheticDataset out;
   out.data = Dataset(config.num_samples, config.num_features, config.num_classes);
-  out.kinds.reserve(config.num_features);
-  for (size_t j = 0; j < n_inf; ++j) out.kinds.push_back(FeatureKind::kInformative);
-  for (size_t j = 0; j < n_red; ++j) out.kinds.push_back(FeatureKind::kRedundant);
-  for (size_t j = 0; j < n_noise; ++j) out.kinds.push_back(FeatureKind::kNoise);
+  out.kinds = ModelKinds(m);
 
-  std::vector<double> z(latent_dim);
-  std::vector<double> x_inf(n_inf);
+  std::vector<double> z(m.latent_dim);
+  std::vector<double> x_inf(m.n_inf);
   for (size_t i = 0; i < config.num_samples; ++i) {
-    // Draw segment, then class from the segment's (possibly tilted) prior.
-    const size_t seg_id = rng.NextBounded(segments);
-    const auto& segment = segment_centers[seg_id];
-    int y = 0;
-    if (config.num_classes == 2) {
-      y = rng.Bernoulli(segment_class1_prior[seg_id]) ? 1 : 0;
-    } else {
-      const double u = rng.NextDouble();
-      while (y + 1 < config.num_classes && u > cumulative[y]) ++y;
-    }
+    out.data.SetLabel(i,
+                      DrawRow(config, m, &rng, out.data.MutableRow(i), &z, &x_inf));
+  }
+  return out;
+}
 
-    // Latent vector: class offset + segment + unit label-relevant noise.
-    for (size_t d = 0; d < latent_dim; ++d) {
-      z[d] = class_centers[y][d] + segment[d] + rng.Normal();
-    }
+Result<SyntheticShardStream> SyntheticShardStream::Create(
+    const SyntheticConfig& config) {
+  VFPS_RETURN_NOT_OK(ValidateConfig(config));
+  SyntheticShardStream stream;
+  stream.config_ = config;
+  Rng rng(config.seed);
+  stream.model_ = BuildModel(config, &rng);
+  stream.kinds_ = ModelKinds(stream.model_);
+  return stream;
+}
 
-    double* row = out.data.MutableRow(i);
-    for (size_t j = 0; j < n_inf; ++j) {
-      double v = 0.0;
-      for (size_t d = 0; d < latent_dim; ++d) v += projections[j][d] * z[d];
-      x_inf[j] = v + feature_noise[j] * rng.Normal();
-      row[j] = x_inf[j];
-    }
-    for (size_t j = 0; j < n_red; ++j) {
-      double v = 0.0;
-      for (size_t k = 0; k < n_inf; ++k) v += mix[j][k] * x_inf[k];
-      row[n_inf + j] = v + config.redundant_noise * rng.Normal();
-    }
-    const double intensity = config.intensity_factor * rng.Normal();
-    for (size_t j = 0; j < n_noise; ++j) {
-      row[n_inf + n_red + j] = rng.Normal() + intensity;
-    }
-
-    if (config.label_noise > 0.0 && rng.Bernoulli(config.label_noise)) {
-      y = static_cast<int>(rng.NextBounded(config.num_classes));
-    }
-    out.data.SetLabel(i, y);
+Result<Dataset> SyntheticShardStream::Rows(size_t begin, size_t end) const {
+  VFPS_CHECK_ARG(begin <= end && end <= config_.num_samples,
+                 "shard-stream: row range out of bounds");
+  Dataset out(end - begin, config_.num_features, config_.num_classes);
+  std::vector<double> z(model_.latent_dim);
+  std::vector<double> x_inf(model_.n_inf);
+  for (size_t i = begin; i < end; ++i) {
+    Rng row_rng(RowStreamSeed(config_.seed, i));
+    out.SetLabel(i - begin, DrawRow(config_, model_, &row_rng,
+                                    out.MutableRow(i - begin), &z, &x_inf));
   }
   return out;
 }

@@ -85,6 +85,58 @@ struct SyntheticDataset {
 /// Deterministic given the config (including the seed).
 Result<SyntheticDataset> GenerateClassification(const SyntheticConfig& config);
 
+namespace detail {
+/// Frozen generator parameters (class/segment centers, projections, mixing
+/// weights), drawn once from the config seed. Shared by the sequential
+/// generator and the shard stream so both sample the same row model.
+struct SyntheticModel {
+  size_t latent_dim = 0;
+  size_t segments = 0;
+  size_t n_inf = 0;
+  size_t n_red = 0;
+  size_t n_noise = 0;
+  std::vector<std::vector<double>> class_centers;
+  std::vector<std::vector<double>> segment_centers;
+  std::vector<double> segment_class1_prior;
+  std::vector<std::vector<double>> projections;
+  std::vector<double> feature_noise;
+  std::vector<std::vector<double>> mix;
+  std::vector<double> cumulative;  // cumulative class priors
+};
+}  // namespace detail
+
+/// \brief Streaming per-shard view of the synthetic dataset: materializes any
+/// row range [begin, end) on demand, so an out-of-core run over S shards
+/// holds one shard's rows at a time instead of the full N-row matrix.
+///
+/// Row i is a pure function of (config, i): each row draws from its own RNG
+/// stream seeded by mixing the config seed with the row index. Tiling the
+/// range therefore cannot change the data — Rows(0, N) row i equals
+/// Rows(b, e) row i for every shard layout, which is what makes sharded runs
+/// invariant to the shard count. NOTE: the per-row streams deliberately
+/// differ from GenerateClassification's single sequential stream (kept
+/// bit-identical for existing callers); the two samplers draw from the SAME
+/// frozen model, just with different noise realizations.
+class SyntheticShardStream {
+ public:
+  /// Validates the config and freezes the model (same parameter draws as
+  /// GenerateClassification, so difficulty/structure match the presets).
+  static Result<SyntheticShardStream> Create(const SyntheticConfig& config);
+
+  size_t num_rows() const { return config_.num_samples; }
+  size_t num_features() const { return config_.num_features; }
+  const std::vector<FeatureKind>& kinds() const { return kinds_; }
+
+  /// Dataset holding rows [begin, end) of the virtual dataset (row r of the
+  /// result is virtual row begin + r). Allocates (end - begin) rows only.
+  Result<Dataset> Rows(size_t begin, size_t end) const;
+
+ private:
+  SyntheticConfig config_;
+  detail::SyntheticModel model_;
+  std::vector<FeatureKind> kinds_;
+};
+
 }  // namespace vfps::data
 
 #endif  // VFPS_DATA_SYNTHETIC_H_

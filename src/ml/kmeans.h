@@ -1,0 +1,40 @@
+#ifndef VFPS_ML_KMEANS_H_
+#define VFPS_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/kernels.h"
+
+namespace vfps::ml {
+
+/// \brief Result of clustering a FeatureBlock's rows (Lloyd's algorithm).
+struct KMeansResult {
+  size_t clusters = 0;
+  size_t cols = 0;
+  /// clusters x cols centroids, row-major.
+  std::vector<double> centroids;
+  /// Per-row nearest-centroid assignment (ties to the lower cluster id).
+  std::vector<uint32_t> assignment;
+  /// Rows of each cluster, ascending — the nomination lists the TreeCSS-style
+  /// pre-filter broadcasts.
+  std::vector<std::vector<uint32_t>> members;
+
+  const double* centroid(size_t c) const { return centroids.data() + c * cols; }
+};
+
+/// \brief Deterministic seeded k-means over the block's rows: centroids start
+/// from a seeded sample of distinct rows, then `max_iters` Lloyd iterations
+/// (or until assignments stop changing). Distances go through the
+/// SquaredNorm / BlockSquaredDistances kernels, so assignments are
+/// bit-identical between the SIMD and forced-scalar builds — the clustering
+/// pre-filter cannot break the selector's scalar-vs-SIMD identity check.
+/// Empty clusters keep their previous centroid. `clusters` is clamped to the
+/// row count.
+Result<KMeansResult> KMeansCluster(const FeatureBlock& block, size_t clusters,
+                                   uint64_t seed, size_t max_iters = 8);
+
+}  // namespace vfps::ml
+
+#endif  // VFPS_ML_KMEANS_H_

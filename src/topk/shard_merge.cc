@@ -1,0 +1,110 @@
+#include "topk/shard_merge.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace vfps::topk {
+
+namespace {
+
+// Strict (value, id) order shared with ml::SmallestK's comparator, so a merge
+// of per-range SmallestK results reproduces the single-heap order exactly.
+inline bool Better(double av, uint64_t ai, double bv, uint64_t bi) {
+  if (av != bv) return av < bv;
+  return ai < bi;
+}
+
+Status ValidateSorted(const ShardTopk& t, const char* which) {
+  if (t.values.size() != t.ids.size()) {
+    return Status::InvalidArgument(
+        StrFormat("shard-merge: %s list has %zu values but %zu ids", which,
+                  t.values.size(), t.ids.size()));
+  }
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (Better(t.values[i], t.ids[i], t.values[i - 1], t.ids[i - 1])) {
+      return Status::InvalidArgument(StrFormat(
+          "shard-merge: %s list not sorted by (value, id) at entry %zu", which,
+          i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ShardTopk ShardTopkFromIndices(const std::vector<uint64_t>& top,
+                               const double* values, uint64_t id_offset) {
+  ShardTopk out;
+  out.values.reserve(top.size());
+  out.ids.reserve(top.size());
+  for (uint64_t local : top) {
+    out.values.push_back(values[local]);
+    out.ids.push_back(id_offset + local);
+  }
+  return out;
+}
+
+Result<ShardTopk> MergeTwoTopk(const ShardTopk& a, const ShardTopk& b,
+                               size_t k) {
+  VFPS_RETURN_NOT_OK(ValidateSorted(a, "left"));
+  VFPS_RETURN_NOT_OK(ValidateSorted(b, "right"));
+  ShardTopk out;
+  const size_t bound = std::min(k, a.size() + b.size());
+  out.values.reserve(bound);
+  out.ids.reserve(bound);
+  // Shards normally hold disjoint ids; the set only matters for defensive
+  // dedup (overlapping nominations, duplicated inputs) and stays O(k).
+  std::unordered_set<uint64_t> taken;
+  taken.reserve(bound);
+  size_t i = 0, j = 0;
+  while (out.size() < k && (i < a.size() || j < b.size())) {
+    const bool take_a =
+        j >= b.size() ||
+        (i < a.size() && Better(a.values[i], a.ids[i], b.values[j], b.ids[j]));
+    const double v = take_a ? a.values[i] : b.values[j];
+    const uint64_t id = take_a ? a.ids[i] : b.ids[j];
+    take_a ? ++i : ++j;
+    if (!taken.insert(id).second) continue;  // worse duplicate of a taken id
+    out.values.push_back(v);
+    out.ids.push_back(id);
+  }
+  return out;
+}
+
+Result<ShardTopk> HierarchicalTopkMerge(std::vector<ShardTopk> shards,
+                                        size_t k,
+                                        ShardMergeStats* stats) {
+  if (stats != nullptr) {
+    for (const ShardTopk& s : shards) stats->entries_in += s.size();
+  }
+  if (shards.empty()) return ShardTopk{};
+  // Tournament rounds: (0,1), (2,3), ... — an odd leftover advances as-is.
+  // MergeTwoTopk's truncation is lossless (its output is the true top-k of
+  // its inputs' union), so the result is independent of the tree shape.
+  while (shards.size() > 1) {
+    std::vector<ShardTopk> next;
+    next.reserve((shards.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < shards.size(); i += 2) {
+      VFPS_ASSIGN_OR_RETURN(auto merged,
+                            MergeTwoTopk(shards[i], shards[i + 1], k));
+      next.push_back(std::move(merged));
+      if (stats != nullptr) ++stats->merges;
+    }
+    if (shards.size() % 2 == 1) next.push_back(std::move(shards.back()));
+    shards = std::move(next);
+  }
+  // Single-shard input: still validate and clamp to k, so every path through
+  // the oracle goes through the same contract.
+  if (shards.front().size() > k) {
+    shards.front().values.resize(k);
+    shards.front().ids.resize(k);
+  }
+  VFPS_RETURN_NOT_OK(ValidateSorted(shards.front(), "result"));
+  return std::move(shards.front());
+}
+
+}  // namespace vfps::topk

@@ -1,0 +1,71 @@
+#ifndef VFPS_TOPK_SHARD_MERGE_H_
+#define VFPS_TOPK_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vfps::topk {
+
+/// \brief One shard's local top-k: parallel (value, id) arrays sorted
+/// ascending by (value, id). `ids` live in whatever global id space the
+/// caller merges in (original rows, compressed candidate indices, pseudo
+/// IDs) — the merge only requires that the space is shared across shards.
+///
+/// An empty ShardTopk (no entries) is valid and merges as the identity.
+struct ShardTopk {
+  std::vector<double> values;
+  std::vector<uint64_t> ids;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+};
+
+/// Build a ShardTopk from a SmallestK-style result: `top` holds shard-local
+/// indices into `values`, already sorted ascending by (value, local index).
+/// Global ids are `id_offset + local index`, so for contiguous shard layouts
+/// the (value, id) order is preserved verbatim.
+ShardTopk ShardTopkFromIndices(const std::vector<uint64_t>& top,
+                               const double* values, uint64_t id_offset);
+
+/// \brief Bounded merge of two shard-local top-k lists: the k best entries of
+/// the union under ascending (value, id) order, deduplicating ids (the better
+/// (value, id) occurrence of a duplicate id wins; exact duplicates collapse
+/// to one entry). O(k) time and memory.
+///
+/// Lossless truncation: when each input holds the best min(k, shard size)
+/// entries of its shard and shards do not share ids, the output is exactly
+/// the best k of the combined shards — which makes the operation associative
+/// and the hierarchical reduction below shape-independent.
+Result<ShardTopk> MergeTwoTopk(const ShardTopk& a, const ShardTopk& b,
+                               size_t k);
+
+/// Pairwise-merge accounting for the hierarchical reduction.
+struct ShardMergeStats {
+  size_t merges = 0;      // pairwise MergeTwoTopk invocations
+  size_t entries_in = 0;  // total input entries across all shards
+};
+
+/// \brief Hierarchical multi-way top-k merge: reduce the shard-local lists
+/// pairwise up a binary tournament tree ((0,1), (2,3), ... per round) until
+/// one list remains. Mirrors how shard nodes would combine results up an
+/// aggregation tree: every level moves only O(k) entries, so the fan-in cost
+/// is O(S·k) total instead of the O(N) a flat re-rank would touch.
+///
+/// Agreement contract (tested): when the shards partition a value array into
+/// contiguous ranges and each ShardTopk is SmallestK over its range (ids
+/// offset to the global space), the merged result is bit-identical to
+/// single-heap SmallestK over the whole array — same ids, same order, ties
+/// broken by lower id. Empty shard lists and k larger than any shard are
+/// handled naturally; duplicate ids across shards are deduplicated.
+///
+/// An empty `shards` vector yields an empty result.
+Result<ShardTopk> HierarchicalTopkMerge(std::vector<ShardTopk> shards,
+                                        size_t k,
+                                        ShardMergeStats* stats = nullptr);
+
+}  // namespace vfps::topk
+
+#endif  // VFPS_TOPK_SHARD_MERGE_H_

@@ -5,16 +5,20 @@
 #include <limits>
 #include <memory>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "common/buffer.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "ml/kmeans.h"
 #include "ml/knn.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "topk/fagin.h"
+#include "topk/shard_merge.h"
 #include "topk/threshold.h"
 
 namespace vfps::vfl {
@@ -56,6 +60,10 @@ Result<double> DecodeScalar(const std::vector<uint8_t>& payload) {
   BinaryReader reader(payload);
   return reader.ReadDouble();
 }
+
+// Lloyd iterations of the pre-filter's per-party clustering; also the basis
+// of the simulated-clock charge for building the models.
+constexpr size_t kPrefilterKmeansIters = 8;
 }  // namespace
 
 const char* KnnOracleModeName(KnnOracleMode mode) {
@@ -124,6 +132,9 @@ FederatedKnnOracle::FederatedKnnOracle(const data::Dataset* joint_train,
     }
     h_unit_sim_ns_ = obs_->GetHistogram("knn.query.sim_ns");
     h_unit_wall_ns_ = obs_->GetHistogram("knn.query.wall_ns");
+    c_shard_merges_ = obs_->GetCounter("knn.shard.merges");
+    c_prefilter_candidates_ = obs_->GetCounter("knn.prefilter.candidates");
+    c_prefilter_pruned_ = obs_->GetCounter("knn.prefilter.pruned_rows");
   }
 }
 
@@ -198,6 +209,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   VFPS_CHECK_ARG(n > config.k + 1, "fed-knn: dataset smaller than k");
   VFPS_CHECK_ARG(config.num_queries >= 1, "fed-knn: need >= 1 query");
   VFPS_CHECK_ARG(config.fagin_batch >= 1, "fed-knn: fagin batch must be >= 1");
+  VFPS_CHECK_ARG(config.shards >= 1, "fed-knn: shards must be >= 1");
+  // Both sharding and the pre-filter route through the per-shard aggregation
+  // rounds, which batch by shard — cross-query slot batching would fight
+  // that layout, so the combinations are rejected up front.
+  const bool sharded = config.shards > 1 || config.prefilter_clusters > 0;
+  VFPS_CHECK_ARG(!sharded || config.query_group == 1,
+                 "fed-knn: query_group batching is unsupported with --shards "
+                 "or --prefilter");
 
   // Survivor view: everybody minus the quarantined and not-yet-joined
   // participants. With no exclusions the list is 0..P-1 and every code path
@@ -307,6 +326,48 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
   }
   const size_t num_units = queries.empty() ? 0 : (queries.size() + group - 1) / group;
 
+  // Sharded-path runtime: the row-shard plan, the per-party pre-filter
+  // models, and the per-shard metric handles — all built serially here so
+  // query tasks share it read-only (no registry mutex, no model races).
+  ShardRuntime shard_rt;
+  std::vector<ml::KMeansResult> prefilter_models;
+  if (sharded) {
+    VFPS_ASSIGN_OR_RETURN(shard_rt.plan, data::MakeRowShards(n, config.shards));
+    if (config.prefilter_clusters > 0) {
+      // Each active party clusters its own columns once per Run — local
+      // plaintext work (no protocol traffic), charged as parallel compute.
+      prefilter_models.resize(p);
+      double worst_seconds = 0.0;
+      for (size_t party : active) {
+        VFPS_ASSIGN_OR_RETURN(
+            prefilter_models[party],
+            ml::KMeansCluster(party_blocks_[party], config.prefilter_clusters,
+                              config.seed + party, kPrefilterKmeansIters));
+        worst_seconds = std::max(
+            worst_seconds,
+            static_cast<double>(kPrefilterKmeansIters) *
+                static_cast<double>(prefilter_models[party].clusters) *
+                cost_->DistanceSeconds(n, (*partition_)[party].size()));
+      }
+      clock_->Advance(CostCategory::kCompute, worst_seconds);
+      shard_rt.prefilter = &prefilter_models;
+      // Nominating ~4k rows per party keeps recall high while still pruning
+      // the overwhelming majority of a large shard plan.
+      shard_rt.prefilter_target = std::max<size_t>(4 * config.k, 32);
+    }
+    if (obs_ != nullptr) {
+      shard_rt.sim_ns.resize(shard_rt.plan.size());
+      shard_rt.candidates.resize(shard_rt.plan.size());
+      for (size_t s = 0; s < shard_rt.plan.size(); ++s) {
+        const std::string label = StrFormat("%zu", s);
+        shard_rt.sim_ns[s] =
+            obs_->GetLabeledCounter("knn.shard.sim_ns", {{"shard", label}});
+        shard_rt.candidates[s] =
+            obs_->GetLabeledCounter("knn.shard.candidates", {{"shard", label}});
+      }
+    }
+  }
+
   // Bind (or re-validate) the contribution cache against this run's protocol
   // shape. A key mismatch — different seed, mode, k, query count, batching or
   // dataset size — clears the cache, so stale contributions can never leak
@@ -321,6 +382,8 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     key.group = group;
     key.n_rows = n;
     key.num_units = num_units;
+    key.shards = config.shards;
+    key.prefilter_clusters = config.prefilter_clusters;
     cache_->Rekey(key);
   }
 
@@ -372,10 +435,14 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
     }
     apply_membership_marks(&slot.net);
     net::ReliableChannel chan(&slot.net, &slot.clock, retry);
+    // The sharded paths rebuild per-shard state from scratch every run, so
+    // they neither consult nor stage contribution-cache entries (the Rekey
+    // above still rejects shard-layout mismatches for checkpointed runs).
     const QueryEnv env{slot.session.get(), &slot.net, &chan, &slot.clock,
                        &active, tracer,
-                       cache_ == nullptr ? nullptr : cache_->unit(u),
-                       cache_ == nullptr ? nullptr : &slot.produced};
+                       (cache_ == nullptr || sharded) ? nullptr : cache_->unit(u),
+                       (cache_ == nullptr || sharded) ? nullptr : &slot.produced,
+                       sharded ? &shard_rt : nullptr};
     const size_t lo = u * group;
     const size_t hi = std::min(queries.size(), lo + group);
     if (config.mode == KnnOracleMode::kBase && hi - lo > 1) {
@@ -388,10 +455,18 @@ Result<std::vector<QueryNeighborhood>> FederatedKnnOracle::Run(
       return;
     }
     Result<QueryNeighborhood> hood =
-        config.mode == KnnOracleMode::kBase
-            ? RunBaseQuery(env, queries[lo], config.k, &slot.stats)
-            : RunTopkQuery(env, pseudo, queries[lo], config.k,
-                           config.fagin_batch, config.mode, &slot.stats);
+        env.shard != nullptr
+            ? (config.mode == KnnOracleMode::kBase
+                   ? RunBaseQuerySharded(env, queries[lo], config.k,
+                                         &slot.stats)
+                   : RunTopkQuerySharded(env, pseudo, queries[lo], config.k,
+                                         config.fagin_batch, config.mode,
+                                         &slot.stats))
+            : (config.mode == KnnOracleMode::kBase
+                   ? RunBaseQuery(env, queries[lo], config.k, &slot.stats)
+                   : RunTopkQuery(env, pseudo, queries[lo], config.k,
+                                  config.fagin_batch, config.mode,
+                                  &slot.stats));
     if (hood.ok()) {
       slot.hoods.push_back(hood.MoveValueUnsafe());
     } else {
@@ -1176,6 +1251,646 @@ Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuery(
   if (stats != nullptr) {
     stats->candidates_encrypted += c;
     stats->fagin_depth += depth;
+  }
+  return hood;
+}
+
+Result<std::vector<uint64_t>> FederatedKnnOracle::RunPrefilterExchange(
+    const QueryEnv& env, const ShardRuntime& rt, uint64_t query_row) const {
+  const size_t n = joint_->num_samples();
+  const std::vector<size_t>& active = *env.active;
+  const size_t a = active.size();
+  const std::vector<ml::KMeansResult>& models = *rt.prefilter;
+
+  obs::Span span(env.tracer, "knn.prefilter", env.clock);
+  span.SetNode("parties");
+  // Each party ranks its clusters by centroid distance to its slice of the
+  // query and nominates the nearest clusters' member rows until the coverage
+  // target is met. Plaintext and party-local; only row ids cross the wire.
+  std::vector<std::vector<uint64_t>> nominated(a);
+  std::vector<uint8_t> mask(n, 0);
+  double worst_seconds = 0.0;
+  const double* qrow = joint_->Row(query_row);
+  for (size_t ai = 0; ai < a; ++ai) {
+    const size_t party = active[ai];
+    const ml::KMeansResult& km = models[party];
+    const ml::FeatureBlock& block = party_blocks_[party];
+    std::vector<double> qslice(block.cols());
+    block.GatherInto(qrow, qslice.data());
+    const double q_norm = ml::SquaredNorm(qslice.data(), block.cols());
+    std::vector<std::pair<double, uint32_t>> ranked;
+    ranked.reserve(km.clusters);
+    for (size_t c = 0; c < km.clusters; ++c) {
+      const double* centroid = km.centroid(c);
+      const double dot = ml::DotProduct(qslice.data(), centroid, block.cols());
+      const double c_norm = ml::SquaredNorm(centroid, block.cols());
+      ranked.emplace_back(q_norm + c_norm - 2.0 * dot,
+                          static_cast<uint32_t>(c));
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t covered = 0;
+    for (const auto& [dist, c] : ranked) {
+      (void)dist;
+      for (uint32_t row : km.members[c]) {
+        nominated[ai].push_back(row);
+        if (row != query_row) mask[row] = 1;
+      }
+      covered += km.members[c].size();
+      if (covered >= rt.prefilter_target) break;
+    }
+    worst_seconds = std::max(
+        worst_seconds, cost_->DistanceSeconds(km.clusters, block.cols()));
+  }
+  env.clock->Advance(CostCategory::kCompute, worst_seconds);
+
+  // Nomination exchange: parties upload their lists, the server broadcasts
+  // the deduplicated union — same wire shape as the Fagin candidate exchange.
+  uint64_t fan_in_worst = 0;
+  for (size_t ai = 0; ai < a; ++ai) {
+    VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                      net::kAggregationServer,
+                                      EncodeIds(nominated[ai])));
+    VFPS_RETURN_NOT_OK(env.chan->Recv(static_cast<int>(active[ai]),
+                                      net::kAggregationServer)
+                           .status());
+    fan_in_worst =
+        std::max(fan_in_worst, static_cast<uint64_t>(nominated[ai].size()) *
+                                   sizeof(uint64_t));
+  }
+  ChargeFanIn(env.clock, fan_in_worst, a);
+
+  std::vector<uint64_t> candidates;
+  for (size_t row = 0; row < n; ++row) {
+    if (mask[row] != 0) candidates.push_back(row);
+  }
+  for (size_t party : active) {
+    VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer,
+                                      static_cast<int>(party),
+                                      EncodeIds(candidates)));
+    VFPS_RETURN_NOT_OK(
+        env.chan->Recv(net::kAggregationServer, static_cast<int>(party))
+            .status());
+  }
+  ChargeFanOut(env.clock, candidates.size() * sizeof(uint64_t), a);
+
+  if (c_prefilter_candidates_ != nullptr) {
+    c_prefilter_candidates_->Add(candidates.size());
+    c_prefilter_pruned_->Add((n - 1) - candidates.size());
+  }
+  return candidates;
+}
+
+Result<QueryNeighborhood> FederatedKnnOracle::RunBaseQuerySharded(
+    const QueryEnv& env, uint64_t query_row, size_t k,
+    FedKnnStats* stats) const {
+  const size_t p = num_participants();
+  const std::vector<size_t>& active = *env.active;
+  const size_t a = active.size();
+  const ShardRuntime& rt = *env.shard;
+
+  // Optional TreeCSS-style pre-filter: nomination happens once, BEFORE any
+  // distance or HE work, and every shard below touches only its slice of the
+  // candidate set. `filtered == false` means every row is a candidate.
+  const bool filtered = rt.prefilter != nullptr;
+  std::vector<uint64_t> candidates;  // ascending original rows, query excluded
+  if (filtered) {
+    VFPS_ASSIGN_OR_RETURN(candidates,
+                          RunPrefilterExchange(env, rt, query_row));
+  }
+
+  // Per-party query slices, gathered once and reused by every shard.
+  std::vector<std::vector<double>> qslices(a);
+  std::vector<double> qnorms(a, 0.0);
+  const double* qrow = joint_->Row(query_row);
+  for (size_t ai = 0; ai < a; ++ai) {
+    const ml::FeatureBlock& block = party_blocks_[active[ai]];
+    qslices[ai].resize(block.cols());
+    block.GatherInto(qrow, qslices[ai].data());
+    qnorms[ai] = ml::SquaredNorm(qslices[ai].data(), block.cols());
+  }
+
+  // Shard loop: the complete BASE round (distances -> encrypt -> aggregate ->
+  // decrypt -> shard-local SmallestK) runs per shard, so only O(shard)
+  // protocol state is ever live. Ids are global COMPRESSED indices (the
+  // unsharded ranking's id space), which keeps the merge's (value, id) order
+  // identical to RunBaseQuery's SmallestK order.
+  std::vector<topk::ShardTopk> shard_tops;
+  shard_tops.reserve(rt.plan.size());
+  size_t total_count = 0;
+  for (size_t s = 0; s < rt.plan.size(); ++s) {
+    const data::RowShard& shard = rt.plan[s];
+    // This shard's candidate rows, ascending, query row excluded.
+    std::vector<uint64_t> rows;
+    if (filtered) {
+      const auto first =
+          std::lower_bound(candidates.begin(), candidates.end(),
+                           static_cast<uint64_t>(shard.begin));
+      const auto last = std::lower_bound(first, candidates.end(),
+                                         static_cast<uint64_t>(shard.end));
+      rows.assign(first, last);
+    } else {
+      rows.reserve(shard.rows());
+      for (size_t row = shard.begin; row < shard.end; ++row) {
+        if (row != query_row) rows.push_back(row);
+      }
+    }
+    const size_t count = rows.size();
+    if (count == 0) continue;
+    total_count += count;
+
+    obs::Span shard_span(env.tracer, "knn.shard", env.clock);
+    shard_span.SetNode("parties");
+    if (env.tracer != nullptr) {
+      shard_span.Annotate("shard", StrFormat("%zu", s));
+      shard_span.Annotate("rows", StrFormat("%zu", count));
+    }
+    PhaseTimer shard_timer(rt.sim_ns.empty() ? nullptr : rt.sim_ns[s],
+                           env.clock);
+    if (!rt.candidates.empty()) rt.candidates[s]->Add(count);
+
+    // Phase 1 (parallel parties): partial distances over the shard's rows via
+    // the range kernel — contiguous sub-ranges around the query row when
+    // unfiltered, single-row calls on the sparse candidate set when filtered.
+    // Either way each row's value is bit-identical to a full-range sweep.
+    PhaseTimer phase_dist(c_phase_dist_, env.clock);
+    std::vector<std::vector<double>> partials(a);
+    std::vector<double> compute_seconds(a, 0.0);
+    for (size_t ai = 0; ai < a; ++ai) {
+      const ml::FeatureBlock& block = party_blocks_[active[ai]];
+      const double* q = qslices[ai].data();
+      partials[ai].resize(count);
+      if (!filtered) {
+        if (query_row < shard.begin || query_row >= shard.end) {
+          ml::BlockSquaredDistances(block, q, qnorms[ai], shard.begin,
+                                    shard.end, partials[ai].data());
+        } else {
+          ml::BlockSquaredDistances(block, q, qnorms[ai], shard.begin,
+                                    query_row, partials[ai].data());
+          ml::BlockSquaredDistances(block, q, qnorms[ai], query_row + 1,
+                                    shard.end,
+                                    partials[ai].data() +
+                                        (query_row - shard.begin));
+        }
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          const size_t row = static_cast<size_t>(rows[i]);
+          ml::BlockSquaredDistances(block, q, qnorms[ai], row, row + 1,
+                                    &partials[ai][i]);
+        }
+      }
+      compute_seconds[ai] = cost_->DistanceSeconds(count, block.cols());
+    }
+    ChargeParallelCompute(env.clock, compute_seconds);
+    phase_dist.End();
+
+    // Phases 2-4: per-shard encrypted aggregation round — the same wire
+    // shape as the unsharded BASE round, sized by the shard.
+    PhaseTimer phase_enc(c_phase_encrypt_, env.clock);
+    VFPS_ASSIGN_OR_RETURN(auto encrypted, env.backend->EncryptBatch(partials));
+    for (size_t ai = 0; ai < a; ++ai) {
+      if (!c_party_enc_values_.empty()) {
+        c_party_enc_values_[active[ai]]->Add(count);
+      }
+      VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                        net::kAggregationServer,
+                                        encrypted[ai].blob));
+    }
+    env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(count));
+    ChargeFanIn(env.clock, cost_->EncryptedWireBytes(count), a);
+    phase_enc.End();
+
+    PhaseTimer phase_agg(c_phase_agg_, env.clock);
+    std::vector<const he::EncryptedVector*> ptrs(a);
+    for (size_t ai = 0; ai < a; ++ai) {
+      VFPS_ASSIGN_OR_RETURN(auto blob,
+                            env.chan->Recv(static_cast<int>(active[ai]),
+                                           net::kAggregationServer));
+      encrypted[ai] = he::EncryptedVector{std::move(blob), count};
+      ptrs[ai] = &encrypted[ai];
+    }
+    VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
+    env.clock->Advance(CostCategory::kHeEval,
+                       static_cast<double>(a - 1) *
+                           cost_->HeAddSecondsFor(count));
+    VFPS_RETURN_NOT_OK(
+        env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
+    ChargeFanOut(env.clock, cost_->EncryptedWireBytes(count), 1);
+    phase_agg.End();
+
+    PhaseTimer phase_rank(c_phase_rank_, env.clock);
+    VFPS_ASSIGN_OR_RETURN(auto blob,
+                          env.chan->Recv(net::kAggregationServer, kLeader));
+    VFPS_ASSIGN_OR_RETURN(
+        auto distances,
+        env.backend->Decrypt(he::EncryptedVector{std::move(blob), count}));
+    env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(count));
+    env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(count));
+    const auto top = SmallestK(distances.data(), count, k);
+    phase_rank.End();
+
+    // Shard-local top-k in the global compressed id space. `rows` is
+    // ascending, so compressed ids are monotone in the local index and
+    // SmallestK's (value, local index) order IS the merge's (value, id)
+    // order — no re-sort needed.
+    topk::ShardTopk st;
+    st.values.reserve(top.size());
+    st.ids.reserve(top.size());
+    for (uint64_t li : top) {
+      st.values.push_back(distances[li]);
+      const uint64_t row = rows[li];
+      st.ids.push_back(row < query_row ? row : row - 1);
+    }
+    shard_tops.push_back(std::move(st));
+  }
+
+  // Hierarchical merge at the leader: tournament rounds over the shard
+  // top-ks. Lossless and associative, so the result equals the top-k of the
+  // concatenated candidate set — i.e. exactly RunBaseQuery's ranking when
+  // the pre-filter is off.
+  obs::Span span_merge(env.tracer, "knn.topk_merge", env.clock);
+  span_merge.SetNode("leader");
+  PhaseTimer phase_merge(c_phase_merge_, env.clock);
+  topk::ShardMergeStats merge_stats;
+  VFPS_ASSIGN_OR_RETURN(auto merged,
+                        topk::HierarchicalTopkMerge(std::move(shard_tops), k,
+                                                    &merge_stats));
+  env.clock->Advance(CostCategory::kCompute,
+                     cost_->SortSeconds(merge_stats.entries_in));
+  if (c_shard_merges_ != nullptr) c_shard_merges_->Add(merge_stats.merges);
+  phase_merge.End();
+  span_merge.End();
+
+  QueryNeighborhood hood;
+  hood.query_row = query_row;
+  hood.neighbors.reserve(merged.size());
+  for (uint64_t idx : merged.ids) {
+    hood.neighbors.push_back(CompressedToRow(idx, query_row));
+  }
+
+  // d_T exchange. The shard-local partials are gone by design (O(shard)
+  // residency), so each party recomputes its k neighbor rows with single-row
+  // kernel calls — bit-identical to the values it aggregated above.
+  obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
+  span_dt.SetNode("leader");
+  PhaseTimer phase_dt(c_phase_dt_, env.clock);
+  for (size_t party : active) {
+    if (party == 0) continue;
+    VFPS_RETURN_NOT_OK(
+        env.chan->Send(kLeader, static_cast<int>(party), EncodeIds(merged.ids)));
+  }
+  ChargeFanOut(env.clock, merged.size() * sizeof(uint64_t), a - 1);
+  hood.per_party_dt.assign(p, 0.0);
+  std::vector<double> dt_seconds(a, 0.0);
+  for (size_t ai = 0; ai < a; ++ai) {
+    const size_t party = active[ai];
+    std::vector<uint64_t> ids = merged.ids;
+    if (party != 0) {
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            env.chan->Recv(kLeader, static_cast<int>(party)));
+      VFPS_ASSIGN_OR_RETURN(ids, DecodeIds(payload));
+    }
+    const ml::FeatureBlock& block = party_blocks_[party];
+    double dt = 0.0;
+    for (uint64_t idx : ids) {
+      const size_t row = static_cast<size_t>(CompressedToRow(idx, query_row));
+      double d = 0.0;
+      ml::BlockSquaredDistances(block, qslices[ai].data(), qnorms[ai], row,
+                                row + 1, &d);
+      dt += d;
+    }
+    dt_seconds[ai] = cost_->DistanceSeconds(ids.size(), block.cols());
+    if (party == 0) {
+      hood.per_party_dt[0] = dt;
+    } else {
+      VFPS_RETURN_NOT_OK(
+          env.chan->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            env.chan->Recv(static_cast<int>(party), kLeader));
+      VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
+    }
+  }
+  ChargeParallelCompute(env.clock, dt_seconds);
+  ChargeFanIn(env.clock, sizeof(double), a - 1);
+  phase_dt.End();
+  span_dt.End();
+
+  if (h_candidates_ != nullptr) h_candidates_->Record(total_count);
+  if (stats != nullptr) stats->candidates_encrypted += total_count;
+  return hood;
+}
+
+Result<QueryNeighborhood> FederatedKnnOracle::RunTopkQuerySharded(
+    const QueryEnv& env, const PseudoIdMap& pseudo, uint64_t query_row,
+    size_t k, size_t batch, KnnOracleMode mode, FedKnnStats* stats) const {
+  const size_t p = num_participants();
+  const std::vector<size_t>& active = *env.active;
+  const size_t a = active.size();
+  const ShardRuntime& rt = *env.shard;
+
+  const bool filtered = rt.prefilter != nullptr;
+  std::vector<uint64_t> candidates;  // ascending original rows, query excluded
+  if (filtered) {
+    VFPS_ASSIGN_OR_RETURN(candidates,
+                          RunPrefilterExchange(env, rt, query_row));
+  }
+
+  std::vector<std::vector<double>> qslices(a);
+  std::vector<double> qnorms(a, 0.0);
+  const double* qrow = joint_->Row(query_row);
+  for (size_t ai = 0; ai < a; ++ai) {
+    const ml::FeatureBlock& block = party_blocks_[active[ai]];
+    qslices[ai].resize(block.cols());
+    block.GatherInto(qrow, qslices[ai].data());
+    qnorms[ai] = ml::SquaredNorm(qslices[ai].data(), block.cols());
+  }
+
+  // Shard loop: each shard runs the COMPLETE Fagin/TA pipeline over its own
+  // rows — sub-ranking sort, phase-1 merge, mini-batch streaming, candidate
+  // encryption, shard-local SmallestK — so resident ranking state is
+  // O(shard·P), never O(N·P). Items live in a shard-local index space; only
+  // pseudo ids go on the wire and into the merge.
+  std::vector<topk::ShardTopk> shard_tops;
+  shard_tops.reserve(rt.plan.size());
+  size_t total_candidates = 0;
+  uint64_t total_depth = 0;
+  for (size_t s = 0; s < rt.plan.size(); ++s) {
+    const data::RowShard& shard = rt.plan[s];
+    std::vector<uint64_t> rows;  // this shard's items (ascending, no query)
+    if (filtered) {
+      const auto first =
+          std::lower_bound(candidates.begin(), candidates.end(),
+                           static_cast<uint64_t>(shard.begin));
+      const auto last = std::lower_bound(first, candidates.end(),
+                                         static_cast<uint64_t>(shard.end));
+      rows.assign(first, last);
+    } else {
+      rows.reserve(shard.rows());
+      for (size_t row = shard.begin; row < shard.end; ++row) {
+        if (row != query_row) rows.push_back(row);
+      }
+    }
+    const size_t m = rows.size();
+    if (m == 0) continue;
+
+    obs::Span shard_span(env.tracer, "knn.shard", env.clock);
+    shard_span.SetNode("parties");
+    if (env.tracer != nullptr) {
+      shard_span.Annotate("shard", StrFormat("%zu", s));
+      shard_span.Annotate("rows", StrFormat("%zu", m));
+    }
+    PhaseTimer shard_timer(rt.sim_ns.empty() ? nullptr : rt.sim_ns[s],
+                           env.clock);
+    if (!rt.candidates.empty()) rt.candidates[s]->Add(m);
+
+    // Phase 1 (parallel parties): shard-local scores + sub-ranking sort.
+    // Unlike the unsharded path the query row is excluded from the item
+    // space up front (instead of carrying an +inf sentinel), which changes
+    // nothing downstream: +inf can never enter a top-k or candidate set.
+    PhaseTimer phase_dist(c_phase_dist_, env.clock);
+    std::vector<uint64_t> pids(m);
+    for (size_t i = 0; i < m; ++i) {
+      pids[i] = pseudo.ToPseudo(static_cast<size_t>(rows[i]));
+    }
+    std::vector<std::vector<double>> scores(a);
+    std::vector<std::vector<uint64_t>> orders(a);
+    std::vector<double> compute_seconds(a, 0.0);
+    for (size_t ai = 0; ai < a; ++ai) {
+      const ml::FeatureBlock& block = party_blocks_[active[ai]];
+      const double* q = qslices[ai].data();
+      scores[ai].resize(m);
+      if (!filtered) {
+        if (query_row < shard.begin || query_row >= shard.end) {
+          ml::BlockSquaredDistances(block, q, qnorms[ai], shard.begin,
+                                    shard.end, scores[ai].data());
+        } else {
+          ml::BlockSquaredDistances(block, q, qnorms[ai], shard.begin,
+                                    query_row, scores[ai].data());
+          ml::BlockSquaredDistances(block, q, qnorms[ai], query_row + 1,
+                                    shard.end,
+                                    scores[ai].data() +
+                                        (query_row - shard.begin));
+        }
+      } else {
+        for (size_t i = 0; i < m; ++i) {
+          const size_t row = static_cast<size_t>(rows[i]);
+          ml::BlockSquaredDistances(block, q, qnorms[ai], row, row + 1,
+                                    &scores[ai][i]);
+        }
+      }
+      orders[ai] = topk::RankedListSet::SortedOrder(scores[ai]);
+      compute_seconds[ai] =
+          cost_->DistanceSeconds(m, block.cols()) + cost_->SortSeconds(m);
+    }
+    ChargeParallelCompute(env.clock, compute_seconds);
+    phase_dist.End();
+
+    // Shard-local phase-1 merge (exact within the shard).
+    PhaseTimer phase_merge(c_phase_merge_, env.clock);
+    VFPS_ASSIGN_OR_RETURN(auto lists,
+                          topk::RankedListSet::BuildPresorted(scores, orders));
+    topk::TopkResult merge;
+    if (mode == KnnOracleMode::kThreshold) {
+      VFPS_ASSIGN_OR_RETURN(merge, topk::ThresholdTopk(lists, k, obs_));
+    } else {
+      VFPS_ASSIGN_OR_RETURN(merge, topk::FaginTopk(lists, k, batch, obs_));
+    }
+    phase_merge.End();
+
+    // Mini-batch streaming of this shard's sub-rankings — the wire carries
+    // pseudo ids, the resident ranking state stays O(shard).
+    PhaseTimer phase_stream(c_phase_stream_, env.clock);
+    const size_t depth = merge.depth;
+    total_depth += depth;
+    for (size_t start = 0; start < depth; start += batch) {
+      const size_t end = std::min(depth, start + batch);
+      for (size_t ai = 0; ai < a; ++ai) {
+        std::vector<uint64_t> chunk;
+        chunk.reserve(end - start);
+        for (size_t r = start; r < end; ++r) {
+          chunk.push_back(pids[lists.IdAtRank(ai, r)]);
+        }
+        VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                          net::kAggregationServer,
+                                          EncodeIds(chunk)));
+        VFPS_RETURN_NOT_OK(env.chan->Recv(static_cast<int>(active[ai]),
+                                          net::kAggregationServer)
+                               .status());
+      }
+      ChargeFanIn(env.clock, (end - start) * sizeof(uint64_t), a);
+    }
+    env.clock->Advance(CostCategory::kCompute,
+                       static_cast<double>(merge.sorted_accesses) *
+                           cost_->compare_seconds);
+    if (mode == KnnOracleMode::kThreshold) {
+      const double rounds = std::ceil(static_cast<double>(depth) /
+                                      static_cast<double>(batch));
+      env.clock->Advance(CostCategory::kEncrypt,
+                         rounds * cost_->EncryptSecondsFor(1));
+      env.clock->Advance(CostCategory::kHeEval,
+                         rounds * static_cast<double>(a - 1) *
+                             cost_->HeAddSecondsFor(1));
+      env.clock->Advance(CostCategory::kDecrypt,
+                         rounds * cost_->DecryptSecondsFor(1));
+      env.clock->Advance(
+          CostCategory::kNetwork,
+          rounds * cost_->NetworkSeconds(cost_->EncryptedWireBytes(1) *
+                                             (static_cast<uint64_t>(a) + 1),
+                                         2));
+    }
+    phase_stream.End();
+
+    // Candidate-set encryption round, sized by this shard's candidates.
+    const std::vector<uint64_t>& cand = merge.candidate_ids;  // local items
+    const size_t c = cand.size();
+    total_candidates += c;
+    std::vector<uint64_t> cand_pids(c);
+    for (size_t i = 0; i < c; ++i) cand_pids[i] = pids[cand[i]];
+
+    PhaseTimer phase_enc(c_phase_encrypt_, env.clock);
+    for (size_t party : active) {
+      VFPS_RETURN_NOT_OK(env.chan->Send(net::kAggregationServer,
+                                        static_cast<int>(party),
+                                        EncodeIds(cand_pids)));
+      VFPS_RETURN_NOT_OK(
+          env.chan->Recv(net::kAggregationServer, static_cast<int>(party))
+              .status());
+    }
+    ChargeFanOut(env.clock, c * sizeof(uint64_t), a);
+    std::vector<std::vector<double>> party_values(a);
+    for (size_t ai = 0; ai < a; ++ai) {
+      party_values[ai].reserve(c);
+      for (uint64_t li : cand) party_values[ai].push_back(scores[ai][li]);
+    }
+    VFPS_ASSIGN_OR_RETURN(auto encrypted,
+                          env.backend->EncryptBatch(party_values));
+    std::vector<const he::EncryptedVector*> ptrs(a);
+    for (size_t ai = 0; ai < a; ++ai) {
+      if (!c_party_enc_values_.empty()) {
+        c_party_enc_values_[active[ai]]->Add(c);
+      }
+      VFPS_RETURN_NOT_OK(env.chan->Send(static_cast<int>(active[ai]),
+                                        net::kAggregationServer,
+                                        encrypted[ai].blob));
+    }
+    env.clock->Advance(CostCategory::kEncrypt, cost_->EncryptSecondsFor(c));
+    ChargeFanIn(env.clock, cost_->EncryptedWireBytes(c), a);
+    phase_enc.End();
+
+    PhaseTimer phase_agg(c_phase_agg_, env.clock);
+    for (size_t ai = 0; ai < a; ++ai) {
+      VFPS_ASSIGN_OR_RETURN(auto blob,
+                            env.chan->Recv(static_cast<int>(active[ai]),
+                                           net::kAggregationServer));
+      encrypted[ai] = he::EncryptedVector{std::move(blob), c};
+      ptrs[ai] = &encrypted[ai];
+    }
+    VFPS_ASSIGN_OR_RETURN(auto summed, env.backend->Sum(ptrs));
+    env.clock->Advance(CostCategory::kHeEval,
+                       static_cast<double>(a - 1) * cost_->HeAddSecondsFor(c));
+    VFPS_RETURN_NOT_OK(
+        env.chan->Send(net::kAggregationServer, kLeader, summed.blob));
+    ChargeFanOut(env.clock, cost_->EncryptedWireBytes(c), 1);
+    phase_agg.End();
+
+    PhaseTimer phase_rank(c_phase_rank_, env.clock);
+    VFPS_ASSIGN_OR_RETURN(auto blob,
+                          env.chan->Recv(net::kAggregationServer, kLeader));
+    VFPS_ASSIGN_OR_RETURN(
+        auto agg_distances,
+        env.backend->Decrypt(he::EncryptedVector{std::move(blob), c}));
+    env.clock->Advance(CostCategory::kDecrypt, cost_->DecryptSecondsFor(c));
+    env.clock->Advance(CostCategory::kCompute, cost_->SortSeconds(c));
+    const auto top_local = SmallestK(agg_distances.data(), c, k);
+    phase_rank.End();
+
+    // Shard top-k keyed by pseudo id. SmallestK ties break by candidate
+    // position, which is not monotone in pid, so canonicalize to the merge's
+    // (value, id) order — a divergence only on exact aggregate ties, which
+    // continuous features make vanishingly unlikely.
+    std::vector<std::pair<double, uint64_t>> entries;
+    entries.reserve(top_local.size());
+    for (uint64_t idx : top_local) {
+      entries.emplace_back(agg_distances[idx], cand_pids[idx]);
+    }
+    std::sort(entries.begin(), entries.end());
+    topk::ShardTopk st;
+    st.values.reserve(entries.size());
+    st.ids.reserve(entries.size());
+    for (const auto& [value, pid] : entries) {
+      st.values.push_back(value);
+      st.ids.push_back(pid);
+    }
+    shard_tops.push_back(std::move(st));
+  }
+
+  // Hierarchical merge over the shard top-ks (pseudo-id space).
+  obs::Span span_merge(env.tracer, "knn.topk_merge", env.clock);
+  span_merge.SetNode("leader");
+  PhaseTimer phase_hmerge(c_phase_merge_, env.clock);
+  topk::ShardMergeStats merge_stats;
+  VFPS_ASSIGN_OR_RETURN(auto merged,
+                        topk::HierarchicalTopkMerge(std::move(shard_tops), k,
+                                                    &merge_stats));
+  env.clock->Advance(CostCategory::kCompute,
+                     cost_->SortSeconds(merge_stats.entries_in));
+  if (c_shard_merges_ != nullptr) c_shard_merges_->Add(merge_stats.merges);
+  phase_hmerge.End();
+  span_merge.End();
+
+  QueryNeighborhood hood;
+  hood.query_row = query_row;
+  VFPS_ASSIGN_OR_RETURN(hood.neighbors, pseudo.MapToOriginal(merged.ids));
+
+  // d_T exchange, recomputing each neighbor's partial distance per party
+  // (the shard-local score vectors are gone — O(shard) residency).
+  obs::Span span_dt(env.tracer, "knn.dt_exchange", env.clock);
+  span_dt.SetNode("leader");
+  PhaseTimer phase_dt(c_phase_dt_, env.clock);
+  for (size_t party : active) {
+    if (party == 0) continue;
+    VFPS_RETURN_NOT_OK(
+        env.chan->Send(kLeader, static_cast<int>(party), EncodeIds(merged.ids)));
+  }
+  ChargeFanOut(env.clock, merged.size() * sizeof(uint64_t), a - 1);
+  hood.per_party_dt.assign(p, 0.0);
+  std::vector<double> dt_seconds(a, 0.0);
+  for (size_t ai = 0; ai < a; ++ai) {
+    const size_t party = active[ai];
+    std::vector<uint64_t> pids = merged.ids;
+    if (party != 0) {
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            env.chan->Recv(kLeader, static_cast<int>(party)));
+      VFPS_ASSIGN_OR_RETURN(pids, DecodeIds(payload));
+    }
+    const ml::FeatureBlock& block = party_blocks_[party];
+    double dt = 0.0;
+    for (uint64_t pid : pids) {
+      const size_t row = static_cast<size_t>(pseudo.ToOriginal(pid));
+      double d = 0.0;
+      ml::BlockSquaredDistances(block, qslices[ai].data(), qnorms[ai], row,
+                                row + 1, &d);
+      dt += d;
+    }
+    dt_seconds[ai] = cost_->DistanceSeconds(pids.size(), block.cols());
+    if (party == 0) {
+      hood.per_party_dt[0] = dt;
+    } else {
+      VFPS_RETURN_NOT_OK(
+          env.chan->Send(static_cast<int>(party), kLeader, EncodeScalar(dt)));
+      VFPS_ASSIGN_OR_RETURN(auto payload,
+                            env.chan->Recv(static_cast<int>(party), kLeader));
+      VFPS_ASSIGN_OR_RETURN(hood.per_party_dt[party], DecodeScalar(payload));
+    }
+  }
+  ChargeParallelCompute(env.clock, dt_seconds);
+  ChargeFanIn(env.clock, sizeof(double), a - 1);
+  phase_dt.End();
+  span_dt.End();
+
+  if (h_candidates_ != nullptr) h_candidates_->Record(total_candidates);
+  if (stats != nullptr) {
+    stats->candidates_encrypted += total_candidates;
+    stats->fagin_depth += total_depth;
   }
   return hood;
 }

@@ -24,6 +24,10 @@ class MetricsRegistry;
 class Tracer;
 }  // namespace vfps::obs
 
+namespace vfps::ml {
+struct KMeansResult;
+}  // namespace vfps::ml
+
 namespace vfps::vfl {
 
 /// How the k-nearest-neighbor oracle finds neighbors across participants.
@@ -83,6 +87,28 @@ struct FedKnnConfig {
   /// Reliable-channel backoff jitter factor in [0, 1]; 0 (default) keeps the
   /// exact exponential schedule. Exposed as --net-jitter on the CLI.
   double net_jitter = 0.0;
+  /// Row shards per party: every party's FeatureBlock is cut into this many
+  /// contiguous row ranges (data::MakeRowShards), each held by a simulated
+  /// storage node. The per-query protocol then runs shard by shard — range
+  /// distance kernels, per-shard encrypted aggregation, shard-local SmallestK
+  /// — and the leader combines shard results with the hierarchical top-k
+  /// merge (topk::HierarchicalTopkMerge), so per-query resident protocol
+  /// state is O(shard), not O(N). 1 (default) keeps the single-node protocol
+  /// bit-identical to previous releases; sharded runs produce the same
+  /// neighborhoods and d_T values as shards=1 (exact-HE paths bit-identical;
+  /// traffic/clock naturally differ). Exposed as --shards on the CLI.
+  size_t shards = 1;
+  /// TreeCSS-style clustering pre-filter: 0 (default) = off. Otherwise each
+  /// party clusters its local columns into this many k-means clusters once
+  /// per Run, and per query nominates the rows of its clusters nearest the
+  /// query (enough to cover >= 4k rows); the union of nominations is the
+  /// only candidate set that pays distance + HE work. Approximate — a true
+  /// neighbor every party's nomination missed is lost — which is the
+  /// TreeCSS trade: prune before expensive per-sample work. Nominations
+  /// reveal candidate row ids (BASE) / pseudo ids (top-k modes) to the
+  /// server, like the Fagin candidate exchange. Exposed as
+  /// --prefilter=treecss:<clusters> on the CLI.
+  size_t prefilter_clusters = 0;
 };
 
 /// \brief What the leader learns about one query sample.
@@ -250,6 +276,24 @@ class FederatedKnnOracle {
       size_t k, bool charge_costs);
 
  private:
+  /// Run-scoped state of the sharded protocol path, built once per Run()
+  /// (serially, before any query task spawns) and shared read-only by every
+  /// task. Present only when config.shards > 1 or the pre-filter is on; the
+  /// pristine single-node path never sees it.
+  struct ShardRuntime {
+    std::vector<data::RowShard> plan;  // contiguous row ranges covering N
+    /// Per-party k-means models, indexed by participant id (only active
+    /// parties filled). nullptr when the pre-filter is off. Owned by Run().
+    const std::vector<ml::KMeansResult>* prefilter = nullptr;
+    size_t prefilter_target = 0;  // rows each party's nomination must cover
+    /// knn.shard.sim_ns{shard=S} / knn.shard.candidates{shard=S}, indexed by
+    /// shard; empty when metrics are off. The labeled-counter registry caps
+    /// series cardinality, so very wide shard plans fold into its overflow
+    /// label rather than exploding the registry.
+    std::vector<obs::Counter*> sim_ns;
+    std::vector<obs::Counter*> candidates;
+  };
+
   /// Task-local deployment view for one query: its own HE session, metered
   /// transport, reliable channel, and clock, so query tasks never contend
   /// (merged afterwards). `active` lists the non-quarantined participants in
@@ -266,6 +310,8 @@ class FederatedKnnOracle {
     /// (nullptr = caching disabled). See SelectionCache.
     const CachedUnit* cached = nullptr;
     CachedUnit* fresh = nullptr;
+    /// Sharded-path runtime; nullptr keeps the pristine single-node path.
+    const ShardRuntime* shard = nullptr;
   };
 
   // Partial squared distances from participant `p`'s slice of `query_row`
@@ -300,6 +346,36 @@ class FederatedKnnOracle {
                                          uint64_t query_row, size_t k,
                                          size_t batch, KnnOracleMode mode,
                                          FedKnnStats* stats) const;
+  // Sharded BASE protocol: per shard, range-kernel partials over the shard's
+  // rows (candidates only, when a pre-filter nomination is present), a
+  // per-shard encrypted aggregation round, shard-local SmallestK, then the
+  // hierarchical top-k merge. d_T comes from single-row kernel recomputes of
+  // the merged neighbors, so the values are bit-identical to RunBaseQuery's
+  // (each row's distance is independent of the [begin, end) split).
+  Result<QueryNeighborhood> RunBaseQuerySharded(const QueryEnv& env,
+                                                uint64_t query_row, size_t k,
+                                                FedKnnStats* stats) const;
+  // Sharded Fagin/TA: each shard runs the complete phase-1 merge + candidate
+  // encryption over its own rows (mini-batches stream per shard, so resident
+  // ranking state is O(shard·P), not O(N·P)), then shard top-ks merge
+  // hierarchically. Per-shard Fagin/TA is exact within its shard, so the
+  // merged result equals the global one whenever aggregate distances are
+  // tie-free (always, in practice, on continuous features).
+  Result<QueryNeighborhood> RunTopkQuerySharded(const QueryEnv& env,
+                                                const PseudoIdMap& pseudo,
+                                                uint64_t query_row, size_t k,
+                                                size_t batch,
+                                                KnnOracleMode mode,
+                                                FedKnnStats* stats) const;
+  // TreeCSS-style candidate nomination: each active party ranks its clusters
+  // by centroid distance to its query slice and nominates the nearest
+  // clusters' rows until ShardRuntime::prefilter_target rows are covered; the
+  // union (query row excluded, ascending original row ids) travels through
+  // env.chan like the Fagin candidate exchange. A pure function of
+  // (models, query_row), so thread-count-invariant.
+  Result<std::vector<uint64_t>> RunPrefilterExchange(const QueryEnv& env,
+                                                     const ShardRuntime& rt,
+                                                     uint64_t query_row) const;
 
   // Clock helpers (charge the given task-local clock).
   void ChargeParallelCompute(SimClock* clock,
@@ -357,6 +433,9 @@ class FederatedKnnOracle {
   obs::Counter* c_phase_stream_ = nullptr;    // {phase=stream_rankings}
   /// knn.party.encrypted_values{party=N}, indexed by participant.
   std::vector<obs::Counter*> c_party_enc_values_;
+  obs::Counter* c_shard_merges_ = nullptr;  // knn.shard.merges
+  obs::Counter* c_prefilter_candidates_ = nullptr;  // knn.prefilter.candidates
+  obs::Counter* c_prefilter_pruned_ = nullptr;  // knn.prefilter.pruned_rows
   obs::Histogram* h_unit_sim_ns_ = nullptr;   // knn.query.sim_ns
   obs::Histogram* h_unit_wall_ns_ = nullptr;  // knn.query.wall_ns
 };

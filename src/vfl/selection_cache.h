@@ -74,12 +74,19 @@ class SelectionCache {
     size_t group = 1;
     size_t n_rows = 0;
     size_t num_units = 0;
+    /// Shard layout of the run. Sharded runs never stage contributions (the
+    /// per-shard rounds rebuild from scratch), but the fields still guard the
+    /// shape: a cache carried across a --shards/--prefilter change is cleared
+    /// instead of leaking single-node contributions into a sharded repair.
+    size_t shards = 1;
+    size_t prefilter_clusters = 0;
 
     bool operator==(const Key& o) const {
       return seed == o.seed && mode == o.mode && k == o.k &&
              num_queries == o.num_queries && fagin_batch == o.fagin_batch &&
              group == o.group && n_rows == o.n_rows &&
-             num_units == o.num_units;
+             num_units == o.num_units && shards == o.shards &&
+             prefilter_clusters == o.prefilter_clusters;
     }
   };
 

@@ -1,0 +1,64 @@
+#ifndef VFPS_VFL_SHARDED_KNN_H_
+#define VFPS_VFL_SHARDED_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/partitioner.h"
+#include "data/synthetic.h"
+#include "topk/shard_merge.h"
+
+namespace vfps::vfl {
+
+/// \brief Configuration of one out-of-core sharded KNN run.
+struct ShardedKnnConfig {
+  size_t shards = 1;       // row shards streamed one at a time
+  size_t k = 10;           // neighbors per query
+  size_t num_queries = 16; // training rows sampled as query samples
+  uint64_t seed = 42;      // query sampling (and pre-filter clustering) seed
+  /// TreeCSS-style pruning: per shard, each party clusters its local columns
+  /// into this many k-means groups and only the union of the clusters nearest
+  /// each query pays per-row distance work. 0 (default) = exact scan.
+  size_t prefilter_clusters = 0;
+};
+
+/// \brief What an out-of-core run returns, plus the memory/merge accounting
+/// the flat-RSS benchmarks assert on.
+struct ShardedKnnOutput {
+  std::vector<uint64_t> query_rows;
+  /// Per query: the k nearest training rows (original ids, nearest first)
+  /// and their aggregate (sum-over-parties) squared distances.
+  std::vector<std::vector<uint64_t>> neighbors;
+  std::vector<std::vector<double>> distances;
+  size_t max_shard_rows = 0;     // out-of-core high-water mark, in rows
+  size_t candidates_scored = 0;  // rows that paid distance work (post-filter)
+  topk::ShardMergeStats merge_stats;
+};
+
+/// \brief Out-of-core sharded federated KNN over the streaming synthetic
+/// generator: materializes ONE shard's rows at a time (SyntheticShardStream),
+/// packs per-party FeatureBlocks over just those rows, scores every query
+/// against the shard with the SIMD distance kernels, keeps a shard-local
+/// SmallestK, frees the shard, and finally combines the per-shard lists with
+/// the hierarchical top-k merge. Resident feature memory is O(shard x F),
+/// independent of N — the engine behind the N=5M+ scalability sweeps, where
+/// a monolithic N x F matrix would not fit.
+///
+/// This is the data-plane complement of FederatedKnnOracle: the oracle
+/// simulates the full encrypted protocol on an in-memory dataset; this engine
+/// computes the same plaintext neighborhoods (sum of per-party partial
+/// distances, query row excluded, ties to the lower row id) at out-of-core
+/// scale. With prefilter_clusters == 0 the output is invariant to the shard
+/// count — every row's aggregate distance is a pure function of (config,
+/// row), per-row kernel values are independent of block boundaries, and the
+/// merge is exact — so shards only trade memory for streaming passes. The
+/// pre-filter clusters per shard, so its (approximate) candidate set does
+/// depend on the layout.
+Result<ShardedKnnOutput> RunShardedKnn(const data::SyntheticConfig& data_config,
+                                       const data::VerticalPartition& partition,
+                                       const ShardedKnnConfig& config);
+
+}  // namespace vfps::vfl
+
+#endif  // VFPS_VFL_SHARDED_KNN_H_

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/kernels.h"
+#include "topk/shard_merge.h"
+
+namespace vfps::topk {
+namespace {
+
+ShardTopk Make(std::vector<double> values, std::vector<uint64_t> ids) {
+  ShardTopk st;
+  st.values = std::move(values);
+  st.ids = std::move(ids);
+  return st;
+}
+
+TEST(MergeTwoTopkTest, TakesBestOfBothSides) {
+  auto merged = MergeTwoTopk(Make({1.0, 5.0}, {10, 11}),
+                             Make({2.0, 3.0}, {20, 21}), 3);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->values, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(merged->ids, (std::vector<uint64_t>{10, 20, 21}));
+}
+
+TEST(MergeTwoTopkTest, TiesAcrossShardsGoToLowerId) {
+  auto merged = MergeTwoTopk(Make({4.0, 7.0}, {30, 31}),
+                             Make({4.0, 4.0}, {5, 90}), 3);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->values, (std::vector<double>{4.0, 4.0, 4.0}));
+  EXPECT_EQ(merged->ids, (std::vector<uint64_t>{5, 30, 90}));
+}
+
+TEST(MergeTwoTopkTest, DuplicateIdsCollapseToBetterEntry) {
+  // Id 7 appears in both shards (e.g. a pre-filter nominated it twice);
+  // the smaller value wins and the id shows up exactly once.
+  auto merged = MergeTwoTopk(Make({2.0, 6.0}, {7, 8}),
+                             Make({3.0, 9.0}, {7, 12}), 4);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->values, (std::vector<double>{2.0, 6.0, 9.0}));
+  EXPECT_EQ(merged->ids, (std::vector<uint64_t>{7, 8, 12}));
+}
+
+TEST(MergeTwoTopkTest, ExactDuplicateEntriesCollapseToOne) {
+  auto merged = MergeTwoTopk(Make({2.0}, {7}), Make({2.0}, {7}), 4);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->values, (std::vector<double>{2.0}));
+  EXPECT_EQ(merged->ids, (std::vector<uint64_t>{7}));
+}
+
+TEST(MergeTwoTopkTest, RejectsUnsortedInput) {
+  EXPECT_FALSE(MergeTwoTopk(Make({3.0, 1.0}, {0, 1}), Make({}, {}), 2).ok());
+  EXPECT_FALSE(
+      MergeTwoTopk(Make({}, {}), Make({1.0, 1.0}, {4, 2}), 2).ok());
+  EXPECT_FALSE(MergeTwoTopk(Make({1.0}, {0, 1}), Make({}, {}), 2).ok());
+}
+
+TEST(HierarchicalTopkMergeTest, EmptyShardsAreIdentity) {
+  std::vector<ShardTopk> shards;
+  shards.push_back(Make({}, {}));
+  shards.push_back(Make({1.0, 2.0}, {3, 4}));
+  shards.push_back(Make({}, {}));
+  auto merged = HierarchicalTopkMerge(std::move(shards), 2);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->ids, (std::vector<uint64_t>{3, 4}));
+
+  auto none = HierarchicalTopkMerge({}, 5);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(HierarchicalTopkMergeTest, KLargerThanEveryShard) {
+  // k = 10 but each shard holds 2 entries: the merge must surface all of
+  // them (lossless truncation never drops below the union size).
+  std::vector<ShardTopk> shards;
+  shards.push_back(Make({1.0, 8.0}, {0, 1}));
+  shards.push_back(Make({2.0, 9.0}, {10, 11}));
+  shards.push_back(Make({3.0, 7.0}, {20, 21}));
+  auto merged = HierarchicalTopkMerge(std::move(shards), 10);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->ids, (std::vector<uint64_t>{0, 10, 20, 21, 1, 11}));
+  EXPECT_EQ(merged->values, (std::vector<double>{1, 2, 3, 7, 8, 9}));
+}
+
+TEST(HierarchicalTopkMergeTest, StatsCountMergesAndEntries) {
+  std::vector<ShardTopk> shards;
+  for (int s = 0; s < 5; ++s) {
+    shards.push_back(Make({1.0 * s}, {static_cast<uint64_t>(s)}));
+  }
+  ShardMergeStats stats;
+  auto merged = HierarchicalTopkMerge(std::move(shards), 3, &stats);
+  ASSERT_TRUE(merged.ok());
+  // 5 -> 3 -> 2 -> 1 lists takes 2 + 1 + 1 pairwise merges.
+  EXPECT_EQ(stats.merges, 4u);
+  EXPECT_EQ(stats.entries_in, 5u);
+}
+
+TEST(ShardTopkFromIndicesTest, OffsetsPreserveOrder) {
+  const double values[] = {5.0, 1.0, 3.0};
+  const std::vector<uint64_t> top = ml::SmallestK(values, 3, 2);
+  const ShardTopk st = ShardTopkFromIndices(top, values, 100);
+  EXPECT_EQ(st.ids, (std::vector<uint64_t>{101, 102}));
+  EXPECT_EQ(st.values, (std::vector<double>{1.0, 3.0}));
+}
+
+// The load-bearing contract: contiguous range shards + SmallestK per shard +
+// hierarchical merge is bit-identical to single-heap SmallestK over the whole
+// array — any shard count, duplicate values everywhere, k above and below
+// the shard size.
+TEST(HierarchicalTopkMergeTest, RandomizedAgreementWithSingleHeap) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBounded(400);
+    const size_t k = 1 + rng.NextBounded(25);
+    const size_t num_shards = 1 + rng.NextBounded(9);
+    std::vector<double> values(n);
+    for (double& v : values) {
+      // Coarse quantization forces plenty of cross-shard ties.
+      v = static_cast<double>(rng.NextBounded(32));
+    }
+
+    std::vector<ShardTopk> shards;
+    size_t begin = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      // Uneven split; later shards may be empty.
+      size_t end = (s + 1 == num_shards)
+                       ? n
+                       : std::min(n, begin + rng.NextBounded(n / num_shards + 2));
+      const size_t m = end - begin;
+      const auto top = ml::SmallestK(values.data() + begin, m, k);
+      shards.push_back(ShardTopkFromIndices(top, values.data() + begin,
+                                            begin));
+      begin = end;
+    }
+
+    auto merged = HierarchicalTopkMerge(std::move(shards), k);
+    ASSERT_TRUE(merged.ok());
+    const auto expected = ml::SmallestK(values.data(), n, k);
+    ASSERT_EQ(merged->ids.size(), expected.size()) << "trial " << trial;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(merged->ids[i], expected[i]) << "trial " << trial;
+      EXPECT_EQ(merged->values[i], values[expected[i]]) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vfps::topk

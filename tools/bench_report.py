@@ -18,6 +18,11 @@ benchmark, and emits:
           "bytes_per_second": 9.8e8,      # when the bench reports it
           "baseline_ns": 45678.9,         # from --baseline, when present
           "speedup_vs_baseline": 3.7      # baseline_ns / ns_per_op
+        },
+        "shard_scale/rows:1000000/shards:8": {
+          "mem_bytes": 123456789,         # peak RSS, fresh process (--mem-raw)
+          "baseline_mem_bytes": 120000000,
+          "mem_ratio_vs_baseline": 1.03
         }, ...
       }
     }
@@ -98,6 +103,11 @@ def main():
                              "the full-precision retry uses median, which is "
                              "stable there and robust to kernels whose min "
                              "is bimodal across scheduling windows)")
+    parser.add_argument("--mem-raw", default=None, metavar="FILE",
+                        help="JSONL of bench/shard_scale records (one fresh "
+                             "process each); emitted as mem_bytes rows and "
+                             "gated like timings, but without calibration — "
+                             "RSS does not drift with host speed")
     parser.add_argument("--repetitions", type=int, default=0)
     parser.add_argument("--native-arch", action="store_true")
     args = parser.parse_args()
@@ -137,6 +147,10 @@ def main():
                 and not isinstance(v, bool)}
         if user:
             entry["counters"] = user
+            # Peak-RSS a bench reported via state.counters["mem_bytes"] is a
+            # first-class schema field, same as the shard_scale rows below.
+            if "mem_bytes" in user:
+                entry["mem_bytes"] = user["mem_bytes"]
         base = baseline.get(name)
         if base and base.get("ns_per_op"):
             entry["baseline_ns"] = base["ns_per_op"]
@@ -164,6 +178,30 @@ def main():
             entry["speedup_vs_scalar_isa"] = (
                 sibling["ns_per_op"] / entry["ns_per_op"])
 
+    # Out-of-core memory rows: each shard_scale record (a fresh process per
+    # configuration) becomes a kernel entry keyed by its parameters, carrying
+    # mem_bytes instead of timings.
+    if args.mem_raw:
+        with open(args.mem_raw) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                name = (f"shard_scale/rows:{rec['rows']}"
+                        f"/shards:{rec['shards']}")
+                entry = {"mem_bytes": rec["mem_bytes"],
+                         "counters": {k: rec[k] for k in
+                                      ("max_shard_rows", "candidates_scored",
+                                       "merges", "wall_seconds")
+                                      if k in rec}}
+                base = baseline.get(name)
+                if base and base.get("mem_bytes"):
+                    entry["baseline_mem_bytes"] = base["mem_bytes"]
+                    entry["mem_ratio_vs_baseline"] = (
+                        rec["mem_bytes"] / base["mem_bytes"])
+                kernels[name] = entry
+
     def gate_stat(entry):
         if args.gate_estimator == "median":
             return entry.get("ns_per_op")
@@ -182,6 +220,7 @@ def main():
     # frozen), and failing the build because the *host* runs it slower would
     # reintroduce exactly the machine-drift failures it exists to cancel.
     regressions = []
+    mem_regressions = []
     if args.check_regression is not None:
         factor = 1.0 + args.check_regression / 100.0
         cal, base_cal = kernels.get(args.calibration), base_stat(args.calibration)
@@ -219,6 +258,16 @@ def main():
                           f"kernel; not flagged", file=sys.stderr)
                     continue
             regressions.append((name, now_ns, base_ns))
+        # Memory gate: RSS is deterministic up to allocator jitter, so the
+        # raw ratio is compared directly — no calibration normalization and
+        # no re-measure retry (a repeat run would return the same number).
+        for name, entry in kernels.items():
+            base_mem = baseline.get(name, {}).get("mem_bytes")
+            now_mem = entry.get("mem_bytes")
+            if not base_mem or not now_mem:
+                continue
+            if now_mem / base_mem > factor:
+                mem_regressions.append((name, now_mem, base_mem))
 
     report = {
         "schema": "vfps-bench-v1",
@@ -248,8 +297,15 @@ def main():
         for name, now, base in regressions:
             print(f"  {name}: {est} {now:.0f} ns vs baseline {est} "
                   f"{base:.0f} ns ({now / base:.2f}x)", file=sys.stderr)
-        return 1
-    return 0
+    if mem_regressions:
+        print(f"[bench_report] MEMORY REGRESSION: {len(mem_regressions)} "
+              f"row(s) above baseline peak RSS by > "
+              f"{args.check_regression}%:", file=sys.stderr)
+        for name, now, base in mem_regressions:
+            print(f"  {name}: {now / 2**20:.1f} MiB vs baseline "
+                  f"{base / 2**20:.1f} MiB ({now / base:.2f}x)",
+                  file=sys.stderr)
+    return 1 if (regressions or mem_regressions) else 0
 
 
 if __name__ == "__main__":

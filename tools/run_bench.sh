@@ -13,6 +13,16 @@
 #   --native           configure with -DVFPS_NATIVE_ARCH=ON (-march=native)
 #   --build-dir=DIR    build directory (default: build-bench)
 #   --filter=REGEX     forwarded to --benchmark_filter
+#   --no-mem           skip the shard_scale peak-RSS rows
+#   --mem-rows=N       dataset size for the peak-RSS rows (default 1000000)
+#   --mem-extra=SPECS  extra "rows:shards" peak-RSS runs, space-separated
+#                      (e.g. --mem-extra="5000000:64 78125:1" records the
+#                      5M-row sweep plus its fixed-shard-size reference)
+#
+# Besides the timing kernels, the artifact carries `mem_bytes` rows measured
+# by bench/shard_scale: one FRESH PROCESS per shard count (ru_maxrss is a
+# process high-water mark, so in-process sweeps cannot compare shard counts),
+# gated against the baseline by the same --check percentage.
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,6 +35,9 @@ REPS=5
 MIN_TIME=0.25
 WARMUP=0.2
 FILTER=".*"
+MEM=1
+MEM_ROWS=1000000
+MEM_EXTRA=""
 
 for arg in "$@"; do
   case "$arg" in
@@ -36,6 +49,9 @@ for arg in "$@"; do
     --native) NATIVE=ON ;;
     --build-dir=*) BUILD="${arg#--build-dir=}" ;;
     --filter=*) FILTER="${arg#--filter=}" ;;
+    --no-mem) MEM=0 ;;
+    --mem-rows=*) MEM_ROWS="${arg#--mem-rows=}" ;;
+    --mem-extra=*) MEM_EXTRA="${arg#--mem-extra=}" ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -45,7 +61,23 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_CXX_FLAGS="-O3 -DNDEBUG" \
   -DVFPS_NATIVE_ARCH="$NATIVE" \
   -DVFPS_BUILD_TESTS=OFF -DVFPS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$BUILD" -j --target bench_kernels >/dev/null
+cmake --build "$BUILD" -j --target bench_kernels bench_knn bench_topk \
+  shard_scale >/dev/null
+
+# Peak-RSS rows: shard_scale once per configuration, each in a FRESH process
+# (ru_maxrss is a process-lifetime high-water mark; an in-process sweep
+# could not compare shard counts). The last entry is the fixed-shard-size
+# single-shard reference the flat-memory claim is judged against.
+MEM_RAW="$BUILD/bench_mem_raw.jsonl"
+if [ "$MEM" = "1" ]; then
+  : >"$MEM_RAW"
+  # shellcheck disable=SC2086  # MEM_EXTRA is a space-separated spec list
+  for spec in "$MEM_ROWS:1" "$MEM_ROWS:8" "$MEM_ROWS:32" \
+              "$((MEM_ROWS / 32)):1" $MEM_EXTRA; do
+    "$BUILD/bench/shard_scale" --rows="${spec%%:*}" --shards="${spec##*:}" \
+      --queries=4 >>"$MEM_RAW"
+  done
+fi
 
 # Keep the per-repetition samples (no aggregates-only): the report derives
 # the median for human numbers and the MIN for the regression gate — on
@@ -59,8 +91,38 @@ RAW="$BUILD/bench_kernels_raw.json"
   --benchmark_min_warmup_time="$WARMUP" \
   --benchmark_format=json >"$RAW"
 
+# The sharded-path rows (out-of-core query throughput, hierarchical merge)
+# live in other bench binaries; run just those benchmarks and splice their
+# samples into the raw stream so one report carries the whole artifact.
+# Skipped when --filter narrows the run (that is a targeted re-measure).
+if [ "$FILTER" = ".*" ]; then
+  "$BUILD/bench/bench_knn" \
+    --benchmark_filter='BM_Sharded' \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_min_warmup_time="$WARMUP" \
+    --benchmark_format=json >"$BUILD/bench_shard_knn_raw.json"
+  "$BUILD/bench/bench_topk" \
+    --benchmark_filter='BM_ShardMerge' \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_min_warmup_time="$WARMUP" \
+    --benchmark_format=json >"$BUILD/bench_shard_topk_raw.json"
+  python3 - "$RAW" "$BUILD/bench_shard_knn_raw.json" \
+    "$BUILD/bench_shard_topk_raw.json" <<'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))
+for path in sys.argv[2:]:
+    base["benchmarks"].extend(json.load(open(path)).get("benchmarks", []))
+json.dump(base, open(sys.argv[1], "w"))
+PY
+fi
+
 FLAGGED="$BUILD/bench_flagged.txt"
 set -- "$RAW" --out "$OUT" --repetitions "$REPS" --flagged-out "$FLAGGED"
+if [ "$MEM" = "1" ]; then
+  set -- "$@" --mem-raw "$MEM_RAW"
+fi
 if [ -f "$BASELINE" ]; then
   set -- "$@" --baseline "$BASELINE"
 fi

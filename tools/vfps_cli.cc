@@ -9,6 +9,15 @@
 //                                (BASE mode: queries per packed HE round;
 //                                 0 = auto-fit the backend's CKKS slots,
 //                                 1 = one query per round, as before)
+//                [--shards=1]    (row-shard the oracle's data plane across N
+//                                 simulated storage nodes; per-shard top-k
+//                                 lists are merged hierarchically. --shards=1
+//                                 is bit-identical to the unsharded oracle)
+//                [--prefilter=treecss:C]
+//                                (TreeCSS-style per-party k-means pre-filter
+//                                 with C clusters; only the nominated cluster
+//                                 union pays per-row distance work. Off by
+//                                 default — approximate when enabled)
 //                [--duplicates=0] [--partition=random|stratified]
 //                [--threads=1]   (0 = all cores; results are identical at
 //                                 any thread count, only wall time changes)
@@ -139,6 +148,26 @@ Result<core::ExperimentConfig> BuildConfig(
   }
   config.checkpoint_out = Get(flags, "checkpoint-out", "");
   config.resume_from = Get(flags, "resume-from", "");
+  VFPS_ASSIGN_OR_RETURN(int64_t shards, ParseInt64(Get(flags, "shards", "1")));
+  if (shards < 1 || shards > 4096) {
+    return Status::InvalidArgument("--shards must be in [1, 4096]");
+  }
+  config.knn.shards = static_cast<size_t>(shards);
+  const std::string prefilter = Get(flags, "prefilter", "");
+  if (!prefilter.empty()) {
+    const std::string prefix = "treecss:";
+    if (prefilter.rfind(prefix, 0) != 0) {
+      return Status::InvalidArgument(
+          "--prefilter must be of the form treecss:<clusters>");
+    }
+    VFPS_ASSIGN_OR_RETURN(int64_t clusters,
+                          ParseInt64(prefilter.substr(prefix.size())));
+    if (clusters < 1 || clusters > 65536) {
+      return Status::InvalidArgument(
+          "--prefilter cluster count must be in [1, 65536]");
+    }
+    config.knn.prefilter_clusters = static_cast<size_t>(clusters);
+  }
 
   const std::string backend = Get(flags, "backend", "plain");
   if (backend == "plain") {
